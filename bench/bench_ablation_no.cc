@@ -1,0 +1,71 @@
+// Ablation: sensitivity to N_o, the per-round batch size (Sec. VI-B).
+//
+// Eq. 2 predicts FAST-BASIC cycles ~ (N*L_f + M*L_t)/N_o + 4N + 2M: tiny N_o
+// inflates the amortized module-latency term; beyond N_o >> (N*L_f+M*L_t)/
+// (4N+2M) the return vanishes while the BRAM buffer (|V(q)|-1)*N_o keeps
+// growing. This bench sweeps N_o and reports simulated time plus the BRAM
+// buffer cost, exposing the paper's "carefully chosen based on the FPGA"
+// trade-off. The TASK/SEP variants are insensitive to N_o by Eq. 3/4.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fpga/cycle_model.h"
+
+namespace fast::bench {
+namespace {
+
+struct NoRow {
+  double basic_ms = 0;
+  double sep_ms = 0;
+  double buffer_kib = 0;
+};
+
+NoRow Measure(std::uint32_t no, int qi, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  const QueryGraph q = Query(qi);
+  FastRunOptions options = BenchRunOptions(FastVariant::kBasic);
+  options.fpga.max_new_partials = no;
+  NoRow row;
+  row.basic_ms = MustRunFast(q, g, options).kernel_seconds * 1e3;
+  options.variant = FastVariant::kSep;
+  row.sep_ms = MustRunFast(q, g, options).kernel_seconds * 1e3;
+  row.buffer_kib =
+      static_cast<double>(PartialBufferWords(options.fpga, q.NumVertices()) * 4) /
+      1024.0;
+  return row;
+}
+
+void BM_BatchSize(benchmark::State& state) {
+  const auto no = static_cast<std::uint32_t>(state.range(0));
+  NoRow row;
+  for (auto _ : state) row = Measure(no, 8, "DG03");
+  state.counters["basic_ms"] = row.basic_ms;
+  state.counters["sep_ms"] = row.sep_ms;
+  state.counters["buffer_KiB"] = row.buffer_kib;
+}
+
+BENCHMARK(BM_BatchSize)->RangeMultiplier(4)->Range(16, 65536)->Unit(benchmark::kMillisecond);
+
+void PrintAblation() {
+  std::printf("\nAblation: N_o sweep on q8 / DG03 (simulated kernel ms)\n");
+  std::printf("%-8s %14s %14s %14s\n", "N_o", "BASIC ms", "SEP ms", "buffer KiB");
+  for (std::uint32_t no = 16; no <= 65536; no *= 4) {
+    const NoRow row = Measure(no, 8, "DG03");
+    std::printf("%-8u %14.3f %14.3f %14.1f\n", no, row.basic_ms, row.sep_ms,
+                row.buffer_kib);
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintAblation();
+  return 0;
+}

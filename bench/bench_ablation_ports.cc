@@ -1,0 +1,69 @@
+// Ablation: sensitivity to Port_max (= δ_D), the adjacency fan-out the edge
+// validator's array partitioning can answer in O(1) (Sec. VI-A).
+//
+// Smaller ports force more CST partitions (D_CST must fit) -> more DMA loads
+// and more host-side partition work; larger ports cost on-chip resources on
+// a real device. This bench sweeps δ_D and reports #partitions, partition
+// time and total simulated time, quantifying the design point the paper
+// fixes implicitly when sizing the edge validator.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fast::bench {
+namespace {
+
+struct PortRow {
+  double partitions = 0;
+  double partition_ms = 0;
+  double total_ms = 0;
+};
+
+PortRow Measure(std::uint32_t ports, int qi, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  const QueryGraph q = Query(qi);
+  FastRunOptions options = BenchRunOptions(FastVariant::kSep);
+  options.fpga.port_max = ports;
+  const auto r = MustRunFast(q, g, options);
+  PortRow row;
+  row.partitions = static_cast<double>(r.partition_stats.num_partitions);
+  row.partition_ms = r.partition_seconds * 1e3;
+  row.total_ms = r.total_seconds * 1e3;
+  return row;
+}
+
+void BM_PortMax(benchmark::State& state) {
+  const auto ports = static_cast<std::uint32_t>(state.range(0));
+  PortRow row;
+  for (auto _ : state) row = Measure(ports, 2, "DG01");
+  state.counters["partitions"] = row.partitions;
+  state.counters["partition_ms"] = row.partition_ms;
+  state.counters["total_ms"] = row.total_ms;
+}
+
+BENCHMARK(BM_PortMax)->RangeMultiplier(2)->Range(32, 512)->Unit(benchmark::kMillisecond);
+
+void PrintAblation() {
+  std::printf("\nAblation: Port_max (delta_D) sweep on q2 / DG01\n");
+  std::printf("%-10s %12s %16s %14s\n", "Port_max", "#CST", "partition ms",
+              "total ms");
+  for (std::uint32_t ports = 32; ports <= 512; ports *= 2) {
+    const PortRow row = Measure(ports, 2, "DG01");
+    std::printf("%-10u %12.0f %16.3f %14.3f\n", ports, row.partitions,
+                row.partition_ms, row.total_ms);
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintAblation();
+  return 0;
+}

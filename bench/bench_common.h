@@ -1,0 +1,153 @@
+#ifndef FAST_BENCH_BENCH_COMMON_H_
+#define FAST_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Dataset scaling: the paper's LDBC graphs DG01/DG03/DG10/DG60 span 17M ->
+// 1.25B edges on a 250 GB machine with an Alveo U200. This repo scales the
+// whole experiment down by ~3 orders of magnitude so every figure
+// regenerates in seconds on a laptop: the DGx analogues below keep the same
+// relative spacing of scale factors (1:3:10:60), and the simulated device's
+// BRAM is scaled down equivalently so the partitioning pressure (number of
+// CST partitions per graph) stays in the paper's regime. Absolute numbers
+// therefore differ from the paper; shapes and ratios are the comparison
+// target (see EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "ldbc/ldbc.h"
+#include "util/logging.h"
+
+namespace fast::bench {
+
+// Scale factors for the paper's dataset names.
+inline const std::map<std::string, double>& DatasetScaleFactors() {
+  static const auto* kMap = new std::map<std::string, double>{
+      {"DG01", 0.5}, {"DG03", 1.5}, {"DG10", 5.0}, {"DG60", 30.0}};
+  return *kMap;
+}
+
+// Generates (and caches per process) the DGx analogue.
+inline const Graph& Dataset(const std::string& name) {
+  static auto* cache = new std::map<std::string, Graph>();
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+  LdbcConfig config;
+  config.scale_factor = DatasetScaleFactors().at(name);
+  config.seed = 42;
+  auto g = GenerateLdbcGraph(config);
+  FAST_CHECK(g.ok()) << g.status();
+  return cache->emplace(name, std::move(g).value()).first->second;
+}
+
+// Device model scaled to the shrunken datasets: ~2 MiB of BRAM (vs 35 MB)
+// keeps #partitions in the paper's range (tens to thousands) on the DGx
+// analogues. Port_max stays high relative to the scaled graphs' hub degrees,
+// as on the real card, so partitioning is size-driven first.
+inline FpgaConfig BenchFpgaConfig() {
+  FpgaConfig c;  // Alveo U200 clock/latency characteristics
+  c.bram_words = 128 * 1024;
+  // On the real card Port_max (512) binds only for extreme hubs because the
+  // size budget δ_S splits CSTs long before D_CST does. The scaled-down BRAM
+  // shifts that balance, so Port_max scales up equivalently to keep δ_S the
+  // binding constraint; bench_ablation_ports sweeps this knob explicitly.
+  c.port_max = 65536;
+  c.max_new_partials = 1024;
+  return c;
+}
+
+inline FastRunOptions BenchRunOptions(FastVariant variant,
+                                      double cpu_share_delta = 0.0) {
+  FastRunOptions options;
+  options.variant = variant;
+  options.cpu_share_delta = cpu_share_delta;
+  options.fpga = BenchFpgaConfig();
+  return options;
+}
+
+// Runs FAST and CHECK-fails on error: benches assume valid configs.
+inline FastRunResult MustRunFast(const QueryGraph& q, const Graph& g,
+                                 const FastRunOptions& options) {
+  auto r = RunFast(q, g, options);
+  FAST_CHECK(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+inline QueryGraph Query(int index) {
+  auto q = LdbcQuery(index);
+  FAST_CHECK(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+// Registers, for each query index, one manual-time benchmark per variant
+// whose reported time is the *simulated* end-to-end elapsed time, and prints
+// a paper-style "elapsed + acceleration ratio" table afterwards. Shared by
+// the Fig. 7 / Fig. 11 / Fig. 12 variant-comparison binaries.
+inline void RunVariantComparisonMain(int argc, char** argv, const char* figure,
+                                     FastVariant baseline, FastVariant improved,
+                                     const std::vector<int>& queries,
+                                     const std::string& dataset) {
+  // The paper's Figs. 7/11/12 compare the *matching* elapsed time, which on
+  // the real system is device-dominated; report simulated kernel + transfer
+  // time so host-side wall clock (which is not the paper's axis) does not
+  // dilute the variants' differences.
+  auto matching_seconds = [](const FastRunResult& r) {
+    return r.kernel_seconds + r.pcie_seconds;
+  };
+  auto run = [=](benchmark::State& state, int qi, FastVariant variant) {
+    const Graph& g = Dataset(dataset);
+    const QueryGraph q = Query(qi);
+    FastRunResult result;
+    for (auto _ : state) {
+      result = MustRunFast(q, g, BenchRunOptions(variant));
+      state.SetIterationTime(matching_seconds(result));
+    }
+    state.counters["embeddings"] = static_cast<double>(result.embeddings);
+    state.counters["sim_ms"] = matching_seconds(result) * 1e3;
+    state.counters["kernel_ms"] = result.kernel_seconds * 1e3;
+    state.counters["partitions"] =
+        static_cast<double>(result.partition_stats.num_partitions);
+  };
+  for (int qi : queries) {
+    for (FastVariant v : {baseline, improved}) {
+      benchmark::RegisterBenchmark(
+          (std::string(figure) + "/" + FastVariantName(v) + "/q" +
+           std::to_string(qi) + "/" + dataset)
+              .c_str(),
+          run, qi, v)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, &argv[0]);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n%s: %s vs %s on %s (simulated matching time)\n", figure,
+              FastVariantName(baseline), FastVariantName(improved), dataset.c_str());
+  std::printf("%-6s %14s %14s %14s %12s\n", "query",
+              (std::string(FastVariantName(baseline)) + " ms").c_str(),
+              (std::string(FastVariantName(improved)) + " ms").c_str(),
+              "acceleration", "#embeddings");
+  const Graph& g = Dataset(dataset);
+  for (int qi : queries) {
+    const QueryGraph q = Query(qi);
+    const double a = matching_seconds(MustRunFast(q, g, BenchRunOptions(baseline)));
+    const auto run_b = MustRunFast(q, g, BenchRunOptions(improved));
+    const double b = matching_seconds(run_b);
+    std::printf("q%-5d %14.3f %14.3f %13.1f%% %12llu\n", qi, a * 1e3, b * 1e3,
+                100.0 * (a - b) / a,
+                static_cast<unsigned long long>(run_b.embeddings));
+  }
+}
+
+}  // namespace fast::bench
+
+#endif  // FAST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Fig. 10: partition time per embedding as the data graph grows.
+//
+// Paper result: partition time per embedding stays within the same order of
+// magnitude (1.09e-9 .. 2.15e-9 s/embedding from DG01 to DG60) while |E(G)|
+// grows 70x -- i.e. partitioning scales with the workload, not the graph.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cst/partition.h"
+#include "util/timer.h"
+
+namespace fast::bench {
+namespace {
+
+struct Fig10Row {
+  double partition_ms = 0;
+  double embeddings = 0;
+  double time_per_embedding_ns = 0;
+};
+
+Fig10Row Measure(int qi, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  const QueryGraph q = Query(qi);
+  auto result = MustRunFast(q, g, BenchRunOptions(FastVariant::kSep));
+  Fig10Row row;
+  row.partition_ms = result.partition_seconds * 1e3;
+  row.embeddings = static_cast<double>(result.embeddings);
+  row.time_per_embedding_ns =
+      row.embeddings > 0 ? result.partition_seconds * 1e9 / row.embeddings : 0.0;
+  return row;
+}
+
+void BM_PartitionPerEmbedding(benchmark::State& state, int qi,
+                              const std::string& dataset) {
+  Fig10Row row;
+  for (auto _ : state) row = Measure(qi, dataset);
+  state.counters["partition_ms"] = row.partition_ms;
+  state.counters["embeddings"] = row.embeddings;
+  state.counters["ns_per_embedding"] = row.time_per_embedding_ns;
+}
+
+void PrintFig10() {
+  std::printf("\nFig. 10: partition time per embedding (ns) as the graph grows\n");
+  std::printf("%-6s %10s %14s %14s %16s\n", "query", "dataset", "partition ms",
+              "#embeddings", "ns/embedding");
+  for (int qi : {0, 1, 2, 4, 7, 8}) {
+    for (const std::string name : {"DG01", "DG03", "DG10"}) {
+      const Fig10Row row = Measure(qi, name);
+      std::printf("q%-5d %10s %14.3f %14.0f %16.3f\n", qi, name.c_str(),
+                  row.partition_ms, row.embeddings, row.time_per_embedding_ns);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (int qi : {0, 2, 8}) {
+    for (const std::string name : {"DG01", "DG03", "DG10"}) {
+      benchmark::RegisterBenchmark(
+          ("Fig10/q" + std::to_string(qi) + "/" + name).c_str(),
+          fast::bench::BM_PartitionPerEmbedding, qi, name)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintFig10();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 11: elapsed time of FAST-BASIC vs FAST-TASK (effectiveness of task
+// parallelism, Sec. VI-C).
+//
+// Paper result: up to 50% improvement (cap from Eq. 2 vs Eq. 3); weakest on
+// q3 whose N/M ratio ~2, strongest on dense queries like q8.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  fast::bench::RunVariantComparisonMain(argc, argv, "Fig11",
+                                        fast::FastVariant::kBasic,
+                                        fast::FastVariant::kTask,
+                                        {2, 3, 5, 6, 7, 8}, "DG10");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 12: elapsed time of FAST-TASK vs FAST-SEP (effectiveness of task
+// generator separation, Sec. VI-D).
+//
+// Paper result: 30-40% further improvement (cap ~33% from Eq. 3 vs Eq. 4),
+// best when N/M > 1.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  fast::bench::RunVariantComparisonMain(argc, argv, "Fig12",
+                                        fast::FastVariant::kTask,
+                                        fast::FastVariant::kSep,
+                                        {2, 3, 5, 6, 7, 8}, "DG10");
+  return 0;
+}

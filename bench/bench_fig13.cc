@@ -1,0 +1,134 @@
+// Fig. 13: average acceleration ratio of FAST-SHARE over FAST-SEP while
+// varying the CPU share threshold δ in [0, 0.3].
+//
+// Paper result: peak improvement around δ = 0.1 (up to ~20% on DG01); the
+// CPU becomes the bottleneck past δ ~ 0.15 and the ratio degrades.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace fast::bench {
+namespace {
+
+const std::vector<double>& Deltas() {
+  static const auto* kDeltas =
+      new std::vector<double>{0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  return *kDeltas;
+}
+
+// The paper's CSTs exceed BRAM by large factors, so sharing has many
+// partitions to choose from; recreate that regime with a tight partition
+// budget (the scaled default fits most analogue CSTs outright, which would
+// leave nothing to share).
+FastRunOptions Fig13Options(double delta) {
+  FastRunOptions options = BenchRunOptions(FastVariant::kSep, delta);
+  options.partition.max_size_words = 4 * 1024;
+  options.partition.max_degree = 1 << 16;
+  return options;
+}
+
+// Median-of-five timing: the effect under measurement (5-20%) is comparable
+// to host wall-clock variance on these scaled inputs.
+double MedianSeconds(const QueryGraph& q, const Graph& g, double delta) {
+  std::vector<double> times;
+  for (int rep = 0; rep < 5; ++rep) {
+    times.push_back(MustRunFast(q, g, Fig13Options(delta)).total_seconds);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double AvgAcceleration(double delta, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  // Baseline (delta = 0) times, cached across the delta sweep.
+  static std::map<std::string, std::map<int, double>> base_cache;
+  auto& base_for = base_cache[dataset];
+  double sum = 0;
+  int count = 0;
+  for (int qi : {2, 5, 6, 8}) {
+    const QueryGraph q = Query(qi);
+    if (base_for.find(qi) == base_for.end()) {
+      base_for[qi] = MedianSeconds(q, g, 0.0);
+    }
+    const double base = base_for[qi];
+    const double shared = MedianSeconds(q, g, delta);
+    sum += (base - shared) / base;
+    ++count;
+  }
+  return 100.0 * sum / count;
+}
+
+void BM_CpuShare(benchmark::State& state, double delta, const std::string& dataset) {
+  double accel = 0;
+  for (auto _ : state) accel = AvgAcceleration(delta, dataset);
+  state.counters["acceleration_pct"] = accel;
+}
+
+// The mechanism behind Fig. 13, shown directly: with δ > 0 the host absorbs
+// oversized CSTs instead of partitioning them further, so partition time
+// falls while (real) CPU-share time grows. This component view is far less
+// noisy than end-to-end wall clock at the scaled-down workload sizes.
+void PrintMechanism() {
+  std::printf("\nFig. 13 mechanism (q2 and q8 on DG10): time components vs delta\n");
+  std::printf("%-4s %-6s %13s %10s %11s %10s %9s\n", "q", "delta", "partition ms",
+              "cpu ms", "kernel ms", "total ms", "cpu CSTs");
+  const Graph& g = Dataset("DG10");
+  for (int qi : {2, 8}) {
+    const QueryGraph q = Query(qi);
+    for (double d : Deltas()) {
+      FastRunResult best;
+      double best_total = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto r = MustRunFast(q, g, Fig13Options(d));
+        if (r.total_seconds < best_total) {
+          best_total = r.total_seconds;
+          best = std::move(r);
+        }
+      }
+      std::printf("q%-3d %-6.2f %13.3f %10.3f %11.3f %10.3f %9zu\n", qi, d,
+                  best.partition_seconds * 1e3, best.cpu_share_seconds * 1e3,
+                  best.kernel_seconds * 1e3, best.total_seconds * 1e3,
+                  best.cpu_partitions);
+    }
+  }
+}
+
+void PrintFig13() {
+  PrintMechanism();
+  std::printf("\nFig. 13: average acceleration ratio varying delta "
+              "(FAST-SHARE vs FAST-SEP)\n");
+  std::printf("%-8s", "delta");
+  for (const std::string name : {"DG01", "DG03", "DG10"}) {
+    std::printf(" %10s", name.c_str());
+  }
+  std::printf("\n");
+  for (double d : Deltas()) {
+    std::printf("%-8.2f", d);
+    for (const std::string name : {"DG01", "DG03", "DG10"}) {
+      std::printf(" %9.1f%%", AvgAcceleration(d, name));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (double d : fast::bench::Deltas()) {
+    benchmark::RegisterBenchmark(("Fig13/delta=" + std::to_string(d)).c_str(),
+                                 fast::bench::BM_CpuShare, d, "DG03")
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintFig13();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Fig. 14: FAST against GSI, GpSM, CFL, DAF, CECI and CECI-8 on q0..q8
+// across datasets.
+//
+// Paper result: FAST wins every query (24.6x average; up to 462x vs DAF,
+// 150x vs CECI); the GPU joiners OOM on bigger graphs; the gap widens as the
+// data grows. FAST's time here is the simulated device total; baseline times
+// are measured host wall-clock. OOM/INF entries mirror the paper's tables
+// (the GPU matchers run against a scaled device-memory cap, matching the
+// ~1000x dataset scale-down of bench_common.h).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/baseline.h"
+#include "bench_common.h"
+
+namespace fast::bench {
+namespace {
+
+constexpr double kTimeLimitSeconds = 10.0;
+// 16 GB V100 scaled down ~1000x, consistent with the dataset scale-down.
+constexpr std::size_t kGpuMemoryCap = 16ull << 20;
+
+BaselineOptions GpuOptions() {
+  BaselineOptions o;
+  o.time_limit_seconds = kTimeLimitSeconds;
+  o.memory_cap_bytes = kGpuMemoryCap;
+  return o;
+}
+
+BaselineOptions CpuOptions(unsigned threads = 1) {
+  BaselineOptions o;
+  o.time_limit_seconds = kTimeLimitSeconds;
+  o.num_threads = threads;
+  return o;
+}
+
+// Formats a baseline outcome the way the paper's charts annotate it.
+std::string Cell(const StatusOr<BaselineRunResult>& r) {
+  if (r.ok()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", r->seconds);
+    return buf;
+  }
+  if (r.status().code() == StatusCode::kResourceExhausted) return "OOM";
+  if (r.status().code() == StatusCode::kDeadlineExceeded) return "INF";
+  return "ERR";
+}
+
+void BM_Fast(benchmark::State& state, int qi, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  const QueryGraph q = Query(qi);
+  FastRunResult r;
+  for (auto _ : state) {
+    r = MustRunFast(q, g, BenchRunOptions(FastVariant::kSep, 0.1));
+    state.SetIterationTime(r.total_seconds);
+  }
+  state.counters["embeddings"] = static_cast<double>(r.embeddings);
+}
+
+void BM_Baseline(benchmark::State& state, BaselineKind kind, int qi,
+                 const std::string& dataset, unsigned threads) {
+  const Graph& g = Dataset(dataset);
+  const QueryGraph q = Query(qi);
+  auto matcher = MakeBaseline(kind);
+  const bool gpu = kind == BaselineKind::kGpsm || kind == BaselineKind::kGsi;
+  for (auto _ : state) {
+    auto r = matcher->Run(q, g, gpu ? GpuOptions() : CpuOptions(threads));
+    if (!r.ok()) {
+      state.SkipWithError(Cell(r).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->embeddings);
+  }
+}
+
+void PrintFig14(const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  std::printf("\nFig. 14 (%s): elapsed seconds per algorithm "
+              "(FAST simulated; baselines measured; OOM/INF as in the paper)\n",
+              dataset.c_str());
+  std::printf("%-6s %10s %10s %10s %10s %10s %10s %10s %12s\n", "query", "FAST",
+              "GSI", "GpSM", "DAF", "CFL", "CECI", "CECI-8", "#embeddings");
+  for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+    const QueryGraph q = Query(qi);
+    const auto fast_run = MustRunFast(q, g, BenchRunOptions(FastVariant::kSep, 0.1));
+    const auto gsi = MakeBaseline(BaselineKind::kGsi)->Run(q, g, GpuOptions());
+    const auto gpsm = MakeBaseline(BaselineKind::kGpsm)->Run(q, g, GpuOptions());
+    const auto daf = MakeBaseline(BaselineKind::kDaf)->Run(q, g, CpuOptions());
+    const auto cfl = MakeBaseline(BaselineKind::kCfl)->Run(q, g, CpuOptions());
+    const auto ceci = MakeBaseline(BaselineKind::kCeci)->Run(q, g, CpuOptions());
+    const auto ceci8 = MakeBaseline(BaselineKind::kCeci)->Run(q, g, CpuOptions(8));
+    std::printf("q%-5d %10.4f %10s %10s %10s %10s %10s %10s %12llu\n", qi,
+                fast_run.total_seconds, Cell(gsi).c_str(), Cell(gpsm).c_str(),
+                Cell(daf).c_str(), Cell(cfl).c_str(), Cell(ceci).c_str(),
+                Cell(ceci8).c_str(),
+                static_cast<unsigned long long>(fast_run.embeddings));
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using fast::BaselineKind;
+  for (const std::string dataset : {"DG01", "DG03"}) {
+    for (int qi : {0, 2, 5, 8}) {
+      benchmark::RegisterBenchmark(
+          ("Fig14/FAST/q" + std::to_string(qi) + "/" + dataset).c_str(),
+          fast::bench::BM_Fast, qi, dataset)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(
+          ("Fig14/CECI/q" + std::to_string(qi) + "/" + dataset).c_str(),
+          fast::bench::BM_Baseline, BaselineKind::kCeci, qi, dataset, 1)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (const std::string dataset : {"DG01", "DG03", "DG10"}) {
+    fast::bench::PrintFig14(dataset);
+  }
+  return 0;
+}

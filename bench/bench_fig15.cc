@@ -1,0 +1,121 @@
+// Fig. 15: the impact of matching orders on FAST.
+//
+// Paper result: FAST with CFL's, DAF's and CECI's orders performs close to
+// its own path-based order; even the WORST connected order still beats the
+// CPU baselines. Rows: BEST / CFL / DAF / CECI / AVG / WORST average elapsed
+// time over all queries.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace fast::bench {
+namespace {
+
+struct OrderSweep {
+  double best_s = 0;
+  double avg_s = 0;
+  double worst_s = 0;
+};
+
+double RunWithPolicy(const QueryGraph& q, const Graph& g, OrderPolicy policy) {
+  FastRunOptions options = BenchRunOptions(FastVariant::kSep);
+  options.order_policy = policy;
+  return MustRunFast(q, g, options).total_seconds;
+}
+
+// Sweeps every tree-connected order (bounded) of one query.
+OrderSweep SweepOrders(const QueryGraph& q, const Graph& g) {
+  const VertexId root = SelectRoot(q, g);
+  const auto orders = EnumerateConnectedOrders(q, root, /*limit=*/24);
+  OrderSweep sweep;
+  sweep.best_s = 1e100;
+  RunningStats stats;
+  for (const auto& o : orders) {
+    FastRunOptions options = BenchRunOptions(FastVariant::kSep);
+    MatchingOrder order;
+    order.root = root;
+    order.order = o;
+    options.explicit_order = order;
+    const double s = MustRunFast(q, g, options).total_seconds;
+    sweep.best_s = std::min(sweep.best_s, s);
+    sweep.worst_s = std::max(sweep.worst_s, s);
+    stats.Add(s);
+  }
+  sweep.avg_s = stats.mean();
+  return sweep;
+}
+
+void BM_OrderPolicy(benchmark::State& state, OrderPolicy policy,
+                    const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  double total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+      total += RunWithPolicy(Query(qi), g, policy);
+    }
+    state.SetIterationTime(total);
+  }
+  state.counters["avg_elapsed_s"] = total / kNumLdbcQueries;
+}
+
+void PrintFig15(const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  double best = 0;
+  double avg = 0;
+  double worst = 0;
+  double cfl = 0;
+  double daf = 0;
+  double ceci = 0;
+  double path = 0;
+  for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+    const QueryGraph q = Query(qi);
+    const OrderSweep sweep = SweepOrders(q, g);
+    best += sweep.best_s;
+    avg += sweep.avg_s;
+    worst += sweep.worst_s;
+    cfl += RunWithPolicy(q, g, OrderPolicy::kCfl);
+    daf += RunWithPolicy(q, g, OrderPolicy::kDaf);
+    ceci += RunWithPolicy(q, g, OrderPolicy::kCeci);
+    path += RunWithPolicy(q, g, OrderPolicy::kPathBased);
+  }
+  const double n = kNumLdbcQueries;
+  std::printf("\nFig. 15 (%s): FAST elapsed seconds (averaged over q0..q8) "
+              "under different matching orders\n",
+              dataset.c_str());
+  std::printf("%-12s %12s\n", "order", "avg elapsed s");
+  std::printf("%-12s %12.4f\n", "FAST-BEST", best / n);
+  std::printf("%-12s %12.4f\n", "FAST (path)", path / n);
+  std::printf("%-12s %12.4f\n", "FAST-CFL", cfl / n);
+  std::printf("%-12s %12.4f\n", "FAST-DAF", daf / n);
+  std::printf("%-12s %12.4f\n", "FAST-CECI", ceci / n);
+  std::printf("%-12s %12.4f\n", "FAST-AVG", avg / n);
+  std::printf("%-12s %12.4f\n", "FAST-WORST", worst / n);
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (fast::OrderPolicy policy :
+       {fast::OrderPolicy::kPathBased, fast::OrderPolicy::kCfl,
+        fast::OrderPolicy::kDaf, fast::OrderPolicy::kCeci}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Fig15/") + fast::OrderPolicyName(policy)).c_str(),
+        fast::bench::BM_OrderPolicy, policy, "DG01")
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintFig15("DG01");
+  fast::bench::PrintFig15("DG03");
+  return 0;
+}

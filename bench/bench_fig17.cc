@@ -1,0 +1,85 @@
+// Fig. 17: scalability of FAST varying |E(G)| -- all vertices kept, 20%-100%
+// of DG60's edges sampled uniformly.
+//
+// Paper result: elapsed time *per embedding* stays flat as |E(G)| grows;
+// sparse samples with very few embeddings show inflated per-embedding cost
+// because transfer + index construction dominates.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fast::bench {
+namespace {
+
+const Graph& SampledDataset(int percent) {
+  static auto* cache = new std::map<int, Graph>();
+  auto it = cache->find(percent);
+  if (it != cache->end()) return it->second;
+  const Graph& full = Dataset("DG60");
+  auto s = SampleEdges(full, percent / 100.0, /*seed=*/2021);
+  FAST_CHECK(s.ok()) << s.status();
+  return cache->emplace(percent, std::move(s).value()).first->second;
+}
+
+void BM_EdgeScalability(benchmark::State& state, int qi, int percent) {
+  const Graph& g = SampledDataset(percent);
+  const QueryGraph q = Query(qi);
+  FastRunResult r;
+  for (auto _ : state) {
+    r = MustRunFast(q, g, BenchRunOptions(FastVariant::kSep));
+    state.SetIterationTime(r.total_seconds);
+  }
+  state.counters["embeddings"] = static_cast<double>(r.embeddings);
+  state.counters["ms_per_embedding"] =
+      r.embeddings > 0 ? r.total_seconds * 1e3 / static_cast<double>(r.embeddings)
+                       : 0.0;
+}
+
+void PrintFig17() {
+  std::printf("\nFig. 17: FAST elapsed time per embedding varying |E(G)| "
+              "(DG60 analogue, uniform edge samples)\n");
+  std::printf("%-6s", "query");
+  for (int pct : {20, 40, 60, 80, 100}) std::printf(" %13d%%", pct);
+  std::printf("   (ms per embedding)\n");
+  // q3 is omitted: its 1e9+ intermediate results on the DG60 analogue put
+  // this bench into tens of minutes (the paper's Fig. 17 likewise plots a
+  // query subset).
+  for (int qi : {1, 2, 5, 6, 7, 8}) {
+    std::printf("q%-5d", qi);
+    for (int pct : {20, 40, 60, 80, 100}) {
+      const auto r = MustRunFast(Query(qi), SampledDataset(pct),
+                                 BenchRunOptions(FastVariant::kSep));
+      const double per_emb =
+          r.embeddings > 0
+              ? r.total_seconds * 1e3 / static_cast<double>(r.embeddings)
+              : 0.0;
+      std::printf(" %14.6f", per_emb);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (int qi : {2, 8}) {
+    for (int pct : {20, 40, 60, 80, 100}) {
+      benchmark::RegisterBenchmark(
+          ("Fig17/q" + std::to_string(qi) + "/" + std::to_string(pct) + "pct")
+              .c_str(),
+          fast::bench::BM_EdgeScalability, qi, pct)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintFig17();
+  return 0;
+}

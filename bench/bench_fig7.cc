@@ -1,0 +1,16 @@
+// Fig. 7: elapsed time of FAST-DRAM vs FAST-BASIC (the necessity of CST
+// partitioning).
+//
+// Paper result: FAST-BASIC wins on every query with ~5x average speedup,
+// "close to the ratio of the read latency" (1 vs 7-8 cycles). The same
+// queries (q2, q3, q5, q6, q7, q8) on the DG10 analogue.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  fast::bench::RunVariantComparisonMain(argc, argv, "Fig7",
+                                        fast::FastVariant::kDram,
+                                        fast::FastVariant::kBasic,
+                                        {2, 3, 5, 6, 7, 8}, "DG10");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 8: k-determination -- average number of CST partitions and average
+// partition time, greedy strategy vs fixed k in {2, 4, 6, 8, 10}.
+//
+// Paper result: the greedy choice k = max(|CST|/δ_S, D_CST/δ_D) yields the
+// fewest partitions and the lowest partition time; small fixed k is not far
+// behind, large k inflates both.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cst/partition.h"
+#include "util/timer.h"
+
+namespace fast::bench {
+namespace {
+
+struct KResult {
+  double avg_partitions = 0;
+  double avg_time_ms = 0;
+};
+
+KResult MeasureK(int fixed_k, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  KResult out;
+  int runs = 0;
+  for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+    const QueryGraph q = Query(qi);
+    auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+    auto cst = BuildCst(q, g, order.root).value();
+    PartitionConfig config =
+        DerivePartitionConfig(BenchFpgaConfig(), q.NumVertices(), {0, 0, fixed_k});
+    config.fixed_k = fixed_k;
+    PartitionStats stats;
+    Timer timer;
+    auto parts_status = PartitionCst(
+        cst, order, config, [](Cst) { return Status::OK(); }, &stats);
+    FAST_CHECK(parts_status.ok()) << parts_status;
+    out.avg_time_ms += timer.ElapsedMillis();
+    out.avg_partitions += static_cast<double>(stats.num_partitions);
+    ++runs;
+  }
+  out.avg_partitions /= runs;
+  out.avg_time_ms /= runs;
+  return out;
+}
+
+void BM_PartitionWithK(benchmark::State& state) {
+  const int fixed_k = static_cast<int>(state.range(0));  // 0 = greedy
+  KResult r;
+  for (auto _ : state) r = MeasureK(fixed_k, "DG10");
+  state.counters["avg_num_cst"] = r.avg_partitions;
+  state.counters["avg_partition_ms"] = r.avg_time_ms;
+  state.SetLabel(fixed_k == 0 ? "greedy" : "k=" + std::to_string(fixed_k));
+}
+
+BENCHMARK(BM_PartitionWithK)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFig8() {
+  std::printf("\nFig. 8: #CST and partition time varying k (DG10 analogue, "
+              "averaged over q0..q8)\n");
+  std::printf("%-8s %12s %18s\n", "k", "avg #CST", "avg partition ms");
+  for (int k : {0, 2, 4, 6, 8, 10}) {
+    const KResult r = MeasureK(k, "DG10");
+    std::printf("%-8s %12.1f %18.3f\n", k == 0 ? "greedy" : std::to_string(k).c_str(),
+                r.avg_partitions, r.avg_time_ms);
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintFig8();
+  return 0;
+}

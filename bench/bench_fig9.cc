@@ -1,0 +1,81 @@
+// Fig. 9: number of CST partitions and total CST size relative to the data
+// graph (S_CST / S_G), across datasets, for q0, q1, q2, q4, q7, q8.
+//
+// Paper result: #partitions grows with the data graph; S_CST/S_G stays
+// roughly stable (< 60%) except where the embedding count explodes (q7).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cst/partition.h"
+
+namespace fast::bench {
+namespace {
+
+struct Fig9Row {
+  std::size_t num_partitions = 0;
+  double size_ratio = 0;  // S_CST / S_G
+};
+
+Fig9Row Measure(int qi, const std::string& dataset) {
+  const Graph& g = Dataset(dataset);
+  const QueryGraph q = Query(qi);
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  auto cst = BuildCst(q, g, order.root).value();
+  PartitionConfig config =
+      DerivePartitionConfig(BenchFpgaConfig(), q.NumVertices(), {0, 0, 0});
+  PartitionStats stats;
+  FAST_CHECK_OK(PartitionCst(
+      cst, order, config, [](Cst) { return Status::OK(); }, &stats));
+  Fig9Row row;
+  row.num_partitions = stats.num_partitions;
+  row.size_ratio = static_cast<double>(stats.total_size_words * 4) /
+                   static_cast<double>(g.MemoryBytes());
+  return row;
+}
+
+void BM_PartitionFootprint(benchmark::State& state, int qi,
+                           const std::string& dataset) {
+  Fig9Row row;
+  for (auto _ : state) row = Measure(qi, dataset);
+  state.counters["num_cst"] = static_cast<double>(row.num_partitions);
+  state.counters["size_ratio_pct"] = row.size_ratio * 100.0;
+}
+
+void PrintFig9() {
+  std::printf("\nFig. 9: number and total size of partitioned CST\n");
+  std::printf("%-6s", "query");
+  for (const auto& [name, sf] : DatasetScaleFactors()) {
+    std::printf(" %10s#CST %9sS/SG", name.c_str(), name.c_str());
+  }
+  std::printf("\n");
+  for (int qi : {0, 1, 2, 4, 7, 8}) {
+    std::printf("q%-5d", qi);
+    for (const auto& [name, sf] : DatasetScaleFactors()) {
+      const Fig9Row row = Measure(qi, name);
+      std::printf(" %14zu %12.1f%%", row.num_partitions, row.size_ratio * 100.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (int qi : {0, 1, 2, 4, 7, 8}) {
+    for (const std::string name : {"DG01", "DG03", "DG10"}) {
+      benchmark::RegisterBenchmark(
+          ("Fig9/q" + std::to_string(qi) + "/" + name).c_str(),
+          fast::bench::BM_PartitionFootprint, qi, name)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintFig9();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Multi-FPGA scaling (Sec. VII-E "Discussion").
+//
+// The paper argues FAST extends to multiple cards: each CST partition is an
+// independent complete search space, and the workload estimator lets the host
+// assign partitions to the least-loaded device. No figure is given; this
+// bench quantifies the claim: device-busy makespan for 1/2/4/8 simulated
+// cards on partition-heavy workloads, plus the load-balance ratio
+// (busiest / average) the estimator achieves.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+
+namespace fast::bench {
+namespace {
+
+FastRunOptions MultiOptions() {
+  FastRunOptions options = BenchRunOptions(FastVariant::kSep);
+  // Tight budget -> many partitions to schedule.
+  options.partition.max_size_words = 4 * 1024;
+  options.partition.max_degree = 1 << 16;
+  return options;
+}
+
+void BM_MultiFpga(benchmark::State& state, int qi, std::size_t devices) {
+  const Graph& g = Dataset("DG03");
+  const QueryGraph q = Query(qi);
+  MultiFpgaResult r;
+  for (auto _ : state) {
+    auto run = RunMultiFpga(q, g, devices, MultiOptions());
+    FAST_CHECK(run.ok()) << run.status();
+    r = std::move(run).value();
+    state.SetIterationTime(r.makespan_seconds);
+  }
+  const double busiest =
+      *std::max_element(r.device_seconds.begin(), r.device_seconds.end());
+  const double total =
+      std::accumulate(r.device_seconds.begin(), r.device_seconds.end(), 0.0);
+  state.counters["partitions"] = static_cast<double>(r.num_partitions);
+  state.counters["busiest_ms"] = busiest * 1e3;
+  state.counters["imbalance"] =
+      total > 0 ? busiest / (total / static_cast<double>(devices)) : 0.0;
+}
+
+void PrintScaling() {
+  std::printf("\nMulti-FPGA scaling (DG03 analogue, simulated device time)\n");
+  std::printf("%-6s %8s %12s %14s %14s %12s\n", "query", "devices", "#parts",
+              "busiest ms", "speedup", "imbalance");
+  for (int qi : {2, 7, 8}) {
+    const Graph& g = Dataset("DG03");
+    const QueryGraph q = Query(qi);
+    double single = 0;
+    for (std::size_t devices : {1u, 2u, 4u, 8u}) {
+      auto r = RunMultiFpga(q, g, devices, MultiOptions());
+      FAST_CHECK(r.ok()) << r.status();
+      const double busiest =
+          *std::max_element(r->device_seconds.begin(), r->device_seconds.end());
+      const double total = std::accumulate(r->device_seconds.begin(),
+                                           r->device_seconds.end(), 0.0);
+      if (devices == 1) single = busiest;
+      std::printf("q%-5d %8zu %12zu %14.3f %13.2fx %12.2f\n", qi, devices,
+                  r->num_partitions, busiest * 1e3,
+                  busiest > 0 ? single / busiest : 0.0,
+                  total > 0 ? busiest / (total / static_cast<double>(devices))
+                            : 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (int qi : {2, 8}) {
+    for (std::size_t devices : {1u, 2u, 4u}) {
+      benchmark::RegisterBenchmark(
+          ("MultiFpga/q" + std::to_string(qi) + "/" + std::to_string(devices) +
+           "dev")
+              .c_str(),
+          fast::bench::BM_MultiFpga, qi, devices)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintScaling();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table III: characteristics of datasets.
+//
+// Paper row format: Name |V_G| |E_G| avg-degree max-degree #Labels.
+// Our DGx analogues are scaled down ~1000x (see bench_common.h); the row
+// *structure* (monotone growth, degree ~11-13, heavy-tailed max degree,
+// 11 labels) is the reproduction target.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fast::bench {
+namespace {
+
+void BM_DatasetCharacteristics(benchmark::State& state,
+                               const std::string& name) {
+  const Graph* g = nullptr;
+  for (auto _ : state) {
+    g = &Dataset(name);  // generation cost is what we time on first use
+    benchmark::DoNotOptimize(g);
+  }
+  state.counters["V"] = static_cast<double>(g->NumVertices());
+  state.counters["E"] = static_cast<double>(g->NumEdges());
+  state.counters["avg_deg"] = g->AverageDegree();
+  state.counters["max_deg"] = g->MaxDegree();
+  state.counters["labels"] = static_cast<double>(g->NumLabels());
+}
+
+void PrintTable3() {
+  std::printf("\nTable III: characteristics of datasets (scaled LDBC analogues)\n");
+  std::printf("%-8s %12s %12s %10s %10s %8s\n", "Name", "|V_G|", "|E_G|", "avg_d",
+              "max_D", "#Labels");
+  for (const auto& [name, sf] : DatasetScaleFactors()) {
+    const Graph& g = Dataset(name);
+    std::printf("%-8s %12zu %12zu %10.2f %10u %8zu\n", name.c_str(),
+                g.NumVertices(), g.NumEdges(), g.AverageDegree(), g.MaxDegree(),
+                g.NumLabels());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  for (const auto& [name, sf] : fast::bench::DatasetScaleFactors()) {
+    benchmark::RegisterBenchmark(("Table3/generate/" + name).c_str(),
+                                 fast::bench::BM_DatasetCharacteristics, name)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fast::bench::PrintTable3();
+  return 0;
+}

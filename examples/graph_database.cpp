@@ -1,0 +1,74 @@
+// Graph-database integration sketch: plan-then-execute.
+//
+// The paper's closing pitch is integrating FAST into graph databases and RDF
+// engines (Secs. I, VIII). A database needs to *plan* before dispatching to
+// an accelerator: will the CST fit BRAM, how many partitions, is the workload
+// worth the PCIe round trip, which kernel variant? This example runs that
+// loop: EXPLAIN each incoming query, route small workloads to the CPU matcher
+// and large ones to the (simulated) FPGA, then execute and compare the plan's
+// prediction with reality.
+//
+//   $ ./examples/graph_database [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/baseline.h"
+#include "core/driver.h"
+#include "core/explain.h"
+#include "ldbc/ldbc.h"
+
+int main(int argc, char** argv) {
+  using namespace fast;
+
+  const double sf = argc > 1 ? std::atof(argv[1]) : 2.0;
+  LdbcConfig config;
+  config.scale_factor = sf;
+  auto graph = GenerateLdbcGraph(config);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("database graph: %s\n", graph->Summary().c_str());
+
+  const FpgaConfig device = AlveoU200Config();
+  // Routing heuristic: below this estimated workload the PCIe+DMA overhead
+  // isn't worth it and the host matcher runs the query.
+  constexpr double kFpgaWorkloadThreshold = 50000.0;
+
+  for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+    auto query = LdbcQuery(qi);
+    if (!query.ok()) return 1;
+
+    auto plan = ExplainQuery(*query, *graph, device);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan %s: %s\n", query->name().c_str(),
+                   plan.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\n--- %s ---\n%s", query->name().c_str(),
+                plan->ToString().c_str());
+
+    const bool route_to_fpga = plan->workload_estimate >= kFpgaWorkloadThreshold;
+    if (route_to_fpga) {
+      FastRunOptions options;
+      options.fpga = device;
+      options.cpu_share_delta = 0.1;
+      auto r = RunFast(*query, *graph, options);
+      if (!r.ok()) return 1;
+      std::printf("routed to FPGA: %llu embeddings in %.3f ms "
+                  "(plan predicted %.3f ms kernel)\n",
+                  static_cast<unsigned long long>(r->embeddings),
+                  r->total_seconds * 1e3,
+                  device.CyclesToSeconds(plan->predicted_cycles_sep) * 1e3);
+    } else {
+      auto ceci = MakeBaseline(BaselineKind::kCeci);
+      auto r = ceci->Run(*query, *graph, BaselineOptions{});
+      if (!r.ok()) return 1;
+      std::printf("routed to CPU: %llu embeddings in %.3f ms\n",
+                  static_cast<unsigned long long>(r->embeddings),
+                  r->seconds * 1e3);
+    }
+  }
+  return 0;
+}

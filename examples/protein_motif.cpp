@@ -1,0 +1,135 @@
+// Protein-interaction motif search -- the paper's other headline application
+// (Sec. I cites PPI network analysis and chemical sub-compound search).
+//
+// Builds a synthetic protein-protein interaction network (vertices labelled
+// by protein family, geometric-preferential wiring), then hunts for classic
+// network motifs: the feed-forward-like triangle, the bi-fan (C4), and a
+// clique of one family. Demonstrates using the library on non-LDBC data and
+// the multi-FPGA scheduler (Sec. VII-E).
+//
+//   $ ./examples/protein_motif [num_proteins]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/driver.h"
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fast;
+
+// Synthetic PPI network: kFamilies protein families, hub-biased interaction
+// wiring (power-law), plus within-family complexes that plant motifs.
+StatusOr<Graph> BuildPpiNetwork(std::size_t num_proteins, std::uint64_t seed) {
+  constexpr std::size_t kFamilies = 6;
+  Rng rng(seed);
+  // Labels first: random families, except planted complexes (every
+  // num_proteins/24-ish vertices) whose members all belong to family 0 so
+  // same-family cliques exist.
+  std::vector<Label> labels(num_proteins);
+  for (std::size_t i = 0; i < num_proteins; ++i) {
+    labels[i] = static_cast<Label>(rng.Uniform(kFamilies));
+  }
+  const std::size_t complex_stride = num_proteins / 24 + 5;
+  for (std::size_t c = 0; c + 4 < num_proteins; c += complex_stride) {
+    for (std::size_t i = c; i < c + 4; ++i) labels[i] = 0;
+  }
+
+  GraphBuilder b(num_proteins);
+  for (Label l : labels) b.AddVertex(l);
+  // Preferential interactions.
+  for (std::size_t i = 1; i < num_proteins; ++i) {
+    const std::size_t interactions = 1 + rng.PowerLaw(12, 1.8);
+    for (std::size_t k = 0; k < interactions; ++k) {
+      const auto j = static_cast<VertexId>(rng.PowerLaw(i, 1.2));
+      FAST_RETURN_IF_ERROR(b.AddEdge(static_cast<VertexId>(i), j));
+    }
+  }
+  // Planted complexes: near-cliques of four consecutive family-0 proteins.
+  for (std::size_t c = 0; c + 4 < num_proteins; c += complex_stride) {
+    for (std::size_t i = c; i < c + 4; ++i) {
+      for (std::size_t j = i + 1; j < c + 4; ++j) {
+        if (rng.Bernoulli(0.9)) {
+          FAST_RETURN_IF_ERROR(
+              b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j)));
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+StatusOr<QueryGraph> Motif(const char* name, std::vector<Label> labels,
+                           std::vector<std::pair<int, int>> edges) {
+  GraphBuilder b;
+  for (Label l : labels) b.AddVertex(l);
+  for (auto [u, v] : edges) {
+    FAST_RETURN_IF_ERROR(b.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v)));
+  }
+  FAST_ASSIGN_OR_RETURN(Graph g, b.Build());
+  return QueryGraph::Create(std::move(g), name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  auto ppi = BuildPpiNetwork(n, /*seed=*/7);
+  if (!ppi.ok()) {
+    std::fprintf(stderr, "%s\n", ppi.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PPI network: %s\n\n", ppi->Summary().c_str());
+
+  struct MotifSpec {
+    const char* description;
+    StatusOr<QueryGraph> query;
+  };
+  MotifSpec motifs[] = {
+      {"mixed-family triangle (0-1-2)",
+       Motif("triangle", {0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}})},
+      {"bi-fan / 4-cycle (0-1-0-1)",
+       Motif("bifan", {0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})},
+      {"family-0 clique of 4",
+       Motif("clique4", {0, 0, 0, 0},
+             {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})},
+  };
+
+  for (auto& m : motifs) {
+    if (!m.query.ok()) {
+      std::fprintf(stderr, "motif: %s\n", m.query.status().ToString().c_str());
+      return 1;
+    }
+    fast::FastRunOptions options;
+    auto r = fast::RunFast(*m.query, *ppi, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "match: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-32s %12llu matches   %8.3f ms simulated (%zu partitions)\n",
+                m.description, static_cast<unsigned long long>(r->embeddings),
+                r->total_seconds * 1e3, r->partition_stats.num_partitions);
+  }
+
+  // Scale out: the same workload scheduled across 1, 2, 4 simulated FPGAs
+  // by estimated workload (Sec. VII-E).
+  std::printf("\nmulti-FPGA scaling on the clique motif:\n");
+  auto clique = Motif("clique4", {0, 0, 0, 0},
+                      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  for (std::size_t devices : {1u, 2u, 4u}) {
+    fast::FastRunOptions options;
+    options.partition.max_size_words = 8192;  // force enough partitions
+    options.partition.max_degree = 4096;
+    auto r = fast::RunMultiFpga(*clique, *ppi, devices, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %zu device(s): makespan %8.3f ms over %zu partitions\n", devices,
+                r->makespan_seconds * 1e3, r->num_partitions);
+  }
+  return 0;
+}

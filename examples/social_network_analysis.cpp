@@ -1,0 +1,66 @@
+// Social-network analysis: run the full LDBC query workload (Fig. 6's
+// q0..q8) on one social graph and compare the FPGA pipeline against a CPU
+// baseline -- the paper's motivating scenario (Sec. I: social network
+// analysis, graph databases).
+//
+//   $ ./examples/social_network_analysis [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/baseline.h"
+#include "core/driver.h"
+#include "ldbc/ldbc.h"
+
+int main(int argc, char** argv) {
+  using namespace fast;
+
+  const double sf = argc > 1 ? std::atof(argv[1]) : 4.0;
+  LdbcConfig config;
+  config.scale_factor = sf;
+  auto graph = GenerateLdbcGraph(config);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("social network (scale %.2f): %s\n\n", sf, graph->Summary().c_str());
+
+  auto ceci = MakeBaseline(BaselineKind::kCeci);
+  BaselineOptions baseline_options;
+  baseline_options.time_limit_seconds = 60.0;
+
+  std::printf("%-4s %-28s %12s %14s %14s %10s\n", "q", "pattern", "#matches",
+              "FAST sim ms", "CECI cpu ms", "speedup");
+  for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+    auto query = LdbcQuery(qi);
+    if (!query.ok()) return 1;
+
+    FastRunOptions options;
+    options.cpu_share_delta = 0.1;
+    auto fast_result = RunFast(*query, *graph, options);
+    if (!fast_result.ok()) {
+      std::fprintf(stderr, "q%d: %s\n", qi, fast_result.status().ToString().c_str());
+      continue;
+    }
+
+    auto cpu = ceci->Run(*query, *graph, baseline_options);
+    const char* descriptions[] = {
+        "self-commented post",          "tag in sub-topic on post",
+        "friend triangle",              "comment on friend's post",
+        "friends sharing a topic",      "friends in same country",
+        "triangle rooted in a country", "friend chain across cities",
+        "dense friend diamond"};
+    const double fast_ms = fast_result->total_seconds * 1e3;
+    if (cpu.ok()) {
+      const double cpu_ms = cpu->seconds * 1e3;
+      std::printf("q%-3d %-28s %12llu %14.3f %14.3f %9.1fx\n", qi, descriptions[qi],
+                  static_cast<unsigned long long>(fast_result->embeddings), fast_ms,
+                  cpu_ms, cpu_ms / fast_ms);
+    } else {
+      std::printf("q%-3d %-28s %12llu %14.3f %14s %10s\n", qi, descriptions[qi],
+                  static_cast<unsigned long long>(fast_result->embeddings), fast_ms,
+                  "INF", "-");
+    }
+  }
+  return 0;
+}

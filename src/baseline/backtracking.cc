@@ -1,0 +1,219 @@
+#include "baseline/backtracking.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "cst/cst.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fast {
+
+namespace {
+
+// Per-thread enumeration state over a shared candidate structure.
+class Enumerator {
+ public:
+  Enumerator(const Cst& cst, const Graph& g, const MatchingOrder& order,
+             bool intersection_based, const Timer& timer, double time_limit,
+             std::atomic<bool>* deadline_hit, ResultCollector* collector)
+      : cst_(cst),
+        g_(g),
+        order_(order.order),
+        intersection_based_(intersection_based),
+        timer_(timer),
+        time_limit_(time_limit),
+        deadline_hit_(deadline_hit),
+        collector_(collector) {
+    const std::size_t n = order_.size();
+    const BfsTree& tree = cst_.layout().tree();
+    order_pos_.assign(n, -1);
+    for (std::size_t i = 0; i < n; ++i) order_pos_[order_[i]] = static_cast<int>(i);
+    parent_pos_.assign(n, -1);
+    backward_.assign(n, {});
+    for (std::size_t i = 1; i < n; ++i) {
+      parent_pos_[i] = order_pos_[tree.parent(order_[i])];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (VertexId un : tree.non_tree_neighbors(order_[i])) {
+        if (order_pos_[un] < static_cast<int>(i)) {
+          backward_[i].emplace_back(un, order_pos_[un]);
+        }
+      }
+    }
+    positions_.assign(n, 0);
+    data_.assign(n, 0);
+    embedding_.assign(n, 0);
+    scratch_.resize(n);
+  }
+
+  // Enumerates embeddings whose root candidate position lies in
+  // [root_begin, root_end). Returns false if the deadline fired.
+  bool Run(std::uint32_t root_begin, std::uint32_t root_end) {
+    const VertexId root = order_[0];
+    for (std::uint32_t i = root_begin; i < root_end; ++i) {
+      // Deadline check per root candidate keeps timeout latency bounded even
+      // when individual subtrees are shallow.
+      if (timer_.ElapsedSeconds() > time_limit_) {
+        deadline_hit_->store(true, std::memory_order_relaxed);
+        return false;
+      }
+      positions_[0] = i;
+      data_[0] = cst_.Candidate(root, i);
+      if (!Recurse(1)) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  bool CheckDeadline() {
+    if (deadline_hit_->load(std::memory_order_relaxed)) return true;
+    if (++steps_ % 8192 == 0 && timer_.ElapsedSeconds() > time_limit_) {
+      deadline_hit_->store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool Recurse(std::size_t depth) {
+    if (CheckDeadline()) return false;
+    const std::size_t n = order_.size();
+    const VertexId u = order_[depth];
+    const VertexId up = order_[static_cast<std::size_t>(parent_pos_[depth])];
+    const auto parent_adj = cst_.Neighbors(
+        up, u, positions_[static_cast<std::size_t>(parent_pos_[depth])]);
+
+    std::span<const std::uint32_t> cands = parent_adj;
+    if (intersection_based_ && !backward_[depth].empty()) {
+      // DAF/CECI: intersect the adjacency of every mapped neighbor.
+      auto& buf = scratch_[depth];
+      buf.assign(parent_adj.begin(), parent_adj.end());
+      for (const auto& [un, jpos] : backward_[depth]) {
+        const auto other =
+            cst_.Neighbors(un, u, positions_[static_cast<std::size_t>(jpos)]);
+        std::size_t write = 0;
+        for (std::uint32_t t : buf) {
+          if (std::binary_search(other.begin(), other.end(), t)) buf[write++] = t;
+        }
+        buf.resize(write);
+        if (buf.empty()) break;
+      }
+      cands = buf;
+    }
+
+    for (std::uint32_t t : cands) {
+      const VertexId v = cst_.Candidate(u, t);
+      bool valid = true;
+      for (std::size_t j = 0; j < depth; ++j) {
+        if (data_[j] == v) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid && !intersection_based_) {
+        // CFL: verify non-tree edges (and their labels) against the data
+        // graph.
+        for (const auto& [un, jpos] : backward_[depth]) {
+          const Label want = cst_.layout().query().EdgeLabel(u, un);
+          if (!g_.HasEdge(v, data_[static_cast<std::size_t>(jpos)]) ||
+              g_.EdgeLabelBetween(v, data_[static_cast<std::size_t>(jpos)]) !=
+                  want) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (!valid) continue;
+      positions_[depth] = t;
+      data_[depth] = v;
+      if (depth + 1 == n) {
+        ++count_;
+        if (collector_ != nullptr) {
+          for (std::size_t j = 0; j < n; ++j) embedding_[order_[j]] = data_[j];
+          collector_->OnEmbedding(embedding_);
+        }
+      } else {
+        if (!Recurse(depth + 1)) return false;
+      }
+    }
+    return true;
+  }
+
+  const Cst& cst_;
+  const Graph& g_;
+  const std::vector<VertexId>& order_;
+  bool intersection_based_;
+  const Timer& timer_;
+  double time_limit_;
+  std::atomic<bool>* deadline_hit_;
+  ResultCollector* collector_;
+
+  std::vector<int> order_pos_;
+  std::vector<int> parent_pos_;
+  std::vector<std::vector<std::pair<VertexId, int>>> backward_;
+  std::vector<std::uint32_t> positions_;
+  std::vector<VertexId> data_;
+  std::vector<VertexId> embedding_;
+  std::vector<std::vector<std::uint32_t>> scratch_;
+  std::uint64_t count_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+StatusOr<BaselineRunResult> BacktrackingMatcher::Run(
+    const QueryGraph& q, const Graph& g, const BaselineOptions& options) const {
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  Timer timer;
+  FAST_ASSIGN_OR_RETURN(MatchingOrder order,
+                        ComputeMatchingOrder(q, g, style_.order_policy));
+
+  CstBuildOptions build;
+  build.materialize_non_tree = style_.intersection_based;
+  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, g, order.root, build));
+
+  const auto n_roots = static_cast<std::uint32_t>(cst.NumCandidates(order.root));
+  std::atomic<bool> deadline_hit{false};
+
+  BaselineRunResult result;
+  if (options.num_threads == 1) {
+    ResultCollector collector(options.store_limit);
+    Enumerator e(cst, g, order, style_.intersection_based, timer,
+                 options.time_limit_seconds, &deadline_hit, &collector);
+    e.Run(0, n_roots);
+    result.embeddings = e.count();
+    result.sample_embeddings = collector.stored();
+  } else {
+    const unsigned t = options.num_threads;
+    std::vector<ResultCollector> collectors(t, ResultCollector(0));
+    std::vector<std::uint64_t> counts(t, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(t);
+    for (unsigned i = 0; i < t; ++i) {
+      threads.emplace_back([&, i] {
+        const std::uint32_t begin =
+            static_cast<std::uint32_t>(std::uint64_t{n_roots} * i / t);
+        const std::uint32_t end =
+            static_cast<std::uint32_t>(std::uint64_t{n_roots} * (i + 1) / t);
+        Enumerator e(cst, g, order, style_.intersection_based, timer,
+                     options.time_limit_seconds, &deadline_hit, &collectors[i]);
+        e.Run(begin, end);
+        counts[i] = e.count();
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (unsigned i = 0; i < t; ++i) result.embeddings += counts[i];
+  }
+  result.seconds = timer.ElapsedSeconds();
+  if (deadline_hit.load()) {
+    return Status::DeadlineExceeded(name() + " exceeded the time limit");
+  }
+  return result;
+}
+
+}  // namespace fast

@@ -1,0 +1,50 @@
+#ifndef FAST_BASELINE_BACKTRACKING_H_
+#define FAST_BASELINE_BACKTRACKING_H_
+
+// Shared backtracking engine behind the CFL-, DAF- and CECI-style baselines.
+//
+// The three published algorithms differ (for the purposes of the paper's
+// comparison, Sec. VII-C) in (a) the auxiliary structure, (b) how extendable
+// candidates are computed -- edge verification vs. set intersection -- and
+// (c) the matching order. This engine factors those into a config.
+
+#include "baseline/baseline.h"
+#include "query/matching_order.h"
+
+namespace fast {
+
+struct BacktrackStyle {
+  std::string name;
+  OrderPolicy order_policy;
+  // true: candidates of u = intersection of the CST adjacency of *all*
+  // mapped neighbors (DAF/CECI). false: candidates come from the tree parent
+  // only and non-tree edges are verified against G (CFL-Match / CPI).
+  bool intersection_based = true;
+};
+
+inline BacktrackStyle CflStyle() {
+  return {"CFL", OrderPolicy::kCfl, /*intersection_based=*/false};
+}
+inline BacktrackStyle DafStyle() {
+  return {"DAF", OrderPolicy::kDaf, /*intersection_based=*/true};
+}
+inline BacktrackStyle CeciStyle() {
+  return {"CECI", OrderPolicy::kCeci, /*intersection_based=*/true};
+}
+
+class BacktrackingMatcher : public BaselineMatcher {
+ public:
+  explicit BacktrackingMatcher(BacktrackStyle style) : style_(std::move(style)) {}
+
+  std::string name() const override { return style_.name; }
+
+  StatusOr<BaselineRunResult> Run(const QueryGraph& q, const Graph& g,
+                                  const BaselineOptions& options) const override;
+
+ private:
+  BacktrackStyle style_;
+};
+
+}  // namespace fast
+
+#endif  // FAST_BASELINE_BACKTRACKING_H_

@@ -1,0 +1,24 @@
+#include "baseline/baseline.h"
+
+#include "baseline/backtracking.h"
+#include "baseline/join.h"
+
+namespace fast {
+
+std::unique_ptr<BaselineMatcher> MakeBaseline(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kCfl:
+      return std::make_unique<BacktrackingMatcher>(CflStyle());
+    case BaselineKind::kDaf:
+      return std::make_unique<BacktrackingMatcher>(DafStyle());
+    case BaselineKind::kCeci:
+      return std::make_unique<BacktrackingMatcher>(CeciStyle());
+    case BaselineKind::kGpsm:
+      return std::make_unique<GpsmMatcher>();
+    case BaselineKind::kGsi:
+      return std::make_unique<GsiMatcher>();
+  }
+  return nullptr;
+}
+
+}  // namespace fast

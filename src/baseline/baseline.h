@@ -1,0 +1,72 @@
+#ifndef FAST_BASELINE_BASELINE_H_
+#define FAST_BASELINE_BASELINE_H_
+
+// State-of-the-art comparators of Sec. VII (re-implemented from their
+// published algorithm descriptions; the original artifacts are not available
+// in this environment -- see DESIGN.md substitutions):
+//
+//   CFL   - CFL-Match: CPI-like auxiliary structure (tree edges only) with
+//           *edge verification* of non-tree query edges against G.
+//   DAF   - candidate-space (CS) structure with *intersection-based*
+//           extendable-candidate computation.
+//   CECI  - compact-embedding-cluster-index-like structure, intersection
+//           based; CECI-8 = 8 host threads over root-candidate ranges.
+//   GpSM  - GPU binary-join strategy: materializes candidate edges per query
+//           edge, then joins; memory-hungry (runs OOM on larger graphs).
+//   GSI   - GPU vertex-join with Prealloc-Combine: pre-allocates worst-case
+//           output tables, trading memory for conflict-free writes (OOMs
+//           earlier than GpSM, as the paper observes).
+//
+// All baselines run on the host CPU and report measured wall-clock time;
+// simulated-device comparisons against FAST are shape-faithful because the
+// baselines' costs are algorithm-dominated.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/result_collector.h"
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+struct BaselineOptions {
+  // Worker threads (1 = the paper's single-thread runs; 8 = DAF-8 / CECI-8).
+  unsigned num_threads = 1;
+  // Device-memory cap for the GPU-style matchers (16 GB Tesla V100 in the
+  // paper); exceeding it returns ResourceExhausted ("OOM").
+  std::size_t memory_cap_bytes = 16ull << 30;
+  // Wall-clock limit; exceeding it returns DeadlineExceeded ("INF").
+  double time_limit_seconds = 3600.0 * 3;
+  std::size_t store_limit = 0;
+};
+
+struct BaselineRunResult {
+  std::uint64_t embeddings = 0;
+  double seconds = 0.0;
+  // Peak tracked memory of the join-based matchers (0 for backtracking).
+  std::size_t peak_memory_bytes = 0;
+  std::vector<Embedding> sample_embeddings;
+};
+
+// Abstract matcher; implementations are stateless and reusable across runs.
+class BaselineMatcher {
+ public:
+  virtual ~BaselineMatcher() = default;
+  virtual std::string name() const = 0;
+  // Runs the matcher. Returns ResourceExhausted for OOM and DeadlineExceeded
+  // for timeouts (the paper's OOM / INF table entries).
+  virtual StatusOr<BaselineRunResult> Run(const QueryGraph& q, const Graph& g,
+                                          const BaselineOptions& options) const = 0;
+};
+
+enum class BaselineKind { kCfl, kDaf, kCeci, kGpsm, kGsi };
+
+// Factory for the five comparators.
+std::unique_ptr<BaselineMatcher> MakeBaseline(BaselineKind kind);
+
+}  // namespace fast
+
+#endif  // FAST_BASELINE_BASELINE_H_

@@ -1,0 +1,343 @@
+#include "baseline/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/matching_order.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fast {
+
+namespace {
+
+// Tracks simulated device-memory usage against the cap.
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::size_t cap) : cap_(cap) {}
+
+  Status Alloc(std::size_t bytes) {
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    if (used_ > cap_) {
+      return Status::ResourceExhausted("device memory exceeded (" +
+                                       std::to_string(used_) + " of " +
+                                       std::to_string(cap_) + " bytes)");
+    }
+    return Status::OK();
+  }
+
+  void Free(std::size_t bytes) { used_ -= std::min(used_, bytes); }
+
+  std::size_t peak() const { return peak_; }
+
+ private:
+  std::size_t cap_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+// LDF candidate sets + membership masks for all query vertices.
+struct Candidates {
+  std::vector<std::vector<VertexId>> lists;
+  std::vector<std::vector<char>> masks;
+};
+
+Candidates ComputeCandidates(const QueryGraph& q, const Graph& g) {
+  Candidates c;
+  c.lists.resize(q.NumVertices());
+  c.masks.assign(q.NumVertices(), std::vector<char>(g.NumVertices(), 0));
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId v : g.VerticesWithLabel(q.label(u))) {
+      if (g.degree(v) >= q.degree(u)) {
+        c.lists[u].push_back(v);
+        c.masks[u][v] = 1;
+      }
+    }
+  }
+  return c;
+}
+
+// Row-major table of partial embeddings over `columns` query vertices.
+struct JoinTable {
+  std::vector<VertexId> columns;  // query vertices, in column order
+  std::vector<VertexId> rows;     // row-major, stride = columns.size()
+
+  std::size_t NumRows() const {
+    return columns.empty() ? 0 : rows.size() / columns.size();
+  }
+  std::size_t Bytes() const { return rows.size() * sizeof(VertexId); }
+  int ColumnOf(VertexId u) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == u) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// Query-edge join order: BFS-tree edges top-down, then non-tree edges. This
+// guarantees each joined edge touches the already-covered vertex set.
+std::vector<std::pair<VertexId, VertexId>> EdgeJoinOrder(const QueryGraph& q,
+                                                         VertexId root) {
+  const BfsTree tree = BfsTree::Build(q, root);
+  std::vector<std::pair<VertexId, VertexId>> order;
+  for (VertexId u : tree.bfs_order()) {
+    if (u != root) order.emplace_back(tree.parent(u), u);
+  }
+  std::unordered_set<std::uint64_t> seen;
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId w : tree.non_tree_neighbors(u)) {
+      const std::uint64_t key = u < w ? (std::uint64_t{u} << 32 | w)
+                                      : (std::uint64_t{w} << 32 | u);
+      if (seen.insert(key).second) order.emplace_back(u, w);
+    }
+  }
+  return order;
+}
+
+Status CheckTime(const Timer& timer, const BaselineOptions& options,
+                 const std::string& who) {
+  if (timer.ElapsedSeconds() > options.time_limit_seconds) {
+    return Status::DeadlineExceeded(who + " exceeded the time limit");
+  }
+  return Status::OK();
+}
+
+void EmitResults(const JoinTable& table, const QueryGraph& q,
+                 const BaselineOptions& options, BaselineRunResult* result) {
+  result->embeddings = table.NumRows();
+  if (options.store_limit == 0) return;
+  const std::size_t stride = table.columns.size();
+  Embedding e(q.NumVertices());
+  const std::size_t keep = std::min(options.store_limit, table.NumRows());
+  for (std::size_t r = 0; r < keep; ++r) {
+    for (std::size_t i = 0; i < stride; ++i) {
+      e[table.columns[i]] = table.rows[r * stride + i];
+    }
+    result->sample_embeddings.push_back(e);
+  }
+}
+
+}  // namespace
+
+StatusOr<BaselineRunResult> GpsmMatcher::Run(const QueryGraph& q, const Graph& g,
+                                             const BaselineOptions& options) const {
+  Timer timer;
+  DeviceMemory mem(options.memory_cap_bytes);
+  const Candidates cand = ComputeCandidates(q, g);
+  for (const auto& l : cand.lists) {
+    FAST_RETURN_IF_ERROR(mem.Alloc(l.size() * sizeof(VertexId)));
+  }
+
+  const VertexId root = SelectRoot(q, g);
+  const auto edge_order = EdgeJoinOrder(q, root);
+
+  // Phase 1: materialize the candidate-edge table of every query edge.
+  std::unordered_map<std::uint64_t, std::vector<std::pair<VertexId, VertexId>>>
+      edge_tables;
+  for (const auto& [u, w] : edge_order) {
+    auto& table = edge_tables[std::uint64_t{u} << 32 | w];
+    const Label want = q.EdgeLabel(u, w);
+    for (VertexId a : cand.lists[u]) {
+      const auto nbrs = g.neighbors(a);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId b = nbrs[i];
+        if (cand.masks[w][b] && g.EdgeLabelAt(a, i) == want) {
+          table.emplace_back(a, b);
+        }
+      }
+    }
+    FAST_RETURN_IF_ERROR(mem.Alloc(table.size() * sizeof(table[0])));
+    FAST_RETURN_IF_ERROR(CheckTime(timer, options, name()));
+  }
+
+  // Phase 2: binary joins following the edge order.
+  JoinTable table;
+  {
+    const auto& [u, w] = edge_order.front();
+    table.columns = {u, w};
+    const auto& first = edge_tables[std::uint64_t{u} << 32 | w];
+    table.rows.reserve(first.size() * 2);
+    for (const auto& [a, b] : first) {
+      if (a != b) {
+        table.rows.push_back(a);
+        table.rows.push_back(b);
+      }
+    }
+    FAST_RETURN_IF_ERROR(mem.Alloc(table.Bytes()));
+  }
+
+  for (std::size_t ei = 1; ei < edge_order.size(); ++ei) {
+    const auto [u, w] = edge_order[ei];
+    const auto& etab = edge_tables[std::uint64_t{u} << 32 | w];
+    const int cu = table.ColumnOf(u);
+    const int cw = table.ColumnOf(w);
+    const std::size_t stride = table.columns.size();
+    JoinTable next;
+
+    if (cu >= 0 && cw >= 0) {
+      // Both endpoints bound: semi-join filter against the edge table.
+      std::unordered_set<std::uint64_t> pairs;
+      pairs.reserve(etab.size() * 2);
+      for (const auto& [a, b] : etab) {
+        pairs.insert(std::uint64_t{a} << 32 | b);
+        pairs.insert(std::uint64_t{b} << 32 | a);
+      }
+      FAST_RETURN_IF_ERROR(mem.Alloc(pairs.size() * 16));
+      next.columns = table.columns;
+      for (std::size_t r = 0; r < table.NumRows(); ++r) {
+        const VertexId a = table.rows[r * stride + static_cast<std::size_t>(cu)];
+        const VertexId b = table.rows[r * stride + static_cast<std::size_t>(cw)];
+        if (pairs.count(std::uint64_t{a} << 32 | b) != 0) {
+          next.rows.insert(next.rows.end(), table.rows.begin() + r * stride,
+                           table.rows.begin() + (r + 1) * stride);
+        }
+      }
+      mem.Free(pairs.size() * 16);
+    } else {
+      // One endpoint bound: hash the edge table on the bound side and expand.
+      const bool u_bound = cu >= 0;
+      const int bound_col = u_bound ? cu : cw;
+      std::unordered_map<VertexId, std::vector<VertexId>> index;
+      for (const auto& [a, b] : etab) {
+        if (u_bound) {
+          index[a].push_back(b);
+        } else {
+          index[b].push_back(a);
+        }
+      }
+      FAST_RETURN_IF_ERROR(mem.Alloc(etab.size() * 12));
+      next.columns = table.columns;
+      next.columns.push_back(u_bound ? w : u);
+      for (std::size_t r = 0; r < table.NumRows(); ++r) {
+        const VertexId key = table.rows[r * stride + static_cast<std::size_t>(bound_col)];
+        auto it = index.find(key);
+        if (it == index.end()) continue;
+        for (VertexId nv : it->second) {
+          // Injectivity.
+          bool dup = false;
+          for (std::size_t i = 0; i < stride; ++i) {
+            if (table.rows[r * stride + i] == nv) {
+              dup = true;
+              break;
+            }
+          }
+          if (dup) continue;
+          next.rows.insert(next.rows.end(), table.rows.begin() + r * stride,
+                           table.rows.begin() + (r + 1) * stride);
+          next.rows.push_back(nv);
+        }
+      }
+      mem.Free(etab.size() * 12);
+    }
+    FAST_RETURN_IF_ERROR(mem.Alloc(next.Bytes()));
+    mem.Free(table.Bytes());
+    table = std::move(next);
+    FAST_RETURN_IF_ERROR(CheckTime(timer, options, name()));
+  }
+
+  BaselineRunResult result;
+  EmitResults(table, q, options, &result);
+  result.seconds = timer.ElapsedSeconds();
+  result.peak_memory_bytes = mem.peak();
+  return result;
+}
+
+StatusOr<BaselineRunResult> GsiMatcher::Run(const QueryGraph& q, const Graph& g,
+                                            const BaselineOptions& options) const {
+  Timer timer;
+  DeviceMemory mem(options.memory_cap_bytes);
+  const Candidates cand = ComputeCandidates(q, g);
+  for (const auto& l : cand.lists) {
+    FAST_RETURN_IF_ERROR(mem.Alloc(l.size() * sizeof(VertexId)));
+  }
+
+  const VertexId root = SelectRoot(q, g);
+  const BfsTree tree = BfsTree::Build(q, root);
+  const auto& order = tree.bfs_order();
+  std::vector<int> pos_of(q.NumVertices(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos_of[order[i]] = static_cast<int>(i);
+
+  JoinTable table;
+  table.columns = {root};
+  table.rows = cand.lists[root];
+  FAST_RETURN_IF_ERROR(mem.Alloc(table.Bytes()));
+
+  for (std::size_t step = 1; step < order.size(); ++step) {
+    const VertexId u = order[step];
+    // Backward neighbors of u among already-joined vertices.
+    std::vector<int> backward_cols;
+    for (VertexId w : q.neighbors(u)) {
+      const int c = table.ColumnOf(w);
+      if (c >= 0) backward_cols.push_back(c);
+    }
+    FAST_CHECK(!backward_cols.empty());
+    const std::size_t stride = table.columns.size();
+
+    // Prealloc-Combine: reserve worst-case output before the extension so
+    // parallel writers never conflict. The bound is rows * max candidate
+    // degree -- this is GSI's memory Achilles heel the paper points out.
+    std::uint32_t degree_bound = 0;
+    {
+      const int c0 = backward_cols.front();
+      for (std::size_t r = 0; r < table.NumRows(); ++r) {
+        degree_bound = std::max(
+            degree_bound, g.degree(table.rows[r * stride + static_cast<std::size_t>(c0)]));
+      }
+    }
+    const std::size_t prealloc_bytes =
+        table.NumRows() * static_cast<std::size_t>(degree_bound) * (stride + 1) *
+        sizeof(VertexId);
+    FAST_RETURN_IF_ERROR(mem.Alloc(prealloc_bytes));
+
+    JoinTable next;
+    next.columns = table.columns;
+    next.columns.push_back(u);
+    const VertexId anchor_qv = table.columns[static_cast<std::size_t>(backward_cols.front())];
+    const Label anchor_label = q.EdgeLabel(anchor_qv, u);
+    for (std::size_t r = 0; r < table.NumRows(); ++r) {
+      const VertexId anchor =
+          table.rows[r * stride + static_cast<std::size_t>(backward_cols.front())];
+      const auto anchor_nbrs = g.neighbors(anchor);
+      for (std::size_t ni = 0; ni < anchor_nbrs.size(); ++ni) {
+        const VertexId v = anchor_nbrs[ni];
+        if (!cand.masks[u][v] || g.EdgeLabelAt(anchor, ni) != anchor_label) continue;
+        bool valid = true;
+        for (std::size_t bi = 1; bi < backward_cols.size() && valid; ++bi) {
+          const VertexId other =
+              table.rows[r * stride + static_cast<std::size_t>(backward_cols[bi])];
+          const VertexId other_qv =
+              table.columns[static_cast<std::size_t>(backward_cols[bi])];
+          valid = g.HasEdgeWithLabel(v, other, q.EdgeLabel(other_qv, u));
+        }
+        if (valid) {
+          for (std::size_t i = 0; i < stride; ++i) {
+            if (table.rows[r * stride + i] == v) {
+              valid = false;
+              break;
+            }
+          }
+        }
+        if (!valid) continue;
+        next.rows.insert(next.rows.end(), table.rows.begin() + r * stride,
+                         table.rows.begin() + (r + 1) * stride);
+        next.rows.push_back(v);
+      }
+    }
+    // Combine: compact into an exact-size table, release the prealloc.
+    FAST_RETURN_IF_ERROR(mem.Alloc(next.Bytes()));
+    mem.Free(prealloc_bytes);
+    mem.Free(table.Bytes());
+    table = std::move(next);
+    FAST_RETURN_IF_ERROR(CheckTime(timer, options, name()));
+  }
+
+  BaselineRunResult result;
+  EmitResults(table, q, options, &result);
+  result.seconds = timer.ElapsedSeconds();
+  result.peak_memory_bytes = mem.peak();
+  return result;
+}
+
+}  // namespace fast

@@ -1,0 +1,36 @@
+#ifndef FAST_BASELINE_JOIN_H_
+#define FAST_BASELINE_JOIN_H_
+
+// GPU-style join matchers (Sec. III-A "GPU-based Solutions", compared in
+// Fig. 14).
+//
+// GpSM collects candidate pairs for every query edge and assembles results
+// with binary joins; GSI joins candidate *vertices* with a Prealloc-Combine
+// scheme that reserves worst-case output space before each extension. Both
+// must keep all intermediate tables in device memory, which is why they run
+// out of memory on the larger LDBC graphs in the paper. Here they execute on
+// the host, with every device allocation charged against a configurable
+// device-memory cap (16 GB V100 by default); exceeding the cap returns
+// ResourceExhausted, reproducing the paper's OOM entries.
+
+#include "baseline/baseline.h"
+
+namespace fast {
+
+class GpsmMatcher : public BaselineMatcher {
+ public:
+  std::string name() const override { return "GpSM"; }
+  StatusOr<BaselineRunResult> Run(const QueryGraph& q, const Graph& g,
+                                  const BaselineOptions& options) const override;
+};
+
+class GsiMatcher : public BaselineMatcher {
+ public:
+  std::string name() const override { return "GSI"; }
+  StatusOr<BaselineRunResult> Run(const QueryGraph& q, const Graph& g,
+                                  const BaselineOptions& options) const override;
+};
+
+}  // namespace fast
+
+#endif  // FAST_BASELINE_JOIN_H_

@@ -1,0 +1,110 @@
+#include "core/cpu_matcher.h"
+
+#include "util/logging.h"
+
+namespace fast {
+
+namespace {
+
+struct CpuMatchState {
+  const Cst* cst;
+  const std::vector<VertexId>* order;
+  std::vector<int> order_pos;                     // query vertex -> order index
+  std::vector<int> parent_pos;                    // order index -> parent order index
+  std::vector<std::vector<std::pair<VertexId, int>>> backward;  // per order index
+  std::vector<std::uint32_t> positions;           // matched candidate positions
+  std::vector<VertexId> data_vertices;            // matched data vertices
+  std::vector<VertexId> embedding;                // query-vertex indexed
+  ResultCollector* collector;
+  std::uint64_t count = 0;
+
+  void Recurse(std::size_t depth) {
+    const std::size_t n = order->size();
+    const VertexId u = (*order)[depth];
+    std::span<const std::uint32_t> cands;
+    std::vector<std::uint32_t> root_positions;
+    if (depth == 0) {
+      root_positions.resize(cst->NumCandidates(u));
+      for (std::uint32_t i = 0; i < root_positions.size(); ++i) root_positions[i] = i;
+      cands = root_positions;
+    } else {
+      const VertexId up = (*order)[static_cast<std::size_t>(parent_pos[depth])];
+      cands = cst->Neighbors(up, u, positions[static_cast<std::size_t>(parent_pos[depth])]);
+    }
+    for (std::uint32_t t : cands) {
+      const VertexId v = cst->Candidate(u, t);
+      bool valid = true;
+      for (std::size_t j = 0; j < depth; ++j) {
+        if (data_vertices[j] == v) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) {
+        for (const auto& [un, jpos] : backward[depth]) {
+          if (!cst->HasCstEdge(u, t, un, positions[static_cast<std::size_t>(jpos)])) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (!valid) continue;
+      positions[depth] = t;
+      data_vertices[depth] = v;
+      if (depth + 1 == n) {
+        ++count;
+        if (collector != nullptr) {
+          for (std::size_t j = 0; j <= depth; ++j) embedding[(*order)[j]] = data_vertices[j];
+          collector->OnEmbedding(embedding);
+        }
+      } else {
+        Recurse(depth + 1);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<std::uint64_t> MatchCstOnCpu(const Cst& cst, const MatchingOrder& order,
+                                      ResultCollector* collector) {
+  const std::size_t n = cst.NumQueryVertices();
+  if (order.order.size() != n) {
+    return Status::InvalidArgument("order arity does not match CST");
+  }
+  const BfsTree& tree = cst.layout().tree();
+  if (order.order.empty() || order.order[0] != tree.root()) {
+    return Status::InvalidArgument("order root does not match CST root");
+  }
+
+  CpuMatchState st;
+  st.cst = &cst;
+  st.order = &order.order;
+  st.order_pos.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) st.order_pos[order.order[i]] = static_cast<int>(i);
+  st.parent_pos.assign(n, -1);
+  st.backward.assign(n, {});
+  for (std::size_t i = 1; i < n; ++i) {
+    const VertexId u = order.order[i];
+    const VertexId up = tree.parent(u);
+    if (up == kInvalidVertex || st.order_pos[up] >= static_cast<int>(i)) {
+      return Status::InvalidArgument("order is not tree-connected");
+    }
+    st.parent_pos[i] = st.order_pos[up];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (VertexId un : tree.non_tree_neighbors(order.order[i])) {
+      if (st.order_pos[un] < static_cast<int>(i)) {
+        st.backward[i].emplace_back(un, st.order_pos[un]);
+      }
+    }
+  }
+  st.positions.assign(n, 0);
+  st.data_vertices.assign(n, 0);
+  st.embedding.assign(n, 0);
+  st.collector = collector;
+  if (cst.NumCandidates(order.order[0]) > 0) st.Recurse(0);
+  return st.count;
+}
+
+}  // namespace fast

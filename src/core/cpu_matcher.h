@@ -1,0 +1,24 @@
+#ifndef FAST_CORE_CPU_MATCHER_H_
+#define FAST_CORE_CPU_MATCHER_H_
+
+// Host-side backtracking over a CST (Sec. V-C: "the host side uses the basic
+// backtracking subgraph matching algorithm to process CST"). Used for the
+// CPU work share in FAST-SHARE and as the reference enumerator in tests.
+
+#include <cstdint>
+
+#include "cst/cst.h"
+#include "core/result_collector.h"
+#include "query/matching_order.h"
+#include "util/status.h"
+
+namespace fast {
+
+// Enumerates all embeddings contained in `cst` following `order`.
+// Returns the number of embeddings found.
+StatusOr<std::uint64_t> MatchCstOnCpu(const Cst& cst, const MatchingOrder& order,
+                                      ResultCollector* collector);
+
+}  // namespace fast
+
+#endif  // FAST_CORE_CPU_MATCHER_H_

@@ -1,0 +1,112 @@
+#ifndef FAST_CORE_DRIVER_H_
+#define FAST_CORE_DRIVER_H_
+
+// Host-side driver: the end-to-end CPU-FPGA flow of Fig. 2.
+//
+//  (1) build the CST on the CPU (Alg. 1)
+//  (2) partition it to fit BRAM (Alg. 2)
+//  (3) stream partitions over PCIe to card DRAM
+//  (4) the kernel loads each partition into BRAM and matches it (Algs. 4-8)
+//  (5) optionally keep a δ-share of the workload on the CPU (Alg. 3)
+//  (6) collect results
+//
+// Host-side times (CST construction, partitioning, CPU share) are measured
+// wall-clock; kernel and PCIe times are simulated by the device model. The
+// paper overlaps partitioning with kernel execution, and the CPU share runs
+// after partitioning finishes, so:
+//
+//   total = build + max(partition + cpu_share, pcie + kernel)
+
+#include <cstdint>
+#include <optional>
+
+#include "cst/cst.h"
+#include "cst/partition.h"
+#include "core/kernel.h"
+#include "core/result_collector.h"
+#include "fpga/config.h"
+#include "fpga/cycle_model.h"
+#include "ldbc/ldbc.h"
+#include "query/matching_order.h"
+#include "util/status.h"
+
+namespace fast {
+
+struct FastRunOptions {
+  FastVariant variant = FastVariant::kSep;
+
+  // FAST-SHARE: let the CPU take up to a δ fraction of the estimated
+  // workload (Alg. 3). delta = 0 disables sharing.
+  double cpu_share_delta = 0.0;
+
+  FpgaConfig fpga = AlveoU200Config();
+
+  // Partition thresholds; if max_size_words is 0 they are derived from the
+  // device: δ_S = BRAM words minus the partial-result buffer, δ_D = Port_max.
+  PartitionConfig partition{.max_size_words = 0, .max_degree = 0, .fixed_k = 0};
+
+  OrderPolicy order_policy = OrderPolicy::kPathBased;
+  // Overrides order_policy when set (Fig. 15 sweeps).
+  std::optional<MatchingOrder> explicit_order;
+
+  CstBuildOptions cst_build;
+
+  // Store up to this many embeddings in the result (0 = count only).
+  std::size_t store_limit = 0;
+};
+
+struct FastRunResult {
+  std::uint64_t embeddings = 0;
+  MatchingOrder order;
+
+  PartitionStats partition_stats;
+  KernelCounters counters;
+
+  // Measured host times (seconds).
+  double build_seconds = 0;
+  double partition_seconds = 0;
+  double cpu_share_seconds = 0;
+
+  // Simulated device times (seconds).
+  double kernel_seconds = 0;
+  double pcie_seconds = 0;
+
+  // Composed end-to-end time (see header comment).
+  double total_seconds = 0;
+
+  // Achieved CPU share W_C / (W_C + W_F).
+  double cpu_share_fraction = 0;
+  std::size_t cpu_partitions = 0;
+  std::size_t fpga_partitions = 0;
+
+  // First `store_limit` embeddings, if requested.
+  std::vector<Embedding> sample_embeddings;
+};
+
+// Runs the full FAST pipeline for query q over data graph g.
+StatusOr<FastRunResult> RunFast(const QueryGraph& q, const Graph& g,
+                                const FastRunOptions& options = {});
+
+// Effective partition thresholds for a device (δ_S, δ_D derivation).
+PartitionConfig DerivePartitionConfig(const FpgaConfig& fpga, std::size_t query_size,
+                                      const PartitionConfig& requested);
+
+// Multi-FPGA extension (Sec. VII-E): partitions are assigned to the device
+// with the minimum accumulated estimated workload; the makespan composes with
+// the shared host-side build/partition phases.
+struct MultiFpgaResult {
+  std::uint64_t embeddings = 0;
+  std::size_t num_partitions = 0;
+  std::vector<double> device_seconds;  // simulated busy time per device
+  double makespan_seconds = 0;
+  double build_seconds = 0;
+  double partition_seconds = 0;
+};
+
+StatusOr<MultiFpgaResult> RunMultiFpga(const QueryGraph& q, const Graph& g,
+                                       std::size_t num_devices,
+                                       const FastRunOptions& options = {});
+
+}  // namespace fast
+
+#endif  // FAST_CORE_DRIVER_H_

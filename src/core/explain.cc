@@ -1,0 +1,109 @@
+#include "core/explain.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/driver.h"
+#include "cst/workload.h"
+
+namespace fast {
+
+std::string QueryPlan::ToString() const {
+  std::ostringstream out;
+  out << "QueryPlan (order policy root=u" << order.root << ")\n";
+  out << "  order:";
+  for (VertexId u : order.order) out << " u" << u;
+  out << "\n";
+  for (const auto& s : steps) {
+    out << "  u" << s.query_vertex << ": label=" << s.label
+        << " candidates=" << s.candidates << " ldf_estimate=" << s.ldf_estimate;
+    if (s.tree_parent != kInvalidVertex) out << " parent=u" << s.tree_parent;
+    if (s.backward_non_tree > 0) {
+      out << " edge_checks=" << s.backward_non_tree;
+    }
+    out << "\n";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  CST: %zu words (max adjacency %u), workload ~%.3g\n", cst_words,
+                cst_max_degree, workload_estimate);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  device: delta_S=%zu words, delta_D=%u -> %s (>= %zu partitions)\n",
+                delta_s_words, delta_d, fits_bram ? "fits BRAM" : "needs partitioning",
+                predicted_partitions);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  predicted cycles: BASIC %.3g, TASK %.3g, SEP %.3g\n",
+                predicted_cycles_basic, predicted_cycles_task, predicted_cycles_sep);
+  out << buf;
+  return out.str();
+}
+
+StatusOr<QueryPlan> ExplainQuery(const QueryGraph& q, const Graph& g,
+                                 const FpgaConfig& fpga, OrderPolicy policy) {
+  FAST_RETURN_IF_ERROR(fpga.Validate());
+  QueryPlan plan;
+  FAST_ASSIGN_OR_RETURN(plan.order, ComputeMatchingOrder(q, g, policy));
+  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, g, plan.order.root));
+
+  const BfsTree& tree = cst.layout().tree();
+  const auto estimates = EstimateCandidateCounts(q, g);
+  std::vector<int> order_pos(q.NumVertices(), -1);
+  for (std::size_t i = 0; i < plan.order.order.size(); ++i) {
+    order_pos[plan.order.order[i]] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < plan.order.order.size(); ++i) {
+    const VertexId u = plan.order.order[i];
+    VertexPlan step;
+    step.query_vertex = u;
+    step.label = q.label(u);
+    step.candidates = cst.NumCandidates(u);
+    step.ldf_estimate = estimates[u];
+    step.tree_parent = tree.parent(u);
+    for (VertexId un : tree.non_tree_neighbors(u)) {
+      if (order_pos[un] < static_cast<int>(i)) ++step.backward_non_tree;
+    }
+    plan.steps.push_back(step);
+  }
+
+  plan.cst_words = cst.SizeWords();
+  plan.cst_max_degree = cst.MaxAdjacencyDegree();
+  plan.workload_estimate = EstimateWorkload(cst);
+
+  const PartitionConfig pconfig =
+      DerivePartitionConfig(fpga, q.NumVertices(), {0, 0, 0});
+  plan.delta_s_words = pconfig.max_size_words;
+  plan.delta_d = pconfig.max_degree;
+  plan.fits_bram = plan.cst_words <= pconfig.max_size_words &&
+                   plan.cst_max_degree <= pconfig.max_degree;
+  plan.predicted_partitions =
+      plan.fits_bram
+          ? 1
+          : static_cast<std::size_t>(std::max(
+                std::ceil(static_cast<double>(plan.cst_words) /
+                          static_cast<double>(pconfig.max_size_words)),
+                std::ceil(static_cast<double>(plan.cst_max_degree) /
+                          static_cast<double>(pconfig.max_degree))));
+
+  // Predicted cycles: approximate N ~ W_CST (every tree embedding becomes a
+  // partial result at the deepest level, which dominates for skewed data)
+  // and M ~ N * average backward groups.
+  double groups = 0;
+  for (const auto& s : plan.steps) groups += static_cast<double>(s.backward_non_tree);
+  KernelCounters proxy;
+  proxy.partial_results = static_cast<std::uint64_t>(plan.workload_estimate);
+  proxy.visited_tasks = proxy.partial_results;
+  proxy.edge_tasks = static_cast<std::uint64_t>(
+      plan.workload_estimate * groups /
+      std::max<double>(1.0, static_cast<double>(plan.steps.size())));
+  proxy.rounds =
+      proxy.partial_results / std::max<std::uint32_t>(1, fpga.max_new_partials) + 1;
+  plan.predicted_cycles_basic = KernelCycles(fpga, FastVariant::kBasic, proxy);
+  plan.predicted_cycles_task = KernelCycles(fpga, FastVariant::kTask, proxy);
+  plan.predicted_cycles_sep = KernelCycles(fpga, FastVariant::kSep, proxy);
+  return plan;
+}
+
+}  // namespace fast

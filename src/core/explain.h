@@ -1,0 +1,69 @@
+#ifndef FAST_CORE_EXPLAIN_H_
+#define FAST_CORE_EXPLAIN_H_
+
+// Query-plan inspection ("EXPLAIN") for the FAST pipeline.
+//
+// The paper positions FAST as an accelerator for graph databases and RDF
+// engines (Sec. I); this module produces the planning-time information such
+// an integration needs *without* running the query: the chosen matching
+// order, per-vertex candidate statistics, CST size against the device
+// budgets, the workload estimate W_CST, and the predicted kernel cycles per
+// variant under the analytic model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cst/cst.h"
+#include "cst/partition.h"
+#include "fpga/config.h"
+#include "fpga/cycle_model.h"
+#include "query/matching_order.h"
+#include "util/status.h"
+
+namespace fast {
+
+struct VertexPlan {
+  VertexId query_vertex = 0;
+  Label label = 0;
+  std::size_t candidates = 0;          // |C(u)| after refinement
+  double ldf_estimate = 0;             // label-degree-filter estimate
+  VertexId tree_parent = kInvalidVertex;
+  std::size_t backward_non_tree = 0;   // edge-validation groups at this step
+};
+
+struct QueryPlan {
+  MatchingOrder order;
+  std::vector<VertexPlan> steps;       // in matching order
+
+  // CST statistics.
+  std::size_t cst_words = 0;
+  std::uint32_t cst_max_degree = 0;
+  double workload_estimate = 0;        // W_CST (Sec. V-C)
+
+  // Device fit.
+  std::size_t delta_s_words = 0;       // effective δ_S
+  std::uint32_t delta_d = 0;           // effective δ_D
+  bool fits_bram = false;
+  std::size_t predicted_partitions = 0;  // ceil-based lower bound when not
+
+  // Predicted matching cycles per variant under the analytic model, using
+  // W_CST as the partial-result count proxy.
+  double predicted_cycles_basic = 0;
+  double predicted_cycles_task = 0;
+  double predicted_cycles_sep = 0;
+
+  // Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+// Plans `q` over `g` for `fpga` without enumerating results. The CST is
+// built (that cost is inherent to planning, as in the paper where the host
+// always constructs it), but no matching runs.
+StatusOr<QueryPlan> ExplainQuery(const QueryGraph& q, const Graph& g,
+                                 const FpgaConfig& fpga = AlveoU200Config(),
+                                 OrderPolicy policy = OrderPolicy::kPathBased);
+
+}  // namespace fast
+
+#endif  // FAST_CORE_EXPLAIN_H_

@@ -1,0 +1,224 @@
+#include "cst/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fast {
+
+namespace {
+
+bool Fits(const Cst& cst, const PartitionConfig& config) {
+  return cst.SizeWords() <= config.max_size_words &&
+         cst.MaxAdjacencyDegree() <= config.max_degree;
+}
+
+// Drops candidates that lost all support toward any query neighbor after
+// C(u) (at order position `index`) was restricted ("can reach the i-th
+// partitioned C(u)", Alg. 2 lines 9-12). A candidate of w survives only if,
+// for *every* query edge (w, w'), it still has a kept CST neighbor in C(w'):
+// tree edges carry reachability, and non-tree edges carry the edge-validation
+// constraint (a candidate with no kept non-tree neighbor can never pass
+// Alg. 7). Iterates to a fixpoint. The split vertex itself is never
+// modified; vertices preceding it in the order are pruned only when
+// `prune_preceding` is set (see PartitionConfig).
+void PruneMasks(const Cst& cst, const std::vector<VertexId>& order,
+                std::size_t index, bool prune_preceding,
+                std::vector<std::vector<char>>* keep) {
+  const QueryGraph& q = cst.layout().query();
+  const BfsTree& tree = cst.layout().tree();
+  const std::size_t n = order.size();
+
+  // Query neighbors each vertex must keep support toward.
+  std::vector<std::vector<VertexId>> support_targets(n);
+  for (VertexId w = 0; w < n; ++w) {
+    for (VertexId wn : q.neighbors(w)) {
+      const bool is_tree = tree.parent(w) == wn || tree.parent(wn) == w;
+      if (!is_tree && !cst.non_tree_materialized()) continue;
+      support_targets[w].push_back(wn);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t oi = 0; oi < n; ++oi) {
+      if (oi == index) continue;                       // the split vertex is fixed
+      if (oi < index && !prune_preceding) continue;    // Alg. 2-literal mode
+      const VertexId w = order[oi];
+      auto& mask = (*keep)[w];
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (!mask[i]) continue;
+        bool valid = true;
+        for (VertexId wn : support_targets[w]) {
+          bool supported = false;
+          for (std::uint32_t t :
+               cst.Neighbors(w, wn, static_cast<std::uint32_t>(i))) {
+            if ((*keep)[wn][t]) {
+              supported = true;
+              break;
+            }
+          }
+          if (!supported) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) {
+          mask[i] = 0;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+class Partitioner {
+ public:
+  Partitioner(const MatchingOrder& order, const PartitionConfig& config,
+              const std::function<Status(Cst)>& sink,
+              const std::function<bool(Cst&)>* try_cpu, PartitionStats* stats)
+      : order_(order), config_(config), sink_(sink), try_cpu_(try_cpu),
+        stats_(stats) {}
+
+  Status Run(Cst cst, std::size_t index) {
+    ++stats_->num_recursive_calls;
+    if (Fits(cst, config_)) {
+      if (OfferToCpu(&cst)) return Status::OK();
+      return Emit(std::move(cst), /*oversized=*/false);
+    }
+    // FAST-SHARE: the host may take an oversized CST as-is, skipping the
+    // entire sub-recursion (the Sec. VII-B partition-cost saving).
+    if (OfferToCpu(&cst)) return Status::OK();
+    if (index >= order_.order.size()) {
+      // Every candidate set is down to one vertex and the CST still exceeds
+      // a threshold: nothing left to split (pathological δ settings).
+      return Emit(std::move(cst), /*oversized=*/true);
+    }
+    const VertexId u = order_.order[index];
+    const std::size_t n_cands = cst.NumCandidates(u);
+    if (n_cands <= 1) return Run(std::move(cst), index + 1);
+
+    std::size_t k;
+    if (config_.fixed_k > 0) {
+      k = static_cast<std::size_t>(config_.fixed_k);
+    } else {
+      const double by_size = std::ceil(static_cast<double>(cst.SizeWords()) /
+                                       static_cast<double>(config_.max_size_words));
+      const double by_degree = std::ceil(static_cast<double>(cst.MaxAdjacencyDegree()) /
+                                         static_cast<double>(config_.max_degree));
+      k = static_cast<std::size_t>(std::max({by_size, by_degree, 2.0}));
+    }
+    k = std::min(k, n_cands);
+
+    // Even contiguous split of C(u) into k parts.
+    const std::size_t base = n_cands / k;
+    const std::size_t extra = n_cands % k;
+    std::size_t begin = 0;
+    for (std::size_t part = 0; part < k; ++part) {
+      const std::size_t len = base + (part < extra ? 1 : 0);
+      const std::size_t end = begin + len;
+
+      std::vector<std::vector<char>> keep(cst.NumQueryVertices());
+      for (VertexId w = 0; w < cst.NumQueryVertices(); ++w) {
+        keep[w].assign(cst.NumCandidates(w), 1);
+      }
+      std::fill(keep[u].begin(), keep[u].end(), 0);
+      for (std::size_t i = begin; i < end; ++i) keep[u][i] = 1;
+      PruneMasks(cst, order_.order, index, config_.prune_preceding, &keep);
+
+      FAST_ASSIGN_OR_RETURN(Cst sub, SubsetCst(cst, keep));
+      begin = end;
+      if (Fits(sub, config_)) {
+        if (OfferToCpu(&sub)) continue;
+        FAST_RETURN_IF_ERROR(Emit(std::move(sub), /*oversized=*/false));
+      } else if (sub.NumCandidates(u) <= 1) {
+        FAST_RETURN_IF_ERROR(Run(std::move(sub), index + 1));
+      } else {
+        FAST_RETURN_IF_ERROR(Run(std::move(sub), index));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool OfferToCpu(Cst* cst) {
+    if (try_cpu_ == nullptr || !(*try_cpu_)) return false;
+    if ((*try_cpu_)(*cst)) {
+      ++stats_->num_cpu_offloaded;
+      return true;
+    }
+    return false;
+  }
+
+  Status Emit(Cst cst, bool oversized) {
+    ++stats_->num_partitions;
+    if (oversized) ++stats_->num_oversized;
+    stats_->total_size_words += cst.SizeWords();
+    stats_->max_partition_words = std::max(stats_->max_partition_words, cst.SizeWords());
+    return sink_(std::move(cst));
+  }
+
+  const MatchingOrder& order_;
+  const PartitionConfig& config_;
+  const std::function<Status(Cst)>& sink_;
+  const std::function<bool(Cst&)>* try_cpu_;  // may be null
+  PartitionStats* stats_;
+};
+
+Status PartitionImpl(const Cst& cst, const MatchingOrder& order,
+                     const PartitionConfig& config,
+                     const std::function<Status(Cst)>& sink,
+                     const std::function<bool(Cst&)>* try_cpu,
+                     PartitionStats* stats) {
+  if (config.max_size_words == 0 || config.max_degree == 0) {
+    return Status::InvalidArgument("partition thresholds must be positive");
+  }
+  if (order.order.size() != cst.NumQueryVertices()) {
+    return Status::InvalidArgument("order arity does not match CST");
+  }
+  if (order.root != cst.layout().tree().root()) {
+    return Status::InvalidArgument("order root does not match CST root");
+  }
+  PartitionStats local;
+  PartitionStats* s = stats != nullptr ? stats : &local;
+  *s = PartitionStats{};
+  Partitioner p(order, config, sink, try_cpu, s);
+  Cst copy = cst;
+  return p.Run(std::move(copy), 0);
+}
+
+}  // namespace
+
+Status PartitionCst(const Cst& cst, const MatchingOrder& order,
+                    const PartitionConfig& config,
+                    const std::function<Status(Cst)>& sink, PartitionStats* stats) {
+  return PartitionImpl(cst, order, config, sink, nullptr, stats);
+}
+
+Status PartitionCstWithOffload(const Cst& cst, const MatchingOrder& order,
+                               const PartitionConfig& config,
+                               const std::function<Status(Cst)>& fpga_sink,
+                               const std::function<bool(Cst&)>& try_cpu,
+                               PartitionStats* stats) {
+  return PartitionImpl(cst, order, config, fpga_sink, &try_cpu, stats);
+}
+
+StatusOr<std::vector<Cst>> PartitionCstToVector(const Cst& cst,
+                                                const MatchingOrder& order,
+                                                const PartitionConfig& config,
+                                                PartitionStats* stats) {
+  std::vector<Cst> out;
+  Status s = PartitionCst(
+      cst, order, config,
+      [&out](Cst part) {
+        out.push_back(std::move(part));
+        return Status::OK();
+      },
+      stats);
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace fast

@@ -1,0 +1,49 @@
+#include "cst/workload.h"
+
+#include "util/logging.h"
+
+namespace fast {
+
+namespace {
+
+// Computes c_u(v) for all u bottom-up; returns one table per query vertex.
+std::vector<std::vector<double>> ComputeAllTables(const Cst& cst) {
+  const BfsTree& tree = cst.layout().tree();
+  const std::size_t n = cst.NumQueryVertices();
+  std::vector<std::vector<double>> c(n);
+  const auto& order = tree.bfs_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId u = *it;
+    const std::size_t n_cands = cst.NumCandidates(u);
+    c[u].assign(n_cands, 1.0);
+    for (VertexId uc : tree.children(u)) {
+      for (std::size_t i = 0; i < n_cands; ++i) {
+        double sum = 0.0;
+        for (std::uint32_t t :
+             cst.Neighbors(u, uc, static_cast<std::uint32_t>(i))) {
+          sum += c[uc][t];
+        }
+        c[u][i] *= sum;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double EstimateWorkload(const Cst& cst) {
+  if (cst.NumQueryVertices() == 0) return 0.0;
+  const auto tables = ComputeAllTables(cst);
+  const VertexId root = cst.layout().tree().root();
+  double total = 0.0;
+  for (double v : tables[root]) total += v;
+  return total;
+}
+
+std::vector<double> WorkloadTable(const Cst& cst, VertexId u) {
+  FAST_CHECK_LT(u, cst.NumQueryVertices());
+  return ComputeAllTables(cst)[u];
+}
+
+}  // namespace fast

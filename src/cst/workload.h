@@ -1,0 +1,29 @@
+#ifndef FAST_CST_WORKLOAD_H_
+#define FAST_CST_WORKLOAD_H_
+
+// Workload estimation (Sec. V-C).
+//
+// W_CST = number of embeddings in the CST *ignoring false positives* (i.e.
+// counting spanning-tree embeddings only), computed bottom-up by dynamic
+// programming: c_u(v) = prod over t_q children u' of (sum over CST-neighbors
+// v' of c_{u'}(v')), with c_u(v) = 1 at leaves. W_CST = sum over root
+// candidates. The scheduler uses this to balance CPU and FPGA load; it is
+// also an upper bound on the true embedding count (used by tests).
+
+#include <vector>
+
+#include "cst/cst.h"
+
+namespace fast {
+
+// Total estimated workload W_CST. Doubles are used because counts overflow
+// 64-bit integers on skewed graphs.
+double EstimateWorkload(const Cst& cst);
+
+// The per-candidate DP table c_u(v) for one query vertex u (indexed by
+// candidate position). Exposed for tests and the Fig. 4(d) example.
+std::vector<double> WorkloadTable(const Cst& cst, VertexId u);
+
+}  // namespace fast
+
+#endif  // FAST_CST_WORKLOAD_H_

@@ -1,0 +1,29 @@
+#include "fpga/config.h"
+
+namespace fast {
+
+Status FpgaConfig::Validate() const {
+  if (clock_mhz <= 0) return Status::InvalidArgument("clock_mhz must be positive");
+  if (bram_words == 0) return Status::InvalidArgument("bram_words must be positive");
+  if (bram_read_latency == 0 || dram_read_latency == 0) {
+    return Status::InvalidArgument("read latencies must be positive");
+  }
+  if (dram_read_latency < bram_read_latency) {
+    return Status::InvalidArgument("DRAM latency must be >= BRAM latency");
+  }
+  if (dram_burst_words_per_cycle == 0) {
+    return Status::InvalidArgument("dram_burst_words_per_cycle must be positive");
+  }
+  if (pcie_gbps <= 0) return Status::InvalidArgument("pcie_gbps must be positive");
+  if (port_max == 0) return Status::InvalidArgument("port_max must be positive");
+  if (max_new_partials == 0) {
+    return Status::InvalidArgument("max_new_partials must be positive");
+  }
+  if (Lf() == 0 || Lt() == 0) {
+    return Status::InvalidArgument("module latencies must be positive");
+  }
+  if (fifo_depth == 0) return Status::InvalidArgument("fifo_depth must be positive");
+  return Status::OK();
+}
+
+}  // namespace fast

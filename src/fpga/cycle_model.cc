@@ -1,0 +1,85 @@
+#include "fpga/cycle_model.h"
+
+#include <algorithm>
+
+namespace fast {
+
+const char* FastVariantName(FastVariant variant) {
+  switch (variant) {
+    case FastVariant::kDram:
+      return "FAST-DRAM";
+    case FastVariant::kBasic:
+      return "FAST-BASIC";
+    case FastVariant::kTask:
+      return "FAST-TASK";
+    case FastVariant::kSep:
+      return "FAST-SEP";
+  }
+  return "FAST-?";
+}
+
+double SerialCycles(const FpgaConfig& config, const KernelCounters& c) {
+  const auto n = static_cast<double>(c.partial_results);
+  const auto m = static_cast<double>(c.edge_tasks);
+  return n * config.Lf() + m * config.Lt();
+}
+
+double KernelCycles(const FpgaConfig& config, FastVariant variant,
+                    const KernelCounters& c) {
+  const auto n = static_cast<double>(c.partial_results);
+  const auto m = static_cast<double>(c.edge_tasks);
+  const auto rounds = static_cast<double>(c.rounds);
+  const double no = static_cast<double>(config.max_new_partials);
+  // Pipeline fill/drain overhead per generator activation.
+  const double fill = rounds * (config.Lf() + config.Lt());
+
+  switch (variant) {
+    case FastVariant::kBasic: {
+      // Eq. 2: four po-stages and two tn-stages at II=1, amortized module
+      // latencies.
+      return (n * config.Lf() + m * config.Lt()) / no + 4.0 * n + 2.0 * m + fill;
+    }
+    case FastVariant::kDram: {
+      // Basic pipeline, but the stages touching CST or the partial-result
+      // buffer run at DRAM read latency: reading P and fetching candidates
+      // charge L_dram per po on two stages; edge validation charges L_dram
+      // per tn; the pure-compute visited check and collect stay at II=1.
+      const double lat = config.dram_read_latency;
+      return (n * config.Lf() + m * config.Lt()) / no + (2.0 * lat + 2.0) * n +
+             (lat + 1.0) * m + fill;
+    }
+    case FastVariant::kTask: {
+      // Eq. 3: the tv-pipeline (generate+validate) overlaps, the tn-pipeline
+      // (generate+validate+collect) overlaps, but tn generation waits for tv
+      // generation within a round.
+      return 2.0 * n + std::max(n, m) + fill;
+    }
+    case FastVariant::kSep: {
+      // Eq. 4: split generators let both task streams start immediately.
+      return n + std::max(n, m) + fill;
+    }
+  }
+  return 0.0;
+}
+
+double CstLoadCycles(const FpgaConfig& config, std::size_t cst_words) {
+  // Streaming burst DMA plus a fixed handshake.
+  constexpr double kDmaSetupCycles = 64.0;
+  return kDmaSetupCycles + static_cast<double>(cst_words) /
+                               static_cast<double>(config.dram_burst_words_per_cycle) +
+         config.dram_read_latency;
+}
+
+double ResultFlushCycles(const FpgaConfig& config, std::uint64_t results,
+                         std::size_t query_size) {
+  const double words = static_cast<double>(results) * static_cast<double>(query_size);
+  return words / static_cast<double>(config.dram_burst_words_per_cycle);
+}
+
+std::size_t PartialBufferWords(const FpgaConfig& config, std::size_t query_size) {
+  if (query_size == 0) return 0;
+  return (query_size - 1) * static_cast<std::size_t>(config.max_new_partials) *
+         query_size;
+}
+
+}  // namespace fast

@@ -1,0 +1,60 @@
+#ifndef FAST_FPGA_FIFO_H_
+#define FAST_FPGA_FIFO_H_
+
+// Bounded FIFO emulating the hls::stream channels that connect the kernel
+// modules in the task-parallel variants (Sec. VI-C). The functional engine
+// drains producers into consumers through these queues; the high-water mark
+// verifies that the configured hardware depth would not deadlock.
+
+#include <cstddef>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace fast {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    FAST_CHECK_GT(capacity, 0u);
+  }
+
+  bool Full() const { return items_.size() >= capacity_; }
+  bool Empty() const { return items_.empty(); }
+  std::size_t Size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Returns false (and drops nothing) when full; hardware would stall the
+  // producer instead.
+  bool TryPush(T item) {
+    if (Full()) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    ++total_pushed_;
+    return true;
+  }
+
+  // Push that must succeed; CHECK-fails on overflow (a modelling bug).
+  void Push(T item) { FAST_CHECK(TryPush(std::move(item))) << "FIFO overflow"; }
+
+  T Pop() {
+    FAST_CHECK(!Empty()) << "FIFO underflow";
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::size_t high_water_mark() const { return high_water_; }
+  std::size_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  std::size_t total_pushed_ = 0;
+};
+
+}  // namespace fast
+
+#endif  // FAST_FPGA_FIFO_H_

@@ -1,0 +1,58 @@
+#ifndef FAST_FPGA_PIPELINE_SIM_H_
+#define FAST_FPGA_PIPELINE_SIM_H_
+
+// Cycle-stepped microarchitectural simulation of the FAST kernel pipelines
+// (Fig. 5(a)/(b)/(c)).
+//
+// The analytic cost model (fpga/cycle_model.h) evaluates the paper's closed
+// forms (Eqs. 1-4), which idealize away pipeline fill, FIFO back-pressure
+// and the unpipelinable outer loop of t_n generation. This module instead
+// *simulates* the module graph cycle by cycle: the Generator(s) emit tokens
+// at their initiation intervals, tokens flow through bounded FIFOs into the
+// Visited/Edge Validators, and the Synchronizer retires a partial result
+// once both of its validation bits are complete. Producers stall when a FIFO
+// is full, exactly as hls::stream back-pressure would.
+//
+// Inputs are per-round workload traces recorded by the functional kernel
+// (core/kernel.h): how many partial results the round expanded and how many
+// backward non-tree groups each carries. Tests verify the simulation tracks
+// the analytic model on large workloads and exposes the degradation the
+// closed forms cannot see (shallow FIFOs, tiny rounds).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpga/config.h"
+#include "fpga/cycle_model.h"
+#include "util/status.h"
+
+namespace fast {
+
+// Workload of one Generator round.
+struct RoundWork {
+  std::uint32_t new_partials = 0;  // p_o expanded this round (<= N_o)
+  std::uint16_t backward_groups = 0;  // non-tree neighbors of the round's vertex
+};
+
+// Aggregate outcome of a pipeline simulation.
+struct PipelineSimResult {
+  double cycles = 0;
+  // High-water marks of the inter-module FIFOs (tokens).
+  std::size_t tv_fifo_high_water = 0;
+  std::size_t tn_fifo_high_water = 0;
+  // Cycles any producer spent stalled on a full FIFO.
+  double stall_cycles = 0;
+};
+
+// Simulates the given variant over the recorded rounds. The serial variants
+// (kDram/kBasic) run their modules back to back per round; kTask overlaps
+// modules through FIFOs but generates t_n only after the t_v loop of the
+// round; kSep runs both generators concurrently (Sec. VI-D).
+StatusOr<PipelineSimResult> SimulatePipeline(const FpgaConfig& config,
+                                             FastVariant variant,
+                                             std::span<const RoundWork> rounds);
+
+}  // namespace fast
+
+#endif  // FAST_FPGA_PIPELINE_SIM_H_

@@ -1,0 +1,104 @@
+#include "graph/generators.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fast {
+
+StatusOr<Graph> GenerateErdosRenyi(std::size_t num_vertices, std::size_t num_edges,
+                                   std::size_t num_labels, std::uint64_t seed) {
+  if (num_vertices == 0) return Status::InvalidArgument("num_vertices must be > 0");
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be > 0");
+  Rng rng(seed);
+  GraphBuilder b(num_vertices);
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    b.AddVertex(static_cast<Label>(rng.Uniform(num_labels)));
+  }
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    FAST_RETURN_IF_ERROR(
+        b.AddEdge(static_cast<VertexId>(rng.Uniform(num_vertices)),
+                  static_cast<VertexId>(rng.Uniform(num_vertices))));
+  }
+  return b.Build();
+}
+
+StatusOr<Graph> GenerateBarabasiAlbert(std::size_t num_vertices,
+                                       std::size_t edges_per_vertex,
+                                       std::size_t num_labels, std::uint64_t seed) {
+  if (num_vertices == 0) return Status::InvalidArgument("num_vertices must be > 0");
+  if (num_labels == 0) return Status::InvalidArgument("num_labels must be > 0");
+  if (edges_per_vertex == 0) {
+    return Status::InvalidArgument("edges_per_vertex must be > 0");
+  }
+  Rng rng(seed);
+  GraphBuilder b(num_vertices);
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    b.AddVertex(static_cast<Label>(rng.Uniform(num_labels)));
+  }
+  // Endpoint pool: each inserted edge contributes both endpoints, so a
+  // uniform draw from the pool is degree-proportional (the standard BA trick).
+  std::vector<VertexId> pool;
+  pool.reserve(2 * num_vertices * edges_per_vertex);
+  pool.push_back(0);
+  for (std::size_t i = 1; i < num_vertices; ++i) {
+    const auto v = static_cast<VertexId>(i);
+    for (std::size_t k = 0; k < edges_per_vertex; ++k) {
+      const VertexId target = pool[rng.Uniform(pool.size())];
+      if (target != v) {
+        FAST_RETURN_IF_ERROR(b.AddEdge(v, target));
+        pool.push_back(target);
+        pool.push_back(v);
+      }
+    }
+  }
+  return b.Build();
+}
+
+StatusOr<Graph> GeneratePlantedCliques(const PlantedCliqueConfig& config,
+                                       std::uint64_t seed) {
+  if (config.num_vertices < config.clique_size) {
+    return Status::InvalidArgument("graph smaller than one clique");
+  }
+  if (config.num_labels == 0) return Status::InvalidArgument("num_labels must be > 0");
+  if (config.clique_label >= config.num_labels) {
+    return Status::InvalidArgument("clique_label out of range");
+  }
+  if (config.clique_stride == 0) {
+    return Status::InvalidArgument("clique_stride must be > 0");
+  }
+  Rng rng(seed);
+
+  std::vector<Label> labels(config.num_vertices);
+  for (auto& l : labels) l = static_cast<Label>(rng.Uniform(config.num_labels));
+  for (std::size_t c = 0; c + config.clique_size < config.num_vertices;
+       c += config.clique_stride) {
+    for (std::size_t i = c; i < c + config.clique_size; ++i) {
+      labels[i] = config.clique_label;
+    }
+  }
+
+  GraphBuilder b(config.num_vertices);
+  for (Label l : labels) b.AddVertex(l);
+  for (std::size_t i = 1; i < config.num_vertices; ++i) {
+    const std::size_t interactions =
+        1 + rng.PowerLaw(config.max_background_degree, config.background_alpha);
+    for (std::size_t k = 0; k < interactions; ++k) {
+      FAST_RETURN_IF_ERROR(b.AddEdge(static_cast<VertexId>(i),
+                                     static_cast<VertexId>(rng.PowerLaw(i, 1.2))));
+    }
+  }
+  for (std::size_t c = 0; c + config.clique_size < config.num_vertices;
+       c += config.clique_stride) {
+    for (std::size_t i = c; i < c + config.clique_size; ++i) {
+      for (std::size_t j = i + 1; j < c + config.clique_size; ++j) {
+        if (rng.Bernoulli(config.clique_density)) {
+          FAST_RETURN_IF_ERROR(
+              b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j)));
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace fast

@@ -1,0 +1,50 @@
+#ifndef FAST_GRAPH_GENERATORS_H_
+#define FAST_GRAPH_GENERATORS_H_
+
+// Synthetic graph generators beyond the LDBC-like social network: the
+// classic families used across the subgraph-matching literature (Sec. III
+// cites Erdos-Renyi-style workloads, PPI networks, and power-law graphs).
+// All are deterministic given the seed.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+// G(n, m): n vertices with uniform labels from [0, num_labels), m edges
+// sampled uniformly (duplicates/self-loops dropped, so the result can have
+// slightly fewer than m edges).
+StatusOr<Graph> GenerateErdosRenyi(std::size_t num_vertices, std::size_t num_edges,
+                                   std::size_t num_labels, std::uint64_t seed);
+
+// Barabasi-Albert-style preferential attachment: each new vertex attaches
+// `edges_per_vertex` stubs to earlier vertices with probability proportional
+// to (approximate) degree, yielding a power-law degree distribution.
+StatusOr<Graph> GenerateBarabasiAlbert(std::size_t num_vertices,
+                                       std::size_t edges_per_vertex,
+                                       std::size_t num_labels, std::uint64_t seed);
+
+struct PlantedCliqueConfig {
+  std::size_t num_vertices = 10000;
+  std::size_t num_labels = 6;
+  // Background wiring: power-law interactions per vertex.
+  std::size_t max_background_degree = 12;
+  double background_alpha = 1.8;
+  // Planted near-cliques: size, spacing, label, edge density.
+  std::size_t clique_size = 4;
+  std::size_t clique_stride = 420;
+  Label clique_label = 0;
+  double clique_density = 0.9;
+};
+
+// Hub-biased background graph with planted same-label near-cliques — the
+// PPI-motif workload of examples/protein_motif.cpp, exposed as a library
+// generator.
+StatusOr<Graph> GeneratePlantedCliques(const PlantedCliqueConfig& config,
+                                       std::uint64_t seed);
+
+}  // namespace fast
+
+#endif  // FAST_GRAPH_GENERATORS_H_

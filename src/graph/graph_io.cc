@@ -1,0 +1,97 @@
+#include "graph/graph_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fast {
+
+StatusOr<Graph> ParseGraphText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  GraphBuilder builder;
+  std::size_t declared_vertices = 0;
+  std::size_t declared_edges = 0;
+  std::size_t seen_edges = 0;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    auto fail = [&](const char* what) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + what);
+    };
+    if (tag == 't') {
+      if (!(ls >> declared_vertices >> declared_edges)) return fail("bad header");
+      saw_header = true;
+    } else if (tag == 'v') {
+      std::uint64_t id = 0;
+      std::uint64_t label = 0;
+      if (!(ls >> id >> label)) return fail("bad vertex record");
+      if (id != builder.NumVertices()) return fail("vertex ids must be dense and ordered");
+      builder.AddVertex(static_cast<Label>(label));
+    } else if (tag == 'e') {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!(ls >> u >> v)) return fail("bad edge record");
+      std::uint64_t edge_label = 0;
+      ls >> edge_label;  // optional third field
+      Status s = builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                                 static_cast<Label>(edge_label));
+      if (!s.ok()) return fail(s.message().c_str());
+      ++seen_edges;
+    } else {
+      return fail("unknown record tag");
+    }
+  }
+  if (saw_header) {
+    if (declared_vertices != builder.NumVertices()) {
+      return Status::InvalidArgument("header vertex count mismatch");
+    }
+    if (declared_edges != seen_edges) {
+      return Status::InvalidArgument("header edge count mismatch");
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> LoadGraphFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseGraphText(buf.str());
+}
+
+std::string GraphToText(const Graph& g) {
+  std::ostringstream out;
+  out << "t " << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "v " << v << " " << g.label(v) << "\n";
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v >= nbrs[i]) continue;
+      out << "e " << v << " " << nbrs[i];
+      if (g.has_edge_labels()) out << " " << g.EdgeLabelAt(v, i);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status SaveGraphFile(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open " + path + " for writing");
+  f << GraphToText(g);
+  if (!f.good()) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace fast

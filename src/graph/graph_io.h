@@ -1,0 +1,36 @@
+#ifndef FAST_GRAPH_GRAPH_IO_H_
+#define FAST_GRAPH_GRAPH_IO_H_
+
+// Text serialization of labelled graphs.
+//
+// Format (one record per line, '#' comments allowed):
+//   t <num_vertices> <num_edges>
+//   v <vertex_id> <label>        (vertex ids must be dense 0..n-1)
+//   e <src> <dst> [edge_label]
+//
+// This matches the de-facto format used by subgraph-matching datasets
+// (CFL-Match / DAF / the in-memory matching study of Sun & Luo), extended
+// with an optional third edge field for edge-labelled graphs.
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+// Parses a graph from text. Returns InvalidArgument on malformed input.
+StatusOr<Graph> ParseGraphText(const std::string& text);
+
+// Loads a graph from a file in the above format.
+StatusOr<Graph> LoadGraphFile(const std::string& path);
+
+// Serializes a graph to the text format.
+std::string GraphToText(const Graph& g);
+
+// Writes a graph to a file. Returns an IO error status on failure.
+Status SaveGraphFile(const Graph& g, const std::string& path);
+
+}  // namespace fast
+
+#endif  // FAST_GRAPH_GRAPH_IO_H_

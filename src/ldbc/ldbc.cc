@@ -1,0 +1,286 @@
+#include "ldbc/ldbc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fast {
+
+const char* LdbcLabelName(LdbcLabel label) {
+  switch (label) {
+    case LdbcLabel::kPerson:
+      return "Person";
+    case LdbcLabel::kCity:
+      return "City";
+    case LdbcLabel::kCountry:
+      return "Country";
+    case LdbcLabel::kContinent:
+      return "Continent";
+    case LdbcLabel::kUniversity:
+      return "University";
+    case LdbcLabel::kCompany:
+      return "Company";
+    case LdbcLabel::kForum:
+      return "Forum";
+    case LdbcLabel::kPost:
+      return "Post";
+    case LdbcLabel::kComment:
+      return "Comment";
+    case LdbcLabel::kTag:
+      return "Tag";
+    case LdbcLabel::kTagClass:
+      return "TagClass";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Dense id range [first, first + count) of one entity type.
+struct Range {
+  VertexId first = 0;
+  std::size_t count = 0;
+
+  VertexId At(std::size_t i) const {
+    FAST_DCHECK_LT(i, count);
+    return first + static_cast<VertexId>(i);
+  }
+  // Power-law pick: low indices are "hubs" (popular tags, big cities...).
+  VertexId PickSkewed(Rng* rng, double alpha = 1.5) const {
+    return At(rng->PowerLaw(count, alpha));
+  }
+  VertexId PickUniform(Rng* rng) const { return At(rng->Uniform(count)); }
+};
+
+std::size_t Scaled(double base, double sf, double min_value = 1.0) {
+  return static_cast<std::size_t>(std::max(min_value, std::round(base * sf)));
+}
+
+}  // namespace
+
+StatusOr<Graph> GenerateLdbcGraph(const LdbcConfig& config) {
+  if (config.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  Rng rng(config.seed);
+  const double sf = config.scale_factor;
+
+  // Entity counts. Persons/messages grow linearly with the scale factor;
+  // dictionary-like entities (places, tags, orgs) grow sub-linearly, matching
+  // LDBC datagen behaviour.
+  const std::size_t n_person = Scaled(900, sf, 20);
+  const std::size_t n_city = Scaled(40, std::sqrt(sf), 8);
+  const std::size_t n_country = Scaled(15, std::pow(sf, 0.25), 5);
+  const std::size_t n_continent = 6;
+  const std::size_t n_university = Scaled(30, std::sqrt(sf), 6);
+  const std::size_t n_company = Scaled(40, std::sqrt(sf), 8);
+  const std::size_t n_forum = Scaled(300, sf, 8);
+  const std::size_t n_post = Scaled(2700, sf, 40);
+  const std::size_t n_comment = Scaled(5400, sf, 60);
+  const std::size_t n_tag = Scaled(120, std::sqrt(sf), 16);
+  const std::size_t n_tagclass = Scaled(20, std::pow(sf, 0.25), 6);
+
+  GraphBuilder builder;
+  auto add_range = [&](LdbcLabel label, std::size_t count) {
+    Range r;
+    r.first = static_cast<VertexId>(builder.NumVertices());
+    r.count = count;
+    for (std::size_t i = 0; i < count; ++i) builder.AddVertex(AsLabel(label));
+    return r;
+  };
+
+  const Range person = add_range(LdbcLabel::kPerson, n_person);
+  const Range city = add_range(LdbcLabel::kCity, n_city);
+  const Range country = add_range(LdbcLabel::kCountry, n_country);
+  const Range continent = add_range(LdbcLabel::kContinent, n_continent);
+  const Range university = add_range(LdbcLabel::kUniversity, n_university);
+  const Range company = add_range(LdbcLabel::kCompany, n_company);
+  const Range forum = add_range(LdbcLabel::kForum, n_forum);
+  const Range post = add_range(LdbcLabel::kPost, n_post);
+  const Range comment = add_range(LdbcLabel::kComment, n_comment);
+  const Range tag = add_range(LdbcLabel::kTag, n_tag);
+  const Range tagclass = add_range(LdbcLabel::kTagClass, n_tagclass);
+
+  auto edge = [&](VertexId u, VertexId v) { FAST_CHECK_OK(builder.AddEdge(u, v)); };
+
+  // --- Place hierarchy: City -> Country -> Continent (isPartOf). ---
+  std::vector<VertexId> city_country(n_city);
+  for (std::size_t i = 0; i < n_city; ++i) {
+    city_country[i] = country.PickSkewed(&rng);
+    edge(city.At(i), city_country[i]);
+  }
+  for (std::size_t i = 0; i < n_country; ++i) {
+    edge(country.At(i), continent.At(rng.Uniform(n_continent)));
+  }
+
+  // --- TagClass hierarchy (isSubclassOf) and Tag -> TagClass (hasType). ---
+  for (std::size_t i = 1; i < n_tagclass; ++i) {
+    edge(tagclass.At(i), tagclass.At(rng.Uniform(i)));  // parent among earlier
+  }
+  std::vector<VertexId> tag_class(n_tag);
+  for (std::size_t i = 0; i < n_tag; ++i) {
+    tag_class[i] = tagclass.PickSkewed(&rng);
+    edge(tag.At(i), tag_class[i]);
+  }
+
+  // --- Persons: location, orgs, interests, knows. ---
+  std::vector<VertexId> person_city(n_person);
+  for (std::size_t i = 0; i < n_person; ++i) {
+    const VertexId p = person.At(i);
+    person_city[i] = city.PickSkewed(&rng);
+    edge(p, person_city[i]);
+    if (rng.Bernoulli(0.5)) edge(p, university.PickSkewed(&rng));
+    if (rng.Bernoulli(0.7)) edge(p, company.PickSkewed(&rng));
+    const std::size_t n_interests = 1 + rng.Uniform(8);
+    for (std::size_t t = 0; t < n_interests; ++t) edge(p, tag.PickSkewed(&rng));
+  }
+  // knows: power-law out-stubs, preferential target choice. Average target
+  // degree ~12 matches the LDBC graphs' d_avg ~11.
+  for (std::size_t i = 0; i < n_person; ++i) {
+    const std::size_t stubs = 1 + rng.PowerLaw(48, config.knows_alpha);
+    for (std::size_t s = 0; s < stubs; ++s) {
+      const VertexId other = person.PickSkewed(&rng, 1.3);
+      if (other != person.At(i)) edge(person.At(i), other);
+    }
+  }
+
+  // --- Forums: moderator + members (power-law sizes). ---
+  for (std::size_t i = 0; i < n_forum; ++i) {
+    const VertexId f = forum.At(i);
+    edge(f, person.PickSkewed(&rng, 1.3));  // hasModerator
+    const std::size_t members = 2 + rng.PowerLaw(60, 1.6);
+    for (std::size_t m = 0; m < members; ++m) {
+      edge(f, person.PickSkewed(&rng, 1.3));  // hasMember
+    }
+  }
+
+  // --- Posts: creator, container forum, tags. ---
+  std::vector<VertexId> post_creator(n_post);
+  for (std::size_t i = 0; i < n_post; ++i) {
+    const VertexId po = post.At(i);
+    post_creator[i] = person.PickSkewed(&rng, 1.3);
+    edge(po, post_creator[i]);          // hasCreator
+    edge(po, forum.PickSkewed(&rng));   // containerOf
+    const std::size_t tags = 1 + rng.Uniform(3);
+    for (std::size_t t = 0; t < tags; ++t) edge(po, tag.PickSkewed(&rng));
+  }
+
+  // --- Comments: creator, replyOf post, tags. ---
+  for (std::size_t i = 0; i < n_comment; ++i) {
+    const VertexId c = comment.At(i);
+    const std::size_t reply_post = rng.PowerLaw(n_post, 1.4);
+    edge(c, post.At(reply_post));  // replyOf
+    const VertexId creator = rng.Bernoulli(config.self_reply_probability)
+                                 ? post_creator[reply_post]
+                                 : person.PickSkewed(&rng, 1.3);
+    edge(c, creator);  // hasCreator
+    if (rng.Bernoulli(0.6)) edge(c, tag.PickSkewed(&rng));
+  }
+
+  return builder.Build();
+}
+
+namespace {
+
+// Builds a query graph from a label sequence and an edge list.
+StatusOr<QueryGraph> MakeQuery(const std::string& name,
+                               const std::vector<LdbcLabel>& labels,
+                               const std::vector<std::pair<int, int>>& edges) {
+  GraphBuilder b;
+  for (LdbcLabel l : labels) b.AddVertex(AsLabel(l));
+  for (auto [u, v] : edges) {
+    FAST_RETURN_IF_ERROR(
+        b.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v)));
+  }
+  FAST_ASSIGN_OR_RETURN(Graph g, b.Build());
+  return QueryGraph::Create(std::move(g), name);
+}
+
+}  // namespace
+
+StatusOr<QueryGraph> LdbcQuery(int index) {
+  using L = LdbcLabel;
+  switch (index) {
+    case 0:
+      // q0: person commenting on their own post.
+      // Psn - Post - Cmt triangle.
+      return MakeQuery("q0", {L::kPerson, L::kPost, L::kComment},
+                       {{0, 1}, {1, 2}, {2, 0}});
+    case 1:
+      // q1: post tagged with a tag whose class has a parent class.
+      // Post - Tag - TagClass - TagClass path.
+      return MakeQuery("q1", {L::kPost, L::kTag, L::kTagClass, L::kTagClass},
+                       {{0, 1}, {1, 2}, {2, 3}});
+    case 2:
+      // q2: triangle of mutual friends.
+      return MakeQuery("q2", {L::kPerson, L::kPerson, L::kPerson},
+                       {{0, 1}, {1, 2}, {2, 0}});
+    case 3:
+      // q3: person comments on a friend's post (4-cycle).
+      // Psn0 knows Psn1; Cmt by Psn0 replies Post by Psn1.
+      return MakeQuery("q3", {L::kPerson, L::kPerson, L::kPost, L::kComment},
+                       {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    case 4:
+      // q4: friends discussing the same topic (5-cycle).
+      // Post by Psn0, Cmt by Psn1, both tagged with the same Tag,
+      // Psn0 knows Psn1.
+      return MakeQuery(
+          "q4", {L::kPerson, L::kPost, L::kTag, L::kComment, L::kPerson},
+          {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+    case 5:
+      // q5: friends living in two cities of the same country (5-cycle).
+      return MakeQuery(
+          "q5", {L::kPerson, L::kPerson, L::kCity, L::kCountry, L::kCity},
+          {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+    case 6:
+      // q6: friend triangle with one member located in a city of a country.
+      return MakeQuery(
+          "q6", {L::kPerson, L::kPerson, L::kPerson, L::kCity, L::kCountry},
+          {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}});
+    case 7:
+      // q7: friendship chain whose endpoints live in two cities of the same
+      // country (6-cycle).
+      return MakeQuery("q7",
+                       {L::kPerson, L::kPerson, L::kPerson, L::kCity, L::kCountry,
+                        L::kCity},
+                       {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+    case 8:
+      // q8: dense friendship diamond (two triangles sharing an edge).
+      return MakeQuery("q8", {L::kPerson, L::kPerson, L::kPerson, L::kPerson},
+                       {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+    default:
+      return Status::InvalidArgument("query index must be in [0, 9)");
+  }
+}
+
+std::vector<QueryGraph> AllLdbcQueries() {
+  std::vector<QueryGraph> out;
+  out.reserve(kNumLdbcQueries);
+  for (int i = 0; i < kNumLdbcQueries; ++i) {
+    auto q = LdbcQuery(i);
+    FAST_CHECK(q.ok()) << q.status();
+    out.push_back(std::move(q).value());
+  }
+  return out;
+}
+
+StatusOr<Graph> SampleEdges(const Graph& g, double fraction, std::uint64_t seed) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  Rng rng(seed);
+  GraphBuilder b(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) b.AddVertex(g.label(v));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (v < w && rng.Bernoulli(fraction)) {
+        FAST_RETURN_IF_ERROR(b.AddEdge(v, w));
+      }
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace fast

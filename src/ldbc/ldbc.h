@@ -1,0 +1,77 @@
+#ifndef FAST_LDBC_LDBC_H_
+#define FAST_LDBC_LDBC_H_
+
+// LDBC-SNB-like synthetic workload (Sec. VII "Datasets" substitution).
+//
+// The paper evaluates on LDBC social-network-benchmark graphs DG01..DG60
+// (11 vertex labels, power-law degrees). The official datagen and its
+// billion-edge outputs are not available here, so this module generates a
+// deterministic social network with the same schema: Persons who know each
+// other (power-law), located in Cities -> Countries -> Continents, studying
+// at Universities / working at Companies, creating Posts and Comments in
+// Forums, tagged with Tags classified by TagClasses. A scale factor sweeps
+// the same axis as DG01 -> DG60.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+// The 11 vertex labels of the LDBC-SNB schema as used by the paper's queries.
+enum class LdbcLabel : Label {
+  kPerson = 0,
+  kCity = 1,
+  kCountry = 2,
+  kContinent = 3,
+  kUniversity = 4,
+  kCompany = 5,
+  kForum = 6,
+  kPost = 7,
+  kComment = 8,
+  kTag = 9,
+  kTagClass = 10,
+};
+
+inline constexpr std::size_t kNumLdbcLabels = 11;
+
+const char* LdbcLabelName(LdbcLabel label);
+
+inline Label AsLabel(LdbcLabel l) { return static_cast<Label>(l); }
+
+struct LdbcConfig {
+  // Scale factor; 1.0 produces roughly 10k vertices / 60k edges. The paper's
+  // DG01..DG60 sweep maps onto sweeping this knob.
+  double scale_factor = 1.0;
+  std::uint64_t seed = 42;
+  // Power-law exponent for person-knows-person degree skew.
+  double knows_alpha = 2.0;
+  // Probability that a comment replies to a post by its own author
+  // (creates Person-Post-Comment triangles, needed by q0).
+  double self_reply_probability = 0.3;
+};
+
+// Generates the social network. Deterministic given the config.
+StatusOr<Graph> GenerateLdbcGraph(const LdbcConfig& config);
+
+// The nine query graphs of Fig. 6 (LDBC complex tasks adapted to plain
+// labelled subgraph matching: node types as labels, multi-hop edges removed).
+// index in [0, 9).
+StatusOr<QueryGraph> LdbcQuery(int index);
+
+inline constexpr int kNumLdbcQueries = 9;
+
+// All nine queries, in order q0..q8.
+std::vector<QueryGraph> AllLdbcQueries();
+
+// Keeps all vertices and a uniform `fraction` of edges (Fig. 17's
+// |E(G)|-scalability experiment). fraction in (0, 1].
+StatusOr<Graph> SampleEdges(const Graph& g, double fraction, std::uint64_t seed);
+
+}  // namespace fast
+
+#endif  // FAST_LDBC_LDBC_H_

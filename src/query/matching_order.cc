@@ -1,0 +1,230 @@
+#include "query/matching_order.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fast {
+
+const char* OrderPolicyName(OrderPolicy policy) {
+  switch (policy) {
+    case OrderPolicy::kPathBased:
+      return "path-based";
+    case OrderPolicy::kCfl:
+      return "CFL";
+    case OrderPolicy::kDaf:
+      return "DAF";
+    case OrderPolicy::kCeci:
+      return "CECI";
+    case OrderPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+std::vector<double> EstimateCandidateCounts(const QueryGraph& q, const Graph& g) {
+  std::vector<double> est(q.NumVertices(), 0.0);
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    const std::uint32_t du = q.degree(u);
+    std::size_t count = 0;
+    for (VertexId v : g.VerticesWithLabel(q.label(u))) {
+      if (g.degree(v) >= du) ++count;
+    }
+    est[u] = static_cast<double>(count);
+  }
+  return est;
+}
+
+VertexId SelectRoot(const QueryGraph& q, const Graph& g) {
+  const std::vector<double> est = EstimateCandidateCounts(q, g);
+  VertexId best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    const double score = est[u] / std::max<double>(1.0, q.degree(u));
+    if (score < best_score) {
+      best_score = score;
+      best = u;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Emits the vertices of `path` (root-exclusive, top-down) that are not yet in
+// the order. Parent precedence holds because a path is processed top-down and
+// shared prefixes were emitted by earlier paths.
+void AppendPath(const std::vector<VertexId>& path, std::vector<bool>* placed,
+                std::vector<VertexId>* order) {
+  for (VertexId u : path) {
+    if (!(*placed)[u]) {
+      (*placed)[u] = true;
+      order->push_back(u);
+    }
+  }
+}
+
+// Path-based orders: score every root-to-leaf path, sort ascending, emit.
+std::vector<VertexId> PathOrder(const BfsTree& tree,
+                                const std::vector<double>& path_scores,
+                                std::vector<std::vector<VertexId>> paths,
+                                VertexId root, std::size_t n) {
+  std::vector<std::size_t> idx(paths.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return path_scores[a] < path_scores[b];
+  });
+  std::vector<VertexId> order{root};
+  std::vector<bool> placed(n, false);
+  placed[root] = true;
+  for (std::size_t i : idx) AppendPath(paths[i], &placed, &order);
+  (void)tree;
+  return order;
+}
+
+}  // namespace
+
+StatusOr<MatchingOrder> ComputeMatchingOrder(const QueryGraph& q, const Graph& g,
+                                             OrderPolicy policy, std::uint64_t seed) {
+  const std::size_t n = q.NumVertices();
+  const VertexId root = SelectRoot(q, g);
+  const BfsTree tree = BfsTree::Build(q, root);
+  const std::vector<double> est = EstimateCandidateCounts(q, g);
+
+  MatchingOrder result;
+  result.root = root;
+
+  switch (policy) {
+    case OrderPolicy::kCeci: {
+      result.order = tree.bfs_order();
+      break;
+    }
+    case OrderPolicy::kPathBased:
+    case OrderPolicy::kCfl: {
+      auto paths = tree.RootToLeafPaths();
+      std::vector<double> scores(paths.size(), 0.0);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (policy == OrderPolicy::kPathBased) {
+          // Estimated path cardinality: product of per-vertex estimates,
+          // damped by degree (denser vertices filter harder).
+          double prod = 1.0;
+          for (VertexId u : paths[i]) {
+            prod *= std::max(1.0, est[u]) / std::max<double>(1.0, q.degree(u));
+          }
+          scores[i] = prod;
+        } else {
+          // CFL orders paths by minimum average candidate frequency.
+          double sum = 0.0;
+          for (VertexId u : paths[i]) sum += est[u];
+          scores[i] = sum / static_cast<double>(paths[i].size());
+        }
+      }
+      result.order = PathOrder(tree, scores, std::move(paths), root, n);
+      break;
+    }
+    case OrderPolicy::kDaf: {
+      // Greedy: repeatedly extend with the frontier vertex (t_q parent
+      // already placed) of minimum candidate estimate, DAF's adaptive
+      // min-candidate intuition applied statically.
+      std::vector<bool> placed(n, false);
+      result.order.push_back(root);
+      placed[root] = true;
+      while (result.order.size() < n) {
+        VertexId best = kInvalidVertex;
+        double best_est = std::numeric_limits<double>::infinity();
+        for (VertexId u = 0; u < n; ++u) {
+          if (placed[u] || !placed[tree.parent(u)]) continue;
+          if (est[u] < best_est) {
+            best_est = est[u];
+            best = u;
+          }
+        }
+        FAST_CHECK(best != kInvalidVertex);
+        placed[best] = true;
+        result.order.push_back(best);
+      }
+      break;
+    }
+    case OrderPolicy::kRandom: {
+      Rng rng(seed);
+      std::vector<bool> placed(n, false);
+      result.order.push_back(root);
+      placed[root] = true;
+      std::vector<VertexId> frontier;
+      for (VertexId c : tree.children(root)) frontier.push_back(c);
+      while (!frontier.empty()) {
+        const std::size_t pick = rng.Uniform(frontier.size());
+        const VertexId u = frontier[pick];
+        frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+        placed[u] = true;
+        result.order.push_back(u);
+        for (VertexId c : tree.children(u)) frontier.push_back(c);
+      }
+      break;
+    }
+  }
+
+  FAST_RETURN_IF_ERROR(ValidateOrder(q, result.order));
+  return result;
+}
+
+Status ValidateOrder(const QueryGraph& q, const std::vector<VertexId>& order) {
+  const std::size_t n = q.NumVertices();
+  if (order.size() != n) {
+    return Status::InvalidArgument("order must contain every query vertex exactly once");
+  }
+  std::vector<bool> seen(n, false);
+  for (VertexId u : order) {
+    if (u >= n || seen[u]) {
+      return Status::InvalidArgument("order is not a permutation of V(q)");
+    }
+    seen[u] = true;
+  }
+  const BfsTree tree = BfsTree::Build(q, order[0]);
+  std::vector<std::size_t> pos(n, 0);
+  for (std::size_t i = 0; i < n; ++i) pos[order[i]] = i;
+  for (VertexId u = 0; u < n; ++u) {
+    if (u == order[0]) continue;
+    if (pos[tree.parent(u)] >= pos[u]) {
+      return Status::InvalidArgument(
+          "order violates BFS-tree parent precedence at vertex " + std::to_string(u));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<VertexId>> EnumerateConnectedOrders(const QueryGraph& q,
+                                                            VertexId root,
+                                                            std::size_t limit) {
+  const std::size_t n = q.NumVertices();
+  const BfsTree tree = BfsTree::Build(q, root);
+  std::vector<std::vector<VertexId>> out;
+  std::vector<VertexId> order{root};
+  std::vector<bool> placed(n, false);
+  placed[root] = true;
+
+  // Backtracking over topological extensions of t_q.
+  std::function<void()> rec = [&]() {
+    if (out.size() >= limit) return;
+    if (order.size() == n) {
+      out.push_back(order);
+      return;
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      if (placed[u] || u == root || !placed[tree.parent(u)]) continue;
+      placed[u] = true;
+      order.push_back(u);
+      rec();
+      order.pop_back();
+      placed[u] = false;
+    }
+  };
+  rec();
+  return out;
+}
+
+}  // namespace fast

@@ -1,0 +1,65 @@
+#ifndef FAST_QUERY_MATCHING_ORDER_H_
+#define FAST_QUERY_MATCHING_ORDER_H_
+
+// Matching-order computation (Sec. V-B, Sec. VII-C "impact of matching
+// orders").
+//
+// FAST works with any *tree-connected* order: a permutation of V(q) starting
+// at the BFS-tree root in which every vertex appears after its t_q parent.
+// The paper's default is the path-based method (ordering the root-to-leaf
+// paths of t_q); for Fig. 15 it also runs with CFL-, DAF- and CECI-style
+// orders and random connected orders.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+enum class OrderPolicy {
+  kPathBased,  // FAST's default: root-to-leaf paths ordered by estimated cost
+  kCfl,        // CFL-Match style: paths ordered by minimum average frequency
+  kDaf,        // DAF style: greedy minimum-candidate-estimate extension
+  kCeci,       // CECI style: plain BFS order
+  kRandom,     // uniformly random tree-connected order (Fig. 15 sweeps)
+};
+
+const char* OrderPolicyName(OrderPolicy policy);
+
+struct MatchingOrder {
+  VertexId root = kInvalidVertex;
+  std::vector<VertexId> order;  // order[0] == root
+};
+
+// Label-and-degree-filter candidate-count estimate per query vertex:
+// |{v in G : l(v) = l(u), d(v) >= d(u)}|. The basis for root selection and
+// path ordering, as in CFL-Match.
+std::vector<double> EstimateCandidateCounts(const QueryGraph& q, const Graph& g);
+
+// CFL-style root: argmin estimate(u) / deg(u).
+VertexId SelectRoot(const QueryGraph& q, const Graph& g);
+
+// Computes a tree-connected matching order under `policy`. The BFS tree is
+// rooted at SelectRoot(q, g) for all policies so Fig. 15 isolates the order
+// effect. `seed` only matters for kRandom.
+StatusOr<MatchingOrder> ComputeMatchingOrder(const QueryGraph& q, const Graph& g,
+                                             OrderPolicy policy,
+                                             std::uint64_t seed = 0);
+
+// Verifies that `order` is a permutation of V(q), starts at its own BFS-tree
+// root, and respects t_q parent precedence. This is the precondition of the
+// FAST engine and the CST partitioner.
+Status ValidateOrder(const QueryGraph& q, const std::vector<VertexId>& order);
+
+// All distinct tree-connected orders of q rooted at `root` (used by tests and
+// the Fig. 15 BEST/WORST sweep on small queries). Caps output at `limit`.
+std::vector<std::vector<VertexId>> EnumerateConnectedOrders(const QueryGraph& q,
+                                                            VertexId root,
+                                                            std::size_t limit = 10000);
+
+}  // namespace fast
+
+#endif  // FAST_QUERY_MATCHING_ORDER_H_

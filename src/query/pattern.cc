@@ -1,0 +1,150 @@
+#include "query/pattern.h"
+
+#include <cctype>
+
+#include "graph/graph.h"
+
+namespace fast {
+
+namespace {
+
+class PatternParser {
+ public:
+  PatternParser(const std::string& text, const std::map<std::string, Label>& names)
+      : text_(text), names_(names) {}
+
+  StatusOr<QueryGraph> Parse(std::string query_name) {
+    FAST_RETURN_IF_ERROR(ParseChain());
+    SkipSpace();
+    while (!AtEnd()) {
+      if (!Consume(';')) return Error("expected ';' between chains");
+      FAST_RETURN_IF_ERROR(ParseChain());
+      SkipSpace();
+    }
+    GraphBuilder b;
+    for (Label l : vertex_labels_) b.AddVertex(l);
+    for (const auto& [u, v, label] : edges_) {
+      FAST_RETURN_IF_ERROR(b.AddEdge(u, v, label));
+    }
+    FAST_ASSIGN_OR_RETURN(Graph g, b.Build());
+    return QueryGraph::Create(std::move(g), std::move(query_name));
+  }
+
+ private:
+  struct PendingEdge {
+    VertexId u;
+    VertexId v;
+    Label label;
+  };
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument("pattern error at offset " + std::to_string(pos_) +
+                                   ": " + what);
+  }
+
+  StatusOr<std::string> ParseName() {
+    SkipSpace();
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      name += text_[pos_++];
+    }
+    if (name.empty()) return Error("expected a name");
+    return name;
+  }
+
+  StatusOr<Label> ParseLabel() {
+    FAST_ASSIGN_OR_RETURN(std::string token, ParseName());
+    if (std::isdigit(static_cast<unsigned char>(token[0]))) {
+      return static_cast<Label>(std::stoul(token));
+    }
+    auto it = names_.find(token);
+    if (it == names_.end()) return Error("unknown label name '" + token + "'");
+    return it->second;
+  }
+
+  // '(' name (':' label)? ')'
+  StatusOr<VertexId> ParseVertex() {
+    if (!Consume('(')) return Error("expected '('");
+    FAST_ASSIGN_OR_RETURN(std::string name, ParseName());
+    bool has_label = false;
+    Label label = 0;
+    if (Consume(':')) {
+      FAST_ASSIGN_OR_RETURN(label, ParseLabel());
+      has_label = true;
+    }
+    if (!Consume(')')) return Error("expected ')'");
+
+    auto it = vertex_ids_.find(name);
+    if (it != vertex_ids_.end()) {
+      if (has_label && vertex_labels_[it->second] != label) {
+        return Error("conflicting label for vertex '" + name + "'");
+      }
+      return it->second;
+    }
+    if (!has_label) {
+      return Error("first mention of vertex '" + name + "' needs a label");
+    }
+    const auto id = static_cast<VertexId>(vertex_labels_.size());
+    vertex_ids_[name] = id;
+    vertex_labels_.push_back(label);
+    return id;
+  }
+
+  Status ParseChain() {
+    FAST_ASSIGN_OR_RETURN(VertexId prev, ParseVertex());
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] == ';') break;
+      if (!Consume('-')) return Error("expected '-'");
+      Label edge_label = 0;
+      if (Consume('[')) {
+        if (!Consume(':')) return Error("expected ':' in edge label");
+        FAST_ASSIGN_OR_RETURN(edge_label, ParseLabel());
+        if (!Consume(']')) return Error("expected ']'");
+        if (!Consume('-')) return Error("expected '-' after edge label");
+      }
+      FAST_ASSIGN_OR_RETURN(VertexId next, ParseVertex());
+      if (next == prev) return Error("self-loop in pattern");
+      edges_.push_back({prev, next, edge_label});
+      prev = next;
+    }
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  const std::map<std::string, Label>& names_;
+  std::size_t pos_ = 0;
+  std::map<std::string, VertexId> vertex_ids_;
+  std::vector<Label> vertex_labels_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace
+
+StatusOr<QueryGraph> ParsePattern(const std::string& text,
+                                  const std::map<std::string, Label>& label_names,
+                                  std::string query_name) {
+  PatternParser parser(text, label_names);
+  return parser.Parse(std::move(query_name));
+}
+
+}  // namespace fast

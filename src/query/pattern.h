@@ -1,0 +1,36 @@
+#ifndef FAST_QUERY_PATTERN_H_
+#define FAST_QUERY_PATTERN_H_
+
+// A tiny Cypher-flavoured pattern language for building query graphs, so
+// downstream users (and the fast_match CLI) don't have to hand-author
+// vertex/edge files:
+//
+//   pattern := chain (';' chain)*
+//   chain   := vertex (edge vertex)*
+//   vertex  := '(' name (':' label)? ')'
+//   edge    := '-' ( '[' ':' label ']' '-' )?
+//   label   := non-negative integer, or a name resolved via `label_names`
+//
+// Examples:
+//   (a:Person)-(b:Person)-(c:Person); (a)-(c)        friend triangle
+//   (p:0)-[:2]-(i:1)                                 labelled "likes" edge
+//
+// The first occurrence of a vertex name must carry a label; later mentions
+// reuse it. Whitespace is insignificant.
+
+#include <map>
+#include <string>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+StatusOr<QueryGraph> ParsePattern(
+    const std::string& text,
+    const std::map<std::string, Label>& label_names = {},
+    std::string query_name = "pattern");
+
+}  // namespace fast
+
+#endif  // FAST_QUERY_PATTERN_H_

@@ -1,0 +1,114 @@
+#include "query/query_graph.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace fast {
+
+StatusOr<QueryGraph> QueryGraph::Create(Graph graph, std::string name) {
+  if (graph.NumVertices() == 0) {
+    return Status::InvalidArgument("query graph must be non-empty");
+  }
+  if (graph.NumVertices() > kMaxQueryVertices) {
+    return Status::InvalidArgument("query graph exceeds " +
+                                   std::to_string(kMaxQueryVertices) + " vertices");
+  }
+  // Connectivity check (BFS from 0).
+  std::vector<bool> seen(graph.NumVertices(), false);
+  std::deque<VertexId> frontier{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    VertexId u = frontier.front();
+    frontier.pop_front();
+    for (VertexId w : graph.neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        frontier.push_back(w);
+      }
+    }
+  }
+  if (visited != graph.NumVertices()) {
+    return Status::InvalidArgument("query graph must be connected");
+  }
+
+  QueryGraph q;
+  q.adjacency_mask_.assign(graph.NumVertices(), 0);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId w : graph.neighbors(u)) {
+      q.adjacency_mask_[u] |= (1ULL << w);
+    }
+  }
+  q.graph_ = std::move(graph);
+  q.name_ = std::move(name);
+  return q;
+}
+
+BfsTree BfsTree::Build(const QueryGraph& q, VertexId root) {
+  const std::size_t n = q.NumVertices();
+  FAST_CHECK_LT(root, n);
+  BfsTree t;
+  t.root_ = root;
+  t.parent_.assign(n, kInvalidVertex);
+  t.children_.assign(n, {});
+  t.non_tree_.assign(n, {});
+  t.depth_.assign(n, 0);
+  t.bfs_order_.reserve(n);
+
+  std::vector<bool> seen(n, false);
+  std::deque<VertexId> frontier{root};
+  seen[root] = true;
+  while (!frontier.empty()) {
+    VertexId u = frontier.front();
+    frontier.pop_front();
+    t.bfs_order_.push_back(u);
+    for (VertexId w : q.neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        t.parent_[w] = u;
+        t.depth_[w] = t.depth_[u] + 1;
+        t.children_[u].push_back(w);
+        frontier.push_back(w);
+      }
+    }
+  }
+  FAST_CHECK_EQ(t.bfs_order_.size(), n);
+
+  // Non-tree edges: query edges that are not parent-child in t_q.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : q.neighbors(u)) {
+      if (t.parent_[u] != w && t.parent_[w] != u) {
+        t.non_tree_[u].push_back(w);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<std::vector<VertexId>> BfsTree::RootToLeafPaths() const {
+  std::vector<std::vector<VertexId>> paths;
+  std::vector<VertexId> current;
+  // Iterative DFS over the tree, emitting the path at each leaf.
+  struct Frame {
+    VertexId u;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child == 0 && f.u != root_) current.push_back(f.u);
+    if (f.next_child < children_[f.u].size()) {
+      VertexId c = children_[f.u][f.next_child++];
+      stack.push_back({c, 0});
+    } else {
+      if (IsLeaf(f.u)) paths.push_back(current);
+      if (f.u != root_ && !current.empty()) current.pop_back();
+      stack.pop_back();
+    }
+  }
+  return paths;
+}
+
+}  // namespace fast

@@ -1,0 +1,102 @@
+#ifndef FAST_QUERY_QUERY_GRAPH_H_
+#define FAST_QUERY_QUERY_GRAPH_H_
+
+// Query-side graph representation.
+//
+// Query graphs are tiny (the paper's q0..q8 have 4-6 vertices), so on top of
+// the shared CSR Graph we keep a dense adjacency bitmask per vertex for O(1)
+// edge checks during enumeration, and a name for reporting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace fast {
+
+// Maximum number of query vertices supported (bitmask row width).
+inline constexpr std::size_t kMaxQueryVertices = 64;
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  // Wraps a small labelled graph as a query. Fails if the graph has more
+  // than kMaxQueryVertices vertices, is empty, or is disconnected
+  // (Sec. II-A assumes connected queries).
+  static StatusOr<QueryGraph> Create(Graph graph, std::string name = "q");
+
+  const Graph& graph() const { return graph_; }
+  const std::string& name() const { return name_; }
+
+  std::size_t NumVertices() const { return graph_.NumVertices(); }
+  std::size_t NumEdges() const { return graph_.NumEdges(); }
+  Label label(VertexId u) const { return graph_.label(u); }
+  std::uint32_t degree(VertexId u) const { return graph_.degree(u); }
+  std::span<const VertexId> neighbors(VertexId u) const { return graph_.neighbors(u); }
+
+  // O(1) adjacency test via bitmask rows.
+  bool HasEdge(VertexId u, VertexId v) const {
+    return (adjacency_mask_[u] >> v) & 1ULL;
+  }
+
+  // Bitmask of u's neighbors.
+  std::uint64_t NeighborMask(VertexId u) const { return adjacency_mask_[u]; }
+
+  // Edge-labelled queries (Sec. II-A extension): label required on query
+  // edge (u, w); 0 for unlabelled queries.
+  bool has_edge_labels() const { return graph_.has_edge_labels(); }
+  Label EdgeLabel(VertexId u, VertexId w) const {
+    return graph_.EdgeLabelBetween(u, w);
+  }
+
+ private:
+  Graph graph_;
+  std::string name_;
+  std::vector<std::uint64_t> adjacency_mask_;
+};
+
+// BFS spanning tree t_q of a query graph rooted at `root` (Sec. V-A).
+//
+// Classifies every query edge as tree or non-tree, and records, for each
+// vertex u, its parent, children, and non-tree neighbors u_n
+// ((u, u_n) in E(q) \ E(t_q)).
+class BfsTree {
+ public:
+  BfsTree() = default;
+
+  static BfsTree Build(const QueryGraph& q, VertexId root);
+
+  VertexId root() const { return root_; }
+  // Parent of u in t_q; kInvalidVertex for the root.
+  VertexId parent(VertexId u) const { return parent_[u]; }
+  const std::vector<VertexId>& children(VertexId u) const { return children_[u]; }
+  // Non-tree neighbors of u (both directions of each non-tree edge listed).
+  const std::vector<VertexId>& non_tree_neighbors(VertexId u) const {
+    return non_tree_[u];
+  }
+  // Vertices in BFS visitation order (root first).
+  const std::vector<VertexId>& bfs_order() const { return bfs_order_; }
+  // Depth of u (root = 0).
+  std::uint32_t depth(VertexId u) const { return depth_[u]; }
+  std::size_t NumVertices() const { return parent_.size(); }
+  bool IsLeaf(VertexId u) const { return children_[u].empty(); }
+
+  // Root-to-leaf paths of t_q, each path listed root-exclusive from depth 1
+  // down to a leaf. Used by the path-based matching order.
+  std::vector<std::vector<VertexId>> RootToLeafPaths() const;
+
+ private:
+  VertexId root_ = kInvalidVertex;
+  std::vector<VertexId> parent_;
+  std::vector<std::vector<VertexId>> children_;
+  std::vector<std::vector<VertexId>> non_tree_;
+  std::vector<VertexId> bfs_order_;
+  std::vector<std::uint32_t> depth_;
+};
+
+}  // namespace fast
+
+#endif  // FAST_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace fast {
+
+namespace {
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+
+const char* SeverityName(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+LogSeverity MinLogSeverity() { return g_min_severity.load(std::memory_order_relaxed); }
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  // Strip directories for brevity.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace fast

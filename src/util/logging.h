@@ -1,0 +1,104 @@
+#ifndef FAST_UTIL_LOGGING_H_
+#define FAST_UTIL_LOGGING_H_
+
+// Minimal streaming logger and CHECK macros, modelled after glog/absl.
+//
+//   FAST_LOG(INFO) << "built CST with " << n << " candidates";
+//   FAST_CHECK(ptr != nullptr) << "null CST";
+//   FAST_DCHECK_LT(i, size);
+//
+// FATAL (and failed CHECKs) abort the process: they flag programmer errors,
+// not runtime conditions (which use fast::Status).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fast {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Process-wide minimum severity that is actually emitted. Default: kInfo.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace fast
+
+#define FAST_LOG_DEBUG ::fast::internal::LogMessage(__FILE__, __LINE__, ::fast::LogSeverity::kDebug)
+#define FAST_LOG_INFO ::fast::internal::LogMessage(__FILE__, __LINE__, ::fast::LogSeverity::kInfo)
+#define FAST_LOG_WARNING \
+  ::fast::internal::LogMessage(__FILE__, __LINE__, ::fast::LogSeverity::kWarning)
+#define FAST_LOG_ERROR ::fast::internal::LogMessage(__FILE__, __LINE__, ::fast::LogSeverity::kError)
+#define FAST_LOG_FATAL ::fast::internal::LogMessage(__FILE__, __LINE__, ::fast::LogSeverity::kFatal)
+
+#define FAST_LOG(severity) FAST_LOG_##severity.stream()
+
+// Note: the condition (and for _OP the operands) may be evaluated twice on
+// the failure path only; the success path evaluates each exactly once.
+#define FAST_CHECK(cond) \
+  while (!(cond)) FAST_LOG(FATAL) << "Check failed: " #cond " "
+
+#define FAST_CHECK_OP(op, a, b)                                              \
+  while (!((a)op(b)))                                                        \
+  FAST_LOG(FATAL) << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
+                  << (b) << ") "
+
+#define FAST_CHECK_EQ(a, b) FAST_CHECK_OP(==, a, b)
+#define FAST_CHECK_NE(a, b) FAST_CHECK_OP(!=, a, b)
+#define FAST_CHECK_LT(a, b) FAST_CHECK_OP(<, a, b)
+#define FAST_CHECK_LE(a, b) FAST_CHECK_OP(<=, a, b)
+#define FAST_CHECK_GT(a, b) FAST_CHECK_OP(>, a, b)
+#define FAST_CHECK_GE(a, b) FAST_CHECK_OP(>=, a, b)
+
+// Checks that a fast::Status expression is OK.
+#define FAST_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    const ::fast::Status _s = (expr);                                  \
+    FAST_CHECK(_s.ok()) << _s.ToString();                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define FAST_DCHECK(cond) \
+  while (false) FAST_CHECK(cond)
+#define FAST_DCHECK_EQ(a, b) \
+  while (false) FAST_CHECK_EQ(a, b)
+#define FAST_DCHECK_LT(a, b) \
+  while (false) FAST_CHECK_LT(a, b)
+#define FAST_DCHECK_LE(a, b) \
+  while (false) FAST_CHECK_LE(a, b)
+#else
+#define FAST_DCHECK(cond) FAST_CHECK(cond)
+#define FAST_DCHECK_EQ(a, b) FAST_CHECK_EQ(a, b)
+#define FAST_DCHECK_LT(a, b) FAST_CHECK_LT(a, b)
+#define FAST_DCHECK_LE(a, b) FAST_CHECK_LE(a, b)
+#endif
+
+#endif  // FAST_UTIL_LOGGING_H_

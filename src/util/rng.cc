@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace fast {
+
+std::size_t Rng::PowerLaw(std::size_t n, double alpha) {
+  FAST_DCHECK(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF sampling of a continuous Pareto on [1, n+1), floored.
+  // For alpha == 1 the CDF integral degenerates to a log.
+  const double u = UniformDouble();
+  double x;
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+  } else {
+    const double one_minus = 1.0 - alpha;
+    const double max_term = std::pow(static_cast<double>(n) + 1.0, one_minus);
+    x = std::pow(1.0 + u * (max_term - 1.0), 1.0 / one_minus);
+  }
+  auto idx = static_cast<std::size_t>(x - 1.0);
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace fast

@@ -1,0 +1,41 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace fast {
+
+namespace {
+std::string FormatWithSuffix(double v, const char* const* suffixes, int n_suffixes,
+                             double base) {
+  int i = 0;
+  while (std::abs(v) >= base && i + 1 < n_suffixes) {
+    v /= base;
+    ++i;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffixes[i]);
+  return buf;
+}
+}  // namespace
+
+std::string HumanCount(double v) {
+  static const char* const kSuffixes[] = {"", "K", "M", "B", "T"};
+  return FormatWithSuffix(v, kSuffixes, 5, 1000.0);
+}
+
+std::string HumanBytes(double bytes) {
+  static const char* const kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return FormatWithSuffix(bytes, kSuffixes, 5, 1024.0);
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace fast

@@ -1,0 +1,49 @@
+#ifndef FAST_UTIL_STATS_H_
+#define FAST_UTIL_STATS_H_
+
+// Small numeric helpers shared by the scheduler, benches and reports.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fast {
+
+// Streaming min/max/mean/count accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Human-readable count, e.g. 1234567 -> "1.23M".
+std::string HumanCount(double v);
+
+// Human-readable bytes, e.g. 1536 -> "1.50KiB".
+std::string HumanBytes(double bytes);
+
+// Geometric mean of positive values; returns 0 for empty input.
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace fast
+
+#endif  // FAST_UTIL_STATS_H_

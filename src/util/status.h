@@ -1,0 +1,136 @@
+#ifndef FAST_UTIL_STATUS_H_
+#define FAST_UTIL_STATUS_H_
+
+// Exception-free error handling in the style of absl::Status / arrow::Status.
+//
+// All fallible public APIs in this library return fast::Status or
+// fast::StatusOr<T>. Internal invariant violations use FAST_CHECK (fatal).
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fast {
+
+// Canonical error codes, a pragmatic subset of absl's code space.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kResourceExhausted = 4,  // e.g. simulated device OOM
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kDeadlineExceeded = 8,  // e.g. query timeout
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// A value-or-error union. Access to value() on an error status aborts, so
+// callers must check ok() first (or use FAST_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr ergonomics: allows
+  // `return value;` and `return SomeErrorStatus();` from the same function.
+  StatusOr(const T& value) : rep_(value) {}            // NOLINT
+  StatusOr(T&& value) : rep_(std::move(value)) {}      // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::move(std::get<T>(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace fast
+
+// Propagates a non-OK status to the caller.
+#define FAST_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::fast::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define FAST_CONCAT_IMPL(a, b) a##b
+#define FAST_CONCAT(a, b) FAST_CONCAT_IMPL(a, b)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+#define FAST_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto FAST_CONCAT(_statusor_, __LINE__) = (expr);              \
+  if (!FAST_CONCAT(_statusor_, __LINE__).ok())                  \
+    return FAST_CONCAT(_statusor_, __LINE__).status();          \
+  lhs = std::move(FAST_CONCAT(_statusor_, __LINE__)).value()
+
+#endif  // FAST_UTIL_STATUS_H_

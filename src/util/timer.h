@@ -1,0 +1,50 @@
+#ifndef FAST_UTIL_TIMER_H_
+#define FAST_UTIL_TIMER_H_
+
+// Wall-clock timing helpers used by the host-side scheduler and benches.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fast {
+
+// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple Start/Stop intervals, e.g. to separate
+// CST-construction time from partition time inside one host run.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  double TotalMillis() const { return total_seconds_ * 1e3; }
+  void Clear() { total_seconds_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace fast
+
+#endif  // FAST_UTIL_TIMER_H_

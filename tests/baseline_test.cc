@@ -1,0 +1,159 @@
+#include "baseline/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/backtracking.h"
+#include "baseline/join.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::BruteForceCount;
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+using testing::ToSet;
+
+TEST(BaselineFactoryTest, CreatesAllKinds) {
+  EXPECT_EQ(MakeBaseline(BaselineKind::kCfl)->name(), "CFL");
+  EXPECT_EQ(MakeBaseline(BaselineKind::kDaf)->name(), "DAF");
+  EXPECT_EQ(MakeBaseline(BaselineKind::kCeci)->name(), "CECI");
+  EXPECT_EQ(MakeBaseline(BaselineKind::kGpsm)->name(), "GpSM");
+  EXPECT_EQ(MakeBaseline(BaselineKind::kGsi)->name(), "GSI");
+}
+
+class BaselineCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<BaselineKind, int>> {};
+
+TEST_P(BaselineCorrectnessTest, MatchesBruteForceOnLdbc) {
+  const auto [kind, query_index] = GetParam();
+  Graph g = SmallLdbcGraph();
+  QueryGraph q = LdbcQuery(query_index).value();
+  auto matcher = MakeBaseline(kind);
+  auto result = matcher->Run(q, g, BaselineOptions{});
+  ASSERT_TRUE(result.ok()) << matcher->name() << ": " << result.status();
+  EXPECT_EQ(result->embeddings, BruteForceCount(q, g))
+      << matcher->name() << " on " << q.name();
+  EXPECT_GE(result->seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselinesAllQueries, BaselineCorrectnessTest,
+    ::testing::Combine(::testing::Values(BaselineKind::kCfl, BaselineKind::kDaf,
+                                         BaselineKind::kCeci, BaselineKind::kGpsm,
+                                         BaselineKind::kGsi),
+                       ::testing::Range(0, kNumLdbcQueries)));
+
+TEST(BaselineCorrectnessTest, PaperExampleAllAgree) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  for (BaselineKind kind : {BaselineKind::kCfl, BaselineKind::kDaf,
+                            BaselineKind::kCeci, BaselineKind::kGpsm,
+                            BaselineKind::kGsi}) {
+    auto result = MakeBaseline(kind)->Run(q, g, BaselineOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->embeddings, 2u) << MakeBaseline(kind)->name();
+  }
+}
+
+TEST(BaselineCorrectnessTest, StoredEmbeddingsMatchBruteForce) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  BaselineOptions options;
+  options.store_limit = 100;
+  for (BaselineKind kind : {BaselineKind::kGpsm, BaselineKind::kGsi}) {
+    auto result = MakeBaseline(kind)->Run(q, g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ToSet(result->sample_embeddings),
+              ToSet(testing::BruteForceEmbeddings(q, g)));
+  }
+}
+
+TEST(BacktrackingTest, MultiThreadedMatchesSingleThreaded) {
+  Graph g = SmallLdbcGraph(0.2);
+  for (int qi : {2, 5, 8}) {
+    QueryGraph q = LdbcQuery(qi).value();
+    BaselineOptions serial;
+    BaselineOptions parallel;
+    parallel.num_threads = 8;
+    auto matcher = MakeBaseline(BaselineKind::kCeci);
+    auto a = matcher->Run(q, g, serial);
+    auto b = matcher->Run(q, g, parallel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->embeddings, b->embeddings) << q.name();
+  }
+}
+
+TEST(BacktrackingTest, RejectsZeroThreads) {
+  BaselineOptions options;
+  options.num_threads = 0;
+  auto result =
+      MakeBaseline(BaselineKind::kDaf)->Run(PaperQuery(), PaperDataGraph(), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BacktrackingTest, TimeoutReturnsDeadlineExceeded) {
+  Graph g = SmallLdbcGraph(0.5);
+  QueryGraph q = LdbcQuery(8).value();  // dense person diamond: many results
+  BaselineOptions options;
+  options.time_limit_seconds = 0.0;  // immediate deadline
+  auto result = MakeBaseline(BaselineKind::kCeci)->Run(q, g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(JoinTest, GpsmOomOnTinyMemoryCap) {
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(2).value();
+  BaselineOptions options;
+  options.memory_cap_bytes = 1024;  // absurdly small device
+  auto result = MakeBaseline(BaselineKind::kGpsm)->Run(q, g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(JoinTest, GsiOomOnTinyMemoryCap) {
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(2).value();
+  BaselineOptions options;
+  options.memory_cap_bytes = 1024;
+  auto result = MakeBaseline(BaselineKind::kGsi)->Run(q, g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(JoinTest, GsiUsesMoreMemoryThanGpsm) {
+  // The Prealloc-Combine strategy reserves worst-case space: GSI's tracked
+  // peak must dominate GpSM's on the same workload (paper Sec. VII-C).
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(2).value();
+  auto gpsm = MakeBaseline(BaselineKind::kGpsm)->Run(q, g, BaselineOptions{});
+  auto gsi = MakeBaseline(BaselineKind::kGsi)->Run(q, g, BaselineOptions{});
+  ASSERT_TRUE(gpsm.ok());
+  ASSERT_TRUE(gsi.ok());
+  EXPECT_EQ(gpsm->embeddings, gsi->embeddings);
+  EXPECT_GT(gsi->peak_memory_bytes, 0u);
+  EXPECT_GT(gpsm->peak_memory_bytes, 0u);
+  EXPECT_GE(gsi->peak_memory_bytes, gpsm->peak_memory_bytes);
+}
+
+TEST(JoinTest, PeakMemoryReported) {
+  auto result =
+      MakeBaseline(BaselineKind::kGpsm)->Run(PaperQuery(), PaperDataGraph(), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->peak_memory_bytes, 0u);
+}
+
+TEST(BacktrackStyleTest, StylesHaveExpectedSettings) {
+  EXPECT_FALSE(CflStyle().intersection_based);
+  EXPECT_TRUE(DafStyle().intersection_based);
+  EXPECT_TRUE(CeciStyle().intersection_based);
+  EXPECT_EQ(CflStyle().order_policy, OrderPolicy::kCfl);
+  EXPECT_EQ(DafStyle().order_policy, OrderPolicy::kDaf);
+  EXPECT_EQ(CeciStyle().order_policy, OrderPolicy::kCeci);
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,142 @@
+#include "core/cpu_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "query/matching_order.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::BruteForceCount;
+using testing::BruteForceEmbeddings;
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+using testing::ToSet;
+
+MatchingOrder PaperOrder() {
+  MatchingOrder order;
+  order.root = 0;
+  order.order = {0, 1, 2, 3};
+  return order;
+}
+
+TEST(CpuMatcherTest, PaperExampleEmbeddings) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  ResultCollector collector(8);
+  EXPECT_EQ(MatchCstOnCpu(cst, PaperOrder(), &collector).value(), 2u);
+  EXPECT_EQ(ToSet(collector.stored()),
+            ToSet(BruteForceEmbeddings(PaperQuery(), PaperDataGraph())));
+}
+
+TEST(CpuMatcherTest, NullCollectorCountsOnly) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  EXPECT_EQ(MatchCstOnCpu(cst, PaperOrder(), nullptr).value(), 2u);
+}
+
+TEST(CpuMatcherTest, RejectsWrongArity) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  MatchingOrder bad;
+  bad.root = 0;
+  bad.order = {0, 1};
+  EXPECT_FALSE(MatchCstOnCpu(cst, bad, nullptr).ok());
+}
+
+TEST(CpuMatcherTest, RejectsWrongRoot) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  MatchingOrder bad;
+  bad.root = 1;
+  bad.order = {1, 0, 2, 3};
+  EXPECT_FALSE(MatchCstOnCpu(cst, bad, nullptr).ok());
+}
+
+TEST(CpuMatcherTest, RejectsNonTreeConnectedOrder) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  MatchingOrder bad;
+  bad.root = 0;
+  bad.order = {0, 3, 1, 2};  // u3 before its t_q parent u1
+  EXPECT_FALSE(MatchCstOnCpu(cst, bad, nullptr).ok());
+}
+
+TEST(CpuMatcherTest, EmptyCandidateSetsYieldZero) {
+  GraphBuilder qb;
+  qb.AddVertex(9);  // label absent from the data graph
+  qb.AddVertex(9);
+  ASSERT_TRUE(qb.AddEdge(0, 1).ok());
+  auto q = QueryGraph::Create(std::move(qb).Build().value()).value();
+  Cst cst = BuildCst(q, PaperDataGraph(), 0).value();
+  MatchingOrder order;
+  order.root = 0;
+  order.order = {0, 1};
+  EXPECT_EQ(MatchCstOnCpu(cst, order, nullptr).value(), 0u);
+}
+
+class CpuMatcherOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuMatcherOrderTest, AnyConnectedOrderGivesSameCount) {
+  Graph g = SmallLdbcGraph();
+  QueryGraph q = LdbcQuery(GetParam()).value();
+  const std::uint64_t truth = BruteForceCount(q, g);
+  const VertexId root = SelectRoot(q, g);
+  Cst cst = BuildCst(q, g, root).value();
+  for (const auto& o : EnumerateConnectedOrders(q, root, 12)) {
+    MatchingOrder order;
+    order.root = root;
+    order.order = o;
+    EXPECT_EQ(MatchCstOnCpu(cst, order, nullptr).value(), truth) << q.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLdbcQueries, CpuMatcherOrderTest,
+                         ::testing::Range(0, kNumLdbcQueries));
+
+// ---- ResultCollector ----
+
+TEST(ResultCollectorTest, CountsWithoutStoring) {
+  ResultCollector c;
+  const Embedding e{1, 2, 3};
+  c.OnEmbedding(e);
+  c.OnEmbedding(e);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_TRUE(c.stored().empty());
+}
+
+TEST(ResultCollectorTest, StoresUpToLimit) {
+  ResultCollector c(2);
+  for (VertexId i = 0; i < 5; ++i) {
+    const Embedding e{i};
+    c.OnEmbedding(e);
+  }
+  EXPECT_EQ(c.count(), 5u);
+  ASSERT_EQ(c.stored().size(), 2u);
+  EXPECT_EQ(c.stored()[0], (Embedding{0}));
+  EXPECT_EQ(c.stored()[1], (Embedding{1}));
+}
+
+TEST(ResultCollectorTest, CallbackSeesEveryEmbedding) {
+  ResultCollector c;
+  std::size_t calls = 0;
+  c.SetCallback([&](std::span<const VertexId> m) {
+    ++calls;
+    EXPECT_EQ(m.size(), 2u);
+  });
+  c.OnEmbedding(Embedding{1, 2});
+  c.OnEmbedding(Embedding{3, 4});
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(ResultCollectorTest, MergeCombinesCountsAndRespectsLimit) {
+  ResultCollector a(3);
+  a.OnEmbedding(Embedding{1});
+  ResultCollector b(3);
+  b.OnEmbedding(Embedding{2});
+  b.OnEmbedding(Embedding{3});
+  b.OnEmbedding(Embedding{4});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.stored().size(), 3u);  // capped at a's limit
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,97 @@
+#include "cst/cst_serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+#include "cst/partition.h"
+#include "query/matching_order.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+
+TEST(CstSerializeTest, RoundTripPaperExample) {
+  QueryGraph q = PaperQuery();
+  Cst cst = BuildCst(q, PaperDataGraph(), 0).value();
+  const auto image = SerializeCst(cst);
+  EXPECT_EQ(image.front(), kCstImageMagic);
+  EXPECT_EQ(image.size() * 4, CstWireBytes(cst));
+
+  auto restored = DeserializeCst(cst.layout_ptr(), image).value();
+  EXPECT_TRUE(restored.Validate().ok());
+  EXPECT_EQ(restored.SizeWords(), cst.SizeWords());
+  EXPECT_EQ(restored.TotalCandidates(), cst.TotalCandidates());
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    ASSERT_EQ(restored.NumCandidates(u), cst.NumCandidates(u));
+    for (std::uint32_t i = 0; i < cst.NumCandidates(u); ++i) {
+      EXPECT_EQ(restored.Candidate(u, i), cst.Candidate(u, i));
+    }
+  }
+}
+
+TEST(CstSerializeTest, RestoredCstMatchesIdentically) {
+  Graph g = SmallLdbcGraph();
+  QueryGraph q = LdbcQuery(5).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+
+  auto restored = DeserializeCst(cst.layout_ptr(), SerializeCst(cst)).value();
+  const auto a = RunKernel(cst, order, FpgaConfig{}, nullptr).value();
+  const auto b = RunKernel(restored, order, FpgaConfig{}, nullptr).value();
+  EXPECT_EQ(a.embeddings, b.embeddings);
+  EXPECT_EQ(a.counters.partial_results, b.counters.partial_results);
+}
+
+TEST(CstSerializeTest, PartitionImagesRoundTrip) {
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(2).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+  PartitionConfig config;
+  config.max_size_words = std::max<std::size_t>(cst.SizeWords() / 5, 64);
+  auto parts = PartitionCstToVector(cst, order, config, nullptr).value();
+  ASSERT_GT(parts.size(), 1u);
+  for (const auto& p : parts) {
+    auto restored = DeserializeCst(p.layout_ptr(), SerializeCst(p)).value();
+    EXPECT_EQ(restored.SizeWords(), p.SizeWords());
+  }
+}
+
+TEST(CstSerializeTest, RejectsCorruptImages) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  auto image = SerializeCst(cst);
+
+  EXPECT_FALSE(DeserializeCst(nullptr, image).ok());
+
+  auto bad_magic = image;
+  bad_magic[0] ^= 1;
+  EXPECT_FALSE(DeserializeCst(cst.layout_ptr(), bad_magic).ok());
+
+  auto truncated = image;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DeserializeCst(cst.layout_ptr(), truncated).ok());
+
+  auto trailing = image;
+  trailing.push_back(0);
+  EXPECT_FALSE(DeserializeCst(cst.layout_ptr(), trailing).ok());
+
+  auto wrong_arity = image;
+  wrong_arity[1] += 1;
+  EXPECT_FALSE(DeserializeCst(cst.layout_ptr(), wrong_arity).ok());
+}
+
+TEST(CstSerializeTest, WireBytesTracksSizeWords) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  EXPECT_GT(CstWireBytes(cst), cst.SizeBytes());
+  // Header + per-array length prefixes only.
+  const std::size_t overhead =
+      (3 + cst.NumQueryVertices() + 2 * cst.layout().edges().size()) * 4;
+  EXPECT_EQ(CstWireBytes(cst), cst.SizeBytes() + overhead);
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,240 @@
+#include "cst/cst.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::BruteForceEmbeddings;
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+
+std::set<VertexId> CandidateSet(const Cst& cst, VertexId u) {
+  auto span = cst.Candidates(u);
+  return {span.begin(), span.end()};
+}
+
+TEST(CstLayoutTest, SlotsCoverAllDirectedQueryEdges) {
+  QueryGraph q = PaperQuery();
+  auto layout = CstLayout::Create(q, 0);
+  EXPECT_EQ(layout->edges().size(), 2 * q.NumEdges());
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId w = 0; w < q.NumVertices(); ++w) {
+      if (q.HasEdge(u, w)) {
+        EXPECT_GE(layout->SlotOf(u, w), 0);
+      } else {
+        EXPECT_EQ(layout->SlotOf(u, w), -1);
+      }
+    }
+  }
+}
+
+TEST(CstLayoutTest, TreeFlagMatchesBfsTree) {
+  QueryGraph q = PaperQuery();
+  auto layout = CstLayout::Create(q, 0);
+  for (const auto& e : layout->edges()) {
+    const bool is_tree = layout->tree().parent(e.to) == e.from ||
+                         layout->tree().parent(e.from) == e.to;
+    EXPECT_EQ(e.is_tree, is_tree);
+  }
+}
+
+TEST(CstBuildTest, RejectsBadRoot) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  EXPECT_FALSE(BuildCst(q, g, 99).ok());
+}
+
+TEST(CstBuildTest, PaperExampleCandidateSets) {
+  // Example 2 / Fig. 3(b): the exact candidate sets.
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+  EXPECT_EQ(CandidateSet(cst, 0), (std::set<VertexId>{0, 1}));     // v1, v2
+  EXPECT_EQ(CandidateSet(cst, 1), (std::set<VertexId>{3, 5}));     // v4, v6
+  EXPECT_EQ(CandidateSet(cst, 2), (std::set<VertexId>{2, 4, 6}));  // v3, v5, v7
+  EXPECT_EQ(CandidateSet(cst, 3), (std::set<VertexId>{8, 9}));     // v9, v10
+}
+
+TEST(CstBuildTest, PaperExampleAdjacency) {
+  // N^{u1}_{u2}(v6) = {v5, v7} and N^{u2}_{u3}(v3) = {v9}.
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+
+  const auto c1 = cst.Candidates(1);
+  const auto pos_v6 = static_cast<std::uint32_t>(
+      std::lower_bound(c1.begin(), c1.end(), VertexId{5}) - c1.begin());
+  std::set<VertexId> n12;
+  for (std::uint32_t t : cst.Neighbors(1, 2, pos_v6)) {
+    n12.insert(cst.Candidate(2, t));
+  }
+  EXPECT_EQ(n12, (std::set<VertexId>{4, 6}));  // v5, v7
+
+  const auto c2 = cst.Candidates(2);
+  const auto pos_v3 = static_cast<std::uint32_t>(
+      std::lower_bound(c2.begin(), c2.end(), VertexId{2}) - c2.begin());
+  std::set<VertexId> n23;
+  for (std::uint32_t t : cst.Neighbors(2, 3, pos_v3)) {
+    n23.insert(cst.Candidate(3, t));
+  }
+  EXPECT_EQ(n23, (std::set<VertexId>{8}));  // v9
+}
+
+TEST(CstBuildTest, ValidatePassesOnPaperExample) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  EXPECT_TRUE(cst.Validate().ok()) << cst.Validate();
+}
+
+TEST(CstBuildTest, SizeAndDegreeMetricsPositive) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  EXPECT_GT(cst.SizeWords(), 0u);
+  EXPECT_EQ(cst.SizeBytes(), cst.SizeWords() * 4);
+  EXPECT_GT(cst.MaxAdjacencyDegree(), 0u);
+  EXPECT_EQ(cst.TotalCandidates(), 2u + 2u + 3u + 2u);
+}
+
+TEST(CstBuildTest, CstEdgesMirrorGraphEdges) {
+  // Def. 2: candidates v in C(u), v' in C(u') for adjacent u,u' are
+  // CST-adjacent iff (v, v') in E(G).
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+  for (const auto& e : cst.layout().edges()) {
+    const auto src = cst.Candidates(e.from);
+    const auto dst = cst.Candidates(e.to);
+    for (std::uint32_t i = 0; i < src.size(); ++i) {
+      for (std::uint32_t j = 0; j < dst.size(); ++j) {
+        EXPECT_EQ(cst.HasCstEdge(e.from, i, e.to, j), g.HasEdge(src[i], dst[j]))
+            << "slot (" << e.from << "->" << e.to << ") " << src[i] << "," << dst[j];
+      }
+    }
+  }
+}
+
+TEST(CstBuildTest, CpiModeLeavesNonTreeEmpty) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  CstBuildOptions options;
+  options.materialize_non_tree = false;
+  Cst cst = BuildCst(q, g, 0, options).value();
+  EXPECT_TRUE(cst.Validate().ok());
+  for (std::size_t s = 0; s < cst.layout().edges().size(); ++s) {
+    const auto& e = cst.layout().edges()[s];
+    if (!e.is_tree) {
+      EXPECT_TRUE(cst.EdgeList(static_cast<int>(s)).targets.empty());
+    } else {
+      EXPECT_FALSE(cst.EdgeList(static_cast<int>(s)).targets.empty());
+    }
+  }
+}
+
+// Soundness (the constraint of Sec. V-A): every embedding of q in G maps
+// each u into C(u).
+class CstSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CstSoundnessTest, EveryEmbeddingContainedInCandidates) {
+  Graph g = SmallLdbcGraph();
+  QueryGraph q = LdbcQuery(GetParam()).value();
+  const auto embeddings = BruteForceEmbeddings(q, g);
+  for (VertexId root = 0; root < q.NumVertices(); ++root) {
+    Cst cst = BuildCst(q, g, root).value();
+    ASSERT_TRUE(cst.Validate().ok());
+    for (const auto& emb : embeddings) {
+      for (VertexId u = 0; u < q.NumVertices(); ++u) {
+        const auto c = cst.Candidates(u);
+        EXPECT_TRUE(std::binary_search(c.begin(), c.end(), emb[u]))
+            << q.name() << " root=" << root << " u=" << u;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLdbcQueries, CstSoundnessTest,
+                         ::testing::Range(0, kNumLdbcQueries));
+
+// Candidates are pruned but never below the soundness bar; refinement rounds
+// only shrink the structure.
+TEST(CstBuildTest, MoreRefinementNeverGrows) {
+  Graph g = SmallLdbcGraph();
+  for (int qi : {0, 2, 5, 8}) {
+    QueryGraph q = LdbcQuery(qi).value();
+    CstBuildOptions r0;
+    r0.refine_rounds = 0;
+    CstBuildOptions r3;
+    r3.refine_rounds = 3;
+    Cst a = BuildCst(q, g, 0, r0).value();
+    Cst b = BuildCst(q, g, 0, r3).value();
+    EXPECT_LE(b.SizeWords(), a.SizeWords()) << q.name();
+    EXPECT_LE(b.TotalCandidates(), a.TotalCandidates()) << q.name();
+  }
+}
+
+// ---- SubsetCst ----
+
+TEST(SubsetCstTest, FullMaskIsIdentity) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  std::vector<std::vector<char>> keep(cst.NumQueryVertices());
+  for (VertexId u = 0; u < cst.NumQueryVertices(); ++u) {
+    keep[u].assign(cst.NumCandidates(u), 1);
+  }
+  Cst sub = SubsetCst(cst, keep).value();
+  EXPECT_TRUE(sub.Validate().ok());
+  EXPECT_EQ(sub.SizeWords(), cst.SizeWords());
+  EXPECT_EQ(sub.TotalCandidates(), cst.TotalCandidates());
+}
+
+TEST(SubsetCstTest, RestrictingRootDropsAdjacency) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  std::vector<std::vector<char>> keep(cst.NumQueryVertices());
+  for (VertexId u = 0; u < cst.NumQueryVertices(); ++u) {
+    keep[u].assign(cst.NumCandidates(u), 1);
+  }
+  keep[0] = {1, 0};  // keep only v1
+  Cst sub = SubsetCst(cst, keep).value();
+  EXPECT_TRUE(sub.Validate().ok());
+  EXPECT_EQ(sub.NumCandidates(0), 1u);
+  EXPECT_LT(sub.SizeWords(), cst.SizeWords());
+  // Remaining adjacency must still mirror graph edges.
+  Graph g = PaperDataGraph();
+  for (const auto& e : sub.layout().edges()) {
+    const auto src = sub.Candidates(e.from);
+    const auto dst = sub.Candidates(e.to);
+    for (std::uint32_t i = 0; i < src.size(); ++i) {
+      for (std::uint32_t j = 0; j < dst.size(); ++j) {
+        EXPECT_EQ(sub.HasCstEdge(e.from, i, e.to, j), g.HasEdge(src[i], dst[j]));
+      }
+    }
+  }
+}
+
+TEST(SubsetCstTest, RejectsWrongArity) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  std::vector<std::vector<char>> keep(2);
+  EXPECT_FALSE(SubsetCst(cst, keep).ok());
+}
+
+TEST(SubsetCstTest, RejectsWrongMaskSize) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  std::vector<std::vector<char>> keep(cst.NumQueryVertices());
+  for (VertexId u = 0; u < cst.NumQueryVertices(); ++u) {
+    keep[u].assign(cst.NumCandidates(u) + 1, 1);
+  }
+  EXPECT_FALSE(SubsetCst(cst, keep).ok());
+}
+
+TEST(CstSummaryTest, MentionsSizeAndDegree) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  const std::string s = cst.Summary();
+  EXPECT_NE(s.find("cands="), std::string::npos);
+  EXPECT_NE(s.find("words="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,92 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+
+TEST(ExplainTest, PaperExamplePlan) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  auto plan = ExplainQuery(q, g).value();
+  EXPECT_EQ(plan.steps.size(), 4u);
+  EXPECT_EQ(plan.steps[0].query_vertex, plan.order.root);
+  EXPECT_EQ(plan.steps[0].tree_parent, kInvalidVertex);
+  EXPECT_GT(plan.cst_words, 0u);
+  EXPECT_GT(plan.workload_estimate, 0.0);
+  EXPECT_TRUE(plan.fits_bram);  // tiny CST, real device budget
+  EXPECT_EQ(plan.predicted_partitions, 1u);
+}
+
+TEST(ExplainTest, StepsFollowOrderAndCountBackwardEdges) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  auto plan = ExplainQuery(q, g).value();
+  std::size_t total_backward = 0;
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].query_vertex, plan.order.order[i]);
+    total_backward += plan.steps[i].backward_non_tree;
+  }
+  // Every non-tree edge is checked exactly once (backward).
+  const BfsTree tree = BfsTree::Build(q, plan.order.root);
+  std::size_t non_tree_edges = 0;
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    non_tree_edges += tree.non_tree_neighbors(u).size();
+  }
+  EXPECT_EQ(total_backward, non_tree_edges / 2);
+}
+
+TEST(ExplainTest, PredictedCyclesOrderedByVariant) {
+  Graph g = SmallLdbcGraph();
+  for (int qi : {0, 2, 8}) {
+    auto plan = ExplainQuery(LdbcQuery(qi).value(), g).value();
+    EXPECT_GE(plan.predicted_cycles_basic, plan.predicted_cycles_task);
+    EXPECT_GE(plan.predicted_cycles_task, plan.predicted_cycles_sep);
+    EXPECT_GT(plan.predicted_cycles_sep, 0.0);
+  }
+}
+
+TEST(ExplainTest, SmallDevicePredictsPartitioning) {
+  Graph g = SmallLdbcGraph(0.2);
+  FpgaConfig tiny;
+  tiny.bram_words = 4096;
+  auto plan = ExplainQuery(LdbcQuery(2).value(), g, tiny).value();
+  EXPECT_FALSE(plan.fits_bram);
+  EXPECT_GT(plan.predicted_partitions, 1u);
+}
+
+TEST(ExplainTest, WorkloadEstimateBoundsActualCount) {
+  Graph g = SmallLdbcGraph();
+  for (int qi : {0, 2, 5}) {
+    QueryGraph q = LdbcQuery(qi).value();
+    auto plan = ExplainQuery(q, g).value();
+    auto run = RunFast(q, g).value();
+    EXPECT_GE(plan.workload_estimate, static_cast<double>(run.embeddings))
+        << q.name();
+  }
+}
+
+TEST(ExplainTest, RejectsInvalidDevice) {
+  FpgaConfig bad;
+  bad.clock_mhz = 0;
+  EXPECT_FALSE(ExplainQuery(PaperQuery(), PaperDataGraph(), bad).ok());
+}
+
+TEST(ExplainTest, ToStringMentionsKeyFacts) {
+  auto plan = ExplainQuery(PaperQuery(), PaperDataGraph()).value();
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("order:"), std::string::npos);
+  EXPECT_NE(s.find("CST:"), std::string::npos);
+  EXPECT_NE(s.find("predicted cycles"), std::string::npos);
+  EXPECT_NE(s.find("fits BRAM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fast

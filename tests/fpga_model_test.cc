@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "fpga/config.h"
+#include "fpga/cycle_model.h"
+#include "fpga/fifo.h"
+
+namespace fast {
+namespace {
+
+TEST(FpgaConfigTest, DefaultIsValidAlveoU200) {
+  FpgaConfig c = AlveoU200Config();
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_DOUBLE_EQ(c.clock_mhz, 300.0);
+  EXPECT_EQ(c.bram_words, (35u << 20) / 4);
+  EXPECT_EQ(c.dram_read_latency, 8u);
+  EXPECT_EQ(c.bram_read_latency, 1u);
+}
+
+TEST(FpgaConfigTest, ValidationCatchesBadFields) {
+  FpgaConfig c;
+  c.clock_mhz = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FpgaConfig{};
+  c.dram_read_latency = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FpgaConfig{};
+  c.bram_read_latency = 9;  // > DRAM latency
+  EXPECT_FALSE(c.Validate().ok());
+  c = FpgaConfig{};
+  c.max_new_partials = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FpgaConfig{};
+  c.port_max = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(FpgaConfigTest, DerivedQuantities) {
+  FpgaConfig c;
+  EXPECT_EQ(c.Lf(), c.l1_read_buffer + c.l2_generate + c.l3_visited_validate +
+                        c.l4_collect);
+  EXPECT_EQ(c.Lt(), c.l5_generate_edge_task + c.l6_edge_validate);
+  EXPECT_DOUBLE_EQ(c.ClockHz(), 300e6);
+  EXPECT_DOUBLE_EQ(c.CyclesToSeconds(300e6), 1.0);
+  EXPECT_GT(c.PcieSeconds(1e9), 0.0);
+}
+
+KernelCounters MakeCounters(std::uint64_t n, std::uint64_t m) {
+  KernelCounters c;
+  c.partial_results = n;
+  c.edge_tasks = m;
+  c.visited_tasks = n;
+  c.rounds = 1;
+  return c;
+}
+
+TEST(CycleModelTest, SerialMatchesEq1) {
+  FpgaConfig c;
+  const auto counters = MakeCounters(1000, 500);
+  EXPECT_DOUBLE_EQ(SerialCycles(c, counters), 1000.0 * c.Lf() + 500.0 * c.Lt());
+}
+
+TEST(CycleModelTest, BasicMatchesEq2Shape) {
+  FpgaConfig c;
+  const auto counters = MakeCounters(100000, 50000);
+  const double expected = (100000.0 * c.Lf() + 50000.0 * c.Lt()) / c.max_new_partials +
+                          4.0 * 100000 + 2.0 * 50000 + (c.Lf() + c.Lt());
+  EXPECT_DOUBLE_EQ(KernelCycles(c, FastVariant::kBasic, counters), expected);
+}
+
+TEST(CycleModelTest, PipelineBeatsSerial) {
+  FpgaConfig c;
+  const auto counters = MakeCounters(1u << 20, 1u << 19);
+  EXPECT_LT(KernelCycles(c, FastVariant::kBasic, counters),
+            SerialCycles(c, counters));
+}
+
+TEST(CycleModelTest, VariantOrderingMatchesPaper) {
+  // For any sizeable workload: DRAM > BASIC > TASK > SEP (Figs. 7, 11, 12).
+  FpgaConfig c;
+  for (std::uint64_t n : {std::uint64_t{1} << 16, std::uint64_t{1} << 22}) {
+    for (std::uint64_t m : {n / 2, n, 2 * n}) {
+      const auto counters = MakeCounters(n, m);
+      const double dram = KernelCycles(c, FastVariant::kDram, counters);
+      const double basic = KernelCycles(c, FastVariant::kBasic, counters);
+      const double task = KernelCycles(c, FastVariant::kTask, counters);
+      const double sep = KernelCycles(c, FastVariant::kSep, counters);
+      EXPECT_GT(dram, basic);
+      EXPECT_GT(basic, task);
+      EXPECT_GT(task, sep);
+    }
+  }
+}
+
+TEST(CycleModelTest, TaskGainBoundedByHalf) {
+  // Sec. VI-C: task parallelism achieves *up to* 50% improvement.
+  FpgaConfig c;
+  for (std::uint64_t m : {std::uint64_t{1000}, std::uint64_t{100000},
+                          std::uint64_t{400000}}) {
+    const auto counters = MakeCounters(200000, m);
+    const double basic = KernelCycles(c, FastVariant::kBasic, counters);
+    const double task = KernelCycles(c, FastVariant::kTask, counters);
+    // "Up to 50%" plus the small amortized-latency term of Eq. 2.
+    EXPECT_LE(basic - task, 0.52 * basic);
+  }
+}
+
+TEST(CycleModelTest, SepGainOverTaskBoundedByThird) {
+  // Sec. VI-D: generator separation achieves at most ~33% over FAST-TASK.
+  FpgaConfig c;
+  for (std::uint64_t m : {std::uint64_t{1000}, std::uint64_t{200000},
+                          std::uint64_t{800000}}) {
+    const auto counters = MakeCounters(200000, m);
+    const double task = KernelCycles(c, FastVariant::kTask, counters);
+    const double sep = KernelCycles(c, FastVariant::kSep, counters);
+    EXPECT_LE(task - sep, task / 3.0 + 1.0);
+    EXPECT_GE(task - sep, 0.0);
+  }
+}
+
+TEST(CycleModelTest, DramToBasicRatioNearReadLatencyRatio) {
+  // Fig. 7: ~5x speedup, "close to the ratio of the read latency".
+  FpgaConfig c;
+  const auto counters = MakeCounters(1u << 22, 1u << 22);
+  const double ratio = KernelCycles(c, FastVariant::kDram, counters) /
+                       KernelCycles(c, FastVariant::kBasic, counters);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, static_cast<double>(c.dram_read_latency));
+}
+
+TEST(CycleModelTest, LoadAndFlushScaleLinearly) {
+  FpgaConfig c;
+  EXPECT_GT(CstLoadCycles(c, 1024), 0.0);
+  EXPECT_NEAR(CstLoadCycles(c, 2 * 1024 * 1024) - CstLoadCycles(c, 1024 * 1024),
+              1024.0 * 1024.0 / c.dram_burst_words_per_cycle, 1.0);
+  EXPECT_DOUBLE_EQ(ResultFlushCycles(c, 0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ResultFlushCycles(c, 8, 4), 32.0 / c.dram_burst_words_per_cycle);
+}
+
+TEST(CycleModelTest, PartialBufferWordsMatchesSecVIB) {
+  FpgaConfig c;
+  c.max_new_partials = 100;
+  // (|V(q)|-1) * N_o slots of |V(q)| words.
+  EXPECT_EQ(PartialBufferWords(c, 5), 4u * 100u * 5u);
+  EXPECT_EQ(PartialBufferWords(c, 0), 0u);
+}
+
+TEST(CycleModelTest, CountersAccumulate) {
+  KernelCounters a = MakeCounters(10, 20);
+  a.max_buffer_entries = 5;
+  KernelCounters b = MakeCounters(1, 2);
+  b.results = 3;
+  b.max_buffer_entries = 9;
+  a += b;
+  EXPECT_EQ(a.partial_results, 11u);
+  EXPECT_EQ(a.edge_tasks, 22u);
+  EXPECT_EQ(a.results, 3u);
+  EXPECT_EQ(a.max_buffer_entries, 9u);
+  EXPECT_EQ(a.rounds, 2u);
+}
+
+TEST(FastVariantTest, Names) {
+  EXPECT_STREQ(FastVariantName(FastVariant::kDram), "FAST-DRAM");
+  EXPECT_STREQ(FastVariantName(FastVariant::kBasic), "FAST-BASIC");
+  EXPECT_STREQ(FastVariantName(FastVariant::kTask), "FAST-TASK");
+  EXPECT_STREQ(FastVariantName(FastVariant::kSep), "FAST-SEP");
+}
+
+// ---- Fifo ----
+
+TEST(FifoTest, PushPopFifoOrder) {
+  Fifo<int> f(4);
+  f.Push(1);
+  f.Push(2);
+  f.Push(3);
+  EXPECT_EQ(f.Pop(), 1);
+  EXPECT_EQ(f.Pop(), 2);
+  EXPECT_EQ(f.Pop(), 3);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(FifoTest, TryPushFailsWhenFull) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.TryPush(1));
+  EXPECT_TRUE(f.TryPush(2));
+  EXPECT_TRUE(f.Full());
+  EXPECT_FALSE(f.TryPush(3));
+  EXPECT_EQ(f.Size(), 2u);
+}
+
+TEST(FifoTest, HighWaterMarkTracksPeak) {
+  Fifo<int> f(8);
+  f.Push(1);
+  f.Push(2);
+  f.Pop();
+  f.Push(3);
+  f.Push(4);
+  EXPECT_EQ(f.high_water_mark(), 3u);
+  EXPECT_EQ(f.total_pushed(), 4u);
+}
+
+TEST(FifoDeathTest, PopOnEmptyAborts) {
+  Fifo<int> f(2);
+  EXPECT_DEATH(f.Pop(), "underflow");
+}
+
+TEST(FifoDeathTest, PushOnFullAborts) {
+  Fifo<int> f(1);
+  f.Push(1);
+  EXPECT_DEATH(f.Push(2), "overflow");
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,160 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "graph/directed.h"
+#include "query/pattern.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+TEST(ErdosRenyiTest, BasicShape) {
+  Graph g = GenerateErdosRenyi(200, 800, 4, 1).value();
+  EXPECT_EQ(g.NumVertices(), 200u);
+  EXPECT_LE(g.NumEdges(), 800u);
+  EXPECT_GT(g.NumEdges(), 700u);  // few duplicate/self-loop losses
+  EXPECT_LE(g.NumLabels(), 4u);
+}
+
+TEST(ErdosRenyiTest, DeterministicAndSeedSensitive) {
+  Graph a = GenerateErdosRenyi(100, 300, 3, 7).value();
+  Graph b = GenerateErdosRenyi(100, 300, 3, 7).value();
+  Graph c = GenerateErdosRenyi(100, 300, 3, 8).value();
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_NE(a.NumEdges(), c.NumEdges());
+}
+
+TEST(ErdosRenyiTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateErdosRenyi(0, 10, 2, 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 10, 0, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, PowerLawDegrees) {
+  Graph g = GenerateBarabasiAlbert(2000, 3, 4, 5).value();
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  // Preferential attachment: hubs far above the average degree.
+  EXPECT_GT(g.MaxDegree(), 8 * g.AverageDegree());
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(0, 2, 2, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, 2, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 2, 0, 1).ok());
+}
+
+TEST(PlantedCliqueTest, CliquesAreFindable) {
+  PlantedCliqueConfig config;
+  config.num_vertices = 3000;
+  config.clique_stride = 300;
+  config.clique_density = 1.0;  // full cliques
+  Graph g = GeneratePlantedCliques(config, 3).value();
+
+  auto clique4 = ParsePattern("(a:0)-(b:0)-(c:0)-(d:0); (a)-(c); (a)-(d); (b)-(d)")
+                     .value();
+  auto r = RunFast(clique4, g).value();
+  // ~10 planted 4-cliques, 24 automorphisms each, plus any background ones.
+  EXPECT_GE(r.embeddings, 9u * 24u);
+}
+
+TEST(PlantedCliqueTest, RejectsBadConfig) {
+  PlantedCliqueConfig config;
+  config.num_vertices = 2;
+  config.clique_size = 4;
+  EXPECT_FALSE(GeneratePlantedCliques(config, 1).ok());
+  config = PlantedCliqueConfig{};
+  config.clique_label = 99;
+  EXPECT_FALSE(GeneratePlantedCliques(config, 1).ok());
+  config = PlantedCliqueConfig{};
+  config.clique_stride = 0;
+  EXPECT_FALSE(GeneratePlantedCliques(config, 1).ok());
+}
+
+TEST(GeneratorMatchTest, EnginesAgreeOnGeneratedGraphs) {
+  Graph g = GenerateErdosRenyi(80, 320, 3, 11).value();
+  auto triangle = ParsePattern("(a:0)-(b:1)-(c:2); (a)-(c)").value();
+  EXPECT_EQ(RunFast(triangle, g).value().embeddings,
+            testing::BruteForceCount(triangle, g));
+}
+
+// ---- Directed encoding ----
+
+TEST(DirectedTest, EncodingShape) {
+  DirectedGraphBuilder b(/*aux_label=*/9);
+  b.AddVertex(0);
+  b.AddVertex(1);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.BuildEncoded().value();
+  EXPECT_EQ(g.NumVertices(), 3u);  // 2 original + 1 auxiliary
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.label(2), 9u);
+  EXPECT_TRUE(g.HasEdgeWithLabel(0, 2, kDirectedOutLabel));
+  EXPECT_TRUE(g.HasEdgeWithLabel(2, 1, kDirectedInLabel));
+}
+
+TEST(DirectedTest, RejectsReservedLabelAndSelfLoops) {
+  DirectedGraphBuilder b(9);
+  b.AddVertex(9);
+  EXPECT_FALSE(b.BuildEncoded().ok());
+  DirectedGraphBuilder b2(9);
+  b2.AddVertex(0);
+  EXPECT_FALSE(b2.AddEdge(0, 0).ok());
+}
+
+// Directed matching: count directed 3-cycles a->b->c->a in a small digraph
+// and verify against hand enumeration.
+TEST(DirectedTest, DirectedTriangleCounting) {
+  constexpr Label kAux = 7;
+  // Data: vertices 0..3 (all label 0). Directed edges:
+  // 0->1, 1->2, 2->0 (a directed 3-cycle), plus 1->0 and 2->1 and 0->3.
+  DirectedGraphBuilder data(kAux);
+  for (int i = 0; i < 4; ++i) data.AddVertex(0);
+  for (auto [a, b] : std::vector<std::pair<int, int>>{
+           {0, 1}, {1, 2}, {2, 0}, {1, 0}, {2, 1}, {0, 3}}) {
+    ASSERT_TRUE(data.AddEdge(static_cast<VertexId>(a), static_cast<VertexId>(b)).ok());
+  }
+  Graph g = data.BuildEncoded().value();
+
+  // Query: directed triangle u0->u1->u2->u0.
+  DirectedGraphBuilder query(kAux);
+  for (int i = 0; i < 3; ++i) query.AddVertex(0);
+  ASSERT_TRUE(query.AddEdge(0, 1).ok());
+  ASSERT_TRUE(query.AddEdge(1, 2).ok());
+  ASSERT_TRUE(query.AddEdge(2, 0).ok());
+  QueryGraph q = QueryGraph::Create(query.BuildEncoded().value(), "dir-tri").value();
+
+  // The only directed 3-cycle is 0->1->2->0; its 3 rotations are distinct
+  // embeddings (no reflections: the reverse cycle 0->2->1->0 does not exist).
+  auto r = RunFast(q, g).value();
+  EXPECT_EQ(r.embeddings, 3u);
+  EXPECT_EQ(testing::BruteForceCount(q, g), 3u);
+}
+
+TEST(DirectedTest, AntiparallelEdgesBothMatch) {
+  constexpr Label kAux = 7;
+  DirectedGraphBuilder data(kAux);
+  data.AddVertex(0);
+  data.AddVertex(0);
+  ASSERT_TRUE(data.AddEdge(0, 1).ok());
+  ASSERT_TRUE(data.AddEdge(1, 0).ok());
+  Graph g = data.BuildEncoded().value();
+
+  DirectedGraphBuilder query(kAux);
+  query.AddVertex(0);
+  query.AddVertex(0);
+  ASSERT_TRUE(query.AddEdge(0, 1).ok());
+  QueryGraph q = QueryGraph::Create(query.BuildEncoded().value(), "dir-edge").value();
+
+  // Both directions exist, so the single directed query edge matches twice.
+  EXPECT_EQ(RunFast(q, g).value().embeddings, 2u);
+}
+
+TEST(DirectedTest, ProjectionDropsAuxiliaries) {
+  const std::vector<VertexId> encoded{5, 7, 9, 100, 101};
+  EXPECT_EQ(ProjectDirectedEmbedding(encoded, 3),
+            (std::vector<VertexId>{5, 7, 9}));
+}
+
+}  // namespace
+}  // namespace fast

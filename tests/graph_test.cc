@@ -1,0 +1,232 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_io.h"
+#include "util/rng.h"
+
+namespace fast {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1-2 triangle (labels 0,1,2), tail 2-3 (label 1).
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  b.AddVertex(1);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  return std::move(b).Build().value();
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumLabels(), 0u);
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  EXPECT_FALSE(b.AddEdge(0, 5).ok());
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  EXPECT_TRUE(b.AddEdge(0, 0).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, AdjacencyIsSorted) {
+  Graph g = TriangleWithTail();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  Graph g = TriangleWithTail();
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+}
+
+TEST(GraphTest, LabelIndex) {
+  Graph g = TriangleWithTail();
+  auto l1 = g.VerticesWithLabel(1);
+  ASSERT_EQ(l1.size(), 2u);
+  EXPECT_EQ(l1[0], 1u);
+  EXPECT_EQ(l1[1], 3u);
+  EXPECT_EQ(g.VerticesWithLabel(0).size(), 1u);
+  EXPECT_EQ(g.VerticesWithLabel(2).size(), 1u);
+  EXPECT_TRUE(g.VerticesWithLabel(99).empty());
+  EXPECT_EQ(g.NumLabels(), 3u);
+}
+
+TEST(GraphTest, DegreesMatchAdjacency) {
+  Graph g = TriangleWithTail();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.degree(v), g.neighbors(v).size());
+  }
+}
+
+TEST(GraphTest, SummaryMentionsCounts) {
+  Graph g = TriangleWithTail();
+  const std::string s = g.Summary();
+  EXPECT_NE(s.find("|V|=4.00"), std::string::npos);
+  EXPECT_NE(s.find("L=3"), std::string::npos);
+}
+
+TEST(GraphTest, MemoryBytesPositive) {
+  EXPECT_GT(TriangleWithTail().MemoryBytes(), 0u);
+}
+
+// Property test: random graphs keep CSR invariants.
+class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphTest, CsrInvariantsHold) {
+  Rng rng(GetParam());
+  GraphBuilder b;
+  const std::size_t n = 50 + rng.Uniform(100);
+  for (std::size_t i = 0; i < n; ++i) b.AddVertex(static_cast<Label>(rng.Uniform(5)));
+  const std::size_t m = rng.Uniform(4 * n);
+  std::vector<std::pair<VertexId, VertexId>> inserted;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng.Uniform(n));
+    const auto v = static_cast<VertexId>(rng.Uniform(n));
+    ASSERT_TRUE(b.AddEdge(u, v).ok());
+    if (u != v) inserted.emplace_back(u, v);
+  }
+  Graph g = std::move(b).Build().value();
+
+  // Symmetry + sortedness + degree bookkeeping.
+  std::size_t degree_sum = 0;
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    for (VertexId w : nbrs) {
+      EXPECT_NE(w, v);
+      EXPECT_TRUE(g.HasEdge(w, v));
+    }
+    degree_sum += nbrs.size();
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  EXPECT_EQ(degree_sum, 2 * g.NumEdges());
+  EXPECT_EQ(max_deg, g.MaxDegree());
+  // Every inserted edge must be present.
+  for (auto [u, v] : inserted) EXPECT_TRUE(g.HasEdge(u, v));
+  // Label index partitions the vertex set.
+  std::size_t label_total = 0;
+  for (Label l = 0; l < g.NumLabels(); ++l) {
+    for (VertexId v : g.VerticesWithLabel(l)) EXPECT_EQ(g.label(v), l);
+    label_total += g.VerticesWithLabel(l).size();
+  }
+  EXPECT_EQ(label_total, g.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- Graph IO ----
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = TriangleWithTail();
+  const std::string text = GraphToText(g);
+  auto parsed = ParseGraphText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->NumVertices(), g.NumVertices());
+  EXPECT_EQ(parsed->NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(parsed->label(v), g.label(v));
+    auto a = g.neighbors(v);
+    auto b = parsed->neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  auto g = ParseGraphText("# header\n\nt 2 1\nv 0 7\nv 1 7\ne 0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(g->label(0), 7u);
+}
+
+TEST(GraphIoTest, RejectsNonDenseVertexIds) {
+  EXPECT_FALSE(ParseGraphText("v 1 0\n").ok());
+}
+
+TEST(GraphIoTest, RejectsHeaderMismatch) {
+  EXPECT_FALSE(ParseGraphText("t 2 2\nv 0 0\nv 1 0\ne 0 1\n").ok());
+  EXPECT_FALSE(ParseGraphText("t 3 1\nv 0 0\nv 1 0\ne 0 1\n").ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownTag) {
+  EXPECT_FALSE(ParseGraphText("x 1 2\n").ok());
+}
+
+TEST(GraphIoTest, RejectsBadEdgeEndpoint) {
+  EXPECT_FALSE(ParseGraphText("v 0 0\ne 0 9\n").ok());
+}
+
+TEST(GraphIoTest, LoadMissingFileIsNotFound) {
+  auto g = LoadGraphFile("/nonexistent/path/graph.txt");
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, SaveAndLoadFile) {
+  Graph g = TriangleWithTail();
+  const std::string path = ::testing::TempDir() + "/fast_graph_io_test.txt";
+  ASSERT_TRUE(SaveGraphFile(g, path).ok());
+  auto loaded = LoadGraphFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumVertices(), 4u);
+  EXPECT_EQ(loaded->NumEdges(), 4u);
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,152 @@
+// Cross-module integration tests: the whole pipeline against all baselines
+// on generated LDBC workloads, including scalability and failure behaviours.
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "core/driver.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::BruteForceCount;
+using testing::SmallLdbcGraph;
+
+// Every engine in the repository agrees on every query of Fig. 6.
+TEST(IntegrationTest, AllEnginesAgreeOnAllQueries) {
+  Graph g = SmallLdbcGraph();
+  for (int qi = 0; qi < kNumLdbcQueries; ++qi) {
+    QueryGraph q = LdbcQuery(qi).value();
+    const std::uint64_t truth = BruteForceCount(q, g);
+
+    auto fast_result = RunFast(q, g);
+    ASSERT_TRUE(fast_result.ok()) << q.name();
+    EXPECT_EQ(fast_result->embeddings, truth) << "FAST on " << q.name();
+
+    for (BaselineKind kind : {BaselineKind::kCfl, BaselineKind::kDaf,
+                              BaselineKind::kCeci, BaselineKind::kGpsm,
+                              BaselineKind::kGsi}) {
+      auto matcher = MakeBaseline(kind);
+      auto r = matcher->Run(q, g, BaselineOptions{});
+      ASSERT_TRUE(r.ok()) << matcher->name() << " on " << q.name();
+      EXPECT_EQ(r->embeddings, truth) << matcher->name() << " on " << q.name();
+    }
+  }
+}
+
+// Consistency across scale factors (the Fig. 16 axis): FAST and CECI agree
+// where brute force is too slow to be the oracle.
+TEST(IntegrationTest, FastAgreesWithCeciAcrossScaleFactors) {
+  for (double sf : {0.05, 0.15, 0.3}) {
+    Graph g = SmallLdbcGraph(sf);
+    for (int qi : {0, 2, 5}) {
+      QueryGraph q = LdbcQuery(qi).value();
+      auto fast_result = RunFast(q, g).value();
+      auto ceci = MakeBaseline(BaselineKind::kCeci)->Run(q, g, BaselineOptions{});
+      ASSERT_TRUE(ceci.ok());
+      EXPECT_EQ(fast_result.embeddings, ceci->embeddings)
+          << q.name() << " sf=" << sf;
+    }
+  }
+}
+
+// Edge sampling (Fig. 17): fewer edges can only shrink the result set of an
+// edge-monotone pattern, and counts stay consistent between engines.
+TEST(IntegrationTest, EdgeSamplingMonotoneAndConsistent) {
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(2).value();
+  std::uint64_t prev = 0;
+  for (double f : {0.2, 0.6, 1.0}) {
+    Graph sampled = SampleEdges(g, f, 99).value();
+    auto fast_result = RunFast(q, sampled).value();
+    auto ceci = MakeBaseline(BaselineKind::kCeci)->Run(q, sampled, BaselineOptions{});
+    ASSERT_TRUE(ceci.ok());
+    EXPECT_EQ(fast_result.embeddings, ceci->embeddings) << "f=" << f;
+    EXPECT_GE(fast_result.embeddings, prev) << "f=" << f;
+    prev = fast_result.embeddings;
+  }
+}
+
+// The full option matrix produces identical counts: variants x sharing x
+// partition pressure.
+TEST(IntegrationTest, OptionMatrixCountInvariance) {
+  Graph g = SmallLdbcGraph(0.1);
+  QueryGraph q = LdbcQuery(8).value();
+  const std::uint64_t truth = BruteForceCount(q, g);
+  for (FastVariant variant : {FastVariant::kBasic, FastVariant::kTask,
+                              FastVariant::kSep}) {
+    for (double delta : {0.0, 0.1, 0.25}) {
+      for (std::size_t words : {std::size_t{0}, std::size_t{4096}, std::size_t{512}}) {
+        FastRunOptions options;
+        options.variant = variant;
+        options.cpu_share_delta = delta;
+        options.partition.max_size_words = words;
+        options.partition.max_degree = words == 0 ? 0 : 128;
+        auto r = RunFast(q, g, options);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r->embeddings, truth)
+            << FastVariantName(variant) << " delta=" << delta << " words=" << words;
+      }
+    }
+  }
+}
+
+// Simulated-time sanity on a non-trivial workload: the paper's headline
+// ordering FAST < CPU baselines holds for the dense person queries.
+TEST(IntegrationTest, SimulatedFastBeatsMeasuredCpuBaselines) {
+  Graph g = SmallLdbcGraph(0.5);
+  QueryGraph q = LdbcQuery(8).value();
+  auto fast_result = RunFast(q, g).value();
+  auto ceci = MakeBaseline(BaselineKind::kCeci)->Run(q, g, BaselineOptions{});
+  ASSERT_TRUE(ceci.ok());
+  ASSERT_EQ(fast_result.embeddings, ceci->embeddings);
+  // The simulated kernel at 300 MHz processes ~1 result/cycle; the CPU
+  // backtracker cannot beat that on this dense query.
+  EXPECT_LT(fast_result.kernel_seconds, ceci->seconds);
+}
+
+// Timeout plumbing end to end.
+TEST(IntegrationTest, BaselineTimeoutSurfacesAsInf) {
+  Graph g = SmallLdbcGraph(0.5);
+  QueryGraph q = LdbcQuery(8).value();
+  BaselineOptions options;
+  options.time_limit_seconds = 0.0;
+  auto r = MakeBaseline(BaselineKind::kDaf)->Run(q, g, options);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// A query with no matches flows through the entire pipeline cleanly.
+TEST(IntegrationTest, NoMatchQueryYieldsZeroEverywhere) {
+  Graph g = SmallLdbcGraph();
+  // Continent triangle: continents are never mutually adjacent.
+  GraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.AddVertex(AsLabel(LdbcLabel::kContinent));
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 0).ok());
+  QueryGraph q = QueryGraph::Create(std::move(b).Build().value(), "no-match").value();
+
+  EXPECT_EQ(RunFast(q, g).value().embeddings, 0u);
+  for (BaselineKind kind : {BaselineKind::kCfl, BaselineKind::kCeci,
+                            BaselineKind::kGpsm, BaselineKind::kGsi}) {
+    auto r = MakeBaseline(kind)->Run(q, g, BaselineOptions{});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->embeddings, 0u) << MakeBaseline(kind)->name();
+  }
+}
+
+// Multi-FPGA returns the same counts as single-device runs on real workloads.
+TEST(IntegrationTest, MultiFpgaCountMatchesSingle) {
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(5).value();
+  auto single = RunFast(q, g).value();
+  FastRunOptions options;
+  options.partition.max_size_words = 2048;
+  options.partition.max_degree = 128;
+  auto multi = RunMultiFpga(q, g, 3, options).value();
+  EXPECT_EQ(multi.embeddings, single.embeddings);
+}
+
+}  // namespace
+}  // namespace fast

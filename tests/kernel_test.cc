@@ -1,0 +1,193 @@
+#include "core/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_matcher.h"
+#include "cst/partition.h"
+#include "query/matching_order.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::BruteForceCount;
+using testing::BruteForceEmbeddings;
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+using testing::ToSet;
+
+MatchingOrder PaperOrder() {
+  MatchingOrder order;
+  order.root = 0;
+  order.order = {0, 1, 2, 3};
+  return order;
+}
+
+TEST(KernelTest, PaperExampleFindsBothEmbeddings) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+  ResultCollector collector(16);
+  auto run = RunKernel(cst, PaperOrder(), FpgaConfig{}, &collector).value();
+  EXPECT_EQ(run.embeddings, 2u);
+  EXPECT_EQ(collector.count(), 2u);
+  // Example 1's embedding M = {(u0,v1),(u1,v4),(u2,v3),(u3,v9)}.
+  const Embedding m1{0, 3, 2, 8};
+  const Embedding m2{1, 5, 4, 9};
+  EXPECT_EQ(ToSet(collector.stored()), (std::set<Embedding>{m1, m2}));
+}
+
+TEST(KernelTest, MatchesBruteForceOnPaperExample) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+  auto run = RunKernel(cst, PaperOrder(), FpgaConfig{}, nullptr).value();
+  EXPECT_EQ(run.embeddings, BruteForceCount(q, g));
+}
+
+TEST(KernelTest, RejectsMismatchedOrder) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  MatchingOrder bad;
+  bad.root = 1;
+  bad.order = {1, 0, 2, 3};
+  EXPECT_FALSE(RunKernel(cst, bad, FpgaConfig{}, nullptr).ok());
+  bad.order = {0, 1, 2};
+  EXPECT_FALSE(RunKernel(cst, bad, FpgaConfig{}, nullptr).ok());
+}
+
+TEST(KernelTest, CountersAreConsistent) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  auto run = RunKernel(cst, PaperOrder(), FpgaConfig{}, nullptr).value();
+  const KernelCounters& c = run.counters;
+  EXPECT_EQ(c.visited_tasks, c.partial_results);  // one t_v per p_o
+  EXPECT_GE(c.partial_results, run.embeddings);
+  EXPECT_EQ(c.results, run.embeddings);
+  EXPECT_GT(c.rounds, 0u);
+  EXPECT_GT(c.edge_tasks, 0u);  // the paper query has non-tree edges
+}
+
+TEST(KernelTest, TinyBatchSizeStillExact) {
+  // Exercises the resume-cursor path: N_o smaller than candidate lists.
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+  for (std::uint32_t no : {1u, 2u, 3u}) {
+    FpgaConfig config;
+    config.max_new_partials = no;
+    auto run = RunKernel(cst, PaperOrder(), config, nullptr).value();
+    EXPECT_EQ(run.embeddings, 2u) << "N_o=" << no;
+  }
+}
+
+TEST(KernelTest, BufferBoundHolds) {
+  // Sec. VI-B: deepest-first expansion bounds P at (|V(q)|-1) * N_o entries.
+  Graph g = SmallLdbcGraph(0.2);
+  for (int qi : {2, 5, 8}) {
+    QueryGraph q = LdbcQuery(qi).value();
+    auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+    Cst cst = BuildCst(q, g, order.root).value();
+    for (std::uint32_t no : {4u, 64u}) {
+      FpgaConfig config;
+      config.max_new_partials = no;
+      auto run = RunKernel(cst, order, config, nullptr).value();
+      EXPECT_LE(run.counters.max_buffer_entries,
+                static_cast<std::uint64_t>(q.NumVertices() - 1) * no)
+          << q.name() << " N_o=" << no;
+    }
+  }
+}
+
+TEST(KernelTest, BatchSizeDoesNotChangeResults) {
+  Graph g = SmallLdbcGraph(0.1);
+  QueryGraph q = LdbcQuery(8).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (std::uint32_t no : {1u, 7u, 256u, 4096u}) {
+    FpgaConfig config;
+    config.max_new_partials = no;
+    auto run = RunKernel(cst, order, config, nullptr).value();
+    if (first) {
+      reference = run.embeddings;
+      first = false;
+    } else {
+      EXPECT_EQ(run.embeddings, reference) << "N_o=" << no;
+    }
+  }
+}
+
+// The kernel must agree with the CPU matcher and brute force on every LDBC
+// query and every order policy.
+class KernelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, OrderPolicy>> {};
+
+TEST_P(KernelEquivalenceTest, AgreesWithCpuAndBruteForce) {
+  const auto [query_index, policy] = GetParam();
+  Graph g = SmallLdbcGraph();
+  QueryGraph q = LdbcQuery(query_index).value();
+  auto order = ComputeMatchingOrder(q, g, policy, /*seed=*/5).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+
+  ResultCollector kernel_collector(1000);
+  auto run = RunKernel(cst, order, FpgaConfig{}, &kernel_collector).value();
+
+  ResultCollector cpu_collector(1000);
+  const std::uint64_t cpu = MatchCstOnCpu(cst, order, &cpu_collector).value();
+
+  EXPECT_EQ(run.embeddings, cpu) << q.name();
+  EXPECT_EQ(run.embeddings, BruteForceCount(q, g)) << q.name();
+  // The kernel discovers results in batched-BFS order, the CPU matcher in
+  // DFS order; the stored samples are only comparable when complete.
+  if (run.embeddings <= 1000) {
+    EXPECT_EQ(ToSet(kernel_collector.stored()), ToSet(cpu_collector.stored()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesTimesPolicies, KernelEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, kNumLdbcQueries),
+                       ::testing::Values(OrderPolicy::kPathBased, OrderPolicy::kCeci,
+                                         OrderPolicy::kRandom)));
+
+TEST(KernelTest, PartitionedExecutionMatchesWhole) {
+  Graph g = SmallLdbcGraph(0.1);
+  QueryGraph q = LdbcQuery(5).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+  auto whole = RunKernel(cst, order, FpgaConfig{}, nullptr).value();
+
+  PartitionConfig pconfig;
+  pconfig.max_size_words = std::max<std::size_t>(cst.SizeWords() / 7, 32);
+  auto parts = PartitionCstToVector(cst, order, pconfig, nullptr).value();
+  std::uint64_t total = 0;
+  for (const auto& p : parts) {
+    total += RunKernel(p, order, FpgaConfig{}, nullptr).value().embeddings;
+  }
+  EXPECT_EQ(total, whole.embeddings);
+}
+
+TEST(SimulatedKernelSecondsTest, VariantOrderingHolds) {
+  Graph g = SmallLdbcGraph(0.1);
+  QueryGraph q = LdbcQuery(2).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+  FpgaConfig config;
+  auto run = RunKernel(cst, order, config, nullptr).value();
+  const double dram = SimulatedKernelSeconds(config, FastVariant::kDram, run,
+                                             cst.SizeWords(), q.NumVertices());
+  const double basic = SimulatedKernelSeconds(config, FastVariant::kBasic, run,
+                                              cst.SizeWords(), q.NumVertices());
+  const double task = SimulatedKernelSeconds(config, FastVariant::kTask, run,
+                                             cst.SizeWords(), q.NumVertices());
+  const double sep = SimulatedKernelSeconds(config, FastVariant::kSep, run,
+                                            cst.SizeWords(), q.NumVertices());
+  EXPECT_GT(dram, basic);
+  EXPECT_GT(basic, task);
+  EXPECT_GT(task, sep);
+  EXPECT_GT(sep, 0.0);
+}
+
+}  // namespace
+}  // namespace fast

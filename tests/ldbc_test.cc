@@ -1,0 +1,200 @@
+#include "ldbc/ldbc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fast {
+namespace {
+
+TEST(LdbcGeneratorTest, RejectsNonPositiveScaleFactor) {
+  LdbcConfig config;
+  config.scale_factor = 0.0;
+  EXPECT_FALSE(GenerateLdbcGraph(config).ok());
+  config.scale_factor = -1.0;
+  EXPECT_FALSE(GenerateLdbcGraph(config).ok());
+}
+
+TEST(LdbcGeneratorTest, DeterministicForSameSeed) {
+  LdbcConfig config;
+  config.scale_factor = 0.05;
+  config.seed = 9;
+  Graph a = GenerateLdbcGraph(config).value();
+  Graph b = GenerateLdbcGraph(config).value();
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    EXPECT_EQ(a.label(v), b.label(v));
+    EXPECT_EQ(a.degree(v), b.degree(v));
+  }
+}
+
+TEST(LdbcGeneratorTest, DifferentSeedsDiffer) {
+  LdbcConfig config;
+  config.scale_factor = 0.05;
+  config.seed = 1;
+  Graph a = GenerateLdbcGraph(config).value();
+  config.seed = 2;
+  Graph b = GenerateLdbcGraph(config).value();
+  EXPECT_NE(a.NumEdges(), b.NumEdges());
+}
+
+TEST(LdbcGeneratorTest, HasElevenLabels) {
+  LdbcConfig config;
+  config.scale_factor = 0.05;
+  Graph g = GenerateLdbcGraph(config).value();
+  EXPECT_EQ(g.NumLabels(), kNumLdbcLabels);
+  for (std::size_t l = 0; l < kNumLdbcLabels; ++l) {
+    EXPECT_FALSE(g.VerticesWithLabel(static_cast<Label>(l)).empty())
+        << LdbcLabelName(static_cast<LdbcLabel>(l));
+  }
+}
+
+TEST(LdbcGeneratorTest, ScaleFactorGrowsGraph) {
+  LdbcConfig small;
+  small.scale_factor = 0.05;
+  LdbcConfig big;
+  big.scale_factor = 0.5;
+  Graph gs = GenerateLdbcGraph(small).value();
+  Graph gb = GenerateLdbcGraph(big).value();
+  EXPECT_GT(gb.NumVertices(), 2 * gs.NumVertices());
+  EXPECT_GT(gb.NumEdges(), 2 * gs.NumEdges());
+}
+
+TEST(LdbcGeneratorTest, DegreeSkewExists) {
+  LdbcConfig config;
+  config.scale_factor = 0.3;
+  Graph g = GenerateLdbcGraph(config).value();
+  // Power-law-ish: the max degree far exceeds the average.
+  EXPECT_GT(g.MaxDegree(), 10 * g.AverageDegree());
+}
+
+TEST(LdbcGeneratorTest, PersonsDominateMessageCreation) {
+  LdbcConfig config;
+  config.scale_factor = 0.1;
+  Graph g = GenerateLdbcGraph(config).value();
+  // Every Post has >= 1 Person neighbor (creator) and >= 1 Forum neighbor.
+  for (VertexId v : g.VerticesWithLabel(AsLabel(LdbcLabel::kPost))) {
+    bool has_person = false;
+    bool has_forum = false;
+    for (VertexId w : g.neighbors(v)) {
+      has_person |= g.label(w) == AsLabel(LdbcLabel::kPerson);
+      has_forum |= g.label(w) == AsLabel(LdbcLabel::kForum);
+    }
+    EXPECT_TRUE(has_person);
+    EXPECT_TRUE(has_forum);
+  }
+}
+
+TEST(LdbcGeneratorTest, CityCountryContinentHierarchy) {
+  LdbcConfig config;
+  config.scale_factor = 0.1;
+  Graph g = GenerateLdbcGraph(config).value();
+  for (VertexId v : g.VerticesWithLabel(AsLabel(LdbcLabel::kCity))) {
+    bool has_country = false;
+    for (VertexId w : g.neighbors(v)) {
+      has_country |= g.label(w) == AsLabel(LdbcLabel::kCountry);
+    }
+    EXPECT_TRUE(has_country);
+  }
+  for (VertexId v : g.VerticesWithLabel(AsLabel(LdbcLabel::kCountry))) {
+    bool has_continent = false;
+    for (VertexId w : g.neighbors(v)) {
+      has_continent |= g.label(w) == AsLabel(LdbcLabel::kContinent);
+    }
+    EXPECT_TRUE(has_continent);
+  }
+}
+
+TEST(LdbcLabelTest, NamesAreStable) {
+  EXPECT_STREQ(LdbcLabelName(LdbcLabel::kPerson), "Person");
+  EXPECT_STREQ(LdbcLabelName(LdbcLabel::kTagClass), "TagClass");
+  EXPECT_STREQ(LdbcLabelName(LdbcLabel::kComment), "Comment");
+}
+
+// ---- Queries ----
+
+TEST(LdbcQueryTest, AllNineQueriesAreValid) {
+  for (int i = 0; i < kNumLdbcQueries; ++i) {
+    auto q = LdbcQuery(i);
+    ASSERT_TRUE(q.ok()) << i;
+    EXPECT_EQ(q->name(), "q" + std::to_string(i));
+    EXPECT_GE(q->NumVertices(), 3u);
+    EXPECT_LE(q->NumVertices(), 6u);
+  }
+}
+
+TEST(LdbcQueryTest, OutOfRangeIndexRejected) {
+  EXPECT_FALSE(LdbcQuery(-1).ok());
+  EXPECT_FALSE(LdbcQuery(9).ok());
+}
+
+TEST(LdbcQueryTest, KnownShapes) {
+  // q0: triangle Person-Post-Comment.
+  auto q0 = LdbcQuery(0).value();
+  EXPECT_EQ(q0.NumVertices(), 3u);
+  EXPECT_EQ(q0.NumEdges(), 3u);
+  // q2: Person triangle.
+  auto q2 = LdbcQuery(2).value();
+  for (VertexId u = 0; u < 3; ++u) {
+    EXPECT_EQ(q2.label(u), AsLabel(LdbcLabel::kPerson));
+  }
+  EXPECT_EQ(q2.NumEdges(), 3u);
+  // q8: diamond (4 persons, 5 edges).
+  auto q8 = LdbcQuery(8).value();
+  EXPECT_EQ(q8.NumVertices(), 4u);
+  EXPECT_EQ(q8.NumEdges(), 5u);
+}
+
+TEST(LdbcQueryTest, AllQueriesHelperMatchesIndividual) {
+  const auto all = AllLdbcQueries();
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kNumLdbcQueries));
+  for (int i = 0; i < kNumLdbcQueries; ++i) {
+    EXPECT_EQ(all[i].NumVertices(), LdbcQuery(i)->NumVertices());
+    EXPECT_EQ(all[i].NumEdges(), LdbcQuery(i)->NumEdges());
+  }
+}
+
+// ---- Edge sampling (Fig. 17 substrate) ----
+
+TEST(SampleEdgesTest, RejectsBadFraction) {
+  LdbcConfig config;
+  config.scale_factor = 0.05;
+  Graph g = GenerateLdbcGraph(config).value();
+  EXPECT_FALSE(SampleEdges(g, 0.0, 1).ok());
+  EXPECT_FALSE(SampleEdges(g, 1.5, 1).ok());
+}
+
+TEST(SampleEdgesTest, FullFractionKeepsEverything) {
+  LdbcConfig config;
+  config.scale_factor = 0.05;
+  Graph g = GenerateLdbcGraph(config).value();
+  Graph s = SampleEdges(g, 1.0, 1).value();
+  EXPECT_EQ(s.NumVertices(), g.NumVertices());
+  EXPECT_EQ(s.NumEdges(), g.NumEdges());
+}
+
+TEST(SampleEdgesTest, KeepsRoughlyTheRequestedFraction) {
+  LdbcConfig config;
+  config.scale_factor = 0.2;
+  Graph g = GenerateLdbcGraph(config).value();
+  Graph s = SampleEdges(g, 0.4, 5).value();
+  EXPECT_EQ(s.NumVertices(), g.NumVertices());
+  const double ratio =
+      static_cast<double>(s.NumEdges()) / static_cast<double>(g.NumEdges());
+  EXPECT_NEAR(ratio, 0.4, 0.05);
+}
+
+TEST(SampleEdgesTest, SampledEdgesExistInOriginal) {
+  LdbcConfig config;
+  config.scale_factor = 0.05;
+  Graph g = GenerateLdbcGraph(config).value();
+  Graph s = SampleEdges(g, 0.5, 3).value();
+  for (VertexId v = 0; v < s.NumVertices(); ++v) {
+    for (VertexId w : s.neighbors(v)) EXPECT_TRUE(g.HasEdge(v, w));
+    EXPECT_EQ(s.label(v), g.label(v));
+  }
+}
+
+}  // namespace
+}  // namespace fast

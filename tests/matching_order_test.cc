@@ -1,0 +1,134 @@
+#include "query/matching_order.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+
+class OrderPolicyTest : public ::testing::TestWithParam<OrderPolicy> {};
+
+TEST_P(OrderPolicyTest, ProducesValidOrderOnPaperExample) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  auto order = ComputeMatchingOrder(q, g, GetParam(), /*seed=*/3);
+  ASSERT_TRUE(order.ok()) << order.status();
+  EXPECT_EQ(order->order.size(), q.NumVertices());
+  EXPECT_EQ(order->order[0], order->root);
+  EXPECT_TRUE(ValidateOrder(q, order->order).ok());
+}
+
+TEST_P(OrderPolicyTest, ProducesValidOrderOnAllLdbcQueries) {
+  Graph g = testing::SmallLdbcGraph();
+  for (const QueryGraph& q : AllLdbcQueries()) {
+    auto order = ComputeMatchingOrder(q, g, GetParam(), /*seed=*/11);
+    ASSERT_TRUE(order.ok()) << q.name() << ": " << order.status();
+    EXPECT_TRUE(ValidateOrder(q, order->order).ok()) << q.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, OrderPolicyTest,
+                         ::testing::Values(OrderPolicy::kPathBased, OrderPolicy::kCfl,
+                                           OrderPolicy::kDaf, OrderPolicy::kCeci,
+                                           OrderPolicy::kRandom),
+                         [](const auto& info) {
+                           return std::string(OrderPolicyName(info.param)) == "path-based"
+                                      ? "PathBased"
+                                      : OrderPolicyName(info.param);
+                         });
+
+TEST(EstimateCandidateCountsTest, MatchesManualCountOnPaperExample) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  const auto est = EstimateCandidateCounts(q, g);
+  ASSERT_EQ(est.size(), 4u);
+  // u0: label A, degree 2 -> v1 (deg 2), v2 (deg 3).
+  EXPECT_DOUBLE_EQ(est[0], 2.0);
+  // u3: label D, degree 2 -> v9 (deg 3), v10 (deg 3).
+  EXPECT_DOUBLE_EQ(est[3], 2.0);
+}
+
+TEST(SelectRootTest, PrefersSelectiveHighDegreeVertex) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  const VertexId root = SelectRoot(q, g);
+  // All candidate estimates are small; the root must at least be a vertex
+  // with a minimal est/deg ratio.
+  const auto est = EstimateCandidateCounts(q, g);
+  const double best = est[root] / q.degree(root);
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    EXPECT_LE(best, est[u] / q.degree(u) + 1e-12);
+  }
+}
+
+TEST(ValidateOrderTest, AcceptsBfsOrder) {
+  QueryGraph q = PaperQuery();
+  EXPECT_TRUE(ValidateOrder(q, {0, 1, 2, 3}).ok());
+}
+
+TEST(ValidateOrderTest, RejectsWrongLength) {
+  QueryGraph q = PaperQuery();
+  EXPECT_FALSE(ValidateOrder(q, {0, 1, 2}).ok());
+}
+
+TEST(ValidateOrderTest, RejectsDuplicates) {
+  QueryGraph q = PaperQuery();
+  EXPECT_FALSE(ValidateOrder(q, {0, 1, 1, 3}).ok());
+}
+
+TEST(ValidateOrderTest, RejectsParentAfterChild) {
+  QueryGraph q = PaperQuery();
+  // u3's t_q parent (rooted at 0) is u1; putting u3 before u1 is invalid.
+  EXPECT_FALSE(ValidateOrder(q, {0, 3, 1, 2}).ok());
+}
+
+TEST(ValidateOrderTest, AcceptsAnyRootWhenTreeConnected) {
+  QueryGraph q = PaperQuery();
+  // Rooted at u2 the BFS tree has parents: u0,u1,u3 -> u2.
+  EXPECT_TRUE(ValidateOrder(q, {2, 3, 1, 0}).ok());
+}
+
+TEST(EnumerateConnectedOrdersTest, PaperQueryCount) {
+  QueryGraph q = PaperQuery();
+  // Rooted at u0: t_q children of u0 = {u1,u2}, u3 under u1. Topological
+  // orders of that forest: u1 before u3, u2 anywhere: 3 orders.
+  const auto orders = EnumerateConnectedOrders(q, 0);
+  EXPECT_EQ(orders.size(), 3u);
+  for (const auto& o : orders) {
+    EXPECT_TRUE(ValidateOrder(q, o).ok());
+  }
+}
+
+TEST(EnumerateConnectedOrdersTest, RespectsLimit) {
+  QueryGraph q = PaperQuery();
+  EXPECT_EQ(EnumerateConnectedOrders(q, 0, 2).size(), 2u);
+}
+
+TEST(RandomOrderTest, DifferentSeedsGiveDifferentOrdersSometimes) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  std::set<std::vector<VertexId>> seen;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    auto order = ComputeMatchingOrder(q, g, OrderPolicy::kRandom, seed);
+    ASSERT_TRUE(order.ok());
+    seen.insert(order->order);
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(OrderPolicyNameTest, NamesAreStable) {
+  EXPECT_STREQ(OrderPolicyName(OrderPolicy::kCfl), "CFL");
+  EXPECT_STREQ(OrderPolicyName(OrderPolicy::kDaf), "DAF");
+  EXPECT_STREQ(OrderPolicyName(OrderPolicy::kCeci), "CECI");
+  EXPECT_STREQ(OrderPolicyName(OrderPolicy::kPathBased), "path-based");
+  EXPECT_STREQ(OrderPolicyName(OrderPolicy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,98 @@
+#include "query/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "ldbc/ldbc.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+std::map<std::string, Label> LdbcNames() {
+  std::map<std::string, Label> names;
+  for (std::size_t i = 0; i < kNumLdbcLabels; ++i) {
+    names[LdbcLabelName(static_cast<LdbcLabel>(i))] = static_cast<Label>(i);
+  }
+  return names;
+}
+
+TEST(PatternTest, SingleVertex) {
+  auto q = ParsePattern("(a:3)").value();
+  EXPECT_EQ(q.NumVertices(), 1u);
+  EXPECT_EQ(q.label(0), 3u);
+  EXPECT_EQ(q.NumEdges(), 0u);
+}
+
+TEST(PatternTest, SimpleChain) {
+  auto q = ParsePattern("(a:0)-(b:1)-(c:2)").value();
+  EXPECT_EQ(q.NumVertices(), 3u);
+  EXPECT_EQ(q.NumEdges(), 2u);
+  EXPECT_TRUE(q.HasEdge(0, 1));
+  EXPECT_TRUE(q.HasEdge(1, 2));
+  EXPECT_FALSE(q.HasEdge(0, 2));
+}
+
+TEST(PatternTest, TriangleViaTwoChains) {
+  auto q = ParsePattern("(a:0)-(b:0)-(c:0); (a)-(c)").value();
+  EXPECT_EQ(q.NumVertices(), 3u);
+  EXPECT_EQ(q.NumEdges(), 3u);
+}
+
+TEST(PatternTest, NamedLabels) {
+  auto q =
+      ParsePattern("(p:Person)-(q:Person)-(c:City); (p)-(c)", LdbcNames()).value();
+  EXPECT_EQ(q.label(0), AsLabel(LdbcLabel::kPerson));
+  EXPECT_EQ(q.label(2), AsLabel(LdbcLabel::kCity));
+  EXPECT_EQ(q.NumEdges(), 3u);
+}
+
+TEST(PatternTest, EdgeLabels) {
+  auto q = ParsePattern("(a:0)-[:2]-(b:1)").value();
+  EXPECT_TRUE(q.has_edge_labels());
+  EXPECT_EQ(q.EdgeLabel(0, 1), 2u);
+}
+
+TEST(PatternTest, WhitespaceInsensitive) {
+  auto q = ParsePattern("  ( a : 0 ) - ( b : 1 ) ; ( a ) - ( b )  ").value();
+  EXPECT_EQ(q.NumVertices(), 2u);
+  EXPECT_EQ(q.NumEdges(), 1u);  // duplicate edge deduplicated
+}
+
+TEST(PatternTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("(a)").ok());            // first mention needs label
+  EXPECT_FALSE(ParsePattern("(a:0)-(a)").ok());      // self loop
+  EXPECT_FALSE(ParsePattern("(a:0)-(b:1").ok());     // missing ')'
+  EXPECT_FALSE(ParsePattern("(a:0) (b:1)").ok());    // missing '-'
+  EXPECT_FALSE(ParsePattern("(a:0)-(b:1);(c:2)").ok());  // disconnected
+  EXPECT_FALSE(ParsePattern("(a:0)-(b:1); (a:7)").ok());  // conflicting label
+  EXPECT_FALSE(ParsePattern("(a:Nope)-(b:0)").ok());  // unknown label name
+}
+
+TEST(PatternTest, ParsedQueryMatchesHandBuiltEquivalent) {
+  Graph g = testing::SmallLdbcGraph();
+  auto parsed = ParsePattern("(a:Person)-(b:Person)-(c:Person); (a)-(c)",
+                             LdbcNames())
+                    .value();
+  const QueryGraph q2 = LdbcQuery(2).value();  // the same friend triangle
+  EXPECT_EQ(RunFast(parsed, g).value().embeddings,
+            RunFast(q2, g).value().embeddings);
+}
+
+TEST(PatternTest, EdgeLabelledPatternEndToEnd) {
+  // Same relation graph as edge_label_test: friend(0) / enemy(1) edges.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 1).ok());
+  Graph g = std::move(b).Build().value();
+  auto friends = ParsePattern("(a:0)-[:0]-(b:0)").value();
+  auto enemies = ParsePattern("(a:0)-[:1]-(b:0)").value();
+  EXPECT_EQ(RunFast(friends, g).value().embeddings, 4u);  // 2 edges x 2 dirs
+  EXPECT_EQ(RunFast(enemies, g).value().embeddings, 2u);
+}
+
+}  // namespace
+}  // namespace fast

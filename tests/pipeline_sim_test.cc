@@ -1,0 +1,206 @@
+#include "fpga/pipeline_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kernel.h"
+#include "cst/cst.h"
+#include "query/matching_order.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+
+std::vector<RoundWork> UniformRounds(std::size_t n_rounds, std::uint32_t p,
+                                     std::uint16_t groups) {
+  return std::vector<RoundWork>(n_rounds, RoundWork{p, groups});
+}
+
+TEST(PipelineSimTest, RejectsInvalidConfig) {
+  FpgaConfig c;
+  c.clock_mhz = 0;
+  EXPECT_FALSE(SimulatePipeline(c, FastVariant::kBasic, {}).ok());
+}
+
+TEST(PipelineSimTest, EmptyTraceCostsNothing) {
+  FpgaConfig c;
+  auto r = SimulatePipeline(c, FastVariant::kSep, {}).value();
+  EXPECT_EQ(r.cycles, 0.0);
+  EXPECT_EQ(r.stall_cycles, 0.0);
+}
+
+TEST(PipelineSimTest, ZeroPartialRoundsAreSkipped) {
+  FpgaConfig c;
+  const auto rounds = UniformRounds(5, 0, 3);
+  auto r = SimulatePipeline(c, FastVariant::kTask, rounds).value();
+  EXPECT_EQ(r.cycles, 0.0);
+}
+
+TEST(PipelineSimTest, VariantOrderingHolds) {
+  FpgaConfig c;
+  const auto rounds = UniformRounds(64, 1024, 2);
+  const double dram = SimulatePipeline(c, FastVariant::kDram, rounds)->cycles;
+  const double basic = SimulatePipeline(c, FastVariant::kBasic, rounds)->cycles;
+  const double task = SimulatePipeline(c, FastVariant::kTask, rounds)->cycles;
+  const double sep = SimulatePipeline(c, FastVariant::kSep, rounds)->cycles;
+  EXPECT_GT(dram, basic);
+  EXPECT_GT(basic, task);
+  EXPECT_GT(task, sep);
+  EXPECT_GT(sep, 0.0);
+}
+
+TEST(PipelineSimTest, SerialSimTracksAnalyticModel) {
+  // On large uniform rounds the per-cycle simulation must land near the
+  // closed forms (within pipeline-fill slack).
+  FpgaConfig c;
+  c.max_new_partials = 1024;
+  const std::size_t n_rounds = 128;
+  const std::uint32_t p = 1024;
+  const std::uint16_t g = 2;
+  const auto rounds = UniformRounds(n_rounds, p, g);
+
+  KernelCounters counters;
+  counters.partial_results = n_rounds * p;
+  counters.edge_tasks = counters.partial_results * g;
+  counters.visited_tasks = counters.partial_results;
+  counters.rounds = n_rounds;
+
+  for (FastVariant v : {FastVariant::kBasic, FastVariant::kDram}) {
+    const double analytic = KernelCycles(c, v, counters);
+    const double simulated = SimulatePipeline(c, v, rounds)->cycles;
+    EXPECT_GT(simulated, 0.6 * analytic) << FastVariantName(v);
+    EXPECT_LT(simulated, 1.6 * analytic) << FastVariantName(v);
+  }
+}
+
+TEST(PipelineSimTest, OverlappedSimTracksAnalyticModel) {
+  FpgaConfig c;
+  const std::size_t n_rounds = 32;
+  const std::uint32_t p = 1024;
+  const std::uint16_t g = 2;
+  const auto rounds = UniformRounds(n_rounds, p, g);
+
+  KernelCounters counters;
+  counters.partial_results = n_rounds * p;
+  counters.edge_tasks = counters.partial_results * g;
+  counters.visited_tasks = counters.partial_results;
+  counters.rounds = n_rounds;
+
+  for (FastVariant v : {FastVariant::kTask, FastVariant::kSep}) {
+    const double analytic = KernelCycles(c, v, counters);
+    const double simulated = SimulatePipeline(c, v, rounds)->cycles;
+    EXPECT_GT(simulated, 0.5 * analytic) << FastVariantName(v);
+    EXPECT_LT(simulated, 2.0 * analytic) << FastVariantName(v);
+  }
+}
+
+TEST(PipelineSimTest, SepNeverSlowerThanTask) {
+  FpgaConfig c;
+  for (std::uint16_t groups : {std::uint16_t{0}, std::uint16_t{1},
+                               std::uint16_t{3}}) {
+    const auto rounds = UniformRounds(16, 512, groups);
+    const double task = SimulatePipeline(c, FastVariant::kTask, rounds)->cycles;
+    const double sep = SimulatePipeline(c, FastVariant::kSep, rounds)->cycles;
+    EXPECT_LE(sep, task + 1e-9) << "groups=" << groups;
+  }
+}
+
+TEST(PipelineSimTest, ShallowFifosDoNotDeadlockOrBlowUp) {
+  // Every module in the FAST pipeline runs at II=1, so the streams are
+  // rate-balanced and even depth-2 FIFOs neither deadlock nor degrade
+  // throughput materially -- which is why the paper can use plain
+  // hls::stream buffering without a sizing analysis.
+  FpgaConfig deep;
+  deep.fifo_depth = 1024;
+  FpgaConfig shallow = deep;
+  shallow.fifo_depth = 2;
+  const auto rounds = UniformRounds(16, 1024, 3);
+  for (FastVariant v : {FastVariant::kTask, FastVariant::kSep}) {
+    const auto d = SimulatePipeline(deep, v, rounds).value();
+    const auto s = SimulatePipeline(shallow, v, rounds).value();
+    EXPECT_GE(s.cycles, d.cycles - 1e-9) << FastVariantName(v);
+    EXPECT_LE(s.cycles, 1.25 * d.cycles) << FastVariantName(v);
+  }
+}
+
+TEST(PipelineSimTest, DeeperFifosNeverHurt) {
+  FpgaConfig c;
+  const auto rounds = UniformRounds(8, 512, 2);
+  double prev = 1e300;
+  for (std::uint32_t depth : {4u, 16u, 64u, 256u, 1024u}) {
+    c.fifo_depth = depth;
+    const double cycles = SimulatePipeline(c, FastVariant::kSep, rounds)->cycles;
+    EXPECT_LE(cycles, prev + 1e-9) << depth;
+    prev = cycles;
+  }
+}
+
+TEST(PipelineSimTest, FifoHighWaterBounded) {
+  FpgaConfig c;
+  c.fifo_depth = 64;
+  const auto rounds = UniformRounds(8, 1024, 2);
+  const auto r = SimulatePipeline(c, FastVariant::kSep, rounds).value();
+  EXPECT_LE(r.tv_fifo_high_water, 64u);
+  EXPECT_LE(r.tn_fifo_high_water, 64u);
+  EXPECT_GT(r.tv_fifo_high_water, 0u);
+}
+
+TEST(PipelineSimTest, NoEdgeTasksRetiresOnVisitedBitsAlone) {
+  FpgaConfig c;
+  const auto rounds = UniformRounds(4, 256, 0);
+  const auto r = SimulatePipeline(c, FastVariant::kTask, rounds).value();
+  // Roughly one cycle per p_o plus fills; far below the with-groups cost.
+  EXPECT_LT(r.cycles, 4.0 * (256 + 32));
+}
+
+// End-to-end: trace a real kernel run and simulate it.
+TEST(PipelineSimTest, KernelTraceFeedsSimulation) {
+  Graph g = SmallLdbcGraph(0.2);
+  QueryGraph q = LdbcQuery(2).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+  FpgaConfig config;
+
+  std::vector<RoundWork> trace;
+  auto run = RunKernel(cst, order, config, nullptr, &trace).value();
+  ASSERT_FALSE(trace.empty());
+
+  // The trace accounts for every expanded partial result.
+  std::uint64_t traced_partials = 0;
+  std::uint64_t traced_tn = 0;
+  for (const auto& r : trace) {
+    EXPECT_LE(r.new_partials, config.max_new_partials);
+    traced_partials += r.new_partials;
+    traced_tn += std::uint64_t{r.new_partials} * r.backward_groups;
+  }
+  EXPECT_EQ(traced_partials, run.counters.partial_results);
+  EXPECT_EQ(traced_tn, run.counters.edge_tasks);
+
+  // Simulated cycles track the analytic model within a factor of two on
+  // real (non-uniform) traces.
+  for (FastVariant v : {FastVariant::kBasic, FastVariant::kTask, FastVariant::kSep}) {
+    const double analytic = KernelCycles(config, v, run.counters);
+    const double simulated = SimulatePipeline(config, v, trace)->cycles;
+    EXPECT_GT(simulated, 0.3 * analytic) << FastVariantName(v);
+    EXPECT_LT(simulated, 3.0 * analytic) << FastVariantName(v);
+  }
+}
+
+TEST(PipelineSimTest, PaperExampleTrace) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  MatchingOrder order;
+  order.root = 0;
+  order.order = {0, 1, 2, 3};
+  std::vector<RoundWork> trace;
+  auto run = RunKernel(cst, order, FpgaConfig{}, nullptr, &trace).value();
+  EXPECT_EQ(run.embeddings, 2u);
+  ASSERT_FALSE(trace.empty());
+  auto sim = SimulatePipeline(FpgaConfig{}, FastVariant::kSep, trace).value();
+  EXPECT_GT(sim.cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,160 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperQuery;
+
+Graph PathGraph(std::size_t n) {
+  GraphBuilder b;
+  for (std::size_t i = 0; i < n; ++i) b.AddVertex(static_cast<Label>(i % 3));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1)).ok());
+  }
+  return std::move(b).Build().value();
+}
+
+TEST(QueryGraphTest, CreateRejectsEmpty) {
+  GraphBuilder b;
+  EXPECT_FALSE(QueryGraph::Create(std::move(b).Build().value()).ok());
+}
+
+TEST(QueryGraphTest, CreateRejectsDisconnected) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  EXPECT_FALSE(QueryGraph::Create(std::move(b).Build().value()).ok());
+}
+
+TEST(QueryGraphTest, CreateAcceptsSingleVertex) {
+  GraphBuilder b;
+  b.AddVertex(3);
+  auto q = QueryGraph::Create(std::move(b).Build().value(), "single");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVertices(), 1u);
+  EXPECT_EQ(q->name(), "single");
+}
+
+TEST(QueryGraphTest, HasEdgeMatchesGraph) {
+  QueryGraph q = PaperQuery();
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId w = 0; w < q.NumVertices(); ++w) {
+      EXPECT_EQ(q.HasEdge(u, w), q.graph().HasEdge(u, w)) << u << "," << w;
+    }
+  }
+}
+
+TEST(QueryGraphTest, NeighborMaskConsistent) {
+  QueryGraph q = PaperQuery();
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    std::uint64_t mask = 0;
+    for (VertexId w : q.neighbors(u)) mask |= 1ULL << w;
+    EXPECT_EQ(q.NeighborMask(u), mask);
+  }
+}
+
+TEST(QueryGraphTest, PaperQueryShape) {
+  QueryGraph q = PaperQuery();
+  EXPECT_EQ(q.NumVertices(), 4u);
+  EXPECT_EQ(q.NumEdges(), 5u);
+  EXPECT_EQ(q.label(0), 0u);  // A
+  EXPECT_EQ(q.label(3), 3u);  // D
+}
+
+// ---- BfsTree ----
+
+TEST(BfsTreeTest, PaperTreeStructure) {
+  QueryGraph q = PaperQuery();
+  BfsTree t = BfsTree::Build(q, 0);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.parent(0), kInvalidVertex);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 0u);
+  EXPECT_EQ(t.parent(3), 1u);  // first BFS parent of u3 is u1
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(3), 2u);
+  EXPECT_TRUE(t.IsLeaf(3));
+  EXPECT_TRUE(t.IsLeaf(2));
+  EXPECT_FALSE(t.IsLeaf(0));
+}
+
+TEST(BfsTreeTest, PaperNonTreeNeighbors) {
+  QueryGraph q = PaperQuery();
+  BfsTree t = BfsTree::Build(q, 0);
+  // Non-tree edges: (u1,u2) and (u2,u3).
+  const std::set<VertexId> n1(t.non_tree_neighbors(1).begin(),
+                              t.non_tree_neighbors(1).end());
+  const std::set<VertexId> n2(t.non_tree_neighbors(2).begin(),
+                              t.non_tree_neighbors(2).end());
+  EXPECT_EQ(n1, (std::set<VertexId>{2}));
+  EXPECT_EQ(n2, (std::set<VertexId>{1, 3}));
+  EXPECT_TRUE(t.non_tree_neighbors(0).empty());
+}
+
+TEST(BfsTreeTest, BfsOrderStartsAtRootAndCoversAll) {
+  QueryGraph q = PaperQuery();
+  for (VertexId root = 0; root < q.NumVertices(); ++root) {
+    BfsTree t = BfsTree::Build(q, root);
+    EXPECT_EQ(t.bfs_order().front(), root);
+    EXPECT_EQ(t.bfs_order().size(), q.NumVertices());
+    // Parent precedes child in BFS order.
+    std::vector<int> pos(q.NumVertices());
+    for (std::size_t i = 0; i < t.bfs_order().size(); ++i) pos[t.bfs_order()[i]] = i;
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      if (u != root) {
+        EXPECT_LT(pos[t.parent(u)], pos[u]);
+      }
+    }
+  }
+}
+
+TEST(BfsTreeTest, TreePlusNonTreeEqualsQueryEdges) {
+  QueryGraph q = PaperQuery();
+  BfsTree t = BfsTree::Build(q, 0);
+  std::size_t tree_edges = 0;
+  std::size_t non_tree_halves = 0;
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    if (u != t.root()) ++tree_edges;
+    non_tree_halves += t.non_tree_neighbors(u).size();
+  }
+  EXPECT_EQ(tree_edges + non_tree_halves / 2, q.NumEdges());
+}
+
+TEST(BfsTreeTest, PathGraphPaths) {
+  auto q = QueryGraph::Create(PathGraph(4)).value();
+  BfsTree t = BfsTree::Build(q, 0);
+  auto paths = t.RootToLeafPaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(BfsTreeTest, PaperQueryPaths) {
+  QueryGraph q = PaperQuery();
+  BfsTree t = BfsTree::Build(q, 0);
+  auto paths = t.RootToLeafPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  // One path through u1 to u3, one to the leaf u2 (order may vary).
+  std::set<std::vector<VertexId>> got(paths.begin(), paths.end());
+  EXPECT_TRUE(got.count({1, 3}) == 1);
+  EXPECT_TRUE(got.count({2}) == 1);
+}
+
+TEST(BfsTreeTest, MidPathRootSplitsPaths) {
+  auto q = QueryGraph::Create(PathGraph(5)).value();
+  BfsTree t = BfsTree::Build(q, 2);
+  auto paths = t.RootToLeafPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  std::set<std::vector<VertexId>> got(paths.begin(), paths.end());
+  EXPECT_TRUE(got.count({1, 0}) == 1);
+  EXPECT_TRUE(got.count({3, 4}) == 1);
+}
+
+}  // namespace
+}  // namespace fast

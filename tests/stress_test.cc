@@ -1,0 +1,128 @@
+// Randomized cross-validation: random data graphs x random connected query
+// shapes, every engine compared against the brute-force oracle. These sweeps
+// are the repository's last line of defence against corner cases the
+// structured tests don't reach (odd label distributions, disconnected-ish
+// candidate spaces, high-multiplicity automorphic queries).
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "core/driver.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace fast {
+namespace {
+
+using testing::BruteForceCount;
+
+Graph RandomGraph(Rng* rng, std::size_t n, std::size_t m, std::size_t n_labels) {
+  GraphBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.AddVertex(static_cast<Label>(rng->Uniform(n_labels)));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    FAST_CHECK_OK(b.AddEdge(static_cast<VertexId>(rng->Uniform(n)),
+                            static_cast<VertexId>(rng->Uniform(n))));
+  }
+  auto g = b.Build();
+  FAST_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+// Random connected query: a spanning path plus random extra edges.
+QueryGraph RandomQuery(Rng* rng, std::size_t n, std::size_t extra_edges,
+                       std::size_t n_labels) {
+  GraphBuilder b;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.AddVertex(static_cast<Label>(rng->Uniform(n_labels)));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    FAST_CHECK_OK(b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1)));
+  }
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u != v) FAST_CHECK_OK(b.AddEdge(u, v));
+  }
+  auto g = b.Build();
+  FAST_CHECK(g.ok());
+  auto q = QueryGraph::Create(std::move(g).value(), "random");
+  FAST_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, FastMatchesBruteForceOnRandomInputs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n_labels = 2 + rng.Uniform(3);
+    Graph g = RandomGraph(&rng, 40 + rng.Uniform(60), 150 + rng.Uniform(250),
+                          n_labels);
+    const std::size_t qn = 3 + rng.Uniform(3);
+    QueryGraph q = RandomQuery(&rng, qn, rng.Uniform(3), n_labels);
+    const std::uint64_t truth = BruteForceCount(q, g);
+    auto r = RunFast(q, g);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->embeddings, truth) << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+TEST_P(StressTest, PartitionPressureDoesNotChangeCounts) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  const std::size_t n_labels = 3;
+  Graph g = RandomGraph(&rng, 120, 600, n_labels);
+  QueryGraph q = RandomQuery(&rng, 4, 2, n_labels);
+  const std::uint64_t truth = BruteForceCount(q, g);
+  for (std::size_t words : {std::size_t{0}, std::size_t{2048}, std::size_t{256},
+                            std::size_t{64}}) {
+    FastRunOptions options;
+    options.partition.max_size_words = words;
+    options.partition.max_degree = words == 0 ? 0 : 1 << 16;
+    auto r = RunFast(q, g, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->embeddings, truth) << "seed=" << GetParam() << " words=" << words;
+  }
+}
+
+TEST_P(StressTest, AllBaselinesAgreeOnRandomInputs) {
+  Rng rng(GetParam() ^ 0x1234567);
+  const std::size_t n_labels = 3;
+  Graph g = RandomGraph(&rng, 60, 260, n_labels);
+  QueryGraph q = RandomQuery(&rng, 4, 1, n_labels);
+  const std::uint64_t truth = BruteForceCount(q, g);
+  for (BaselineKind kind : {BaselineKind::kCfl, BaselineKind::kDaf,
+                            BaselineKind::kCeci, BaselineKind::kGpsm,
+                            BaselineKind::kGsi}) {
+    auto r = MakeBaseline(kind)->Run(q, g, BaselineOptions{});
+    ASSERT_TRUE(r.ok()) << MakeBaseline(kind)->name();
+    EXPECT_EQ(r->embeddings, truth)
+        << MakeBaseline(kind)->name() << " seed=" << GetParam();
+  }
+}
+
+TEST_P(StressTest, ShareAndVariantsInvariantOnRandomInputs) {
+  Rng rng(GetParam() ^ 0xFEDCBA);
+  Graph g = RandomGraph(&rng, 100, 500, 3);
+  QueryGraph q = RandomQuery(&rng, 5, 2, 3);
+  const std::uint64_t truth = BruteForceCount(q, g);
+  for (FastVariant v : {FastVariant::kDram, FastVariant::kBasic,
+                        FastVariant::kTask, FastVariant::kSep}) {
+    FastRunOptions options;
+    options.variant = v;
+    options.cpu_share_delta = v == FastVariant::kDram ? 0.0 : 0.15;
+    options.partition.max_size_words = 1024;
+    options.partition.max_degree = 1 << 16;
+    auto r = RunFast(q, g, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->embeddings, truth) << FastVariantName(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace fast

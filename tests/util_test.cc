@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace fast {
+namespace {
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PowerLawIsSkewedTowardZero) {
+  Rng rng(19);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.PowerLaw(100, 2.0)];
+  // Head must dominate the tail.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 10000);
+}
+
+TEST(RngTest, PowerLawSingletonAlwaysZero) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.PowerLaw(1, 2.0), 0u);
+}
+
+TEST(RngTest, PowerLawStaysInRange) {
+  Rng rng(29);
+  for (double alpha : {0.5, 1.0, 1.5, 2.5}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.PowerLaw(37, alpha), 37u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---- Stats ----
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(StatsTest, HumanCount) {
+  EXPECT_EQ(HumanCount(950), "950.00");
+  EXPECT_EQ(HumanCount(3.18e6), "3.18M");
+  EXPECT_EQ(HumanCount(1.25e9), "1.25B");
+}
+
+TEST(StatsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00B");
+  EXPECT_EQ(HumanBytes(1536), "1.50KiB");
+  EXPECT_EQ(HumanBytes(35.0 * 1024 * 1024), "35.00MiB");
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({5.0, 0.0}), 0.0);  // non-positive input
+}
+
+// ---- Timer ----
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedMillis(), 15.0);
+  EXPECT_LT(t.ElapsedMillis(), 5000.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 15.0);
+}
+
+TEST(TimerTest, AccumulatingTimerSumsIntervals) {
+  AccumulatingTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Stop();
+  const double first = t.TotalSeconds();
+  EXPECT_GT(first, 0.0);
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Stop();
+  EXPECT_GT(t.TotalSeconds(), first);
+  t.Clear();
+  EXPECT_EQ(t.TotalSeconds(), 0.0);
+}
+
+// ---- Logging ----
+
+TEST(LoggingTest, SeverityThresholdControlsEmission) {
+  const LogSeverity old = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  ::testing::internal::CaptureStderr();
+  FAST_LOG(INFO) << "hidden";
+  FAST_LOG(ERROR) << "visible";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetMinLogSeverity(old);
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("visible"), std::string::npos);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  FAST_CHECK(1 + 1 == 2) << "never printed";
+  FAST_CHECK_EQ(4, 4);
+  FAST_CHECK_LT(1, 2);
+  FAST_CHECK_LE(2, 2);
+  FAST_CHECK_GT(3, 2);
+  FAST_CHECK_GE(3, 3);
+  FAST_CHECK_NE(1, 2);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(FAST_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(FAST_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,99 @@
+#include "cst/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_matcher.h"
+#include "cst/cst.h"
+#include "query/matching_order.h"
+#include "test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::SmallLdbcGraph;
+
+// Counts spanning-tree embeddings (ignoring non-tree edges and injectivity),
+// the exact quantity W_CST estimates.
+std::uint64_t TreeEmbeddingCount(const Cst& cst) {
+  const BfsTree& tree = cst.layout().tree();
+  std::vector<std::vector<std::uint64_t>> c(cst.NumQueryVertices());
+  const auto& order = tree.bfs_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId u = *it;
+    c[u].assign(cst.NumCandidates(u), 1);
+    for (VertexId uc : tree.children(u)) {
+      for (std::size_t i = 0; i < c[u].size(); ++i) {
+        std::uint64_t sum = 0;
+        for (std::uint32_t t : cst.Neighbors(u, uc, static_cast<std::uint32_t>(i))) {
+          sum += c[uc][t];
+        }
+        c[u][i] *= sum;
+      }
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t v : c[tree.root()]) total += v;
+  return total;
+}
+
+TEST(WorkloadTest, PaperExampleWorkload) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  // Both embeddings survive refinement; tree-embedding count on the refined
+  // CST is an upper bound on (here: close to) the true count.
+  const double w = EstimateWorkload(cst);
+  EXPECT_EQ(w, static_cast<double>(TreeEmbeddingCount(cst)));
+  EXPECT_GE(w, 2.0);
+}
+
+TEST(WorkloadTest, EmptyCstHasZeroWorkload) {
+  // A query label absent from G yields empty candidate sets.
+  GraphBuilder qb;
+  qb.AddVertex(9);
+  qb.AddVertex(9);
+  ASSERT_TRUE(qb.AddEdge(0, 1).ok());
+  auto q = QueryGraph::Create(std::move(qb).Build().value()).value();
+  Cst cst = BuildCst(q, PaperDataGraph(), 0).value();
+  EXPECT_EQ(EstimateWorkload(cst), 0.0);
+}
+
+TEST(WorkloadTest, LeafTablesAreAllOnes) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  // u3 is a leaf of t_q rooted at u0.
+  const auto table = WorkloadTable(cst, 3);
+  ASSERT_EQ(table.size(), cst.NumCandidates(3));
+  for (double v : table) EXPECT_EQ(v, 1.0);
+}
+
+TEST(WorkloadTest, RootTableSumsToTotal) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  const auto table = WorkloadTable(cst, 0);
+  double sum = 0;
+  for (double v : table) sum += v;
+  EXPECT_DOUBLE_EQ(sum, EstimateWorkload(cst));
+}
+
+// Property: W_CST equals the exact tree-embedding DP count and upper-bounds
+// the true embedding count, on every LDBC query.
+class WorkloadPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadPropertyTest, MatchesTreeDpAndBoundsTrueCount) {
+  Graph g = SmallLdbcGraph();
+  QueryGraph q = LdbcQuery(GetParam()).value();
+  auto order = ComputeMatchingOrder(q, g, OrderPolicy::kPathBased).value();
+  Cst cst = BuildCst(q, g, order.root).value();
+
+  const double w = EstimateWorkload(cst);
+  EXPECT_DOUBLE_EQ(w, static_cast<double>(TreeEmbeddingCount(cst)));
+
+  ResultCollector collector;
+  const std::uint64_t exact = MatchCstOnCpu(cst, order, &collector).value();
+  EXPECT_GE(w, static_cast<double>(exact)) << q.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLdbcQueries, WorkloadPropertyTest,
+                         ::testing::Range(0, kNumLdbcQueries));
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,180 @@
+// fast_match: run subgraph matching from the command line.
+//
+//   fast_match --data graph.txt --query q2.txt [--algo fast] [--variant sep]
+//              [--delta 0.1] [--threads 1] [--order path|cfl|daf|ceci]
+//              [--store N] [--time-limit SECONDS]
+//
+// Algorithms: fast (CPU-FPGA pipeline, simulated device), cfl, daf, ceci,
+// gpsm, gsi (host baselines). Prints the embedding count, a timing breakdown
+// and optionally the first N embeddings.
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/baseline.h"
+#include "core/driver.h"
+#include "graph/graph_io.h"
+#include "ldbc/ldbc.h"
+#include "query/pattern.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+using namespace fast;
+
+StatusOr<FastVariant> ParseVariant(const std::string& name) {
+  if (name == "dram") return FastVariant::kDram;
+  if (name == "basic") return FastVariant::kBasic;
+  if (name == "task") return FastVariant::kTask;
+  if (name == "sep") return FastVariant::kSep;
+  return Status::InvalidArgument("unknown variant: " + name);
+}
+
+StatusOr<OrderPolicy> ParseOrder(const std::string& name) {
+  if (name == "path") return OrderPolicy::kPathBased;
+  if (name == "cfl") return OrderPolicy::kCfl;
+  if (name == "daf") return OrderPolicy::kDaf;
+  if (name == "ceci") return OrderPolicy::kCeci;
+  if (name == "random") return OrderPolicy::kRandom;
+  return Status::InvalidArgument("unknown order policy: " + name);
+}
+
+void PrintEmbeddings(const std::vector<Embedding>& embeddings) {
+  for (const auto& e : embeddings) {
+    std::printf("match:");
+    for (std::size_t u = 0; u < e.size(); ++u) std::printf(" u%zu->v%u", u, e[u]);
+    std::printf("\n");
+  }
+}
+
+int Run(int argc, char** argv) {
+  auto flags = tools::FlagParser::Parse(
+      argc, argv,
+      {"data", "query", "pattern", "algo", "variant", "delta", "threads", "order",
+       "store", "time-limit", "help"});
+  if (!flags.ok() || flags->Has("help")) {
+    std::fprintf(
+        stderr,
+        "usage: fast_match --data FILE (--query FILE | --pattern EXPR)\n"
+        "                  [--algo fast|cfl|daf|ceci|gpsm|gsi]\n"
+        "                  [--variant dram|basic|task|sep] [--delta D] "
+        "[--threads N]\n"
+        "                  [--order path|cfl|daf|ceci|random] [--store N] "
+        "[--time-limit S]\n"
+        "pattern example: \"(a:Person)-(b:Person)-(c:Person); (a)-(c)\"\n%s\n",
+        flags.ok() ? "" : flags.status().ToString().c_str());
+    return flags.ok() ? 0 : 2;
+  }
+
+  auto data = LoadGraphFile(flags->GetString("data", ""));
+  if (!data.ok()) {
+    std::fprintf(stderr, "data: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  StatusOr<QueryGraph> query = Status::InvalidArgument(
+      "exactly one of --query or --pattern is required");
+  if (flags->Has("pattern") && !flags->Has("query")) {
+    // LDBC label names are registered so patterns can say (p:Person).
+    std::map<std::string, Label> names;
+    for (std::size_t i = 0; i < kNumLdbcLabels; ++i) {
+      names[LdbcLabelName(static_cast<LdbcLabel>(i))] = static_cast<Label>(i);
+    }
+    query = ParsePattern(flags->GetString("pattern", ""), names, "cli-pattern");
+  } else if (flags->Has("query") && !flags->Has("pattern")) {
+    auto query_graph = LoadGraphFile(flags->GetString("query", ""));
+    if (!query_graph.ok()) {
+      std::fprintf(stderr, "query: %s\n", query_graph.status().ToString().c_str());
+      return 1;
+    }
+    query = QueryGraph::Create(std::move(*query_graph), "cli-query");
+  }
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("data:  %s\nquery: %zu vertices, %zu edges\n", data->Summary().c_str(),
+              query->NumVertices(), query->NumEdges());
+
+  const std::string algo = flags->GetString("algo", "fast");
+  const auto store = static_cast<std::size_t>(flags->GetInt("store", 0));
+
+  if (algo == "fast") {
+    FastRunOptions options;
+    auto variant = ParseVariant(flags->GetString("variant", "sep"));
+    if (!variant.ok()) {
+      std::fprintf(stderr, "%s\n", variant.status().ToString().c_str());
+      return 2;
+    }
+    options.variant = *variant;
+    options.cpu_share_delta = flags->GetDouble("delta", 0.0);
+    auto order = ParseOrder(flags->GetString("order", "path"));
+    if (!order.ok()) {
+      std::fprintf(stderr, "%s\n", order.status().ToString().c_str());
+      return 2;
+    }
+    options.order_policy = *order;
+    options.store_limit = store;
+
+    auto r = RunFast(*query, *data, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "match: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("embeddings:      %llu\n",
+                static_cast<unsigned long long>(r->embeddings));
+    std::printf("partitions:      %zu (FPGA %zu / CPU %zu)\n",
+                r->partition_stats.num_partitions + r->cpu_partitions,
+                r->fpga_partitions, r->cpu_partitions);
+    std::printf("host build:      %.3f ms\n", r->build_seconds * 1e3);
+    std::printf("host partition:  %.3f ms\n", r->partition_seconds * 1e3);
+    std::printf("cpu share:       %.3f ms\n", r->cpu_share_seconds * 1e3);
+    std::printf("kernel (sim):    %.3f ms\n", r->kernel_seconds * 1e3);
+    std::printf("pcie (sim):      %.3f ms\n", r->pcie_seconds * 1e3);
+    std::printf("total:           %.3f ms\n", r->total_seconds * 1e3);
+    PrintEmbeddings(r->sample_embeddings);
+    return 0;
+  }
+
+  BaselineKind kind;
+  unsigned threads = static_cast<unsigned>(flags->GetInt("threads", 1));
+  if (algo == "cfl") {
+    kind = BaselineKind::kCfl;
+  } else if (algo == "daf") {
+    kind = BaselineKind::kDaf;
+  } else if (algo == "ceci") {
+    kind = BaselineKind::kCeci;
+  } else if (algo == "gpsm") {
+    kind = BaselineKind::kGpsm;
+  } else if (algo == "gsi") {
+    kind = BaselineKind::kGsi;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 2;
+  }
+
+  BaselineOptions options;
+  options.num_threads = threads;
+  options.store_limit = store;
+  options.time_limit_seconds = flags->GetDouble("time-limit", 3600.0);
+  auto matcher = MakeBaseline(kind);
+  auto r = matcher->Run(*query, *data, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", matcher->name().c_str(),
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("embeddings: %llu\n", static_cast<unsigned long long>(r->embeddings));
+  std::printf("elapsed:    %.3f ms (%s, %u thread%s)\n", r->seconds * 1e3,
+              matcher->name().c_str(), threads, threads == 1 ? "" : "s");
+  if (r->peak_memory_bytes > 0) {
+    std::printf("device mem: %.1f MiB peak\n",
+                static_cast<double>(r->peak_memory_bytes) / (1 << 20));
+  }
+  PrintEmbeddings(r->sample_embeddings);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

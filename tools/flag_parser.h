@@ -1,0 +1,73 @@
+#ifndef FAST_TOOLS_FLAG_PARSER_H_
+#define FAST_TOOLS_FLAG_PARSER_H_
+
+// Dependency-free `--flag=value` / `--flag value` parser for the CLI tools.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fast::tools {
+
+class FlagParser {
+ public:
+  // Parses argv; unknown flags are errors, bare arguments are collected in
+  // positional().
+  static StatusOr<FlagParser> Parse(int argc, char** argv,
+                                    const std::vector<std::string>& known_flags) {
+    FlagParser p;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        p.positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      std::string value;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // boolean flag
+      }
+      bool known = false;
+      for (const auto& k : known_flags) known |= (k == arg);
+      if (!known) return Status::InvalidArgument("unknown flag --" + arg);
+      p.values_[arg] = value;
+    }
+    return p;
+  }
+
+  bool Has(const std::string& flag) const { return values_.count(flag) != 0; }
+
+  std::string GetString(const std::string& flag, std::string default_value) const {
+    auto it = values_.find(flag);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  double GetDouble(const std::string& flag, double default_value) const {
+    auto it = values_.find(flag);
+    return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  }
+
+  long long GetInt(const std::string& flag, long long default_value) const {
+    auto it = values_.find(flag);
+    return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fast::tools
+
+#endif  // FAST_TOOLS_FLAG_PARSER_H_
