@@ -1,0 +1,184 @@
+// bench_service: fixed-duration throughput/latency benchmark of the
+// concurrent query-serving layer (src/service/), in the style of silo's
+// bench_runner: spawn client threads, hold a start barrier, hammer the
+// service for a fixed wall-clock window, then aggregate queries/sec.
+//
+//   bench_service [--sf 0.3] [--duration 3] [--clients 8] [--workers 0]
+//                 [--queries 0,1,2] [--deadline-ms 0]
+//
+// Runs the same repeated-query workload twice — plan/CST cache enabled and
+// disabled — and prints both, so the cache's effect on throughput is part of
+// the benchmark output. Unlike the per-figure binaries this is a plain
+// binary (no google-benchmark): the quantity under test is sustained service
+// throughput, not per-call time.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ldbc/ldbc.h"
+#include "service/match_service.h"
+#include "tools/flag_parser.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fast;
+using service::MatchService;
+using service::ServiceOptions;
+using service::ServiceStats;
+
+struct PhaseResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+};
+
+// Device model scaled to the shrunken datasets, as in bench_common.h.
+FpgaConfig ServeBenchFpgaConfig() {
+  FpgaConfig c;
+  c.bram_words = 128 * 1024;
+  c.port_max = 65536;
+  c.max_new_partials = 1024;
+  return c;
+}
+
+PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
+                     std::size_t cache_capacity, std::size_t workers,
+                     std::size_t clients, double duration_seconds,
+                     double deadline_seconds) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 512;
+  options.plan_cache_capacity = cache_capacity;
+  options.default_deadline_seconds = deadline_seconds;
+  options.run.fpga = ServeBenchFpgaConfig();
+  MatchService svc(graph, options);
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0x5110 + c);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const QueryGraph& q = mix[rng.Uniform(mix.size())];
+        auto id = svc.Submit(q);
+        if (!id.ok()) continue;  // admission control: queue full
+        svc.Wait(*id);
+      }
+    });
+  }
+  while (ready.load() < clients) std::this_thread::yield();
+
+  go.store(true, std::memory_order_release);  // bombs away (silo barrier_b)
+  Timer wall;
+  while (wall.ElapsedSeconds() < duration_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  const ServiceStats stats = svc.stats();
+  PhaseResult r;
+  r.qps = static_cast<double>(stats.completed) / elapsed;
+  r.p50_ms = stats.latency.P50() * 1e3;
+  r.p99_ms = stats.latency.P99() * 1e3;
+  r.hit_rate = stats.cache.HitRate();
+  r.completed = stats.completed;
+  r.rejected = stats.rejected_queue_full + stats.rejected_deadline;
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  auto flags = tools::FlagParser::Parse(
+      argc, argv,
+      {"sf", "duration", "clients", "workers", "queries", "deadline-ms", "help"},
+      /*bool_flags=*/{"help"});
+  if (!flags.ok() || flags->Has("help")) {
+    std::fprintf(stderr,
+                 "usage: bench_service [--sf S] [--duration SEC] [--clients N]\n"
+                 "                     [--workers N] [--queries I,J,...]\n"
+                 "                     [--deadline-ms MS]\n%s\n",
+                 flags.ok() ? "" : flags.status().ToString().c_str());
+    return flags.ok() ? 0 : 2;
+  }
+  double sf, duration, deadline_ms;
+  std::size_t clients, workers;
+  FAST_FLAG_ASSIGN_OR_USAGE(sf, flags->GetDouble("sf", 0.3));
+  FAST_FLAG_ASSIGN_OR_USAGE(duration, flags->GetDouble("duration", 3.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(deadline_ms, flags->GetDouble("deadline-ms", 0.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(clients, flags->GetSizeT("clients", 8));
+  FAST_FLAG_ASSIGN_OR_USAGE(workers, flags->GetSizeT("workers", 0));
+
+  LdbcConfig config;
+  config.scale_factor = sf;
+  config.seed = 42;
+  auto graph = GenerateLdbcGraph(config);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generate: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("data: %s\n", graph->Summary().c_str());
+
+  std::vector<QueryGraph> mix;
+  const std::string spec = flags->GetString("queries", "0,1,2");
+  for (std::size_t pos = 0; pos < spec.size();) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const long index = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || index < 0 ||
+        index >= kNumLdbcQueries) {
+      std::fprintf(stderr, "--queries: bad LDBC query index \"%s\" (want 0..%d)\n",
+                   token.c_str(), kNumLdbcQueries - 1);
+      return 2;
+    }
+    auto q = LdbcQuery(static_cast<int>(index));
+    if (!q.ok()) return 1;
+    mix.push_back(std::move(q).value());
+  }
+  if (mix.empty()) {
+    std::fprintf(stderr, "--queries: no queries specified\n");
+    return 2;
+  }
+  std::printf("mix: %zu queries, %zu clients, %.1fs per phase\n\n", mix.size(),
+              clients, duration);
+
+  const PhaseResult off = RunPhase(*graph, mix, /*cache_capacity=*/0, workers,
+                                   clients, duration, deadline_ms / 1e3);
+  const PhaseResult on = RunPhase(*graph, mix, /*cache_capacity=*/64, workers,
+                                  clients, duration, deadline_ms / 1e3);
+
+  std::printf("%-12s %12s %10s %10s %10s %12s %10s\n", "phase", "queries/sec",
+              "p50 ms", "p99 ms", "hit rate", "completed", "rejected");
+  auto row = [](const char* name, const PhaseResult& r) {
+    std::printf("%-12s %12.1f %10.3f %10.3f %9.1f%% %12llu %10llu\n", name, r.qps,
+                r.p50_ms, r.p99_ms, r.hit_rate * 100.0,
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.rejected));
+  };
+  row("cache-off", off);
+  row("cache-on", on);
+  std::printf("\ncache speedup: %.2fx queries/sec (%.1f -> %.1f)\n",
+              off.qps > 0 ? on.qps / off.qps : 0.0, off.qps, on.qps);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -27,29 +27,43 @@ PartitionConfig DerivePartitionConfig(const FpgaConfig& fpga, std::size_t query_
 
 StatusOr<FastRunResult> RunFast(const QueryGraph& q, const Graph& g,
                                 const FastRunOptions& options) {
+  // Reject invalid configs before paying for order computation and CST
+  // construction (RunFastWithCst re-checks for its direct callers).
   FAST_RETURN_IF_ERROR(options.fpga.Validate());
   if (options.cpu_share_delta < 0.0 || options.cpu_share_delta >= 1.0) {
     return Status::InvalidArgument("cpu_share_delta must be in [0, 1)");
   }
 
-  FastRunResult result;
-
   // --- Matching order. ---
+  MatchingOrder order;
   if (options.explicit_order.has_value()) {
     FAST_RETURN_IF_ERROR(ValidateOrder(q, options.explicit_order->order));
-    result.order = *options.explicit_order;
+    order = *options.explicit_order;
   } else {
-    FAST_ASSIGN_OR_RETURN(result.order,
-                          ComputeMatchingOrder(q, g, options.order_policy));
+    FAST_ASSIGN_OR_RETURN(order, ComputeMatchingOrder(q, g, options.order_policy));
   }
 
   // --- (1) CST construction. ---
   Timer build_timer;
-  FAST_ASSIGN_OR_RETURN(Cst cst,
-                        BuildCst(q, g, result.order.root, options.cst_build));
-  result.build_seconds = build_timer.ElapsedSeconds();
+  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, g, order.root, options.cst_build));
+  return RunFastWithCst(cst, order, options, build_timer.ElapsedSeconds());
+}
+
+StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& order,
+                                       const FastRunOptions& options,
+                                       double build_seconds) {
+  FAST_RETURN_IF_ERROR(options.fpga.Validate());
+  if (options.cpu_share_delta < 0.0 || options.cpu_share_delta >= 1.0) {
+    return Status::InvalidArgument("cpu_share_delta must be in [0, 1)");
+  }
+
+  const QueryGraph& q = cst.layout().query();
+  FastRunResult result;
+  result.order = order;
+  result.build_seconds = build_seconds;
 
   ResultCollector collector(options.store_limit);
+  if (options.embedding_callback) collector.SetCallback(options.embedding_callback);
 
   // --- FAST-DRAM strawman: no partitioning, CST stays in card DRAM. ---
   if (options.variant == FastVariant::kDram) {

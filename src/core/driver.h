@@ -18,7 +18,9 @@
 //   total = build + max(partition + cpu_share, pcie + kernel)
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 
 #include "cst/cst.h"
 #include "cst/partition.h"
@@ -53,6 +55,10 @@ struct FastRunOptions {
 
   // Store up to this many embeddings in the result (0 = count only).
   std::size_t store_limit = 0;
+
+  // Streaming per-embedding callback, invoked from the matching thread as
+  // results are found (before storage). Independent of store_limit.
+  std::function<void(std::span<const VertexId>)> embedding_callback;
 };
 
 struct FastRunResult {
@@ -84,8 +90,23 @@ struct FastRunResult {
 };
 
 // Runs the full FAST pipeline for query q over data graph g.
+//
+// Reentrancy: RunFast keeps all state on the stack (no globals, no shared
+// mutable caches), so concurrent calls over the same immutable Graph are
+// safe. The service layer (src/service/) relies on this.
 StatusOr<FastRunResult> RunFast(const QueryGraph& q, const Graph& g,
                                 const FastRunOptions& options = {});
+
+// Runs steps (2)-(6) of the pipeline from a prebuilt CST and matching order,
+// skipping order computation and CST construction. This is the cache-hit
+// path of the service layer: a deserialized CST image re-enters the pipeline
+// here. `order` must be tree-connected with order.root equal to the CST's
+// BFS-tree root. `build_seconds` is reported in the result (pass the
+// measured construction time, or 0 when the CST came from a cache).
+// `options.explicit_order` and `options.order_policy` are ignored.
+StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& order,
+                                       const FastRunOptions& options = {},
+                                       double build_seconds = 0.0);
 
 // Effective partition thresholds for a device (δ_S, δ_D derivation).
 PartitionConfig DerivePartitionConfig(const FpgaConfig& fpga, std::size_t query_size,

@@ -1,0 +1,294 @@
+#include "service/match_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "cst/cst_serialize.h"
+#include "service/query_signature.h"
+
+namespace fast::service {
+
+struct MatchService::Request {
+  RequestId id = 0;
+  CanonicalQuery canonical;
+  RequestOptions opts;
+  double deadline_seconds = 0.0;  // resolved; 0 = none
+  Timer submitted;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RequestResult result;
+};
+
+namespace {
+
+bool IsIdentity(const std::vector<VertexId>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != i) return false;
+  }
+  return true;
+}
+
+// Remaps an embedding from canonical numbering back to the submitted
+// numbering: submitted vertex u matched canonical position to_canonical[u].
+void RemapEmbedding(const std::vector<VertexId>& to_canonical,
+                    std::span<const VertexId> canonical, Embedding* out) {
+  out->resize(to_canonical.size());
+  for (std::size_t u = 0; u < to_canonical.size(); ++u) {
+    (*out)[u] = canonical[to_canonical[u]];
+  }
+}
+
+}  // namespace
+
+std::string ServiceStats::Summary() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "qps=%.1f completed=%llu failed=%llu rejected(queue=%llu "
+                "deadline=%llu) cache(hit_rate=%.1f%% entries=%zu) latency[%s]",
+                QueriesPerSecond(), static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(rejected_queue_full),
+                static_cast<unsigned long long>(rejected_deadline),
+                cache.HitRate() * 100.0, cache.entries,
+                latency.Summary().c_str());
+  return buf;
+}
+
+MatchService::MatchService(Graph graph, ServiceOptions options)
+    : graph_(std::move(graph)),
+      options_(std::move(options)),
+      cache_(options_.plan_cache_capacity),
+      queue_(options_.queue_capacity) {
+  std::size_t n = options_.num_workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MatchService::~MatchService() { Shutdown(); }
+
+StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
+                                                       RequestOptions opts) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("service is shut down");
+  }
+  // Cheap admission pre-check: don't pay for canonicalization when the queue
+  // is already full (the authoritative check is still the TryPush below).
+  if (queue_.size() >= queue_.capacity()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_queue_full_;
+    return Status::ResourceExhausted("request queue full");
+  }
+
+  auto req = std::make_shared<Request>();
+  FAST_ASSIGN_OR_RETURN(req->canonical, CanonicalizeQuery(q));
+  req->opts = std::move(opts);
+  req->deadline_seconds = req->opts.deadline_seconds >= 0.0
+                              ? req->opts.deadline_seconds
+                              : options_.default_deadline_seconds;
+
+  RequestId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("service is shut down");
+    id = next_id_++;
+    req->id = id;
+    pending_.emplace(id, req);
+    ++submitted_;
+  }
+
+  if (!queue_.TryPush(req)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(id);
+    --submitted_;  // submitted_ counts admitted requests only
+    ++rejected_queue_full_;
+    return Status::ResourceExhausted("request queue full");
+  }
+  return id;
+}
+
+RequestResult MatchService::Wait(RequestId id) {
+  std::shared_ptr<Request> req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      RequestResult r;
+      r.status = Status::NotFound("unknown or already-waited request id");
+      return r;
+    }
+    req = it->second;
+    pending_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(req->mu);
+  req->cv.wait(lock, [&] { return req->done; });
+  return std::move(req->result);
+}
+
+StatusOr<RequestResult> MatchService::SubmitAndWait(const QueryGraph& q,
+                                                    RequestOptions opts) {
+  FAST_ASSIGN_OR_RETURN(RequestId id, Submit(q, std::move(opts)));
+  RequestResult result = Wait(id);
+  FAST_RETURN_IF_ERROR(result.status);
+  return result;
+}
+
+void MatchService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  // Workers drain the queued backlog, then exit on the closed queue.
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void MatchService::WorkerLoop() {
+  while (auto item = queue_.Pop()) {
+    std::shared_ptr<Request> req = std::move(*item);
+    RequestResult result;
+    result.queue_seconds = req->submitted.ElapsedSeconds();
+    if (req->deadline_seconds > 0.0 && result.queue_seconds > req->deadline_seconds) {
+      result.status = Status::DeadlineExceeded("deadline passed while queued");
+    } else {
+      Execute(*req, &result);
+    }
+    Finish(std::move(req), std::move(result));
+  }
+}
+
+void MatchService::Execute(Request& req, RequestResult* result) {
+  FastRunOptions run = options_.run;
+  run.explicit_order.reset();
+  run.store_limit = req.opts.store_limit;
+
+  const std::vector<VertexId>& to_canonical = req.canonical.to_canonical;
+  const bool identity = IsIdentity(to_canonical);
+  // Per-request callback overrides the base-config one; either way the
+  // callback must observe embeddings in the submitted numbering, so wrap it
+  // with the canonical->submitted remap when the permutation is non-trivial.
+  const std::function<void(std::span<const VertexId>)>& callback =
+      req.opts.on_embedding ? req.opts.on_embedding : options_.run.embedding_callback;
+  if (callback) {
+    if (identity) {
+      run.embedding_callback = callback;
+    } else {
+      run.embedding_callback = [&callback, &to_canonical,
+                                scratch = Embedding()](
+                                   std::span<const VertexId> emb) mutable {
+        RemapEmbedding(to_canonical, emb, &scratch);
+        callback(scratch);
+      };
+    }
+  }
+
+  StatusOr<FastRunResult> r = Status::Internal("unreachable");
+  bool ran_from_cache = false;
+  if (options_.plan_cache_capacity > 0) {
+    std::shared_ptr<const CachedPlan> plan = cache_.Lookup(req.canonical.key);
+    if (plan != nullptr) {
+      // Cache hit: rebuild the CST from the serialized image (the same flat
+      // words that would cross PCIe), skipping order computation and Alg. 1
+      // construction entirely.
+      StatusOr<Cst> cst = DeserializeCst(plan->layout, plan->cst_image);
+      if (cst.ok()) {
+        ran_from_cache = true;
+        result->cache_hit = true;
+        r = RunFastWithCst(*cst, plan->order, run, /*build_seconds=*/0.0);
+      }
+      // A corrupt image falls through to a fresh build below (and its
+      // Insert replaces the bad entry) instead of failing every hit.
+    }
+  }
+  if (!ran_from_cache) r = BuildAndRun(req, run);
+
+  if (!r.ok()) {
+    result->status = r.status();
+    return;
+  }
+  result->run = std::move(*r);
+  if (!identity) {
+    // Everything client-visible is reported in the submitted numbering: the
+    // sample embeddings and the matching order (root + visit sequence).
+    for (Embedding& e : result->run.sample_embeddings) {
+      Embedding remapped;
+      RemapEmbedding(to_canonical, e, &remapped);
+      e = std::move(remapped);
+    }
+    std::vector<VertexId> from_canonical(to_canonical.size());
+    for (std::size_t u = 0; u < to_canonical.size(); ++u) {
+      from_canonical[to_canonical[u]] = static_cast<VertexId>(u);
+    }
+    result->run.order.root = from_canonical[result->run.order.root];
+    for (VertexId& v : result->run.order.order) v = from_canonical[v];
+  }
+}
+
+StatusOr<FastRunResult> MatchService::BuildAndRun(Request& req,
+                                                  const FastRunOptions& run) {
+  // Cache miss (or cache disabled): compute the order and build the CST for
+  // the canonical query, publish the plan, then run the pipeline from it.
+  const QueryGraph& q = req.canonical.query;
+  FAST_ASSIGN_OR_RETURN(MatchingOrder order,
+                        ComputeMatchingOrder(q, graph_, run.order_policy));
+  Timer build_timer;
+  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, graph_, order.root, run.cst_build));
+  const double build_seconds = build_timer.ElapsedSeconds();
+
+  if (options_.plan_cache_capacity > 0) {
+    auto plan = std::make_shared<CachedPlan>();
+    plan->order = order;
+    plan->layout = cst.layout_ptr();
+    plan->cst_image = SerializeCst(cst);
+    cache_.Insert(req.canonical.key, std::move(plan));
+  }
+  return RunFastWithCst(cst, order, run, build_seconds);
+}
+
+void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
+  result.total_seconds = req->submitted.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.status.ok()) {
+      ++completed_;
+      latency_.Record(result.total_seconds);
+    } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      ++rejected_deadline_;
+    } else {
+      ++failed_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(req->mu);
+    req->result = std::move(result);
+    req->done = true;
+  }
+  req->cv.notify_all();
+}
+
+ServiceStats MatchService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected_queue_full = rejected_queue_full_;
+    s.rejected_deadline = rejected_deadline_;
+    s.latency = latency_;
+  }
+  s.cache = cache_.stats();
+  s.uptime_seconds = uptime_.ElapsedSeconds();
+  return s;
+}
+
+}  // namespace fast::service

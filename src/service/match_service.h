@@ -1,0 +1,166 @@
+#ifndef FAST_SERVICE_MATCH_SERVICE_H_
+#define FAST_SERVICE_MATCH_SERVICE_H_
+
+// Concurrent query-serving layer over the single-query FAST pipeline.
+//
+//   clients ── Submit ──▶ bounded MPMC queue ──▶ worker pool ──▶ RunFast
+//                 │              │                    │
+//            admission      deadline check       plan/CST cache
+//            control        at dispatch          (LRU, canonical key)
+//
+// The service owns one immutable data Graph shared by all workers (RunFast
+// is reentrant over a const Graph — see core/driver.h). Each request is
+// canonicalized (service/query_signature.h); the plan cache maps canonical
+// signatures to {matching order, serialized CST}, so repeated query shapes
+// skip order computation and CST construction and re-enter the pipeline at
+// RunFastWithCst. Results are remapped back to the submitted numbering.
+//
+// Admission control: Submit never blocks — a full queue rejects with
+// RESOURCE_EXHAUSTED. Per-request deadlines are enforced at dispatch: a
+// request whose deadline passed while queued completes with
+// DEADLINE_EXCEEDED without running (a run in progress is never aborted).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/driver.h"
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "service/plan_cache.h"
+#include "util/bounded_queue.h"
+#include "util/latency_histogram.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace fast::service {
+
+struct ServiceOptions {
+  // Worker threads executing the pipeline; 0 = hardware concurrency.
+  std::size_t num_workers = 0;
+
+  // Bound of the request queue; TryPush beyond it rejects the Submit.
+  std::size_t queue_capacity = 256;
+
+  // Plan/CST cache entries; 0 disables caching.
+  std::size_t plan_cache_capacity = 64;
+
+  // Default per-request deadline in seconds; 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+
+  // Base pipeline configuration (variant, device model, cpu-share δ, order
+  // policy). Per-request store_limit/embedding_callback override its fields.
+  FastRunOptions run;
+};
+
+struct RequestOptions {
+  // Sample-embedding mode: retain up to this many embeddings (remapped to
+  // the submitted numbering). 0 = count-only.
+  std::size_t store_limit = 0;
+
+  // Overrides ServiceOptions::default_deadline_seconds when >= 0.
+  double deadline_seconds = -1.0;
+
+  // Streaming per-embedding callback, invoked on the worker thread with the
+  // mapping in the submitted numbering. Must be thread-safe if the same
+  // callable is shared across requests.
+  std::function<void(std::span<const VertexId>)> on_embedding;
+};
+
+struct RequestResult {
+  Status status = Status::OK();  // DEADLINE_EXCEEDED, pipeline errors, ...
+  // Valid iff status.ok(). Client-visible vertex references
+  // (sample_embeddings, order.root, order.order) are in the numbering of
+  // the *submitted* query, even when the plan ran in canonical numbering.
+  FastRunResult run;
+  bool cache_hit = false;
+  double queue_seconds = 0.0;  // Submit -> dispatch
+  double total_seconds = 0.0;  // Submit -> completion
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // finished OK
+  std::uint64_t failed = 0;     // pipeline errors
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  PlanCacheStats cache;
+  LatencyHistogram latency;  // Submit -> completion, successful requests
+  double uptime_seconds = 0.0;
+
+  double QueriesPerSecond() const {
+    return uptime_seconds > 0.0 ? static_cast<double>(completed) / uptime_seconds
+                                : 0.0;
+  }
+  std::string Summary() const;
+};
+
+class MatchService {
+ public:
+  using RequestId = std::uint64_t;
+
+  // Takes ownership of the data graph; it is immutable for the service
+  // lifetime. Workers start immediately.
+  MatchService(Graph graph, ServiceOptions options = {});
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  // Canonicalizes q and enqueues it. Fails fast with RESOURCE_EXHAUSTED when
+  // the queue is full, INVALID_ARGUMENT for malformed queries, and
+  // FAILED_PRECONDITION after Shutdown.
+  StatusOr<RequestId> Submit(const QueryGraph& q, RequestOptions opts = {});
+
+  // Blocks until the request completes and returns its result. Each id may
+  // be waited on once; a second Wait returns NOT_FOUND.
+  RequestResult Wait(RequestId id);
+
+  // Submit + Wait; the Status covers both admission and execution.
+  StatusOr<RequestResult> SubmitAndWait(const QueryGraph& q, RequestOptions opts = {});
+
+  // Stops admission, drains queued requests, joins workers. Idempotent;
+  // also run by the destructor.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  const Graph& graph() const { return graph_; }
+  std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Request;
+
+  void WorkerLoop();
+  void Execute(Request& req, RequestResult* result);
+  StatusOr<FastRunResult> BuildAndRun(Request& req, const FastRunOptions& run);
+  void Finish(std::shared_ptr<Request> req, RequestResult result);
+
+  const Graph graph_;
+  const ServiceOptions options_;
+  PlanCache cache_;
+  Timer uptime_;
+
+  BoundedQueue<std::shared_ptr<Request>> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;  // pending-request map + counters + histogram
+  std::unordered_map<RequestId, std::shared_ptr<Request>> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_deadline_ = 0;
+  LatencyHistogram latency_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fast::service
+
+#endif  // FAST_SERVICE_MATCH_SERVICE_H_

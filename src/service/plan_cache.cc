@@ -1,0 +1,54 @@
+#include "service/plan_cache.h"
+
+#include <utility>
+
+namespace fast::service {
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0 || plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    stats_.image_bytes -= it->second.plan->ImageBytes();
+    stats_.image_bytes += plan->ImageBytes();
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++stats_.insertions;
+    return;
+  }
+  lru_.push_front(key);
+  stats_.image_bytes += plan->ImageBytes();
+  entries_.emplace(key, Entry{lru_.begin(), std::move(plan)});
+  ++stats_.insertions;
+  while (entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    auto victim_it = entries_.find(victim);
+    stats_.image_bytes -= victim_it->second.plan->ImageBytes();
+    entries_.erase(victim_it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace fast::service

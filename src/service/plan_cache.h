@@ -1,0 +1,83 @@
+#ifndef FAST_SERVICE_PLAN_CACHE_H_
+#define FAST_SERVICE_PLAN_CACHE_H_
+
+// Thread-safe LRU cache of query plans for the match service.
+//
+// A plan is everything RunFastWithCst needs that does not depend on the
+// request: the matching order and the serialized CST image (the same flat
+// word image that crosses PCIe, src/cst/cst_serialize.h), both expressed in
+// the canonical query numbering of the cache key. A hit replaces order
+// computation and CST construction — typically the dominant host-side cost
+// for repeated query shapes — with one DeserializeCst pass over the image.
+//
+// Entries are immutable once inserted and handed out as shared_ptr, so
+// readers never hold the cache lock while using a plan.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cst/cst.h"
+#include "query/matching_order.h"
+
+namespace fast::service {
+
+struct CachedPlan {
+  MatchingOrder order;                        // canonical numbering
+  std::shared_ptr<const CstLayout> layout;    // canonical query + root
+  std::vector<std::uint32_t> cst_image;       // SerializeCst output
+
+  std::size_t ImageBytes() const { return cst_image.size() * sizeof(std::uint32_t); }
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t image_bytes = 0;  // total serialized-CST footprint
+
+  double HitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class PlanCache {
+ public:
+  // capacity = max entries; 0 disables caching (Lookup always misses,
+  // Insert is a no-op), which is the bench's cache-off baseline.
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the plan and refreshes its LRU position, or nullptr on miss.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key);
+
+  // Inserts (or replaces) the plan and evicts the least recently used
+  // entries beyond capacity. Concurrent builders of the same key are
+  // harmless: the last insert wins and both plans are valid.
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  PlanCacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::list<std::string>::iterator lru_it;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace fast::service
+
+#endif  // FAST_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,186 @@
+#include "service/query_signature.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace fast::service {
+
+namespace {
+
+// Per-vertex isomorphism invariant: everything about a vertex that any
+// numbering must preserve. Vertices with distinct invariants can never map
+// to each other, so the permutation search only permutes within classes.
+struct Invariant {
+  Label label;
+  std::uint32_t degree;
+  // Sorted multiset of (neighbor label, edge label) pairs.
+  std::vector<std::pair<Label, Label>> neighborhood;
+
+  auto operator<=>(const Invariant&) const = default;
+};
+
+Invariant ComputeInvariant(const QueryGraph& q, VertexId u) {
+  Invariant inv;
+  inv.label = q.label(u);
+  inv.degree = q.degree(u);
+  for (VertexId w : q.neighbors(u)) {
+    inv.neighborhood.emplace_back(q.label(w), q.EdgeLabel(u, w));
+  }
+  std::sort(inv.neighborhood.begin(), inv.neighborhood.end());
+  return inv;
+}
+
+// Labels are full 32-bit values (src/graph/graph.h); encode them big-endian
+// so byte-wise lexicographic comparison orders them numerically and distinct
+// labels can never collide in the key.
+void AppendLabel(Label label, std::string* out) {
+  out->push_back(static_cast<char>((label >> 24) & 0xff));
+  out->push_back(static_cast<char>((label >> 16) & 0xff));
+  out->push_back(static_cast<char>((label >> 8) & 0xff));
+  out->push_back(static_cast<char>(label & 0xff));
+}
+
+// Encoding of the labelled adjacency under permutation `perm`, where
+// canonical vertex i is original vertex perm[i]: per-vertex labels, then the
+// upper triangle row-major with one presence byte (0/1) followed, for
+// present edges, by the edge label.
+void EncodeAdjacency(const QueryGraph& q, const std::vector<VertexId>& perm,
+                     std::string* out) {
+  const std::size_t n = q.NumVertices();
+  out->clear();
+  out->reserve(4 * n + n * n / 2);
+  for (std::size_t i = 0; i < n; ++i) AppendLabel(q.label(perm[i]), out);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const VertexId u = perm[i];
+      const VertexId v = perm[j];
+      if (q.HasEdge(u, v)) {
+        out->push_back(1);
+        AppendLabel(q.EdgeLabel(u, v), out);
+      } else {
+        out->push_back(0);
+      }
+    }
+  }
+}
+
+// Recursively enumerates permutations that keep each position's invariant
+// class, tracking the lexicographically minimal encoding. `remaining` caps
+// the number of complete permutations evaluated; returns false on budget
+// exhaustion.
+bool SearchMinimal(const QueryGraph& q, const std::vector<std::vector<VertexId>>& classes,
+                   std::size_t class_index, std::vector<VertexId>* perm,
+                   std::vector<char>* used, std::string* scratch, std::string* best,
+                   std::vector<VertexId>* best_perm, std::size_t* remaining) {
+  if (class_index == classes.size()) {
+    if (*remaining == 0) return false;
+    --*remaining;
+    EncodeAdjacency(q, *perm, scratch);
+    if (best->empty() || *scratch < *best) {
+      *best = *scratch;
+      *best_perm = *perm;
+    }
+    return true;
+  }
+  const auto& members = classes[class_index];
+  // Enumerate orderings of this class via recursive selection.
+  const std::size_t base = perm->size();
+  std::vector<VertexId> slot(members.size());
+  bool ok = true;
+  auto rec = [&](auto&& self, std::size_t pos) -> void {
+    if (!ok) return;
+    if (pos == members.size()) {
+      for (VertexId v : slot) perm->push_back(v);
+      if (!SearchMinimal(q, classes, class_index + 1, perm, used, scratch, best,
+                         best_perm, remaining)) {
+        ok = false;
+      }
+      perm->resize(base);
+      return;
+    }
+    for (VertexId v : members) {
+      if ((*used)[v]) continue;
+      (*used)[v] = 1;
+      slot[pos] = v;
+      self(self, pos + 1);
+      (*used)[v] = 0;
+      if (!ok) return;
+    }
+  };
+  rec(rec, 0);
+  return ok;
+}
+
+}  // namespace
+
+StatusOr<CanonicalQuery> CanonicalizeQuery(const QueryGraph& q,
+                                           std::size_t max_steps) {
+  const std::size_t n = q.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty query");
+
+  // Group vertices into invariant classes, ordered by invariant value so the
+  // class layout itself is isomorphism-invariant.
+  std::vector<std::pair<Invariant, VertexId>> tagged;
+  tagged.reserve(n);
+  for (VertexId u = 0; u < n; ++u) tagged.emplace_back(ComputeInvariant(q, u), u);
+  std::sort(tagged.begin(), tagged.end());
+
+  std::vector<std::vector<VertexId>> classes;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || tagged[i].first != tagged[i - 1].first) classes.emplace_back();
+    classes.back().push_back(tagged[i].second);
+  }
+
+  std::vector<VertexId> perm;
+  perm.reserve(n);
+  std::vector<char> used(n, 0);
+  std::string scratch, best;
+  std::vector<VertexId> best_perm;
+  std::size_t remaining = max_steps;
+  const bool exact = SearchMinimal(q, classes, 0, &perm, &used, &scratch, &best,
+                                   &best_perm, &remaining);
+
+  if (best_perm.empty()) {
+    // Budget exhausted before the first complete permutation (cannot happen
+    // with max_steps >= 1, but stay defensive): refinement order fallback.
+    best_perm.clear();
+    for (const auto& cls : classes) {
+      for (VertexId v : cls) best_perm.push_back(v);
+    }
+    EncodeAdjacency(q, best_perm, &best);
+  }
+
+  CanonicalQuery out;
+  out.exact = exact;
+  out.to_canonical.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.to_canonical[best_perm[i]] = static_cast<VertexId>(i);
+  }
+
+  // Cache key: header (size, edge count, exactness) + minimal encoding. The
+  // header keeps capped (inexact) keys from ever colliding with exact ones.
+  out.key.reserve(best.size() + 8);
+  out.key.push_back(static_cast<char>(n));
+  out.key.push_back(static_cast<char>(q.NumEdges() & 0xff));
+  out.key.push_back(exact ? 'x' : 'f');
+  out.key += best;
+
+  // Relabel the query into canonical numbering.
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) builder.AddVertex(q.label(best_perm[i]));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : q.neighbors(u)) {
+      if (u < w) {
+        FAST_RETURN_IF_ERROR(builder.AddEdge(out.to_canonical[u],
+                                             out.to_canonical[w], q.EdgeLabel(u, w)));
+      }
+    }
+  }
+  FAST_ASSIGN_OR_RETURN(Graph canonical_graph, builder.Build());
+  FAST_ASSIGN_OR_RETURN(out.query,
+                        QueryGraph::Create(std::move(canonical_graph), q.name()));
+  return out;
+}
+
+}  // namespace fast::service

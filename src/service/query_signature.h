@@ -1,0 +1,51 @@
+#ifndef FAST_SERVICE_QUERY_SIGNATURE_H_
+#define FAST_SERVICE_QUERY_SIGNATURE_H_
+
+// Canonicalized query signatures for the service-layer plan cache.
+//
+// Two isomorphic query graphs (same shape, same vertex/edge labels, any
+// vertex numbering) should reuse one cached plan. CanonicalizeQuery computes
+// a canonical vertex numbering by refining vertices into invariant classes
+// (label, degree, neighborhood multiset) and then searching the class-
+// respecting permutations for the lexicographically minimal adjacency
+// encoding. That encoding is the cache key; it uniquely determines the
+// canonical graph, so distinct shapes can never collide.
+//
+// The permutation search is capped: pathological symmetric queries fall back
+// to the refinement-ordered numbering, which is still deterministic per
+// input graph (resubmitting the identical query still hits the cache; only
+// cross-numbering isomorphism hits are lost).
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace fast::service {
+
+struct CanonicalQuery {
+  // Cache key: a byte encoding of the canonical labelled adjacency.
+  std::string key;
+
+  // Submitted vertex u maps to canonical vertex to_canonical[u].
+  std::vector<VertexId> to_canonical;
+
+  // The query relabelled into canonical numbering. Plans (matching order,
+  // CST) cached under `key` are expressed in this numbering.
+  QueryGraph query;
+
+  // False when the permutation search hit `max_steps` and fell back.
+  bool exact = true;
+};
+
+// Default permutation-search budget; queries up to ~10 vertices with modest
+// symmetry complete well within it.
+inline constexpr std::size_t kDefaultCanonicalizationSteps = 100000;
+
+StatusOr<CanonicalQuery> CanonicalizeQuery(
+    const QueryGraph& q, std::size_t max_steps = kDefaultCanonicalizationSteps);
+
+}  // namespace fast::service
+
+#endif  // FAST_SERVICE_QUERY_SIGNATURE_H_

@@ -1,0 +1,87 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace fast {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t micros) {
+  // Octave 0 is linear over [0, kSubBuckets); octave o >= 1 covers
+  // [kSubBuckets << (o-1), kSubBuckets << o) in kSubBuckets linear steps.
+  if (micros < kSubBuckets) return static_cast<std::size_t>(micros);
+  const int h = std::bit_width(micros) - 1;  // h >= 3
+  const auto sub = static_cast<std::size_t>((micros >> (h - 3)) & (kSubBuckets - 1));
+  const std::size_t index = static_cast<std::size_t>(h - 2) * kSubBuckets + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperSeconds(std::size_t index) {
+  const std::size_t octave = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const std::uint64_t upper =
+      octave == 0 ? sub + 1
+                  : static_cast<std::uint64_t>(kSubBuckets + sub + 1) << (octave - 1);
+  return static_cast<double>(upper) * 1e-6;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  const auto micros = static_cast<std::uint64_t>(seconds * 1e6);
+  ++buckets_[BucketIndex(micros)];
+  if (count_ == 0) {
+    min_seconds_ = max_seconds_ = seconds;
+  } else {
+    min_seconds_ = std::min(min_seconds_, seconds);
+    max_seconds_ = std::max(max_seconds_, seconds);
+  }
+  ++count_;
+  sum_seconds_ += seconds;
+}
+
+double LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketUpperSeconds(i), min_seconds_, max_seconds_);
+    }
+  }
+  return max_seconds_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_seconds_ = other.min_seconds_;
+    max_seconds_ = other.max_seconds_;
+  } else {
+    min_seconds_ = std::min(min_seconds_, other.min_seconds_);
+    max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+  }
+  count_ += other.count_;
+  sum_seconds_ += other.sum_seconds_;
+}
+
+void LatencyHistogram::Clear() {
+  std::fill(buckets_, buckets_ + kNumBuckets, 0);
+  count_ = 0;
+  sum_seconds_ = min_seconds_ = max_seconds_ = 0.0;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count_), mean_seconds() * 1e3,
+                P50() * 1e3, P99() * 1e3, max_seconds() * 1e3);
+  return buf;
+}
+
+}  // namespace fast

@@ -20,6 +20,7 @@ class Timer {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
   std::int64_t ElapsedNanos() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
         .count();
@@ -34,15 +35,30 @@ class Timer {
 // CST-construction time from partition time inside one host run.
 class AccumulatingTimer {
  public:
-  void Start() { timer_.Reset(); }
-  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  void Start() {
+    timer_.Reset();
+    running_ = true;
+  }
+  // Accumulates the interval since the matching Start(). A Stop() without a
+  // preceding Start() is a no-op instead of double-counting the previous
+  // interval.
+  void Stop() {
+    if (!running_) return;
+    total_seconds_ += timer_.ElapsedSeconds();
+    running_ = false;
+  }
+  bool Running() const { return running_; }
   double TotalSeconds() const { return total_seconds_; }
   double TotalMillis() const { return total_seconds_ * 1e3; }
-  void Clear() { total_seconds_ = 0.0; }
+  void Clear() {
+    total_seconds_ = 0.0;
+    running_ = false;
+  }
 
  private:
   Timer timer_;
   double total_seconds_ = 0.0;
+  bool running_ = false;
 };
 
 }  // namespace fast

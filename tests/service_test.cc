@@ -1,0 +1,461 @@
+// Tests for the concurrent query-serving subsystem (src/service/): canonical
+// signatures, the plan/CST LRU cache, and MatchService correctness under
+// concurrency, cache eviction, deadlines, and admission control.
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/match_service.h"
+#include "service/plan_cache.h"
+#include "service/query_signature.h"
+#include "tests/test_util.h"
+#include "util/bounded_queue.h"
+#include "util/latency_histogram.h"
+
+namespace fast {
+namespace {
+
+using service::CanonicalizeQuery;
+using service::MatchService;
+using service::PlanCache;
+using service::RequestOptions;
+using service::ServiceOptions;
+using testing::BruteForceCount;
+using testing::BruteForceEmbeddings;
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+using testing::ToSet;
+
+// Relabels q's vertices by perm: new vertex perm[u] = old vertex u.
+QueryGraph PermuteQuery(const QueryGraph& q, const std::vector<VertexId>& perm,
+                        const std::string& name) {
+  const std::size_t n = q.NumVertices();
+  std::vector<Label> labels(n);
+  for (VertexId u = 0; u < n; ++u) labels[perm[u]] = q.label(u);
+  GraphBuilder b;
+  for (Label l : labels) b.AddVertex(l);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : q.neighbors(u)) {
+      if (u < w) FAST_CHECK_OK(b.AddEdge(perm[u], perm[w], q.EdgeLabel(u, w)));
+    }
+  }
+  auto g = std::move(b).Build();
+  FAST_CHECK(g.ok());
+  auto out = QueryGraph::Create(std::move(g).value(), name);
+  FAST_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+// A second query shape on the paper graph: the A-B-C triangle u0-u1-u2.
+QueryGraph TriangleQuery() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  FAST_CHECK_OK(b.AddEdge(0, 1));
+  FAST_CHECK_OK(b.AddEdge(0, 2));
+  FAST_CHECK_OK(b.AddEdge(1, 2));
+  auto q = QueryGraph::Create(std::move(b).Build().value(), "triangle");
+  FAST_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+// A path query A-B-D.
+QueryGraph PathQuery() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(3);
+  FAST_CHECK_OK(b.AddEdge(0, 1));
+  FAST_CHECK_OK(b.AddEdge(1, 2));
+  auto q = QueryGraph::Create(std::move(b).Build().value(), "path");
+  FAST_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+// ---- Canonical signatures. ----
+
+TEST(QuerySignatureTest, IsomorphicNumberingsShareKey) {
+  const QueryGraph q = PaperQuery();
+  auto base = CanonicalizeQuery(q);
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(base->exact);
+
+  // Every relabeling of the paper query must canonicalize to the same key.
+  const std::vector<std::vector<VertexId>> perms = {
+      {1, 0, 2, 3}, {3, 2, 1, 0}, {2, 3, 0, 1}, {0, 2, 1, 3}};
+  for (const auto& perm : perms) {
+    auto permuted = CanonicalizeQuery(PermuteQuery(q, perm, "perm"));
+    ASSERT_TRUE(permuted.ok());
+    EXPECT_EQ(base->key, permuted->key);
+  }
+}
+
+TEST(QuerySignatureTest, DifferentShapesGetDifferentKeys) {
+  auto paper = CanonicalizeQuery(PaperQuery());
+  auto triangle = CanonicalizeQuery(TriangleQuery());
+  auto path = CanonicalizeQuery(PathQuery());
+  ASSERT_TRUE(paper.ok() && triangle.ok() && path.ok());
+  EXPECT_NE(paper->key, triangle->key);
+  EXPECT_NE(paper->key, path->key);
+  EXPECT_NE(triangle->key, path->key);
+}
+
+TEST(QuerySignatureTest, LabelsAffectKey) {
+  GraphBuilder b1, b2;
+  b1.AddVertex(0);
+  b1.AddVertex(1);
+  FAST_CHECK_OK(b1.AddEdge(0, 1));
+  b2.AddVertex(0);
+  b2.AddVertex(2);
+  FAST_CHECK_OK(b2.AddEdge(0, 1));
+  auto q1 = QueryGraph::Create(std::move(b1).Build().value());
+  auto q2 = QueryGraph::Create(std::move(b2).Build().value());
+  auto s1 = CanonicalizeQuery(*q1);
+  auto s2 = CanonicalizeQuery(*q2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(s1->key, s2->key);
+}
+
+TEST(QuerySignatureTest, LabelsBeyondOneByteDoNotCollide) {
+  // Labels are 32-bit; values differing by 256 must not share a key (a
+  // byte-truncating encoding would collide 1 with 257).
+  auto make = [](Label vertex_label, Label edge_label) {
+    GraphBuilder b;
+    b.AddVertex(vertex_label);
+    b.AddVertex(5);
+    FAST_CHECK_OK(b.AddEdge(0, 1, edge_label));
+    auto q = QueryGraph::Create(std::move(b).Build().value());
+    FAST_CHECK(q.ok());
+    return std::move(q).value();
+  };
+  auto base = CanonicalizeQuery(make(1, 1));
+  auto vertex_aliased = CanonicalizeQuery(make(257, 1));
+  auto edge_aliased = CanonicalizeQuery(make(1, 257));
+  ASSERT_TRUE(base.ok() && vertex_aliased.ok() && edge_aliased.ok());
+  EXPECT_NE(base->key, vertex_aliased->key);
+  EXPECT_NE(base->key, edge_aliased->key);
+}
+
+TEST(QuerySignatureTest, CanonicalQueryPreservesStructure) {
+  const QueryGraph q = PaperQuery();
+  auto c = CanonicalizeQuery(q);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->query.NumVertices(), q.NumVertices());
+  ASSERT_EQ(c->query.NumEdges(), q.NumEdges());
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    EXPECT_EQ(c->query.label(c->to_canonical[u]), q.label(u));
+    for (VertexId w = 0; w < q.NumVertices(); ++w) {
+      EXPECT_EQ(c->query.HasEdge(c->to_canonical[u], c->to_canonical[w]),
+                q.HasEdge(u, w));
+    }
+  }
+}
+
+// ---- Plan cache. ----
+
+TEST(PlanCacheTest, LruEvictionOrder) {
+  PlanCache cache(2);
+  auto plan = std::make_shared<service::CachedPlan>();
+  cache.Insert("a", plan);
+  cache.Insert("b", plan);
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // refresh a; b is now LRU
+  cache.Insert("c", plan);                // evicts b
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  cache.Insert("a", std::make_shared<service::CachedPlan>());
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- Service correctness. ----
+
+ServiceOptions SmallServiceOptions(std::size_t workers) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 1024;
+  options.plan_cache_capacity = 16;
+  return options;
+}
+
+TEST(MatchServiceTest, SingleRequestMatchesBruteForce) {
+  const Graph g = PaperDataGraph();
+  const QueryGraph q = PaperQuery();
+  MatchService svc(g, SmallServiceOptions(2));
+  auto r = svc.SubmitAndWait(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->run.embeddings, BruteForceCount(q, g));
+}
+
+TEST(MatchServiceTest, ConcurrentMixedWorkloadMatchesBruteForce) {
+  const Graph g = PaperDataGraph();
+  const std::vector<QueryGraph> mix = {PaperQuery(), TriangleQuery(), PathQuery()};
+  std::vector<std::uint64_t> expected;
+  for (const auto& q : mix) expected.push_back(BruteForceCount(q, g));
+
+  MatchService svc(g, SmallServiceOptions(8));
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const std::size_t qi = static_cast<std::size_t>(t + i) % mix.size();
+        auto r = svc.SubmitAndWait(mix[qi]);
+        if (!r.ok() || r->run.embeddings != expected[qi]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed,
+            static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
+  // Three query shapes: all but the first three requests hit the plan cache
+  // (up to harmless races rebuilding a plan concurrently).
+  EXPECT_GT(stats.cache.hits, 0u);
+  EXPECT_GE(stats.latency.count(), stats.completed);
+}
+
+TEST(MatchServiceTest, IsomorphicQueryHitsCacheAndRemapsEmbeddings) {
+  const Graph g = PaperDataGraph();
+  const QueryGraph q = PaperQuery();
+  const std::vector<VertexId> perm = {2, 0, 3, 1};
+  const QueryGraph permuted = PermuteQuery(q, perm, "paper-permuted");
+
+  MatchService svc(g, SmallServiceOptions(1));
+  RequestOptions opts;
+  opts.store_limit = 64;
+
+  auto first = svc.SubmitAndWait(q, opts);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+
+  auto second = svc.SubmitAndWait(permuted, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+
+  // The permuted query is a different QueryGraph: its embeddings must be in
+  // its own numbering, matching an independent brute-force run.
+  EXPECT_EQ(second->run.embeddings, BruteForceCount(permuted, g));
+  EXPECT_EQ(ToSet(second->run.sample_embeddings),
+            ToSet(BruteForceEmbeddings(permuted, g)));
+  // The reported matching order must also be in the submitted numbering: it
+  // has to be a valid tree-connected order of the permuted query itself.
+  EXPECT_TRUE(ValidateOrder(permuted, second->run.order.order).ok());
+  EXPECT_EQ(second->run.order.order.front(), second->run.order.root);
+}
+
+TEST(MatchServiceTest, StreamingCallbackSeesAllEmbeddings) {
+  const Graph g = PaperDataGraph();
+  const std::vector<VertexId> perm = {1, 3, 0, 2};
+  const QueryGraph permuted = PermuteQuery(PaperQuery(), perm, "cb-permuted");
+
+  MatchService svc(g, SmallServiceOptions(1));
+  // Warm the cache with the base shape so the callback path runs remapped.
+  ASSERT_TRUE(svc.SubmitAndWait(PaperQuery()).ok());
+
+  std::vector<Embedding> streamed;
+  RequestOptions opts;
+  opts.on_embedding = [&](std::span<const VertexId> e) {
+    streamed.emplace_back(e.begin(), e.end());
+  };
+  auto r = svc.SubmitAndWait(permuted, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(ToSet(streamed), ToSet(BruteForceEmbeddings(permuted, g)));
+}
+
+TEST(MatchServiceTest, CacheEvictionKeepsResultsCorrect) {
+  const Graph g = PaperDataGraph();
+  ServiceOptions options = SmallServiceOptions(1);
+  options.plan_cache_capacity = 2;
+  MatchService svc(g, options);
+
+  const std::vector<QueryGraph> shapes = {PaperQuery(), TriangleQuery(), PathQuery()};
+  std::vector<std::uint64_t> expected;
+  for (const auto& q : shapes) expected.push_back(BruteForceCount(q, g));
+
+  // Two rounds over three shapes with capacity two: evictions must occur and
+  // every result must stay correct.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      auto r = svc.SubmitAndWait(shapes[i]);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->run.embeddings, expected[i]);
+    }
+  }
+  const auto stats = svc.stats();
+  EXPECT_GT(stats.cache.evictions, 0u);
+  EXPECT_LE(stats.cache.entries, 2u);
+}
+
+TEST(MatchServiceTest, DeadlinePassedInQueueRejects) {
+  const Graph g = PaperDataGraph();
+  ServiceOptions options = SmallServiceOptions(1);
+  MatchService svc(g, options);
+
+  // Block the single worker inside a request via its embedding callback.
+  std::atomic<bool> started{false};
+  RequestOptions blocker_opts;
+  blocker_opts.on_embedding = [&](std::span<const VertexId>) {
+    started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  };
+  auto blocker = svc.Submit(PaperQuery(), blocker_opts);
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+
+  // This request waits >= ~200ms in the queue but allows only 1ms.
+  RequestOptions tight;
+  tight.deadline_seconds = 0.001;
+  auto late = svc.Submit(TriangleQuery(), tight);
+  ASSERT_TRUE(late.ok());
+
+  auto late_result = svc.Wait(*late);
+  EXPECT_EQ(late_result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(svc.Wait(*blocker).status.ok());
+  EXPECT_EQ(svc.stats().rejected_deadline, 1u);
+}
+
+TEST(MatchServiceTest, FullQueueRejectsSubmit) {
+  const Graph g = PaperDataGraph();
+  ServiceOptions options = SmallServiceOptions(1);
+  options.queue_capacity = 1;
+  MatchService svc(g, options);
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  RequestOptions blocker_opts;
+  blocker_opts.on_embedding = [&](std::span<const VertexId>) {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  auto blocker = svc.Submit(PaperQuery(), blocker_opts);
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+
+  // Worker busy; capacity-1 queue takes one request, then rejects.
+  auto queued = svc.Submit(TriangleQuery());
+  ASSERT_TRUE(queued.ok());
+  auto rejected = svc.Submit(PathQuery());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  release.store(true);
+  EXPECT_TRUE(svc.Wait(*blocker).status.ok());
+  EXPECT_TRUE(svc.Wait(*queued).status.ok());
+  EXPECT_EQ(svc.stats().rejected_queue_full, 1u);
+}
+
+TEST(MatchServiceTest, ShutdownDrainsBacklogAndRejectsNewWork) {
+  const Graph g = PaperDataGraph();
+  MatchService svc(g, SmallServiceOptions(2));
+  std::vector<MatchService::RequestId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto id = svc.Submit(PaperQuery());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  svc.Shutdown();
+  for (auto id : ids) EXPECT_TRUE(svc.Wait(id).status.ok());
+  EXPECT_EQ(svc.Submit(PaperQuery()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MatchServiceTest, WaitTwiceReturnsNotFound) {
+  const Graph g = PaperDataGraph();
+  MatchService svc(g, SmallServiceOptions(1));
+  auto id = svc.Submit(PaperQuery());
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(svc.Wait(*id).status.ok());
+  EXPECT_EQ(svc.Wait(*id).status.code(), StatusCode::kNotFound);
+}
+
+// ---- Supporting utilities. ----
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketError) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i) * 1e-6);
+  EXPECT_EQ(h.count(), 1000u);
+  // p50 ~ 500us, p99 ~ 990us; log buckets guarantee <= 12.5% relative error.
+  EXPECT_NEAR(h.P50() * 1e6, 500.0, 500.0 * 0.125 + 1.0);
+  EXPECT_NEAR(h.P99() * 1e6, 990.0, 990.0 * 0.125 + 1.0);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1e-3);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i % 17 + 1) * 1e-4;
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.P50(), combined.P50());
+  EXPECT_DOUBLE_EQ(a.P99(), combined.P99());
+  EXPECT_DOUBLE_EQ(a.sum_seconds(), combined.sum_seconds());
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacityAndClose) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4));  // closed
+  // Drains the backlog, then reports closed.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) ASSERT_TRUE(q.Push(i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum.load(), kProducers * (kPerProducer * (kPerProducer + 1) / 2));
+}
+
+}  // namespace
+}  // namespace fast

@@ -171,6 +171,34 @@ TEST(TimerTest, AccumulatingTimerSumsIntervals) {
   EXPECT_EQ(t.TotalSeconds(), 0.0);
 }
 
+TEST(TimerTest, ElapsedMicrosConsistentWithMillis) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double micros = t.ElapsedMicros();
+  EXPECT_GE(micros, 4000.0);
+  // Only the wall-clock drift between the two reads separates them; a wrong
+  // scale factor would be off by >= 4.5ms here.
+  EXPECT_NEAR(micros / 1e3, t.ElapsedMillis(), 2.0);
+}
+
+TEST(TimerTest, AccumulatingTimerStopWithoutStartIsNoOp) {
+  AccumulatingTimer t;
+  EXPECT_FALSE(t.Running());
+  t.Stop();  // never started: must not count anything
+  EXPECT_EQ(t.TotalSeconds(), 0.0);
+
+  t.Start();
+  EXPECT_TRUE(t.Running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.Stop();
+  EXPECT_FALSE(t.Running());
+  const double total = t.TotalSeconds();
+  EXPECT_GT(total, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.Stop();  // second Stop without Start: must not double-count
+  EXPECT_EQ(t.TotalSeconds(), total);
+}
+
 // ---- Logging ----
 
 TEST(LoggingTest, SeverityThresholdControlsEmission) {

@@ -14,7 +14,8 @@ namespace {
 int Run(int argc, char** argv) {
   using namespace fast;
   auto flags = tools::FlagParser::Parse(
-      argc, argv, {"sf", "seed", "out", "queries-dir", "help"});
+      argc, argv, {"sf", "seed", "out", "queries-dir", "help"},
+      /*bool_flags=*/{"help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(stderr,
                  "usage: fast_datagen --sf <scale> [--seed N] --out FILE "
@@ -24,8 +25,10 @@ int Run(int argc, char** argv) {
   }
 
   LdbcConfig config;
-  config.scale_factor = flags->GetDouble("sf", 1.0);
-  config.seed = static_cast<std::uint64_t>(flags->GetInt("seed", 42));
+  FAST_FLAG_ASSIGN_OR_USAGE(config.scale_factor, flags->GetDouble("sf", 1.0));
+  long long seed;
+  FAST_FLAG_ASSIGN_OR_USAGE(seed, flags->GetInt("seed", 42));
+  config.seed = static_cast<std::uint64_t>(seed);
   const std::string out = flags->GetString("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "--out is required\n");

@@ -51,7 +51,8 @@ int Run(int argc, char** argv) {
   auto flags = tools::FlagParser::Parse(
       argc, argv,
       {"data", "query", "pattern", "algo", "variant", "delta", "threads", "order",
-       "store", "time-limit", "help"});
+       "store", "time-limit", "help"},
+      /*bool_flags=*/{"help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
         stderr,
@@ -97,7 +98,8 @@ int Run(int argc, char** argv) {
               query->NumVertices(), query->NumEdges());
 
   const std::string algo = flags->GetString("algo", "fast");
-  const auto store = static_cast<std::size_t>(flags->GetInt("store", 0));
+  std::size_t store;
+  FAST_FLAG_ASSIGN_OR_USAGE(store, flags->GetSizeT("store", 0));
 
   if (algo == "fast") {
     FastRunOptions options;
@@ -107,7 +109,7 @@ int Run(int argc, char** argv) {
       return 2;
     }
     options.variant = *variant;
-    options.cpu_share_delta = flags->GetDouble("delta", 0.0);
+    FAST_FLAG_ASSIGN_OR_USAGE(options.cpu_share_delta, flags->GetDouble("delta", 0.0));
     auto order = ParseOrder(flags->GetString("order", "path"));
     if (!order.ok()) {
       std::fprintf(stderr, "%s\n", order.status().ToString().c_str());
@@ -137,7 +139,8 @@ int Run(int argc, char** argv) {
   }
 
   BaselineKind kind;
-  unsigned threads = static_cast<unsigned>(flags->GetInt("threads", 1));
+  std::size_t threads;
+  FAST_FLAG_ASSIGN_OR_USAGE(threads, flags->GetSizeT("threads", 1));
   if (algo == "cfl") {
     kind = BaselineKind::kCfl;
   } else if (algo == "daf") {
@@ -154,9 +157,10 @@ int Run(int argc, char** argv) {
   }
 
   BaselineOptions options;
-  options.num_threads = threads;
+  options.num_threads = static_cast<unsigned>(threads);
   options.store_limit = store;
-  options.time_limit_seconds = flags->GetDouble("time-limit", 3600.0);
+  FAST_FLAG_ASSIGN_OR_USAGE(options.time_limit_seconds,
+                            flags->GetDouble("time-limit", 3600.0));
   auto matcher = MakeBaseline(kind);
   auto r = matcher->Run(*query, *data, options);
   if (!r.ok()) {
@@ -165,7 +169,7 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf("embeddings: %llu\n", static_cast<unsigned long long>(r->embeddings));
-  std::printf("elapsed:    %.3f ms (%s, %u thread%s)\n", r->seconds * 1e3,
+  std::printf("elapsed:    %.3f ms (%s, %zu thread%s)\n", r->seconds * 1e3,
               matcher->name().c_str(), threads, threads == 1 ? "" : "s");
   if (r->peak_memory_bytes > 0) {
     std::printf("device mem: %.1f MiB peak\n",

@@ -1,0 +1,231 @@
+// fast_serve: serve a stream of subgraph-matching queries from a worker pool
+// over one shared data graph, with the plan/CST cache in front of the
+// pipeline (src/service/).
+//
+// Replay mode (default): submit a query mix for a fixed duration from
+// concurrent client threads and print service-level stats.
+//
+//   fast_serve --sf 0.5 --queries 0,1,2 --duration 5 --workers 8
+//              [--clients 4] [--cache-size 64] [--queue 256]
+//              [--deadline-ms 0] [--delta 0.1] [--variant sep] [--no-cache]
+//
+// One-shot mode: --once runs each query exactly once and prints its count
+// and latency (useful for smoke tests and scripting).
+//
+// The data graph is either --data FILE (t/v/e text format) or a generated
+// LDBC-SNB-like graph at --sf SCALE; --queries picks LDBC benchmark query
+// indices (comma-separated), or pass query files as positional arguments.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "ldbc/ldbc.h"
+#include "service/match_service.h"
+#include "tools/flag_parser.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fast;
+using service::MatchService;
+using service::RequestOptions;
+using service::ServiceOptions;
+
+StatusOr<std::vector<QueryGraph>> LoadQueryMix(const tools::FlagParser& flags) {
+  std::vector<QueryGraph> queries;
+  for (const std::string& path : flags.positional()) {
+    FAST_ASSIGN_OR_RETURN(Graph g, LoadGraphFile(path));
+    FAST_ASSIGN_OR_RETURN(QueryGraph q, QueryGraph::Create(std::move(g), path));
+    queries.push_back(std::move(q));
+  }
+  const std::string spec = flags.GetString("queries", queries.empty() ? "0,1,2" : "");
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const long index = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || index < 0 ||
+        index >= kNumLdbcQueries) {
+      return Status::InvalidArgument("--queries: bad LDBC query index \"" + token +
+                                     "\" (want 0.." +
+                                     std::to_string(kNumLdbcQueries - 1) + ")");
+    }
+    FAST_ASSIGN_OR_RETURN(QueryGraph q, LdbcQuery(static_cast<int>(index)));
+    queries.push_back(std::move(q));
+  }
+  if (queries.empty()) return Status::InvalidArgument("no queries specified");
+  return queries;
+}
+
+int Run(int argc, char** argv) {
+  auto flags = tools::FlagParser::Parse(
+      argc, argv,
+      {"data", "sf", "seed", "queries", "duration", "workers", "clients",
+       "cache-size", "queue", "deadline-ms", "delta", "variant", "store",
+       "no-cache", "once", "help"},
+      /*bool_flags=*/{"no-cache", "once", "help"});
+  if (!flags.ok() || flags->Has("help")) {
+    std::fprintf(
+        stderr,
+        "usage: fast_serve (--data FILE | --sf SCALE) [QUERY_FILE...]\n"
+        "                  [--queries I,J,...] [--duration S] [--workers N]\n"
+        "                  [--clients N] [--cache-size N] [--queue N]\n"
+        "                  [--deadline-ms MS] [--delta D] [--variant V]\n"
+        "                  [--store N] [--no-cache] [--once]\n%s\n",
+        flags.ok() ? "" : flags.status().ToString().c_str());
+    return flags.ok() ? 0 : 2;
+  }
+
+  // --- Data graph. ---
+  StatusOr<Graph> graph = Status::InvalidArgument("one of --data/--sf required");
+  if (flags->Has("data")) {
+    graph = LoadGraphFile(flags->GetString("data", ""));
+  } else {
+    LdbcConfig config;
+    FAST_FLAG_ASSIGN_OR_USAGE(config.scale_factor, flags->GetDouble("sf", 0.5));
+    long long seed;
+    FAST_FLAG_ASSIGN_OR_USAGE(seed, flags->GetInt("seed", 42));
+    config.seed = static_cast<std::uint64_t>(seed);
+    graph = GenerateLdbcGraph(config);
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "data: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("data:  %s\n", graph->Summary().c_str());
+
+  auto queries = LoadQueryMix(*flags);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "queries: %s\n", queries.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("mix:   %zu quer%s\n", queries->size(),
+              queries->size() == 1 ? "y" : "ies");
+
+  // --- Service configuration. ---
+  ServiceOptions options;
+  FAST_FLAG_ASSIGN_OR_USAGE(options.num_workers, flags->GetSizeT("workers", 0));
+  FAST_FLAG_ASSIGN_OR_USAGE(options.queue_capacity, flags->GetSizeT("queue", 256));
+  FAST_FLAG_ASSIGN_OR_USAGE(options.plan_cache_capacity,
+                            flags->GetSizeT("cache-size", 64));
+  if (flags->Has("no-cache")) options.plan_cache_capacity = 0;
+  double deadline_ms;
+  FAST_FLAG_ASSIGN_OR_USAGE(deadline_ms, flags->GetDouble("deadline-ms", 0.0));
+  options.default_deadline_seconds = deadline_ms / 1e3;
+  FAST_FLAG_ASSIGN_OR_USAGE(options.run.cpu_share_delta,
+                            flags->GetDouble("delta", 0.0));
+  const std::string variant = flags->GetString("variant", "sep");
+  if (variant == "dram") {
+    options.run.variant = FastVariant::kDram;
+  } else if (variant == "basic") {
+    options.run.variant = FastVariant::kBasic;
+  } else if (variant == "task") {
+    options.run.variant = FastVariant::kTask;
+  } else if (variant == "sep") {
+    options.run.variant = FastVariant::kSep;
+  } else {
+    std::fprintf(stderr, "unknown --variant %s\n", variant.c_str());
+    return 2;
+  }
+  std::size_t store;
+  FAST_FLAG_ASSIGN_OR_USAGE(store, flags->GetSizeT("store", 0));
+
+  MatchService svc(std::move(*graph), options);
+  std::printf("serve: %zu workers, queue=%zu, cache=%zu entries%s\n",
+              svc.num_workers(), options.queue_capacity,
+              options.plan_cache_capacity,
+              options.plan_cache_capacity == 0 ? " (disabled)" : "");
+
+  // --- One-shot mode. ---
+  if (flags->Has("once")) {
+    for (const QueryGraph& q : *queries) {
+      RequestOptions ropts;
+      ropts.store_limit = store;
+      auto r = svc.SubmitAndWait(q, ropts);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", q.name().c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-10s embeddings=%-12llu latency=%.3fms %s\n", q.name().c_str(),
+                  static_cast<unsigned long long>(r->run.embeddings),
+                  r->total_seconds * 1e3, r->cache_hit ? "(cache hit)" : "");
+      for (const auto& e : r->run.sample_embeddings) {
+        std::printf("  match:");
+        for (std::size_t u = 0; u < e.size(); ++u) {
+          std::printf(" u%zu->v%u", u, e[u]);
+        }
+        std::printf("\n");
+      }
+    }
+    std::printf("%s\n", svc.stats().Summary().c_str());
+    return 0;
+  }
+
+  // --- Fixed-duration replay. ---
+  double duration;
+  FAST_FLAG_ASSIGN_OR_USAGE(duration, flags->GetDouble("duration", 5.0));
+  std::size_t clients;
+  FAST_FLAG_ASSIGN_OR_USAGE(clients, flags->GetSizeT("clients", 4));
+  clients = std::max<std::size_t>(clients, 1);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Rng rng(0xC11E57 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const QueryGraph& q = (*queries)[rng.Uniform(queries->size())];
+        RequestOptions ropts;
+        ropts.store_limit = store;
+        auto id = svc.Submit(q, ropts);
+        if (!id.ok()) continue;  // queue full: admission control at work
+        svc.Wait(*id);
+      }
+    });
+  }
+  Timer wall;
+  while (wall.ElapsedSeconds() < duration) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true);
+  for (auto& t : client_threads) t.join();
+
+  const auto stats = svc.stats();
+  const double elapsed = wall.ElapsedSeconds();
+  std::printf("\n--- %.1fs replay, %zu client thread%s ---\n", elapsed, clients,
+              clients == 1 ? "" : "s");
+  std::printf("throughput:  %.1f queries/sec\n",
+              static_cast<double>(stats.completed) / elapsed);
+  std::printf("latency:     p50=%.3fms p99=%.3fms mean=%.3fms max=%.3fms\n",
+              stats.latency.P50() * 1e3, stats.latency.P99() * 1e3,
+              stats.latency.mean_seconds() * 1e3, stats.latency.max_seconds() * 1e3);
+  std::printf("requests:    submitted=%llu completed=%llu failed=%llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("rejected:    queue_full=%llu deadline=%llu\n",
+              static_cast<unsigned long long>(stats.rejected_queue_full),
+              static_cast<unsigned long long>(stats.rejected_deadline));
+  std::printf("plan cache:  hit_rate=%.1f%% entries=%zu image=%.1fKiB "
+              "evictions=%llu\n",
+              stats.cache.HitRate() * 100.0, stats.cache.entries,
+              static_cast<double>(stats.cache.image_bytes) / 1024.0,
+              static_cast<unsigned long long>(stats.cache.evictions));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

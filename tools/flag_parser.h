@@ -2,8 +2,13 @@
 #define FAST_TOOLS_FLAG_PARSER_H_
 
 // Dependency-free `--flag=value` / `--flag value` parser for the CLI tools.
+// Typed getters parse strictly: the entire value must be consumed and fit the
+// target type, otherwise an INVALID_ARGUMENT naming the flag is returned.
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,9 +20,12 @@ namespace fast::tools {
 class FlagParser {
  public:
   // Parses argv; unknown flags are errors, bare arguments are collected in
-  // positional().
+  // positional(). Flags listed in `bool_flags` never consume the following
+  // token as a value (so `--once file.txt` keeps file.txt positional); they
+  // may still be written `--flag=value` explicitly.
   static StatusOr<FlagParser> Parse(int argc, char** argv,
-                                    const std::vector<std::string>& known_flags) {
+                                    const std::vector<std::string>& known_flags,
+                                    const std::vector<std::string>& bool_flags = {}) {
     FlagParser p;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
@@ -28,10 +36,15 @@ class FlagParser {
       arg = arg.substr(2);
       std::string value;
       const auto eq = arg.find('=');
+      bool is_bool = false;
+      if (eq == std::string::npos) {
+        for (const auto& b : bool_flags) is_bool |= (b == arg);
+      }
       if (eq != std::string::npos) {
         value = arg.substr(eq + 1);
         arg = arg.substr(0, eq);
-      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      } else if (!is_bool && i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
         value = "true";  // boolean flag
@@ -51,23 +64,69 @@ class FlagParser {
     return it == values_.end() ? default_value : it->second;
   }
 
-  double GetDouble(const std::string& flag, double default_value) const {
+  StatusOr<double> GetDouble(const std::string& flag, double default_value) const {
     auto it = values_.find(flag);
-    return it == values_.end() ? default_value : std::atof(it->second.c_str());
+    if (it == values_.end()) return default_value;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      return BadValue(flag, it->second, "a number");
+    }
+    return v;
   }
 
-  long long GetInt(const std::string& flag, long long default_value) const {
+  StatusOr<long long> GetInt(const std::string& flag, long long default_value) const {
     auto it = values_.find(flag);
-    return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+    if (it == values_.end()) return default_value;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      return BadValue(flag, it->second, "an integer");
+    }
+    return v;
+  }
+
+  StatusOr<std::size_t> GetSizeT(const std::string& flag,
+                                 std::size_t default_value) const {
+    auto it = values_.find(flag);
+    if (it == values_.end()) return default_value;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE ||
+        it->second.find('-') != std::string::npos ||
+        v > std::numeric_limits<std::size_t>::max()) {
+      return BadValue(flag, it->second, "a non-negative integer");
+    }
+    return static_cast<std::size_t>(v);
   }
 
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
+  static Status BadValue(const std::string& flag, const std::string& value,
+                         const char* expected) {
+    return Status::InvalidArgument("--" + flag + ": expected " + expected +
+                                   ", got \"" + value + "\"");
+  }
+
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
 
 }  // namespace fast::tools
+
+// For CLI Run() functions returning an int exit code: assigns the typed flag
+// value, or prints the parse error to stderr and returns exit code 2.
+#define FAST_FLAG_ASSIGN_OR_USAGE(lhs, expr)                       \
+  auto FAST_CONCAT(_flag_, __LINE__) = (expr);                     \
+  if (!FAST_CONCAT(_flag_, __LINE__).ok()) {                       \
+    std::fprintf(stderr, "%s\n",                                   \
+                 FAST_CONCAT(_flag_, __LINE__).status().ToString().c_str()); \
+    return 2;                                                      \
+  }                                                                \
+  lhs = std::move(FAST_CONCAT(_flag_, __LINE__)).value()
 
 #endif  // FAST_TOOLS_FLAG_PARSER_H_
