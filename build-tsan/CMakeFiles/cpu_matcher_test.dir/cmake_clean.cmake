@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_matcher_test.dir/tests/cpu_matcher_test.cc.o"
+  "CMakeFiles/cpu_matcher_test.dir/tests/cpu_matcher_test.cc.o.d"
+  "cpu_matcher_test"
+  "cpu_matcher_test.pdb"
+  "cpu_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

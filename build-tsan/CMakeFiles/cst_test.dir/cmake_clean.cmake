@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cst_test.dir/tests/cst_test.cc.o"
+  "CMakeFiles/cst_test.dir/tests/cst_test.cc.o.d"
+  "cst_test"
+  "cst_test.pdb"
+  "cst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

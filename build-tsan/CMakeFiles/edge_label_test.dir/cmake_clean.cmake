@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_label_test.dir/tests/edge_label_test.cc.o"
+  "CMakeFiles/edge_label_test.dir/tests/edge_label_test.cc.o.d"
+  "edge_label_test"
+  "edge_label_test.pdb"
+  "edge_label_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

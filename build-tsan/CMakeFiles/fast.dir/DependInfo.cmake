@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/backtracking.cc" "CMakeFiles/fast.dir/src/baseline/backtracking.cc.o" "gcc" "CMakeFiles/fast.dir/src/baseline/backtracking.cc.o.d"
+  "/root/repo/src/baseline/baseline.cc" "CMakeFiles/fast.dir/src/baseline/baseline.cc.o" "gcc" "CMakeFiles/fast.dir/src/baseline/baseline.cc.o.d"
+  "/root/repo/src/baseline/join.cc" "CMakeFiles/fast.dir/src/baseline/join.cc.o" "gcc" "CMakeFiles/fast.dir/src/baseline/join.cc.o.d"
+  "/root/repo/src/core/cpu_matcher.cc" "CMakeFiles/fast.dir/src/core/cpu_matcher.cc.o" "gcc" "CMakeFiles/fast.dir/src/core/cpu_matcher.cc.o.d"
+  "/root/repo/src/core/driver.cc" "CMakeFiles/fast.dir/src/core/driver.cc.o" "gcc" "CMakeFiles/fast.dir/src/core/driver.cc.o.d"
+  "/root/repo/src/core/explain.cc" "CMakeFiles/fast.dir/src/core/explain.cc.o" "gcc" "CMakeFiles/fast.dir/src/core/explain.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "CMakeFiles/fast.dir/src/core/kernel.cc.o" "gcc" "CMakeFiles/fast.dir/src/core/kernel.cc.o.d"
+  "/root/repo/src/cst/cst.cc" "CMakeFiles/fast.dir/src/cst/cst.cc.o" "gcc" "CMakeFiles/fast.dir/src/cst/cst.cc.o.d"
+  "/root/repo/src/cst/cst_serialize.cc" "CMakeFiles/fast.dir/src/cst/cst_serialize.cc.o" "gcc" "CMakeFiles/fast.dir/src/cst/cst_serialize.cc.o.d"
+  "/root/repo/src/cst/partition.cc" "CMakeFiles/fast.dir/src/cst/partition.cc.o" "gcc" "CMakeFiles/fast.dir/src/cst/partition.cc.o.d"
+  "/root/repo/src/cst/workload.cc" "CMakeFiles/fast.dir/src/cst/workload.cc.o" "gcc" "CMakeFiles/fast.dir/src/cst/workload.cc.o.d"
+  "/root/repo/src/fpga/config.cc" "CMakeFiles/fast.dir/src/fpga/config.cc.o" "gcc" "CMakeFiles/fast.dir/src/fpga/config.cc.o.d"
+  "/root/repo/src/fpga/cycle_model.cc" "CMakeFiles/fast.dir/src/fpga/cycle_model.cc.o" "gcc" "CMakeFiles/fast.dir/src/fpga/cycle_model.cc.o.d"
+  "/root/repo/src/fpga/pipeline_sim.cc" "CMakeFiles/fast.dir/src/fpga/pipeline_sim.cc.o" "gcc" "CMakeFiles/fast.dir/src/fpga/pipeline_sim.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/fast.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/fast.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/fast.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/fast.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/fast.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/fast.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/ldbc/ldbc.cc" "CMakeFiles/fast.dir/src/ldbc/ldbc.cc.o" "gcc" "CMakeFiles/fast.dir/src/ldbc/ldbc.cc.o.d"
+  "/root/repo/src/query/matching_order.cc" "CMakeFiles/fast.dir/src/query/matching_order.cc.o" "gcc" "CMakeFiles/fast.dir/src/query/matching_order.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "CMakeFiles/fast.dir/src/query/pattern.cc.o" "gcc" "CMakeFiles/fast.dir/src/query/pattern.cc.o.d"
+  "/root/repo/src/query/query_graph.cc" "CMakeFiles/fast.dir/src/query/query_graph.cc.o" "gcc" "CMakeFiles/fast.dir/src/query/query_graph.cc.o.d"
+  "/root/repo/src/service/match_service.cc" "CMakeFiles/fast.dir/src/service/match_service.cc.o" "gcc" "CMakeFiles/fast.dir/src/service/match_service.cc.o.d"
+  "/root/repo/src/service/plan_cache.cc" "CMakeFiles/fast.dir/src/service/plan_cache.cc.o" "gcc" "CMakeFiles/fast.dir/src/service/plan_cache.cc.o.d"
+  "/root/repo/src/service/query_signature.cc" "CMakeFiles/fast.dir/src/service/query_signature.cc.o" "gcc" "CMakeFiles/fast.dir/src/service/query_signature.cc.o.d"
+  "/root/repo/src/util/latency_histogram.cc" "CMakeFiles/fast.dir/src/util/latency_histogram.cc.o" "gcc" "CMakeFiles/fast.dir/src/util/latency_histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/fast.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/fast.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/fast.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/fast.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/fast.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/fast.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/fast.dir/src/util/status.cc.o" "gcc" "CMakeFiles/fast.dir/src/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

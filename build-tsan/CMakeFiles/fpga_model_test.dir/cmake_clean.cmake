@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_model_test.dir/tests/fpga_model_test.cc.o"
+  "CMakeFiles/fpga_model_test.dir/tests/fpga_model_test.cc.o.d"
+  "fpga_model_test"
+  "fpga_model_test.pdb"
+  "fpga_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

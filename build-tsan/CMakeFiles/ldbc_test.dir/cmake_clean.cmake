@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldbc_test.dir/tests/ldbc_test.cc.o"
+  "CMakeFiles/ldbc_test.dir/tests/ldbc_test.cc.o.d"
+  "ldbc_test"
+  "ldbc_test.pdb"
+  "ldbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

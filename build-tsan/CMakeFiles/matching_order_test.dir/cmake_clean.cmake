@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_order_test.dir/tests/matching_order_test.cc.o"
+  "CMakeFiles/matching_order_test.dir/tests/matching_order_test.cc.o.d"
+  "matching_order_test"
+  "matching_order_test.pdb"
+  "matching_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

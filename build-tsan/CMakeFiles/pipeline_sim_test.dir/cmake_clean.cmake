@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sim_test.dir/tests/pipeline_sim_test.cc.o"
+  "CMakeFiles/pipeline_sim_test.dir/tests/pipeline_sim_test.cc.o.d"
+  "pipeline_sim_test"
+  "pipeline_sim_test.pdb"
+  "pipeline_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

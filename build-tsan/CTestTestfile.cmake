@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/baseline_test[1]_include.cmake")
+include("/root/repo/build-tsan/cpu_matcher_test[1]_include.cmake")
+include("/root/repo/build-tsan/cst_serialize_test[1]_include.cmake")
+include("/root/repo/build-tsan/cst_test[1]_include.cmake")
+include("/root/repo/build-tsan/driver_test[1]_include.cmake")
+include("/root/repo/build-tsan/edge_label_test[1]_include.cmake")
+include("/root/repo/build-tsan/explain_test[1]_include.cmake")
+include("/root/repo/build-tsan/fpga_model_test[1]_include.cmake")
+include("/root/repo/build-tsan/generators_test[1]_include.cmake")
+include("/root/repo/build-tsan/graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/kernel_test[1]_include.cmake")
+include("/root/repo/build-tsan/ldbc_test[1]_include.cmake")
+include("/root/repo/build-tsan/matching_order_test[1]_include.cmake")
+include("/root/repo/build-tsan/partition_test[1]_include.cmake")
+include("/root/repo/build-tsan/pattern_test[1]_include.cmake")
+include("/root/repo/build-tsan/pipeline_sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/query_graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/service_test[1]_include.cmake")
+include("/root/repo/build-tsan/status_test[1]_include.cmake")
+include("/root/repo/build-tsan/stress_test[1]_include.cmake")
+include("/root/repo/build-tsan/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/workload_test[1]_include.cmake")

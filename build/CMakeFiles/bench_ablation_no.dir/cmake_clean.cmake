@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_no.dir/bench/bench_ablation_no.cc.o"
+  "CMakeFiles/bench_ablation_no.dir/bench/bench_ablation_no.cc.o.d"
+  "bench_ablation_no"
+  "bench_ablation_no.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_no.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_fpga.dir/bench/bench_multi_fpga.cc.o"
+  "CMakeFiles/bench_multi_fpga.dir/bench/bench_multi_fpga.cc.o.d"
+  "bench_multi_fpga"
+  "bench_multi_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_database.dir/examples/graph_database.cpp.o"
+  "CMakeFiles/example_graph_database.dir/examples/graph_database.cpp.o.d"
+  "example_graph_database"
+  "example_graph_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protein_motif.dir/examples/protein_motif.cpp.o"
+  "CMakeFiles/example_protein_motif.dir/examples/protein_motif.cpp.o.d"
+  "example_protein_motif"
+  "example_protein_motif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protein_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

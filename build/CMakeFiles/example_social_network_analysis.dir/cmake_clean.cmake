@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_network_analysis.dir/examples/social_network_analysis.cpp.o"
+  "CMakeFiles/example_social_network_analysis.dir/examples/social_network_analysis.cpp.o.d"
+  "example_social_network_analysis"
+  "example_social_network_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_network_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_datagen.dir/tools/fast_datagen.cc.o"
+  "CMakeFiles/fast_datagen.dir/tools/fast_datagen.cc.o.d"
+  "fast_datagen"
+  "fast_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

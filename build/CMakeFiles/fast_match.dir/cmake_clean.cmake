@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_match.dir/tools/fast_match.cc.o"
+  "CMakeFiles/fast_match.dir/tools/fast_match.cc.o.d"
+  "fast_match"
+  "fast_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_serve.dir/tools/fast_serve.cc.o"
+  "CMakeFiles/fast_serve.dir/tools/fast_serve.cc.o.d"
+  "fast_serve"
+  "fast_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

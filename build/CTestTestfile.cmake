@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/baseline_test[1]_include.cmake")
+include("/root/repo/build/cpu_matcher_test[1]_include.cmake")
+include("/root/repo/build/cst_serialize_test[1]_include.cmake")
+include("/root/repo/build/cst_test[1]_include.cmake")
+include("/root/repo/build/driver_test[1]_include.cmake")
+include("/root/repo/build/edge_label_test[1]_include.cmake")
+include("/root/repo/build/explain_test[1]_include.cmake")
+include("/root/repo/build/fpga_model_test[1]_include.cmake")
+include("/root/repo/build/generators_test[1]_include.cmake")
+include("/root/repo/build/graph_test[1]_include.cmake")
+include("/root/repo/build/integration_test[1]_include.cmake")
+include("/root/repo/build/kernel_test[1]_include.cmake")
+include("/root/repo/build/ldbc_test[1]_include.cmake")
+include("/root/repo/build/matching_order_test[1]_include.cmake")
+include("/root/repo/build/partition_test[1]_include.cmake")
+include("/root/repo/build/pattern_test[1]_include.cmake")
+include("/root/repo/build/pipeline_sim_test[1]_include.cmake")
+include("/root/repo/build/query_graph_test[1]_include.cmake")
+include("/root/repo/build/service_test[1]_include.cmake")
+include("/root/repo/build/status_test[1]_include.cmake")
+include("/root/repo/build/stress_test[1]_include.cmake")
+include("/root/repo/build/util_test[1]_include.cmake")
+include("/root/repo/build/workload_test[1]_include.cmake")
