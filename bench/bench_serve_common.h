@@ -1,0 +1,25 @@
+#ifndef FAST_BENCH_BENCH_SERVE_COMMON_H_
+#define FAST_BENCH_BENCH_SERVE_COMMON_H_
+
+// Shared pieces of the plain (non-google-benchmark) service benchmarks,
+// bench_service and bench_update. Kept separate from bench_common.h, which
+// pulls in benchmark/benchmark.h that these binaries don't link against.
+
+#include "fpga/config.h"
+
+namespace fast::bench {
+
+// Device model scaled to the shrunken LDBC datasets, matching the rationale
+// in bench_common.h: both service benches must simulate the same device or
+// their numbers stop being comparable.
+inline FpgaConfig ServeBenchFpgaConfig() {
+  FpgaConfig c;
+  c.bram_words = 128 * 1024;
+  c.port_max = 65536;
+  c.max_new_partials = 1024;
+  return c;
+}
+
+}  // namespace fast::bench
+
+#endif  // FAST_BENCH_BENCH_SERVE_COMMON_H_

@@ -4,7 +4,10 @@
 // service for a fixed wall-clock window, then aggregate queries/sec.
 //
 //   bench_service [--sf 0.3] [--duration 3] [--clients 8] [--workers 0]
-//                 [--queries 0,1,2] [--deadline-ms 0]
+//                 [--queries 0,1,2] [--deadline-ms 0] [--json FILE]
+//
+// --json FILE writes the two phases as a machine-readable summary (the CI
+// smoke step uploads it as the BENCH_service.json workflow artifact).
 //
 // Runs the same repeated-query workload twice — plan/CST cache enabled and
 // disabled — and prints both, so the cache's effect on throughput is part of
@@ -14,10 +17,12 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_serve_common.h"
 #include "ldbc/ldbc.h"
 #include "service/match_service.h"
 #include "tools/flag_parser.h"
@@ -27,6 +32,7 @@
 namespace {
 
 using namespace fast;
+using bench::ServeBenchFpgaConfig;
 using service::MatchService;
 using service::ServiceOptions;
 using service::ServiceStats;
@@ -39,15 +45,6 @@ struct PhaseResult {
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;
 };
-
-// Device model scaled to the shrunken datasets, as in bench_common.h.
-FpgaConfig ServeBenchFpgaConfig() {
-  FpgaConfig c;
-  c.bram_words = 128 * 1024;
-  c.port_max = 65536;
-  c.max_new_partials = 1024;
-  return c;
-}
 
 PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
                      std::size_t cache_capacity, std::size_t workers,
@@ -104,13 +101,14 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
 int Run(int argc, char** argv) {
   auto flags = tools::FlagParser::Parse(
       argc, argv,
-      {"sf", "duration", "clients", "workers", "queries", "deadline-ms", "help"},
+      {"sf", "duration", "clients", "workers", "queries", "deadline-ms",
+       "json", "help"},
       /*bool_flags=*/{"help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(stderr,
                  "usage: bench_service [--sf S] [--duration SEC] [--clients N]\n"
                  "                     [--workers N] [--queries I,J,...]\n"
-                 "                     [--deadline-ms MS]\n%s\n",
+                 "                     [--deadline-ms MS] [--json FILE]\n%s\n",
                  flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -132,26 +130,12 @@ int Run(int argc, char** argv) {
   }
   std::printf("data: %s\n", graph->Summary().c_str());
 
-  std::vector<QueryGraph> mix;
-  const std::string spec = flags->GetString("queries", "0,1,2");
-  for (std::size_t pos = 0; pos < spec.size();) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string token = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (token.empty()) continue;
-    char* end = nullptr;
-    const long index = std::strtol(token.c_str(), &end, 10);
-    if (end == token.c_str() || *end != '\0' || index < 0 ||
-        index >= kNumLdbcQueries) {
-      std::fprintf(stderr, "--queries: bad LDBC query index \"%s\" (want 0..%d)\n",
-                   token.c_str(), kNumLdbcQueries - 1);
-      return 2;
-    }
-    auto q = LdbcQuery(static_cast<int>(index));
-    if (!q.ok()) return 1;
-    mix.push_back(std::move(q).value());
+  auto mix_or = ParseLdbcQueryMix(flags->GetString("queries", "0,1,2"));
+  if (!mix_or.ok()) {
+    std::fprintf(stderr, "%s\n", mix_or.status().ToString().c_str());
+    return 2;
   }
+  std::vector<QueryGraph> mix = std::move(*mix_or);
   if (mix.empty()) {
     std::fprintf(stderr, "--queries: no queries specified\n");
     return 2;
@@ -176,6 +160,36 @@ int Run(int argc, char** argv) {
   row("cache-on", on);
   std::printf("\ncache speedup: %.2fx queries/sec (%.1f -> %.1f)\n",
               off.qps > 0 ? on.qps / off.qps : 0.0, off.qps, on.qps);
+
+  const std::string json = flags->GetString("json", "");
+  if (!json.empty()) {
+    std::ofstream f(json);
+    if (!f) {
+      std::fprintf(stderr, "--json: cannot open %s for writing\n", json.c_str());
+      return 1;
+    }
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"bench_service\",\n"
+        "  \"sf\": %g,\n"
+        "  \"clients\": %zu,\n"
+        "  \"duration_s\": %g,\n"
+        "  \"cache_off\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
+        "                \"completed\": %llu, \"rejected\": %llu},\n"
+        "  \"cache_on\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
+        "               \"hit_rate\": %.3f, \"completed\": %llu, \"rejected\": %llu},\n"
+        "  \"cache_speedup\": %.3f\n"
+        "}\n",
+        sf, clients, duration, off.qps, off.p50_ms, off.p99_ms,
+        static_cast<unsigned long long>(off.completed),
+        static_cast<unsigned long long>(off.rejected), on.qps, on.p50_ms,
+        on.p99_ms, on.hit_rate, static_cast<unsigned long long>(on.completed),
+        static_cast<unsigned long long>(on.rejected),
+        off.qps > 0 ? on.qps / off.qps : 0.0);
+    f << buf;
+  }
   return 0;
 }
 

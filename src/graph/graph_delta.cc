@@ -1,0 +1,175 @@
+#include "graph/graph_delta.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace fast {
+
+namespace {
+
+// Order-normalized edge key for the removal set.
+std::uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::string GraphDelta::Summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "+%zuv -%zuv +%zue -%zue", add_vertices.size(),
+                remove_vertices.size(), add_edges.size(), remove_edges.size());
+  return buf;
+}
+
+StatusOr<Graph> ApplyDelta(const Graph& base, const GraphDelta& delta) {
+  const std::size_t n_base = base.NumVertices();
+  const std::size_t n_ext = n_base + delta.add_vertices.size();
+
+  std::vector<char> removed(n_ext, 0);
+  for (VertexId v : delta.remove_vertices) {
+    if (v >= n_ext) {
+      return Status::InvalidArgument("remove_vertices: id " + std::to_string(v) +
+                                     " out of range (extended |V| = " +
+                                     std::to_string(n_ext) + ")");
+    }
+    removed[v] = 1;
+  }
+  std::unordered_set<std::uint64_t> removed_edges;
+  removed_edges.reserve(delta.remove_edges.size());
+  for (const auto& [u, v] : delta.remove_edges) {
+    if (u >= n_ext || v >= n_ext) {
+      return Status::InvalidArgument("remove_edges: endpoint out of range");
+    }
+    removed_edges.insert(EdgeKey(u, v));
+  }
+
+  // Surviving vertices, compacted in extended-numbering order.
+  std::vector<VertexId> new_id(n_ext, kInvalidVertex);
+  GraphBuilder builder(n_ext);
+  for (std::size_t v = 0; v < n_ext; ++v) {
+    if (removed[v]) continue;
+    const Label l = v < n_base ? base.label(static_cast<VertexId>(v))
+                               : delta.add_vertices[v - n_base];
+    new_id[v] = builder.AddVertex(l);
+  }
+
+  // Surviving base edges first: builder dedup keeps the first label seen, so
+  // a base edge wins over a re-added copy unless it was removed in the same
+  // delta (the documented relabel idiom).
+  for (VertexId u = 0; u < n_base; ++u) {
+    if (removed[u]) continue;
+    const auto nbrs = base.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId w = nbrs[i];
+      if (u >= w || removed[w]) continue;
+      if (!removed_edges.empty() && removed_edges.count(EdgeKey(u, w))) continue;
+      FAST_RETURN_IF_ERROR(builder.AddEdge(new_id[u], new_id[w], base.EdgeLabelAt(u, i)));
+    }
+  }
+  for (const GraphDelta::EdgeAdd& e : delta.add_edges) {
+    if (e.u >= n_ext || e.v >= n_ext) {
+      return Status::InvalidArgument("add_edges: endpoint out of range");
+    }
+    // An edge incident to a vertex removed in the same delta: removal wins.
+    if (removed[e.u] || removed[e.v]) continue;
+    FAST_RETURN_IF_ERROR(builder.AddEdge(new_id[e.u], new_id[e.v], e.label));
+  }
+  return builder.Build();
+}
+
+StatusOr<GraphDelta> ParseDeltaText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  GraphDelta delta;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    auto fail = [&](const char* what) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + what);
+    };
+    // Unlike a failed field read, leftover text is a hard error: "ae 4 5 1O"
+    // (typo'd label) must not silently become label 1 + ignored garbage —
+    // the swapped-in snapshot would quietly answer queries differently. The
+    // 32-bit range check is a hard error for the same reason: "rv 2^32"
+    // truncated to uint32 would silently remove vertex 0.
+    auto at_end = [&ls] {
+      ls.clear();
+      std::string rest;
+      return !(ls >> rest);
+    };
+    constexpr std::uint64_t kMax32 = 0xFFFFFFFFull;
+    if (tag == "av") {
+      std::uint64_t label = 0;
+      if (!(ls >> label)) return fail("bad av record (want: av <label>)");
+      if (!at_end()) return fail("trailing text after av record");
+      if (label > kMax32) return fail("av label exceeds 32 bits");
+      delta.add_vertices.push_back(static_cast<Label>(label));
+    } else if (tag == "rv") {
+      std::uint64_t id = 0;
+      if (!(ls >> id)) return fail("bad rv record (want: rv <id>)");
+      if (!at_end()) return fail("trailing text after rv record");
+      if (id > kMax32) return fail("rv id exceeds 32 bits");
+      delta.remove_vertices.push_back(static_cast<VertexId>(id));
+    } else if (tag == "ae") {
+      std::uint64_t u = 0, v = 0, label = 0;
+      if (!(ls >> u >> v)) return fail("bad ae record (want: ae <u> <v> [label])");
+      ls >> label;  // optional third field
+      if (!at_end()) return fail("trailing text after ae record");
+      if (u > kMax32 || v > kMax32 || label > kMax32) {
+        return fail("ae field exceeds 32 bits");
+      }
+      delta.add_edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                                 static_cast<Label>(label)});
+    } else if (tag == "re") {
+      std::uint64_t u = 0, v = 0;
+      if (!(ls >> u >> v)) return fail("bad re record (want: re <u> <v>)");
+      if (!at_end()) return fail("trailing text after re record");
+      if (u > kMax32 || v > kMax32) return fail("re endpoint exceeds 32 bits");
+      delta.remove_edges.emplace_back(static_cast<VertexId>(u),
+                                      static_cast<VertexId>(v));
+    } else {
+      return fail("unknown op tag (want av/rv/ae/re)");
+    }
+  }
+  return delta;
+}
+
+GraphDelta RandomChurnDelta(const Graph& base, std::size_t edge_churn, Rng& rng) {
+  GraphDelta delta;
+  const std::size_t n = base.NumVertices();
+  if (n < 2) return delta;
+  for (std::size_t i = 0; i < edge_churn; ++i) {
+    const auto u = static_cast<VertexId>(rng.Uniform(n));
+    const auto v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v) delta.add_edges.push_back({u, v, 0});  // duplicates dedup away
+  }
+  for (std::size_t i = 0; i < edge_churn; ++i) {
+    // A few attempts to land on a vertex that still has edges; sparse or
+    // empty graphs just produce a smaller removal batch.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto u = static_cast<VertexId>(rng.Uniform(n));
+      const auto d = base.degree(u);
+      if (d == 0) continue;
+      delta.remove_edges.emplace_back(u, base.neighbors(u)[rng.Uniform(d)]);
+      break;
+    }
+  }
+  return delta;
+}
+
+StatusOr<GraphDelta> LoadDeltaFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseDeltaText(buf.str());
+}
+
+}  // namespace fast

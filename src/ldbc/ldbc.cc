@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace fast {
 
@@ -264,6 +266,23 @@ std::vector<QueryGraph> AllLdbcQueries() {
     out.push_back(std::move(q).value());
   }
   return out;
+}
+
+StatusOr<std::vector<QueryGraph>> ParseLdbcQueryMix(const std::string& spec) {
+  std::vector<QueryGraph> mix;
+  for (const std::string& token : SplitCsv(spec)) {
+    char* end = nullptr;
+    const long index = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || index < 0 ||
+        index >= kNumLdbcQueries) {
+      return Status::InvalidArgument("--queries: bad LDBC query index \"" + token +
+                                     "\" (want 0.." +
+                                     std::to_string(kNumLdbcQueries - 1) + ")");
+    }
+    FAST_ASSIGN_OR_RETURN(QueryGraph q, LdbcQuery(static_cast<int>(index)));
+    mix.push_back(std::move(q));
+  }
+  return mix;
 }
 
 StatusOr<Graph> SampleEdges(const Graph& g, double fraction, std::uint64_t seed) {

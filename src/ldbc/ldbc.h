@@ -68,6 +68,12 @@ inline constexpr int kNumLdbcQueries = 9;
 // All nine queries, in order q0..q8.
 std::vector<QueryGraph> AllLdbcQueries();
 
+// Parses a comma-separated list of LDBC query indices ("0,1,2") into the
+// corresponding query graphs — the `--queries` flag shared by fast_serve,
+// bench_service, and bench_update. Empty tokens are skipped; an index
+// outside [0, kNumLdbcQueries) is InvalidArgument naming the valid range.
+StatusOr<std::vector<QueryGraph>> ParseLdbcQueryMix(const std::string& spec);
+
 // Keeps all vertices and a uniform `fraction` of edges (Fig. 17's
 // |E(G)|-scalability experiment). fraction in (0, 1].
 StatusOr<Graph> SampleEdges(const Graph& g, double fraction, std::uint64_t seed);

@@ -44,24 +44,27 @@ void RemapEmbedding(const std::vector<VertexId>& to_canonical,
 }  // namespace
 
 std::string ServiceStats::Summary() const {
-  char buf[320];
+  char buf[360];
   std::snprintf(buf, sizeof(buf),
                 "qps=%.1f completed=%llu failed=%llu rejected(queue=%llu "
-                "deadline=%llu) cache(hit_rate=%.1f%% entries=%zu) latency[%s]",
+                "deadline=%llu) epoch=%llu swaps=%llu cache(hit_rate=%.1f%% "
+                "entries=%zu) latency[%s]",
                 QueriesPerSecond(), static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(failed),
                 static_cast<unsigned long long>(rejected_queue_full),
                 static_cast<unsigned long long>(rejected_deadline),
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(graph_swaps),
                 cache.HitRate() * 100.0, cache.entries,
                 latency.Summary().c_str());
   return buf;
 }
 
 MatchService::MatchService(Graph graph, ServiceOptions options)
-    : graph_(std::move(graph)),
-      options_(std::move(options)),
+    : options_(std::move(options)),
       cache_(options_.plan_cache_capacity),
-      queue_(options_.queue_capacity) {
+      queue_(options_.queue_capacity),
+      graph_(std::make_shared<const Graph>(std::move(graph))) {
   std::size_t n = options_.num_workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -139,6 +142,40 @@ StatusOr<RequestResult> MatchService::SubmitAndWait(const QueryGraph& q,
   return result;
 }
 
+MatchService::GraphSnapshot MatchService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return {graph_, epoch_};
+}
+
+std::uint64_t MatchService::Publish(Graph next) {
+  auto published = std::make_shared<const Graph>(std::move(next));
+  std::uint64_t new_epoch;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    graph_ = std::move(published);
+    new_epoch = ++epoch_;
+    ++graph_swaps_;
+  }
+  // Eager reclamation only: stale plans that race past this are caught by
+  // the per-key epoch tag in Lookup.
+  cache_.InvalidateBefore(new_epoch);
+  return new_epoch;
+}
+
+std::uint64_t MatchService::SwapGraph(Graph next) {
+  std::lock_guard<std::mutex> writers(swap_mu_);
+  return Publish(std::move(next));
+}
+
+StatusOr<std::uint64_t> MatchService::ApplyDelta(const GraphDelta& delta) {
+  // One writer at a time, so the rebuild base cannot be superseded mid-apply;
+  // queries keep dispatching against the current snapshot throughout.
+  std::lock_guard<std::mutex> writers(swap_mu_);
+  GraphSnapshot base = snapshot();
+  FAST_ASSIGN_OR_RETURN(Graph next, fast::ApplyDelta(*base.graph, delta));
+  return Publish(std::move(next));
+}
+
 void MatchService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -160,13 +197,19 @@ void MatchService::WorkerLoop() {
     if (req->deadline_seconds > 0.0 && result.queue_seconds > req->deadline_seconds) {
       result.status = Status::DeadlineExceeded("deadline passed while queued");
     } else {
-      Execute(*req, &result);
+      // Capture the snapshot once at dispatch: the whole request — cache
+      // lookup, build, run — sees one consistent {graph, epoch}, regardless
+      // of concurrent swaps.
+      const GraphSnapshot snap = snapshot();
+      result.graph_epoch = snap.epoch;
+      Execute(*req, snap, &result);
     }
     Finish(std::move(req), std::move(result));
   }
 }
 
-void MatchService::Execute(Request& req, RequestResult* result) {
+void MatchService::Execute(Request& req, const GraphSnapshot& snap,
+                           RequestResult* result) {
   FastRunOptions run = options_.run;
   run.explicit_order.reset();
   run.store_limit = req.opts.store_limit;
@@ -194,7 +237,8 @@ void MatchService::Execute(Request& req, RequestResult* result) {
   StatusOr<FastRunResult> r = Status::Internal("unreachable");
   bool ran_from_cache = false;
   if (options_.plan_cache_capacity > 0) {
-    std::shared_ptr<const CachedPlan> plan = cache_.Lookup(req.canonical.key);
+    std::shared_ptr<const CachedPlan> plan =
+        cache_.Lookup(req.canonical.key, snap.epoch);
     if (plan != nullptr) {
       // Cache hit: rebuild the CST from the serialized image (the same flat
       // words that would cross PCIe), skipping order computation and Alg. 1
@@ -209,7 +253,7 @@ void MatchService::Execute(Request& req, RequestResult* result) {
       // Insert replaces the bad entry) instead of failing every hit.
     }
   }
-  if (!ran_from_cache) r = BuildAndRun(req, run);
+  if (!ran_from_cache) r = BuildAndRun(req, snap, run);
 
   if (!r.ok()) {
     result->status = r.status();
@@ -234,14 +278,17 @@ void MatchService::Execute(Request& req, RequestResult* result) {
 }
 
 StatusOr<FastRunResult> MatchService::BuildAndRun(Request& req,
+                                                  const GraphSnapshot& snap,
                                                   const FastRunOptions& run) {
   // Cache miss (or cache disabled): compute the order and build the CST for
-  // the canonical query, publish the plan, then run the pipeline from it.
+  // the canonical query against this request's snapshot, publish the plan
+  // under the snapshot's epoch, then run the pipeline from it.
   const QueryGraph& q = req.canonical.query;
+  const Graph& g = *snap.graph;
   FAST_ASSIGN_OR_RETURN(MatchingOrder order,
-                        ComputeMatchingOrder(q, graph_, run.order_policy));
+                        ComputeMatchingOrder(q, g, run.order_policy));
   Timer build_timer;
-  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, graph_, order.root, run.cst_build));
+  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, g, order.root, run.cst_build));
   const double build_seconds = build_timer.ElapsedSeconds();
 
   if (options_.plan_cache_capacity > 0) {
@@ -249,7 +296,7 @@ StatusOr<FastRunResult> MatchService::BuildAndRun(Request& req,
     plan->order = order;
     plan->layout = cst.layout_ptr();
     plan->cst_image = SerializeCst(cst);
-    cache_.Insert(req.canonical.key, std::move(plan));
+    cache_.Insert(req.canonical.key, snap.epoch, std::move(plan));
   }
   return RunFastWithCst(cst, order, run, build_seconds);
 }
@@ -285,6 +332,11 @@ ServiceStats MatchService::stats() const {
     s.rejected_queue_full = rejected_queue_full_;
     s.rejected_deadline = rejected_deadline_;
     s.latency = latency_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    s.epoch = epoch_;
+    s.graph_swaps = graph_swaps_;
   }
   s.cache = cache_.stats();
   s.uptime_seconds = uptime_.ElapsedSeconds();

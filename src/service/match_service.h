@@ -6,14 +6,27 @@
 //   clients ── Submit ──▶ bounded MPMC queue ──▶ worker pool ──▶ RunFast
 //                 │              │                    │
 //            admission      deadline check       plan/CST cache
-//            control        at dispatch          (LRU, canonical key)
+//            control        at dispatch          (LRU, canonical key,
+//                                                 epoch-tagged)
 //
-// The service owns one immutable data Graph shared by all workers (RunFast
-// is reentrant over a const Graph — see core/driver.h). Each request is
-// canonicalized (service/query_signature.h); the plan cache maps canonical
-// signatures to {matching order, serialized CST}, so repeated query shapes
-// skip order computation and CST construction and re-enter the pipeline at
-// RunFastWithCst. Results are remapped back to the submitted numbering.
+// The data graph is served as an immutable epoch snapshot: the service holds
+// a shared_ptr<const Graph> plus a monotone epoch counter, and every request
+// captures the current {graph, epoch} pair at dispatch (RunFast is reentrant
+// over a const Graph — see core/driver.h). Online updates go through
+// SwapGraph (publish a prebuilt graph) or ApplyDelta (off-line CSR rebuild
+// from a GraphDelta batch): the writer builds the new snapshot without
+// blocking readers, atomically publishes it under the next epoch, and
+// invalidates the plan/CST cache (CSTs enumerate data-graph vertices, so
+// they are dead against any other snapshot; the cache also re-checks the
+// epoch tag on every hit). In-flight requests finish on the snapshot they
+// captured — the old graph is freed when its last request drops the
+// shared_ptr. Each result reports the epoch it ran on.
+//
+// Each request is canonicalized (service/query_signature.h); the plan cache
+// maps canonical signatures to {matching order, serialized CST}, so repeated
+// query shapes skip order computation and CST construction and re-enter the
+// pipeline at RunFastWithCst. Results are remapped back to the submitted
+// numbering.
 //
 // Admission control: Submit never blocks — a full queue rejects with
 // RESOURCE_EXHAUSTED. Per-request deadlines are enforced at dispatch: a
@@ -32,6 +45,7 @@
 
 #include "core/driver.h"
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
 #include "query/query_graph.h"
 #include "service/plan_cache.h"
 #include "util/bounded_queue.h"
@@ -80,6 +94,9 @@ struct RequestResult {
   // the *submitted* query, even when the plan ran in canonical numbering.
   FastRunResult run;
   bool cache_hit = false;
+  // Epoch of the graph snapshot this request ran on (captured at dispatch).
+  // 0 for requests that never dispatched (e.g. queued past their deadline).
+  std::uint64_t graph_epoch = 0;
   double queue_seconds = 0.0;  // Submit -> dispatch
   double total_seconds = 0.0;  // Submit -> completion
 };
@@ -90,6 +107,8 @@ struct ServiceStats {
   std::uint64_t failed = 0;     // pipeline errors
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_deadline = 0;
+  std::uint64_t epoch = 0;        // currently published snapshot epoch
+  std::uint64_t graph_swaps = 0;  // snapshots published after the first
   PlanCacheStats cache;
   LatencyHistogram latency;  // Submit -> completion, successful requests
   double uptime_seconds = 0.0;
@@ -105,8 +124,15 @@ class MatchService {
  public:
   using RequestId = std::uint64_t;
 
-  // Takes ownership of the data graph; it is immutable for the service
-  // lifetime. Workers start immediately.
+  // An immutable published snapshot: the graph plus the epoch it was
+  // published under. Copyable; holding one keeps the graph alive.
+  struct GraphSnapshot {
+    std::shared_ptr<const Graph> graph;
+    std::uint64_t epoch = 0;
+  };
+
+  // Takes ownership of the data graph and publishes it as epoch 1. Workers
+  // start immediately.
   MatchService(Graph graph, ServiceOptions options = {});
   ~MatchService();
 
@@ -125,29 +151,56 @@ class MatchService {
   // Submit + Wait; the Status covers both admission and execution.
   StatusOr<RequestResult> SubmitAndWait(const QueryGraph& q, RequestOptions opts = {});
 
+  // Atomically publishes `next` as the new snapshot under the next epoch and
+  // invalidates cached plans for older epochs. Requests dispatched before
+  // the publish finish on the snapshot they captured; requests dispatched
+  // after run on `next`. Writers are serialized; queries are never blocked
+  // by a swap. Returns the newly published epoch.
+  std::uint64_t SwapGraph(Graph next);
+
+  // Rebuilds a fresh CSR off-line from {current snapshot + delta} (see
+  // graph/graph_delta.h for the batch semantics), then publishes it as with
+  // SwapGraph. The rebuild runs outside any lock that queries touch.
+  StatusOr<std::uint64_t> ApplyDelta(const GraphDelta& delta);
+
   // Stops admission, drains queued requests, joins workers. Idempotent;
   // also run by the destructor.
   void Shutdown();
 
   ServiceStats stats() const;
-  const Graph& graph() const { return graph_; }
+
+  // The currently published snapshot. The returned graph stays valid for as
+  // long as the caller holds the shared_ptr, across any number of swaps.
+  GraphSnapshot snapshot() const;
+  std::uint64_t epoch() const { return snapshot().epoch; }
+
   std::size_t num_workers() const { return workers_.size(); }
 
  private:
   struct Request;
 
   void WorkerLoop();
-  void Execute(Request& req, RequestResult* result);
-  StatusOr<FastRunResult> BuildAndRun(Request& req, const FastRunOptions& run);
+  void Execute(Request& req, const GraphSnapshot& snap, RequestResult* result);
+  StatusOr<FastRunResult> BuildAndRun(Request& req, const GraphSnapshot& snap,
+                                      const FastRunOptions& run);
   void Finish(std::shared_ptr<Request> req, RequestResult result);
+  std::uint64_t Publish(Graph next);
 
-  const Graph graph_;
   const ServiceOptions options_;
   PlanCache cache_;
   Timer uptime_;
 
   BoundedQueue<std::shared_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
+
+  // Snapshot publication. snapshot_mu_ only guards the {pointer, epoch}
+  // pair — never held while building a graph or running a query.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Graph> graph_;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t graph_swaps_ = 0;
+  // Serializes writers so each delta applies to the snapshot it read.
+  std::mutex swap_mu_;
 
   mutable std::mutex mu_;  // pending-request map + counters + histogram
   std::unordered_map<RequestId, std::shared_ptr<Request>> pending_;

@@ -4,10 +4,33 @@
 
 namespace fast::service {
 
-std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
+void PlanCache::EraseLocked(std::unordered_map<std::string, Entry>::iterator it,
+                            std::uint64_t* counter) {
+  stats_.image_bytes -= it->second.plan->ImageBytes();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++*counter;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
+                                                    std::uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.epoch != epoch) {
+    if (it->second.epoch < epoch) {
+      // Built against a superseded snapshot: the publisher only moves
+      // forward, so the entry is dead — drop it rather than let it age out
+      // of the LRU.
+      EraseLocked(it, &stats_.invalidations);
+      stats_.entries = entries_.size();
+    }
+    // else: the entry is NEWER than this request's snapshot (an in-flight
+    // request draining on an old epoch raced a rebuild). It is the one
+    // current requests want — leave it alone and treat this as a miss.
     ++stats_.misses;
     return nullptr;
   }
@@ -16,30 +39,45 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
   return it->second.plan;
 }
 
-void PlanCache::Insert(const std::string& key,
+void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
                        std::shared_ptr<const CachedPlan> plan) {
   if (capacity_ == 0 || plan == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
+  // A plan from an already-invalidated epoch (a request draining on an old
+  // snapshot) can never serve anyone — dropping it here keeps it from
+  // entering at the MRU position and evicting a live current-epoch entry.
+  if (epoch < min_epoch_) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    // Never replace a fresher plan with one a draining old-epoch request
+    // just built — that would thrash the slot around every swap.
+    if (it->second.epoch > epoch) return;
     stats_.image_bytes -= it->second.plan->ImageBytes();
     stats_.image_bytes += plan->ImageBytes();
     it->second.plan = std::move(plan);
+    it->second.epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     ++stats_.insertions;
     return;
   }
   lru_.push_front(key);
   stats_.image_bytes += plan->ImageBytes();
-  entries_.emplace(key, Entry{lru_.begin(), std::move(plan)});
+  entries_.emplace(key, Entry{lru_.begin(), epoch, std::move(plan)});
   ++stats_.insertions;
   while (entries_.size() > capacity_) {
-    const std::string& victim = lru_.back();
-    auto victim_it = entries_.find(victim);
-    stats_.image_bytes -= victim_it->second.plan->ImageBytes();
-    entries_.erase(victim_it);
-    lru_.pop_back();
-    ++stats_.evictions;
+    auto victim_it = entries_.find(lru_.back());
+    EraseLocked(victim_it, &stats_.evictions);
+  }
+  stats_.entries = entries_.size();
+}
+
+void PlanCache::InvalidateBefore(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch > min_epoch_) min_epoch_ = epoch;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (it->second.epoch < epoch) EraseLocked(it, &stats_.invalidations);
+    it = next;
   }
   stats_.entries = entries_.size();
 }

@@ -10,6 +10,18 @@
 // computation and CST construction — typically the dominant host-side cost
 // for repeated query shapes — with one DeserializeCst pass over the image.
 //
+// Plans are data-dependent: the CST enumerates candidate vertices of the
+// data graph, so a plan built against one graph snapshot is garbage against
+// any other. Every entry is therefore tagged with the graph epoch it was
+// built on (see MatchService snapshot semantics); Lookup treats an epoch
+// mismatch as a miss, dropping the entry on the spot when it is older than
+// the request's snapshot (published epochs are monotone, so it can never
+// become valid again) and leaving it in place when it is newer (a request
+// draining on an old snapshot must not evict — or overwrite, see Insert —
+// what current requests use). InvalidateBefore lets the publisher reclaim a
+// whole superseded epoch eagerly — correctness never depends on it, the
+// per-key epoch check is the safety net.
+//
 // Entries are immutable once inserted and handed out as shared_ptr, so
 // readers never hold the cache lock while using a plan.
 
@@ -38,7 +50,8 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions = 0;      // LRU capacity pressure
+  std::uint64_t invalidations = 0;  // dropped for a superseded epoch
   std::size_t entries = 0;
   std::size_t image_bytes = 0;  // total serialized-CST footprint
 
@@ -55,12 +68,24 @@ class PlanCache {
   explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
   // Returns the plan and refreshes its LRU position, or nullptr on miss.
-  std::shared_ptr<const CachedPlan> Lookup(const std::string& key);
+  // An entry tagged with a different epoch is a miss; it is also erased
+  // when its epoch is older than the request's.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key,
+                                           std::uint64_t epoch);
 
-  // Inserts (or replaces) the plan and evicts the least recently used
-  // entries beyond capacity. Concurrent builders of the same key are
-  // harmless: the last insert wins and both plans are valid.
-  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+  // Inserts (or replaces) the plan, tagged with the graph epoch it was built
+  // on, and evicts the least recently used entries beyond capacity. An
+  // existing entry with a newer epoch is kept (the insert is dropped).
+  // Concurrent builders of the same key and epoch are harmless: the last
+  // insert wins and both plans are valid.
+  void Insert(const std::string& key, std::uint64_t epoch,
+              std::shared_ptr<const CachedPlan> plan);
+
+  // Drops every entry tagged with an epoch < `epoch`, and rejects future
+  // Inserts below it (a draining old-epoch request must not push a dead
+  // plan in and evict a live one). Called by the snapshot publisher right
+  // after a swap to reclaim plan memory eagerly.
+  void InvalidateBefore(std::uint64_t epoch);
 
   PlanCacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
@@ -68,13 +93,19 @@ class PlanCache {
  private:
   struct Entry {
     std::list<std::string>::iterator lru_it;
+    std::uint64_t epoch = 0;
     std::shared_ptr<const CachedPlan> plan;
   };
+
+  // Erases an entry (caller holds mu_), accounting `counter`.
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it,
+                   std::uint64_t* counter);
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t min_epoch_ = 0;  // floor set by InvalidateBefore
   PlanCacheStats stats_;
 };
 

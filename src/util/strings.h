@@ -1,0 +1,26 @@
+#ifndef FAST_UTIL_STRINGS_H_
+#define FAST_UTIL_STRINGS_H_
+
+// Small string helpers shared by the CLI tools and benches.
+
+#include <string>
+#include <vector>
+
+namespace fast {
+
+// Splits a comma-separated list, skipping empty tokens ("a,,b" -> {a, b},
+// "" -> {}). Tokens are not trimmed.
+inline std::vector<std::string> SplitCsv(const std::string& spec) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos < spec.size();) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace fast
+
+#endif  // FAST_UTIL_STRINGS_H_

@@ -1,0 +1,208 @@
+// Tests for batched graph updates (src/graph/graph_delta.h): ApplyDelta
+// rebuild semantics (append, compaction, removal-wins, relabel idiom) and
+// the delta text format.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_delta.h"
+#include "graph/graph_io.h"
+#include "tests/test_util.h"
+
+namespace fast {
+namespace {
+
+using testing::PaperDataGraph;
+
+// A small labelled graph: 0:A-1:B-2:C path plus 0-2 closing the triangle.
+Graph TriangleGraph() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  FAST_CHECK_OK(b.AddEdge(0, 1));
+  FAST_CHECK_OK(b.AddEdge(1, 2));
+  FAST_CHECK_OK(b.AddEdge(0, 2));
+  auto g = std::move(b).Build();
+  FAST_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(GraphDeltaTest, EmptyDeltaReproducesGraph) {
+  const Graph base = PaperDataGraph();
+  auto next = ApplyDelta(base, GraphDelta{});
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ(next->NumVertices(), base.NumVertices());
+  EXPECT_EQ(next->NumEdges(), base.NumEdges());
+  EXPECT_EQ(GraphToText(*next), GraphToText(base));
+}
+
+TEST(GraphDeltaTest, AddVerticesAppendDenseIds) {
+  const Graph base = TriangleGraph();
+  GraphDelta delta;
+  delta.add_vertices = {7, 9};
+  delta.add_edges = {{3, 4, 0}, {0, 3, 0}};  // new ids are 3 and 4
+  auto next = ApplyDelta(base, delta);
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ(next->NumVertices(), 5u);
+  EXPECT_EQ(next->label(3), 7u);
+  EXPECT_EQ(next->label(4), 9u);
+  EXPECT_TRUE(next->HasEdge(3, 4));
+  EXPECT_TRUE(next->HasEdge(0, 3));
+  EXPECT_EQ(next->NumEdges(), base.NumEdges() + 2);
+}
+
+TEST(GraphDeltaTest, RemoveEdgeIsOrderInsensitiveAndIdempotent) {
+  const Graph base = TriangleGraph();
+  GraphDelta delta;
+  delta.remove_edges = {{2, 1}, {1, 2}};  // reversed + duplicate: one edge
+  auto next = ApplyDelta(base, delta);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->NumEdges(), 2u);
+  EXPECT_FALSE(next->HasEdge(1, 2));
+  EXPECT_TRUE(next->HasEdge(0, 1));
+  EXPECT_TRUE(next->HasEdge(0, 2));
+  // Removing an absent edge is a no-op.
+  GraphDelta absent;
+  absent.remove_edges = {{0, 1}};
+  auto again = ApplyDelta(*next, absent);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->NumEdges(), 1u);
+}
+
+TEST(GraphDeltaTest, RemoveVertexCompactsIdsAndDropsIncidentEdges) {
+  const Graph base = PaperDataGraph();
+  GraphDelta delta;
+  delta.remove_vertices = {0};  // v1 in paper numbering: label A, degree 2
+  auto next = ApplyDelta(base, delta);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->NumVertices(), base.NumVertices() - 1);
+  EXPECT_EQ(next->NumEdges(), base.NumEdges() - base.degree(0));
+  // Every surviving vertex shifts down by one; labels follow.
+  for (VertexId v = 0; v < next->NumVertices(); ++v) {
+    EXPECT_EQ(next->label(v), base.label(v + 1));
+  }
+  // Edge (2,6)->(1,5) in base numbering survives as (1,5) shifted.
+  EXPECT_TRUE(base.HasEdge(1, 5));
+  EXPECT_TRUE(next->HasEdge(0, 4));
+}
+
+TEST(GraphDeltaTest, RemovalWinsOverAddInSameDelta) {
+  const Graph base = TriangleGraph();
+  GraphDelta delta;
+  delta.add_vertices = {4};
+  delta.add_edges = {{2, 3, 0}};  // edge to a vertex removed below
+  delta.remove_vertices = {3};
+  auto next = ApplyDelta(base, delta);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->NumVertices(), 3u);
+  EXPECT_EQ(next->NumEdges(), 3u);
+}
+
+TEST(GraphDeltaTest, RemoveThenAddRelabelsEdge) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  FAST_CHECK_OK(b.AddEdge(0, 1, 5));
+  const Graph base = std::move(b).Build().value();
+
+  // Re-adding without removing keeps the base label (first label wins).
+  GraphDelta readd;
+  readd.add_edges = {{0, 1, 9}};
+  auto kept = ApplyDelta(base, readd);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->EdgeLabelBetween(0, 1), 5u);
+
+  // The documented relabel idiom: remove + add in one delta.
+  GraphDelta relabel;
+  relabel.remove_edges = {{0, 1}};
+  relabel.add_edges = {{0, 1, 9}};
+  auto changed = ApplyDelta(base, relabel);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_EQ(changed->EdgeLabelBetween(0, 1), 9u);
+  EXPECT_EQ(changed->NumEdges(), 1u);
+}
+
+TEST(GraphDeltaTest, OutOfRangeIdsRejected) {
+  const Graph base = TriangleGraph();
+  GraphDelta bad_rv;
+  bad_rv.remove_vertices = {3};
+  EXPECT_EQ(ApplyDelta(base, bad_rv).status().code(), StatusCode::kInvalidArgument);
+
+  GraphDelta bad_ae;
+  bad_ae.add_edges = {{0, 3, 0}};
+  EXPECT_EQ(ApplyDelta(base, bad_ae).status().code(), StatusCode::kInvalidArgument);
+
+  GraphDelta bad_re;
+  bad_re.remove_edges = {{0, 3}};
+  EXPECT_EQ(ApplyDelta(base, bad_re).status().code(), StatusCode::kInvalidArgument);
+
+  // The extended numbering makes ids of added vertices addressable.
+  GraphDelta ok_ext;
+  ok_ext.add_vertices = {1};
+  ok_ext.add_edges = {{0, 3, 0}};
+  EXPECT_TRUE(ApplyDelta(base, ok_ext).ok());
+}
+
+TEST(GraphDeltaTest, ParseDeltaTextRoundTrip) {
+  auto delta = ParseDeltaText(
+      "# add two vertices, rewire\n"
+      "av 7\n"
+      "av 9\n"
+      "ae 3 4\n"
+      "ae 0 3 2\n"
+      "re 1 2\n"
+      "rv 1\n");
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_EQ(delta->add_vertices, (std::vector<Label>{7, 9}));
+  ASSERT_EQ(delta->add_edges.size(), 2u);
+  EXPECT_EQ(delta->add_edges[1].label, 2u);
+  EXPECT_EQ(delta->remove_edges, (std::vector<std::pair<VertexId, VertexId>>{{1, 2}}));
+  EXPECT_EQ(delta->remove_vertices, (std::vector<VertexId>{1}));
+  EXPECT_EQ(delta->Summary(), "+2v -1v +2e -1e");
+
+  const Graph base = TriangleGraph();
+  auto next = ApplyDelta(base, *delta);
+  ASSERT_TRUE(next.ok());
+  // 3 base + 2 added - 1 removed.
+  EXPECT_EQ(next->NumVertices(), 4u);
+}
+
+TEST(GraphDeltaTest, ParseDeltaTextRejectsMalformedLines) {
+  EXPECT_EQ(ParseDeltaText("av\n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("ae 1\n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("xx 1 2\n").status().code(), StatusCode::kInvalidArgument);
+  // Error messages carry the line number.
+  auto bad = ParseDeltaText("av 1\nre 0\n");
+  EXPECT_NE(bad.status().ToString().find("line 2"), std::string::npos);
+}
+
+TEST(GraphDeltaTest, ParseDeltaTextRejectsTrailingText) {
+  // "1O" (typo'd 10) must not silently parse as label 1.
+  EXPECT_EQ(ParseDeltaText("ae 4 5 1O\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("ae 4 5 xyz\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("av 1 2\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("rv 1 junk\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("re 0 1 2\n").status().code(),
+            StatusCode::kInvalidArgument);
+  // The optional ae label still parses when well-formed.
+  auto ok = ParseDeltaText("ae 4 5 10\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->add_edges[0].label, 10u);
+}
+
+TEST(GraphDeltaTest, ParseDeltaTextRejects64BitValues) {
+  // 2^32 would truncate to vertex 0 if cast blindly — must be a hard error.
+  EXPECT_EQ(ParseDeltaText("rv 4294967296\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("ae 0 4294967296\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDeltaText("av 4294967296\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fast

@@ -162,13 +162,13 @@ TEST(QuerySignatureTest, CanonicalQueryPreservesStructure) {
 TEST(PlanCacheTest, LruEvictionOrder) {
   PlanCache cache(2);
   auto plan = std::make_shared<service::CachedPlan>();
-  cache.Insert("a", plan);
-  cache.Insert("b", plan);
-  EXPECT_NE(cache.Lookup("a"), nullptr);  // refresh a; b is now LRU
-  cache.Insert("c", plan);                // evicts b
-  EXPECT_NE(cache.Lookup("a"), nullptr);
-  EXPECT_EQ(cache.Lookup("b"), nullptr);
-  EXPECT_NE(cache.Lookup("c"), nullptr);
+  cache.Insert("a", 1, plan);
+  cache.Insert("b", 1, plan);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);  // refresh a; b is now LRU
+  cache.Insert("c", 1, plan);                // evicts b
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr);
+  EXPECT_NE(cache.Lookup("c", 1), nullptr);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.entries, 2u);
@@ -176,9 +176,70 @@ TEST(PlanCacheTest, LruEvictionOrder) {
 
 TEST(PlanCacheTest, ZeroCapacityDisables) {
   PlanCache cache(0);
-  cache.Insert("a", std::make_shared<service::CachedPlan>());
-  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", 1, std::make_shared<service::CachedPlan>());
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, EpochMismatchMissesAndDropsEntry) {
+  PlanCache cache(4);
+  auto plan = std::make_shared<service::CachedPlan>();
+  cache.Insert("a", 1, plan);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  // A plan built on epoch 1 must never serve epoch 2, and the dead entry is
+  // reclaimed on the spot.
+  EXPECT_EQ(cache.Lookup("a", 2), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  // Re-inserting under the new epoch serves again.
+  cache.Insert("a", 2, plan);
+  EXPECT_NE(cache.Lookup("a", 2), nullptr);
+}
+
+TEST(PlanCacheTest, OldEpochRequestCannotDisturbNewerEntry) {
+  // A request still draining on epoch 1 races a rebuild for epoch 2: its
+  // lookup must miss without evicting the fresh entry, and its insert must
+  // not overwrite it.
+  PlanCache cache(4);
+  auto fresh = std::make_shared<service::CachedPlan>();
+  cache.Insert("a", 2, fresh);
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);  // still there
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  auto stale = std::make_shared<service::CachedPlan>();
+  cache.Insert("a", 1, stale);
+  EXPECT_EQ(cache.Lookup("a", 2), fresh);  // epoch-2 plan survived
+}
+
+TEST(PlanCacheTest, StaleInsertAfterInvalidateCannotEvictLiveEntries) {
+  // A full cache of current-epoch plans; a request draining on the old
+  // epoch finishes its build late. Its insert (a key not in the cache) must
+  // be dropped, not evict a live plan from the LRU tail.
+  PlanCache cache(2);
+  auto plan = std::make_shared<service::CachedPlan>();
+  cache.Insert("a", 2, plan);
+  cache.Insert("b", 2, plan);
+  cache.InvalidateBefore(2);
+  cache.Insert("late", 1, plan);
+  EXPECT_EQ(cache.Lookup("late", 1), nullptr);
+  EXPECT_NE(cache.Lookup("a", 2), nullptr);
+  EXPECT_NE(cache.Lookup("b", 2), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanCacheTest, InvalidateBeforeDropsOldEpochsOnly) {
+  PlanCache cache(8);
+  auto plan = std::make_shared<service::CachedPlan>();
+  cache.Insert("a", 1, plan);
+  cache.Insert("b", 2, plan);
+  cache.Insert("c", 3, plan);
+  cache.InvalidateBefore(3);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 2), nullptr);
+  EXPECT_NE(cache.Lookup("c", 3), nullptr);
 }
 
 // ---- Service correctness. ----

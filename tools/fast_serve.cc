@@ -12,6 +12,19 @@
 // One-shot mode: --once runs each query exactly once and prints its count
 // and latency (useful for smoke tests and scripting).
 //
+// Online updates (epoch-based snapshot swap, src/service/match_service.h):
+//   --update F1[,F2,...]  delta files (graph/graph_delta.h text format).
+//                         In --once mode each delta is applied in turn and
+//                         the query list re-runs after every swap, printing
+//                         the published epoch. In replay mode the files are
+//                         cycled by the --swap-every-ms writer.
+//   --reload FILE         --once mode only: swap in a whole replacement
+//                         graph (t/v/e format) and re-run the queries.
+//   --swap-every-ms MS    replay mode: a writer thread publishes a new
+//                         snapshot every MS ms — the --update deltas cycled,
+//                         or random edge churn (--churn N) when none given —
+//                         while clients keep querying.
+//
 // The data graph is either --data FILE (t/v/e text format) or a generated
 // LDBC-SNB-like graph at --sf SCALE; --queries picks LDBC benchmark query
 // indices (comma-separated), or pass query files as positional arguments.
@@ -23,11 +36,13 @@
 #include <thread>
 #include <vector>
 
+#include "graph/graph_delta.h"
 #include "graph/graph_io.h"
 #include "ldbc/ldbc.h"
 #include "service/match_service.h"
 #include "tools/flag_parser.h"
 #include "util/rng.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace {
@@ -37,6 +52,15 @@ using service::MatchService;
 using service::RequestOptions;
 using service::ServiceOptions;
 
+StatusOr<std::vector<GraphDelta>> LoadDeltaFiles(const std::string& spec) {
+  std::vector<GraphDelta> deltas;
+  for (const std::string& path : SplitCsv(spec)) {
+    FAST_ASSIGN_OR_RETURN(GraphDelta d, LoadDeltaFile(path));
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
 StatusOr<std::vector<QueryGraph>> LoadQueryMix(const tools::FlagParser& flags) {
   std::vector<QueryGraph> queries;
   for (const std::string& path : flags.positional()) {
@@ -45,24 +69,8 @@ StatusOr<std::vector<QueryGraph>> LoadQueryMix(const tools::FlagParser& flags) {
     queries.push_back(std::move(q));
   }
   const std::string spec = flags.GetString("queries", queries.empty() ? "0,1,2" : "");
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string token = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (token.empty()) continue;
-    char* end = nullptr;
-    const long index = std::strtol(token.c_str(), &end, 10);
-    if (end == token.c_str() || *end != '\0' || index < 0 ||
-        index >= kNumLdbcQueries) {
-      return Status::InvalidArgument("--queries: bad LDBC query index \"" + token +
-                                     "\" (want 0.." +
-                                     std::to_string(kNumLdbcQueries - 1) + ")");
-    }
-    FAST_ASSIGN_OR_RETURN(QueryGraph q, LdbcQuery(static_cast<int>(index)));
-    queries.push_back(std::move(q));
-  }
+  FAST_ASSIGN_OR_RETURN(std::vector<QueryGraph> mix, ParseLdbcQueryMix(spec));
+  for (QueryGraph& q : mix) queries.push_back(std::move(q));
   if (queries.empty()) return Status::InvalidArgument("no queries specified");
   return queries;
 }
@@ -72,7 +80,8 @@ int Run(int argc, char** argv) {
       argc, argv,
       {"data", "sf", "seed", "queries", "duration", "workers", "clients",
        "cache-size", "queue", "deadline-ms", "delta", "variant", "store",
-       "no-cache", "once", "help"},
+       "update", "reload", "swap-every-ms", "churn", "no-cache", "once",
+       "help"},
       /*bool_flags=*/{"no-cache", "once", "help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
@@ -81,7 +90,9 @@ int Run(int argc, char** argv) {
         "                  [--queries I,J,...] [--duration S] [--workers N]\n"
         "                  [--clients N] [--cache-size N] [--queue N]\n"
         "                  [--deadline-ms MS] [--delta D] [--variant V]\n"
-        "                  [--store N] [--no-cache] [--once]\n%s\n",
+        "                  [--store N] [--update DELTA[,DELTA...]]\n"
+        "                  [--reload GRAPH] [--swap-every-ms MS] [--churn N]\n"
+        "                  [--no-cache] [--once]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -146,38 +157,106 @@ int Run(int argc, char** argv) {
               options.plan_cache_capacity,
               options.plan_cache_capacity == 0 ? " (disabled)" : "");
 
+  // --- Online-update inputs (shared by both modes). ---
+  auto deltas = LoadDeltaFiles(flags->GetString("update", ""));
+  if (!deltas.ok()) {
+    std::fprintf(stderr, "--update: %s\n", deltas.status().ToString().c_str());
+    return 2;
+  }
+  std::size_t churn;
+  FAST_FLAG_ASSIGN_OR_USAGE(churn, flags->GetSizeT("churn", 16));
+
   // --- One-shot mode. ---
   if (flags->Has("once")) {
-    for (const QueryGraph& q : *queries) {
-      RequestOptions ropts;
-      ropts.store_limit = store;
-      auto r = svc.SubmitAndWait(q, ropts);
-      if (!r.ok()) {
-        std::fprintf(stderr, "%s: %s\n", q.name().c_str(),
-                     r.status().ToString().c_str());
+    if (flags->Has("swap-every-ms") || flags->Has("churn")) {
+      std::fprintf(stderr, "--swap-every-ms/--churn only apply in replay mode "
+                           "(drop --once, or use --update for one-shot swaps)\n");
+      return 2;
+    }
+    auto run_pass = [&]() -> int {
+      for (const QueryGraph& q : *queries) {
+        RequestOptions ropts;
+        ropts.store_limit = store;
+        auto r = svc.SubmitAndWait(q, ropts);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s: %s\n", q.name().c_str(),
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("%-10s embeddings=%-12llu epoch=%llu latency=%.3fms %s\n",
+                    q.name().c_str(),
+                    static_cast<unsigned long long>(r->run.embeddings),
+                    static_cast<unsigned long long>(r->graph_epoch),
+                    r->total_seconds * 1e3, r->cache_hit ? "(cache hit)" : "");
+        for (const auto& e : r->run.sample_embeddings) {
+          std::printf("  match:");
+          for (std::size_t u = 0; u < e.size(); ++u) {
+            std::printf(" u%zu->v%u", u, e[u]);
+          }
+          std::printf("\n");
+        }
+      }
+      return 0;
+    };
+    if (int rc = run_pass(); rc != 0) return rc;
+    // Each update swaps in a new snapshot and re-runs the query list, so the
+    // effect of the delta on the counts is visible epoch by epoch.
+    for (std::size_t i = 0; i < deltas->size(); ++i) {
+      auto epoch = svc.ApplyDelta((*deltas)[i]);
+      if (!epoch.ok()) {
+        std::fprintf(stderr, "update: %s\n", epoch.status().ToString().c_str());
         return 1;
       }
-      std::printf("%-10s embeddings=%-12llu latency=%.3fms %s\n", q.name().c_str(),
-                  static_cast<unsigned long long>(r->run.embeddings),
-                  r->total_seconds * 1e3, r->cache_hit ? "(cache hit)" : "");
-      for (const auto& e : r->run.sample_embeddings) {
-        std::printf("  match:");
-        for (std::size_t u = 0; u < e.size(); ++u) {
-          std::printf(" u%zu->v%u", u, e[u]);
-        }
-        std::printf("\n");
+      std::printf("\nupdate %s -> epoch %llu, data: %s\n",
+                  (*deltas)[i].Summary().c_str(),
+                  static_cast<unsigned long long>(*epoch),
+                  svc.snapshot().graph->Summary().c_str());
+      if (int rc = run_pass(); rc != 0) return rc;
+    }
+    if (flags->Has("reload")) {
+      auto replacement = LoadGraphFile(flags->GetString("reload", ""));
+      if (!replacement.ok()) {
+        std::fprintf(stderr, "--reload: %s\n",
+                     replacement.status().ToString().c_str());
+        return 1;
       }
+      const std::uint64_t epoch = svc.SwapGraph(std::move(*replacement));
+      std::printf("\nreload -> epoch %llu, data: %s\n",
+                  static_cast<unsigned long long>(epoch),
+                  svc.snapshot().graph->Summary().c_str());
+      if (int rc = run_pass(); rc != 0) return rc;
     }
     std::printf("%s\n", svc.stats().Summary().c_str());
     return 0;
   }
 
   // --- Fixed-duration replay. ---
+  // All flags parse before any thread spawns: an early `return 2` with
+  // joinable client threads would std::terminate.
   double duration;
   FAST_FLAG_ASSIGN_OR_USAGE(duration, flags->GetDouble("duration", 5.0));
   std::size_t clients;
   FAST_FLAG_ASSIGN_OR_USAGE(clients, flags->GetSizeT("clients", 4));
   clients = std::max<std::size_t>(clients, 1);
+  double swap_every_ms;
+  FAST_FLAG_ASSIGN_OR_USAGE(swap_every_ms, flags->GetDouble("swap-every-ms", 0.0));
+  if (flags->Has("reload")) {
+    std::fprintf(stderr, "--reload only applies in --once mode "
+                         "(use --update/--swap-every-ms in replay mode)\n");
+    return 2;
+  }
+  if (!deltas->empty() && swap_every_ms <= 0.0) {
+    std::fprintf(stderr, "--update in replay mode needs --swap-every-ms "
+                         "(or add --once to apply the deltas one-shot)\n");
+    return 2;
+  }
+  // --churn only feeds the random-delta writer; reject it when that writer
+  // won't run rather than silently measuring an unchurned replay.
+  if (flags->Has("churn") && (swap_every_ms <= 0.0 || !deltas->empty())) {
+    std::fprintf(stderr, "--churn needs --swap-every-ms and no --update files "
+                         "(churn generates the random deltas)\n");
+    return 2;
+  }
 
   std::atomic<bool> stop{false};
   std::vector<std::thread> client_threads;
@@ -195,12 +274,47 @@ int Run(int argc, char** argv) {
       }
     });
   }
+  // Optional writer: publish a new snapshot every --swap-every-ms, cycling
+  // the --update delta files or applying random edge churn. A failed swap
+  // fails the whole run — a writer that silently stopped would freeze the
+  // snapshot while the replay keeps reporting success.
+  std::thread writer;
+  std::atomic<bool> writer_failed{false};
+  if (swap_every_ms > 0.0) {
+    writer = std::thread([&] {
+      Rng rng(0xD317A);
+      std::size_t next_delta = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Sliced sleep so a long interval doesn't delay shutdown.
+        Timer interval;
+        while (!stop.load(std::memory_order_relaxed) &&
+               interval.ElapsedSeconds() * 1e3 < swap_every_ms) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (stop.load(std::memory_order_relaxed)) break;
+        GraphDelta delta;
+        if (!deltas->empty()) {
+          delta = (*deltas)[next_delta++ % deltas->size()];
+        } else {
+          delta = RandomChurnDelta(*svc.snapshot().graph, churn, rng);
+        }
+        auto epoch = svc.ApplyDelta(delta);
+        if (!epoch.ok()) {
+          std::fprintf(stderr, "swap: %s\n", epoch.status().ToString().c_str());
+          writer_failed.store(true);
+          break;
+        }
+      }
+    });
+  }
+
   Timer wall;
   while (wall.ElapsedSeconds() < duration) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   stop.store(true);
   for (auto& t : client_threads) t.join();
+  if (writer.joinable()) writer.join();
 
   const auto stats = svc.stats();
   const double elapsed = wall.ElapsedSeconds();
@@ -219,10 +333,18 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rejected_queue_full),
               static_cast<unsigned long long>(stats.rejected_deadline));
   std::printf("plan cache:  hit_rate=%.1f%% entries=%zu image=%.1fKiB "
-              "evictions=%llu\n",
+              "evictions=%llu invalidations=%llu\n",
               stats.cache.HitRate() * 100.0, stats.cache.entries,
               static_cast<double>(stats.cache.image_bytes) / 1024.0,
-              static_cast<unsigned long long>(stats.cache.evictions));
+              static_cast<unsigned long long>(stats.cache.evictions),
+              static_cast<unsigned long long>(stats.cache.invalidations));
+  std::printf("snapshots:   epoch=%llu swaps=%llu\n",
+              static_cast<unsigned long long>(stats.epoch),
+              static_cast<unsigned long long>(stats.graph_swaps));
+  if (writer_failed.load()) {
+    std::fprintf(stderr, "error: snapshot writer stopped early (see above)\n");
+    return 1;
+  }
   return 0;
 }
 
