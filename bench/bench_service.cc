@@ -17,7 +17,6 @@
 
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -163,32 +162,26 @@ int Run(int argc, char** argv) {
 
   const std::string json = flags->GetString("json", "");
   if (!json.empty()) {
-    std::ofstream f(json);
-    if (!f) {
-      std::fprintf(stderr, "--json: cannot open %s for writing\n", json.c_str());
-      return 1;
-    }
-    char buf[640];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\n"
-        "  \"bench\": \"bench_service\",\n"
-        "  \"sf\": %g,\n"
-        "  \"clients\": %zu,\n"
-        "  \"duration_s\": %g,\n"
-        "  \"cache_off\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
-        "                \"completed\": %llu, \"rejected\": %llu},\n"
-        "  \"cache_on\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
-        "               \"hit_rate\": %.3f, \"completed\": %llu, \"rejected\": %llu},\n"
-        "  \"cache_speedup\": %.3f\n"
-        "}\n",
-        sf, clients, duration, off.qps, off.p50_ms, off.p99_ms,
-        static_cast<unsigned long long>(off.completed),
-        static_cast<unsigned long long>(off.rejected), on.qps, on.p50_ms,
-        on.p99_ms, on.hit_rate, static_cast<unsigned long long>(on.completed),
-        static_cast<unsigned long long>(on.rejected),
-        off.qps > 0 ? on.qps / off.qps : 0.0);
-    f << buf;
+    bench::JsonWriter w;
+    w.Field("bench", "bench_service");
+    w.Field("sf", sf);
+    w.Field("clients", static_cast<std::uint64_t>(clients));
+    w.Field("duration_s", duration);
+    const auto phase = [&w](const char* name, const PhaseResult& r,
+                            bool with_hit_rate) {
+      w.BeginObject(name);
+      w.Field("qps", r.qps);
+      w.Field("p50_ms", r.p50_ms);
+      w.Field("p99_ms", r.p99_ms);
+      if (with_hit_rate) w.Field("hit_rate", r.hit_rate);
+      w.Field("completed", r.completed);
+      w.Field("rejected", r.rejected);
+      w.EndObject();
+    };
+    phase("cache_off", off, /*with_hit_rate=*/false);
+    phase("cache_on", on, /*with_hit_rate=*/true);
+    w.Field("cache_speedup", off.qps > 0 ? on.qps / off.qps : 0.0);
+    if (!bench::WriteJsonFile(json, w.Finish())) return 1;
   }
   return 0;
 }

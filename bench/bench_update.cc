@@ -17,7 +17,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,38 +146,28 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
 void WriteJson(const std::string& path, double sf, std::size_t clients,
                double swap_every_ms, const PhaseResult& steady,
                const PhaseResult& churned) {
-  std::ofstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "--json: cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  char buf[768];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\n"
-      "  \"bench\": \"bench_update\",\n"
-      "  \"sf\": %g,\n"
-      "  \"clients\": %zu,\n"
-      "  \"swap_every_ms\": %g,\n"
-      "  \"steady\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
-      "             \"completed\": %llu, \"failed\": %llu},\n"
-      "  \"churned\": {\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
-      "              \"completed\": %llu, \"failed\": %llu, \"swaps\": %llu,\n"
-      "              \"min_window_completions\": %llu,\n"
-      "              \"cache_invalidations\": %llu},\n"
-      "  \"qps_ratio\": %.3f\n"
-      "}\n",
-      sf, clients, swap_every_ms, steady.qps, steady.p50_ms, steady.p99_ms,
-      static_cast<unsigned long long>(steady.completed),
-      static_cast<unsigned long long>(steady.failed), churned.qps,
-      churned.p50_ms, churned.p99_ms,
-      static_cast<unsigned long long>(churned.completed),
-      static_cast<unsigned long long>(churned.failed),
-      static_cast<unsigned long long>(churned.swaps),
-      static_cast<unsigned long long>(churned.MinWindow()),
-      static_cast<unsigned long long>(churned.cache_invalidations),
-      steady.qps > 0 ? churned.qps / steady.qps : 0.0);
-  f << buf;
+  bench::JsonWriter w;
+  w.Field("bench", "bench_update");
+  w.Field("sf", sf);
+  w.Field("clients", static_cast<std::uint64_t>(clients));
+  w.Field("swap_every_ms", swap_every_ms);
+  const auto phase = [&w](const char* name, const PhaseResult& r) {
+    w.BeginObject(name);
+    w.Field("qps", r.qps);
+    w.Field("p50_ms", r.p50_ms);
+    w.Field("p99_ms", r.p99_ms);
+    w.Field("completed", r.completed);
+    w.Field("failed", r.failed);
+  };
+  phase("steady", steady);
+  w.EndObject();
+  phase("churned", churned);
+  w.Field("swaps", churned.swaps);
+  w.Field("min_window_completions", churned.MinWindow());
+  w.Field("cache_invalidations", churned.cache_invalidations);
+  w.EndObject();
+  w.Field("qps_ratio", steady.qps > 0 ? churned.qps / steady.qps : 0.0);
+  bench::WriteJsonFile(path, w.Finish());
 }
 
 int Run(int argc, char** argv) {

@@ -17,6 +17,13 @@ struct CpuMatchState {
   std::vector<VertexId> embedding;                // query-vertex indexed
   ResultCollector* collector;
   std::uint64_t count = 0;
+  const CancelToken* cancel = nullptr;
+  std::uint32_t probe_countdown = kProbeStride;
+  bool aborted = false;
+
+  // Probe the token once per kProbeStride expansions: frequent enough to
+  // bound overrun, rare enough that the clock read stays off the hot path.
+  static constexpr std::uint32_t kProbeStride = 256;
 
   void Recurse(std::size_t depth) {
     const std::size_t n = order->size();
@@ -32,6 +39,11 @@ struct CpuMatchState {
       cands = cst->Neighbors(up, u, positions[static_cast<std::size_t>(parent_pos[depth])]);
     }
     for (std::uint32_t t : cands) {
+      if (--probe_countdown == 0) {
+        probe_countdown = kProbeStride;
+        if (cancel != nullptr && cancel->Cancelled()) aborted = true;
+      }
+      if (aborted) return;
       const VertexId v = cst->Candidate(u, t);
       bool valid = true;
       for (std::size_t j = 0; j < depth; ++j) {
@@ -67,7 +79,13 @@ struct CpuMatchState {
 }  // namespace
 
 StatusOr<std::uint64_t> MatchCstOnCpu(const Cst& cst, const MatchingOrder& order,
-                                      ResultCollector* collector) {
+                                      ResultCollector* collector,
+                                      const CancelToken* cancel) {
+  // Entry probe: an already-tripped token aborts before any work, so even
+  // graphs smaller than the probe stride observe cancellation.
+  if (cancel != nullptr && cancel->Cancelled()) {
+    return Status::DeadlineExceeded("cpu match cancelled mid-match");
+  }
   const std::size_t n = cst.NumQueryVertices();
   if (order.order.size() != n) {
     return Status::InvalidArgument("order arity does not match CST");
@@ -103,7 +121,11 @@ StatusOr<std::uint64_t> MatchCstOnCpu(const Cst& cst, const MatchingOrder& order
   st.data_vertices.assign(n, 0);
   st.embedding.assign(n, 0);
   st.collector = collector;
+  st.cancel = cancel;
   if (cst.NumCandidates(order.order[0]) > 0) st.Recurse(0);
+  if (st.aborted) {
+    return Status::DeadlineExceeded("cpu match cancelled mid-match");
+  }
   return st.count;
 }
 

@@ -10,14 +10,18 @@
 #include "cst/cst.h"
 #include "core/result_collector.h"
 #include "query/matching_order.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace fast {
 
 // Enumerates all embeddings contained in `cst` following `order`.
-// Returns the number of embeddings found.
+// Returns the number of embeddings found. A non-null `cancel` token is
+// probed every few hundred candidate expansions; a tripped token unwinds
+// the backtracking and returns DEADLINE_EXCEEDED.
 StatusOr<std::uint64_t> MatchCstOnCpu(const Cst& cst, const MatchingOrder& order,
-                                      ResultCollector* collector);
+                                      ResultCollector* collector,
+                                      const CancelToken* cancel = nullptr);
 
 }  // namespace fast
 

@@ -44,6 +44,11 @@ StatusOr<FastRunResult> RunFast(const QueryGraph& q, const Graph& g,
   }
 
   // --- (1) CST construction. ---
+  // Probe between phases: a deadline that expired during order computation
+  // skips the (often dominant) CST build entirely.
+  if (options.cancel != nullptr && options.cancel->Cancelled()) {
+    return Status::DeadlineExceeded("run cancelled before CST build");
+  }
   Timer build_timer;
   FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, g, order.root, options.cst_build));
   return RunFastWithCst(cst, order, options, build_timer.ElapsedSeconds());
@@ -69,7 +74,8 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
   if (options.variant == FastVariant::kDram) {
     Timer t;
     FAST_ASSIGN_OR_RETURN(KernelRunResult run,
-                          RunKernel(cst, result.order, options.fpga, &collector));
+                          RunKernel(cst, result.order, options.fpga, &collector,
+                                    /*round_trace=*/nullptr, options.cancel));
     (void)t;
     result.counters = run.counters;
     result.embeddings = run.embeddings;
@@ -100,7 +106,8 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
   const auto fpga_sink = [&](Cst part) -> Status {
     w_fpga += EstimateWorkload(part);
     FAST_ASSIGN_OR_RETURN(KernelRunResult run,
-                          RunKernel(part, result.order, options.fpga, &collector));
+                          RunKernel(part, result.order, options.fpga, &collector,
+                                    /*round_trace=*/nullptr, options.cancel));
     result.counters += run.counters;
     result.embeddings += run.embeddings;
     kernel_seconds += SimulatedKernelSeconds(options.fpga, options.variant, run,
@@ -139,7 +146,8 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
   Timer share_timer;
   for (const Cst& part : cpu_queue) {
     FAST_ASSIGN_OR_RETURN(std::uint64_t found,
-                          MatchCstOnCpu(part, result.order, &collector));
+                          MatchCstOnCpu(part, result.order, &collector,
+                                        options.cancel));
     result.embeddings += found;
   }
   result.cpu_partitions = cpu_queue.size();
@@ -190,7 +198,8 @@ StatusOr<MultiFpgaResult> RunMultiFpga(const QueryGraph& q, const Graph& g,
             device_workload.begin();
         device_workload[device] += EstimateWorkload(part);
         FAST_ASSIGN_OR_RETURN(KernelRunResult run,
-                              RunKernel(part, order, options.fpga, nullptr));
+                              RunKernel(part, order, options.fpga, nullptr,
+                                        /*round_trace=*/nullptr, options.cancel));
         result.embeddings += run.embeddings;
         result.device_seconds[device] +=
             SimulatedKernelSeconds(options.fpga, options.variant, run,

@@ -30,6 +30,7 @@
 #include "fpga/cycle_model.h"
 #include "ldbc/ldbc.h"
 #include "query/matching_order.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace fast {
@@ -59,6 +60,13 @@ struct FastRunOptions {
   // Streaming per-embedding callback, invoked from the matching thread as
   // results are found (before storage). Independent of store_limit.
   std::function<void(std::span<const VertexId>)> embedding_callback;
+
+  // Cooperative cancellation (util/cancel.h): probed between pipeline phases
+  // and inside the matching loops (once per kernel round, every few hundred
+  // CPU-side expansions). A tripped token makes the run return
+  // DEADLINE_EXCEEDED instead of finishing. Non-owning; the caller keeps the
+  // token alive for the duration of the run. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 struct FastRunResult {

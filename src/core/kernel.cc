@@ -38,7 +38,8 @@ struct LevelBuffer {
 StatusOr<KernelRunResult> RunKernel(const Cst& cst, const MatchingOrder& order,
                                     const FpgaConfig& config,
                                     ResultCollector* collector,
-                                    std::vector<RoundWork>* round_trace) {
+                                    std::vector<RoundWork>* round_trace,
+                                    const CancelToken* cancel) {
   FAST_RETURN_IF_ERROR(config.Validate());
   const std::size_t n = cst.NumQueryVertices();
   if (order.order.size() != n) {
@@ -87,6 +88,11 @@ StatusOr<KernelRunResult> RunKernel(const Cst& cst, const MatchingOrder& order,
   std::vector<std::uint32_t> row(stride);
 
   while (true) {
+    // One probe per round: each round is bounded by N_o partials, so an
+    // expired deadline aborts within one batch of work.
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return Status::DeadlineExceeded("kernel run cancelled mid-match");
+    }
     // Refill level 1 from root candidates when the buffer drains (Alg. 4
     // lines 2-3, batched to respect the N_o buffer bound).
     bool any = false;

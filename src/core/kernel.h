@@ -23,6 +23,7 @@
 #include "fpga/cycle_model.h"
 #include "fpga/pipeline_sim.h"
 #include "query/matching_order.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace fast {
@@ -38,11 +39,14 @@ struct KernelRunResult {
 // BFS-tree root. Results are reported to `collector` (may be null to count
 // only within the returned counters). When `round_trace` is non-null, one
 // RoundWork entry is appended per Generator round, suitable for the
-// cycle-stepped pipeline simulation (fpga/pipeline_sim.h).
+// cycle-stepped pipeline simulation (fpga/pipeline_sim.h). A non-null
+// `cancel` token is probed once per Generator round; a tripped token aborts
+// the run with DEADLINE_EXCEEDED (partial counters are discarded).
 StatusOr<KernelRunResult> RunKernel(const Cst& cst, const MatchingOrder& order,
                                     const FpgaConfig& config,
                                     ResultCollector* collector,
-                                    std::vector<RoundWork>* round_trace = nullptr);
+                                    std::vector<RoundWork>* round_trace = nullptr,
+                                    const CancelToken* cancel = nullptr);
 
 // Simulated kernel seconds for one partition under `variant`: CST DMA load
 // (absent for FAST-DRAM) + matching cycles (Eqs. 1-4) + result flush.

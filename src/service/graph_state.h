@@ -1,0 +1,157 @@
+#ifndef FAST_SERVICE_GRAPH_STATE_H_
+#define FAST_SERVICE_GRAPH_STATE_H_
+
+// Per-graph serving state, factored out of MatchService so that one worker
+// pool can serve many graphs (tenant::TenantRouter) while the single-graph
+// service keeps its original API.
+//
+// A GraphState bundles everything that is *about one data graph* and nothing
+// about pools or queues:
+//
+//   - the epoch-snapshotted graph: a shared_ptr<const Graph> published under
+//     a monotone epoch; SwapGraph/ApplyDelta build the next snapshot off-line
+//     and publish it atomically while in-flight requests drain on the
+//     snapshot they captured (the old graph is freed when its last request
+//     drops the shared_ptr);
+//   - the epoch-tagged plan/CST cache (plan_cache.h), invalidated eagerly on
+//     publish and re-checked per hit;
+//   - request execution: canonical-query cache lookup, build-and-run, and
+//     the remap of every client-visible vertex reference back to the
+//     submitted numbering.
+//
+// Serve() is the single entry point a worker calls after dequeuing a
+// request: it enforces the deadline at dispatch, arms a cooperative
+// cancellation token with the remaining deadline (util/cancel.h) so an
+// oversized query aborts mid-run, captures the snapshot once, and executes.
+// GraphState is internally synchronized; concurrent Serve/Swap/ApplyDelta
+// calls from any number of workers and writers are safe.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "core/driver.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "service/plan_cache.h"
+#include "service/query_signature.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace fast::service {
+
+// An immutable published snapshot: the graph plus the epoch it was published
+// under. Copyable; holding one keeps the graph alive across any number of
+// swaps.
+struct GraphSnapshot {
+  std::shared_ptr<const Graph> graph;
+  std::uint64_t epoch = 0;
+};
+
+struct RequestOptions {
+  // Sample-embedding mode: retain up to this many embeddings (remapped to
+  // the submitted numbering). 0 = count-only.
+  std::size_t store_limit = 0;
+
+  // Overrides the service-level default deadline when >= 0.
+  double deadline_seconds = -1.0;
+
+  // Streaming per-embedding callback, invoked on the worker thread with the
+  // mapping in the submitted numbering. Must be thread-safe if the same
+  // callable is shared across requests.
+  std::function<void(std::span<const VertexId>)> on_embedding;
+};
+
+struct RequestResult {
+  Status status = Status::OK();  // DEADLINE_EXCEEDED, pipeline errors, ...
+  // Valid iff status.ok(). Client-visible vertex references
+  // (sample_embeddings, order.root, order.order) are in the numbering of
+  // the *submitted* query, even when the plan ran in canonical numbering.
+  FastRunResult run;
+  bool cache_hit = false;
+  // Epoch of the graph snapshot this request ran on (captured at dispatch).
+  // 0 for requests that never dispatched (e.g. queued past their deadline);
+  // a request cancelled *mid-run* by its deadline reports the epoch it ran
+  // on, distinguishing the two DEADLINE_EXCEEDED cases.
+  std::uint64_t graph_epoch = 0;
+  double queue_seconds = 0.0;  // Submit -> dispatch
+  double total_seconds = 0.0;  // Submit -> completion
+};
+
+struct GraphStateOptions {
+  // Plan/CST cache entries; 0 disables caching.
+  std::size_t plan_cache_capacity = 64;
+  // Byte bound on the summed serialized-CST images; 0 = entries-only bound.
+  std::size_t plan_cache_byte_budget = 0;
+};
+
+class GraphState {
+ public:
+  // Takes ownership of the data graph and publishes it as epoch 1.
+  GraphState(Graph graph, const GraphStateOptions& options);
+
+  GraphState(const GraphState&) = delete;
+  GraphState& operator=(const GraphState&) = delete;
+
+  // The currently published snapshot. The returned graph stays valid for as
+  // long as the caller holds the shared_ptr.
+  GraphSnapshot snapshot() const;
+  std::uint64_t epoch() const { return snapshot().epoch; }
+  std::uint64_t graph_swaps() const;
+
+  // Epoch and swap count read under ONE lock acquisition, so the pair is
+  // mutually consistent (swaps == epoch - 1 always holds) even while a
+  // writer is publishing.
+  void publication_stats(std::uint64_t* epoch, std::uint64_t* swaps) const;
+
+  // Atomically publishes `next` as the new snapshot under the next epoch and
+  // invalidates cached plans for older epochs. Requests dispatched before
+  // the publish finish on the snapshot they captured; requests dispatched
+  // after run on `next`. Writers are serialized; queries are never blocked
+  // by a swap. Returns the newly published epoch.
+  std::uint64_t SwapGraph(Graph next);
+
+  // Rebuilds a fresh CSR off-line from {current snapshot + delta} (see
+  // graph/graph_delta.h for the batch semantics), then publishes it as with
+  // SwapGraph. The rebuild runs outside any lock that queries touch.
+  StatusOr<std::uint64_t> ApplyDelta(const GraphDelta& delta);
+
+  // Serves one dequeued request end-to-end: dispatch-time deadline check
+  // (status DEADLINE_EXCEEDED with graph_epoch 0 when the deadline passed
+  // while queued), mid-run cancellation armed with the remaining deadline,
+  // snapshot capture, cache lookup, build/run, and result remap. base_run is
+  // the service-level pipeline configuration; per-request fields
+  // (store_limit, callback, cancel) are overridden from `opts`.
+  void Serve(const CanonicalQuery& canonical, const RequestOptions& opts,
+             const FastRunOptions& base_run, double queue_seconds,
+             double deadline_seconds, RequestResult* result);
+
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  void Execute(const CanonicalQuery& canonical, const RequestOptions& opts,
+               const GraphSnapshot& snap, const FastRunOptions& base_run,
+               const CancelToken* cancel, RequestResult* result);
+  StatusOr<FastRunResult> BuildAndRun(const CanonicalQuery& canonical,
+                                      const GraphSnapshot& snap,
+                                      const FastRunOptions& run);
+  std::uint64_t Publish(Graph next);
+
+  const GraphStateOptions options_;
+  PlanCache cache_;
+
+  // Snapshot publication. snapshot_mu_ only guards the {pointer, epoch}
+  // pair — never held while building a graph or running a query.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Graph> graph_;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t graph_swaps_ = 0;
+  // Serializes writers so each delta applies to the snapshot it read.
+  std::mutex swap_mu_;
+};
+
+}  // namespace fast::service
+
+#endif  // FAST_SERVICE_GRAPH_STATE_H_

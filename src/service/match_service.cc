@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <utility>
 
-#include "cst/cst_serialize.h"
 #include "service/query_signature.h"
 
 namespace fast::service {
@@ -22,37 +21,17 @@ struct MatchService::Request {
   RequestResult result;
 };
 
-namespace {
-
-bool IsIdentity(const std::vector<VertexId>& perm) {
-  for (std::size_t i = 0; i < perm.size(); ++i) {
-    if (perm[i] != i) return false;
-  }
-  return true;
-}
-
-// Remaps an embedding from canonical numbering back to the submitted
-// numbering: submitted vertex u matched canonical position to_canonical[u].
-void RemapEmbedding(const std::vector<VertexId>& to_canonical,
-                    std::span<const VertexId> canonical, Embedding* out) {
-  out->resize(to_canonical.size());
-  for (std::size_t u = 0; u < to_canonical.size(); ++u) {
-    (*out)[u] = canonical[to_canonical[u]];
-  }
-}
-
-}  // namespace
-
 std::string ServiceStats::Summary() const {
-  char buf[360];
+  char buf[400];
   std::snprintf(buf, sizeof(buf),
                 "qps=%.1f completed=%llu failed=%llu rejected(queue=%llu "
-                "deadline=%llu) epoch=%llu swaps=%llu cache(hit_rate=%.1f%% "
-                "entries=%zu) latency[%s]",
+                "deadline=%llu) cancelled_midrun=%llu epoch=%llu swaps=%llu "
+                "cache(hit_rate=%.1f%% entries=%zu) latency[%s]",
                 QueriesPerSecond(), static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(failed),
                 static_cast<unsigned long long>(rejected_queue_full),
                 static_cast<unsigned long long>(rejected_deadline),
+                static_cast<unsigned long long>(cancelled_midrun),
                 static_cast<unsigned long long>(epoch),
                 static_cast<unsigned long long>(graph_swaps),
                 cache.HitRate() * 100.0, cache.entries,
@@ -62,9 +41,10 @@ std::string ServiceStats::Summary() const {
 
 MatchService::MatchService(Graph graph, ServiceOptions options)
     : options_(std::move(options)),
-      cache_(options_.plan_cache_capacity),
-      queue_(options_.queue_capacity),
-      graph_(std::make_shared<const Graph>(std::move(graph))) {
+      state_(std::move(graph),
+             GraphStateOptions{options_.plan_cache_capacity,
+                               options_.plan_cache_byte_budget}),
+      queue_(options_.queue_capacity) {
   std::size_t n = options_.num_workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -142,40 +122,6 @@ StatusOr<RequestResult> MatchService::SubmitAndWait(const QueryGraph& q,
   return result;
 }
 
-MatchService::GraphSnapshot MatchService::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  return {graph_, epoch_};
-}
-
-std::uint64_t MatchService::Publish(Graph next) {
-  auto published = std::make_shared<const Graph>(std::move(next));
-  std::uint64_t new_epoch;
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    graph_ = std::move(published);
-    new_epoch = ++epoch_;
-    ++graph_swaps_;
-  }
-  // Eager reclamation only: stale plans that race past this are caught by
-  // the per-key epoch tag in Lookup.
-  cache_.InvalidateBefore(new_epoch);
-  return new_epoch;
-}
-
-std::uint64_t MatchService::SwapGraph(Graph next) {
-  std::lock_guard<std::mutex> writers(swap_mu_);
-  return Publish(std::move(next));
-}
-
-StatusOr<std::uint64_t> MatchService::ApplyDelta(const GraphDelta& delta) {
-  // One writer at a time, so the rebuild base cannot be superseded mid-apply;
-  // queries keep dispatching against the current snapshot throughout.
-  std::lock_guard<std::mutex> writers(swap_mu_);
-  GraphSnapshot base = snapshot();
-  FAST_ASSIGN_OR_RETURN(Graph next, fast::ApplyDelta(*base.graph, delta));
-  return Publish(std::move(next));
-}
-
 void MatchService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -193,112 +139,11 @@ void MatchService::WorkerLoop() {
   while (auto item = queue_.Pop()) {
     std::shared_ptr<Request> req = std::move(*item);
     RequestResult result;
-    result.queue_seconds = req->submitted.ElapsedSeconds();
-    if (req->deadline_seconds > 0.0 && result.queue_seconds > req->deadline_seconds) {
-      result.status = Status::DeadlineExceeded("deadline passed while queued");
-    } else {
-      // Capture the snapshot once at dispatch: the whole request — cache
-      // lookup, build, run — sees one consistent {graph, epoch}, regardless
-      // of concurrent swaps.
-      const GraphSnapshot snap = snapshot();
-      result.graph_epoch = snap.epoch;
-      Execute(*req, snap, &result);
-    }
+    state_.Serve(req->canonical, req->opts, options_.run,
+                 req->submitted.ElapsedSeconds(), req->deadline_seconds,
+                 &result);
     Finish(std::move(req), std::move(result));
   }
-}
-
-void MatchService::Execute(Request& req, const GraphSnapshot& snap,
-                           RequestResult* result) {
-  FastRunOptions run = options_.run;
-  run.explicit_order.reset();
-  run.store_limit = req.opts.store_limit;
-
-  const std::vector<VertexId>& to_canonical = req.canonical.to_canonical;
-  const bool identity = IsIdentity(to_canonical);
-  // Per-request callback overrides the base-config one; either way the
-  // callback must observe embeddings in the submitted numbering, so wrap it
-  // with the canonical->submitted remap when the permutation is non-trivial.
-  const std::function<void(std::span<const VertexId>)>& callback =
-      req.opts.on_embedding ? req.opts.on_embedding : options_.run.embedding_callback;
-  if (callback) {
-    if (identity) {
-      run.embedding_callback = callback;
-    } else {
-      run.embedding_callback = [&callback, &to_canonical,
-                                scratch = Embedding()](
-                                   std::span<const VertexId> emb) mutable {
-        RemapEmbedding(to_canonical, emb, &scratch);
-        callback(scratch);
-      };
-    }
-  }
-
-  StatusOr<FastRunResult> r = Status::Internal("unreachable");
-  bool ran_from_cache = false;
-  if (options_.plan_cache_capacity > 0) {
-    std::shared_ptr<const CachedPlan> plan =
-        cache_.Lookup(req.canonical.key, snap.epoch);
-    if (plan != nullptr) {
-      // Cache hit: rebuild the CST from the serialized image (the same flat
-      // words that would cross PCIe), skipping order computation and Alg. 1
-      // construction entirely.
-      StatusOr<Cst> cst = DeserializeCst(plan->layout, plan->cst_image);
-      if (cst.ok()) {
-        ran_from_cache = true;
-        result->cache_hit = true;
-        r = RunFastWithCst(*cst, plan->order, run, /*build_seconds=*/0.0);
-      }
-      // A corrupt image falls through to a fresh build below (and its
-      // Insert replaces the bad entry) instead of failing every hit.
-    }
-  }
-  if (!ran_from_cache) r = BuildAndRun(req, snap, run);
-
-  if (!r.ok()) {
-    result->status = r.status();
-    return;
-  }
-  result->run = std::move(*r);
-  if (!identity) {
-    // Everything client-visible is reported in the submitted numbering: the
-    // sample embeddings and the matching order (root + visit sequence).
-    for (Embedding& e : result->run.sample_embeddings) {
-      Embedding remapped;
-      RemapEmbedding(to_canonical, e, &remapped);
-      e = std::move(remapped);
-    }
-    std::vector<VertexId> from_canonical(to_canonical.size());
-    for (std::size_t u = 0; u < to_canonical.size(); ++u) {
-      from_canonical[to_canonical[u]] = static_cast<VertexId>(u);
-    }
-    result->run.order.root = from_canonical[result->run.order.root];
-    for (VertexId& v : result->run.order.order) v = from_canonical[v];
-  }
-}
-
-StatusOr<FastRunResult> MatchService::BuildAndRun(Request& req,
-                                                  const GraphSnapshot& snap,
-                                                  const FastRunOptions& run) {
-  // Cache miss (or cache disabled): compute the order and build the CST for
-  // the canonical query against this request's snapshot, publish the plan
-  // under the snapshot's epoch, then run the pipeline from it.
-  const QueryGraph& q = req.canonical.query;
-  const Graph& g = *snap.graph;
-  FAST_ASSIGN_OR_RETURN(MatchingOrder order,
-                        ComputeMatchingOrder(q, g, run.order_policy));
-  Timer build_timer;
-  FAST_ASSIGN_OR_RETURN(Cst cst, BuildCst(q, g, order.root, run.cst_build));
-  const double build_seconds = build_timer.ElapsedSeconds();
-
-  if (options_.plan_cache_capacity > 0) {
-    auto plan = std::make_shared<CachedPlan>();
-    plan->order = order;
-    plan->layout = cst.layout_ptr();
-    plan->cst_image = SerializeCst(cst);
-    cache_.Insert(req.canonical.key, snap.epoch, std::move(plan));
-  }
-  return RunFastWithCst(cst, order, run, build_seconds);
 }
 
 void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
@@ -309,7 +154,13 @@ void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
       ++completed_;
       latency_.Record(result.total_seconds);
     } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
-      ++rejected_deadline_;
+      // graph_epoch distinguishes "expired while queued" (never dispatched)
+      // from "aborted mid-run by the cancellation token".
+      if (result.graph_epoch == 0) {
+        ++rejected_deadline_;
+      } else {
+        ++cancelled_midrun_;
+      }
     } else {
       ++failed_;
     }
@@ -331,14 +182,11 @@ ServiceStats MatchService::stats() const {
     s.failed = failed_;
     s.rejected_queue_full = rejected_queue_full_;
     s.rejected_deadline = rejected_deadline_;
+    s.cancelled_midrun = cancelled_midrun_;
     s.latency = latency_;
   }
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    s.epoch = epoch_;
-    s.graph_swaps = graph_swaps_;
-  }
-  s.cache = cache_.stats();
+  state_.publication_stats(&s.epoch, &s.graph_swaps);
+  s.cache = state_.cache_stats();
   s.uptime_seconds = uptime_.ElapsedSeconds();
   return s;
 }

@@ -3,42 +3,30 @@
 
 // Concurrent query-serving layer over the single-query FAST pipeline.
 //
-//   clients ── Submit ──▶ bounded MPMC queue ──▶ worker pool ──▶ RunFast
+//   clients ── Submit ──▶ bounded MPMC queue ──▶ worker pool ──▶ GraphState
 //                 │              │                    │
-//            admission      deadline check       plan/CST cache
-//            control        at dispatch          (LRU, canonical key,
-//                                                 epoch-tagged)
+//            admission      deadline check       snapshot + plan/CST
+//            control        at dispatch +        cache + execution
+//                           mid-run cancel       (service/graph_state.h)
 //
-// The data graph is served as an immutable epoch snapshot: the service holds
-// a shared_ptr<const Graph> plus a monotone epoch counter, and every request
-// captures the current {graph, epoch} pair at dispatch (RunFast is reentrant
-// over a const Graph — see core/driver.h). Online updates go through
-// SwapGraph (publish a prebuilt graph) or ApplyDelta (off-line CSR rebuild
-// from a GraphDelta batch): the writer builds the new snapshot without
-// blocking readers, atomically publishes it under the next epoch, and
-// invalidates the plan/CST cache (CSTs enumerate data-graph vertices, so
-// they are dead against any other snapshot; the cache also re-checks the
-// epoch tag on every hit). In-flight requests finish on the snapshot they
-// captured — the old graph is freed when its last request drops the
-// shared_ptr. Each result reports the epoch it ran on.
-//
-// Each request is canonicalized (service/query_signature.h); the plan cache
-// maps canonical signatures to {matching order, serialized CST}, so repeated
-// query shapes skip order computation and CST construction and re-enter the
-// pipeline at RunFastWithCst. Results are remapped back to the submitted
-// numbering.
+// MatchService owns the *pool and queue mechanics* — admission control,
+// worker threads, per-request bookkeeping, service-level stats — and
+// delegates everything per-graph (epoch-snapshotted graph, epoch-tagged
+// plan/CST cache, request execution and result remap) to one GraphState.
+// The same GraphState type serves many graphs behind one shared pool in
+// tenant::TenantRouter; this class is the single-graph configuration.
 //
 // Admission control: Submit never blocks — a full queue rejects with
-// RESOURCE_EXHAUSTED. Per-request deadlines are enforced at dispatch: a
+// RESOURCE_EXHAUSTED. Per-request deadlines are enforced at dispatch (a
 // request whose deadline passed while queued completes with
-// DEADLINE_EXCEEDED without running (a run in progress is never aborted).
+// DEADLINE_EXCEEDED without running) and *during* the run: the worker arms a
+// cooperative cancellation token with the remaining deadline, and the
+// matching loops abort mid-run when it expires (util/cancel.h).
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
-#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +35,7 @@
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "query/query_graph.h"
+#include "service/graph_state.h"
 #include "service/plan_cache.h"
 #include "util/bounded_queue.h"
 #include "util/latency_histogram.h"
@@ -65,6 +54,9 @@ struct ServiceOptions {
   // Plan/CST cache entries; 0 disables caching.
   std::size_t plan_cache_capacity = 64;
 
+  // Byte bound on the summed serialized-CST cache images; 0 = entries-only.
+  std::size_t plan_cache_byte_budget = 0;
+
   // Default per-request deadline in seconds; 0 = no deadline.
   double default_deadline_seconds = 0.0;
 
@@ -73,40 +65,13 @@ struct ServiceOptions {
   FastRunOptions run;
 };
 
-struct RequestOptions {
-  // Sample-embedding mode: retain up to this many embeddings (remapped to
-  // the submitted numbering). 0 = count-only.
-  std::size_t store_limit = 0;
-
-  // Overrides ServiceOptions::default_deadline_seconds when >= 0.
-  double deadline_seconds = -1.0;
-
-  // Streaming per-embedding callback, invoked on the worker thread with the
-  // mapping in the submitted numbering. Must be thread-safe if the same
-  // callable is shared across requests.
-  std::function<void(std::span<const VertexId>)> on_embedding;
-};
-
-struct RequestResult {
-  Status status = Status::OK();  // DEADLINE_EXCEEDED, pipeline errors, ...
-  // Valid iff status.ok(). Client-visible vertex references
-  // (sample_embeddings, order.root, order.order) are in the numbering of
-  // the *submitted* query, even when the plan ran in canonical numbering.
-  FastRunResult run;
-  bool cache_hit = false;
-  // Epoch of the graph snapshot this request ran on (captured at dispatch).
-  // 0 for requests that never dispatched (e.g. queued past their deadline).
-  std::uint64_t graph_epoch = 0;
-  double queue_seconds = 0.0;  // Submit -> dispatch
-  double total_seconds = 0.0;  // Submit -> completion
-};
-
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;  // finished OK
   std::uint64_t failed = 0;     // pipeline errors
   std::uint64_t rejected_queue_full = 0;
-  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_deadline = 0;   // deadline passed while queued
+  std::uint64_t cancelled_midrun = 0;    // deadline tripped during the run
   std::uint64_t epoch = 0;        // currently published snapshot epoch
   std::uint64_t graph_swaps = 0;  // snapshots published after the first
   PlanCacheStats cache;
@@ -123,13 +88,8 @@ struct ServiceStats {
 class MatchService {
  public:
   using RequestId = std::uint64_t;
-
-  // An immutable published snapshot: the graph plus the epoch it was
-  // published under. Copyable; holding one keeps the graph alive.
-  struct GraphSnapshot {
-    std::shared_ptr<const Graph> graph;
-    std::uint64_t epoch = 0;
-  };
+  // Compatibility alias: the snapshot type moved to service/graph_state.h.
+  using GraphSnapshot = service::GraphSnapshot;
 
   // Takes ownership of the data graph and publishes it as epoch 1. Workers
   // start immediately.
@@ -151,17 +111,11 @@ class MatchService {
   // Submit + Wait; the Status covers both admission and execution.
   StatusOr<RequestResult> SubmitAndWait(const QueryGraph& q, RequestOptions opts = {});
 
-  // Atomically publishes `next` as the new snapshot under the next epoch and
-  // invalidates cached plans for older epochs. Requests dispatched before
-  // the publish finish on the snapshot they captured; requests dispatched
-  // after run on `next`. Writers are serialized; queries are never blocked
-  // by a swap. Returns the newly published epoch.
-  std::uint64_t SwapGraph(Graph next);
-
-  // Rebuilds a fresh CSR off-line from {current snapshot + delta} (see
-  // graph/graph_delta.h for the batch semantics), then publishes it as with
-  // SwapGraph. The rebuild runs outside any lock that queries touch.
-  StatusOr<std::uint64_t> ApplyDelta(const GraphDelta& delta);
+  // Snapshot publication — see GraphState for the epoch semantics.
+  std::uint64_t SwapGraph(Graph next) { return state_.SwapGraph(std::move(next)); }
+  StatusOr<std::uint64_t> ApplyDelta(const GraphDelta& delta) {
+    return state_.ApplyDelta(delta);
+  }
 
   // Stops admission, drains queued requests, joins workers. Idempotent;
   // also run by the destructor.
@@ -171,8 +125,8 @@ class MatchService {
 
   // The currently published snapshot. The returned graph stays valid for as
   // long as the caller holds the shared_ptr, across any number of swaps.
-  GraphSnapshot snapshot() const;
-  std::uint64_t epoch() const { return snapshot().epoch; }
+  GraphSnapshot snapshot() const { return state_.snapshot(); }
+  std::uint64_t epoch() const { return state_.epoch(); }
 
   std::size_t num_workers() const { return workers_.size(); }
 
@@ -180,27 +134,14 @@ class MatchService {
   struct Request;
 
   void WorkerLoop();
-  void Execute(Request& req, const GraphSnapshot& snap, RequestResult* result);
-  StatusOr<FastRunResult> BuildAndRun(Request& req, const GraphSnapshot& snap,
-                                      const FastRunOptions& run);
   void Finish(std::shared_ptr<Request> req, RequestResult result);
-  std::uint64_t Publish(Graph next);
 
   const ServiceOptions options_;
-  PlanCache cache_;
+  GraphState state_;
   Timer uptime_;
 
   BoundedQueue<std::shared_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
-
-  // Snapshot publication. snapshot_mu_ only guards the {pointer, epoch}
-  // pair — never held while building a graph or running a query.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const Graph> graph_;
-  std::uint64_t epoch_ = 1;
-  std::uint64_t graph_swaps_ = 0;
-  // Serializes writers so each delta applies to the snapshot it read.
-  std::mutex swap_mu_;
 
   mutable std::mutex mu_;  // pending-request map + counters + histogram
   std::unordered_map<RequestId, std::shared_ptr<Request>> pending_;
@@ -210,6 +151,7 @@ class MatchService {
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_queue_full_ = 0;
   std::uint64_t rejected_deadline_ = 0;
+  std::uint64_t cancelled_midrun_ = 0;
   LatencyHistogram latency_;
   bool shutdown_ = false;
 };

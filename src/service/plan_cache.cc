@@ -6,10 +6,20 @@ namespace fast::service {
 
 void PlanCache::EraseLocked(std::unordered_map<std::string, Entry>::iterator it,
                             std::uint64_t* counter) {
-  stats_.image_bytes -= it->second.plan->ImageBytes();
+  stats_.bytes_in_use -= it->second.plan->ImageBytes();
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
   ++*counter;
+}
+
+void PlanCache::EvictToFitLocked() {
+  while (entries_.size() > 1 &&
+         (entries_.size() > capacity_ ||
+          (byte_budget_ > 0 && stats_.bytes_in_use > byte_budget_))) {
+    auto victim_it = entries_.find(lru_.back());
+    EraseLocked(victim_it, &stats_.evictions);
+  }
+  stats_.entries = entries_.size();
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
@@ -47,28 +57,29 @@ void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
   // snapshot) can never serve anyone — dropping it here keeps it from
   // entering at the MRU position and evicting a live current-epoch entry.
   if (epoch < min_epoch_) return;
+  if (byte_budget_ > 0 && plan->ImageBytes() > byte_budget_) {
+    ++stats_.rejected_oversized;
+    return;
+  }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Never replace a fresher plan with one a draining old-epoch request
     // just built — that would thrash the slot around every swap.
     if (it->second.epoch > epoch) return;
-    stats_.image_bytes -= it->second.plan->ImageBytes();
-    stats_.image_bytes += plan->ImageBytes();
+    stats_.bytes_in_use -= it->second.plan->ImageBytes();
+    stats_.bytes_in_use += plan->ImageBytes();
     it->second.plan = std::move(plan);
     it->second.epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     ++stats_.insertions;
+    EvictToFitLocked();  // the replacement image may be larger
     return;
   }
   lru_.push_front(key);
-  stats_.image_bytes += plan->ImageBytes();
+  stats_.bytes_in_use += plan->ImageBytes();
   entries_.emplace(key, Entry{lru_.begin(), epoch, std::move(plan)});
   ++stats_.insertions;
-  while (entries_.size() > capacity_) {
-    auto victim_it = entries_.find(lru_.back());
-    EraseLocked(victim_it, &stats_.evictions);
-  }
-  stats_.entries = entries_.size();
+  EvictToFitLocked();
 }
 
 void PlanCache::InvalidateBefore(std::uint64_t epoch) {
@@ -86,6 +97,7 @@ PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanCacheStats s = stats_;
   s.entries = entries_.size();
+  s.byte_budget = byte_budget_;
   return s;
 }
 

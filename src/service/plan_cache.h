@@ -50,10 +50,12 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;      // LRU capacity pressure
+  std::uint64_t evictions = 0;      // LRU capacity or byte-budget pressure
   std::uint64_t invalidations = 0;  // dropped for a superseded epoch
+  std::uint64_t rejected_oversized = 0;  // single plan larger than the budget
   std::size_t entries = 0;
-  std::size_t image_bytes = 0;  // total serialized-CST footprint
+  std::size_t bytes_in_use = 0;  // total serialized-CST footprint
+  std::size_t byte_budget = 0;   // configured bound; 0 = entries-only bound
 
   double HitRate() const {
     const std::uint64_t total = hits + misses;
@@ -65,7 +67,14 @@ class PlanCache {
  public:
   // capacity = max entries; 0 disables caching (Lookup always misses,
   // Insert is a no-op), which is the bench's cache-off baseline.
-  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+  // byte_budget bounds the summed serialized-CST image bytes in addition to
+  // the entry count (hub-heavy queries produce images orders of magnitude
+  // larger than typical, so an entry bound alone does not bound memory);
+  // 0 = no byte bound. A single plan larger than the whole budget is never
+  // inserted — evicting every live entry to admit one query's image would
+  // thrash the cache.
+  explicit PlanCache(std::size_t capacity, std::size_t byte_budget = 0)
+      : capacity_(capacity), byte_budget_(byte_budget) {}
 
   // Returns the plan and refreshes its LRU position, or nullptr on miss.
   // An entry tagged with a different epoch is a miss; it is also erased
@@ -89,6 +98,7 @@ class PlanCache {
 
   PlanCacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t byte_budget() const { return byte_budget_; }
 
  private:
   struct Entry {
@@ -101,7 +111,12 @@ class PlanCache {
   void EraseLocked(std::unordered_map<std::string, Entry>::iterator it,
                    std::uint64_t* counter);
 
+  // Evicts LRU entries until both the entry count and the byte budget hold
+  // (caller holds mu_). The MRU entry is never evicted.
+  void EvictToFitLocked();
+
   const std::size_t capacity_;
+  const std::size_t byte_budget_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> entries_;

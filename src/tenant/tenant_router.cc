@@ -1,0 +1,409 @@
+#include "tenant/tenant_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fast::tenant {
+
+struct TenantRouter::Request {
+  RequestId id = 0;
+  std::shared_ptr<Tenant> tenant;  // keeps a removed tenant's state alive
+  service::CanonicalQuery canonical;
+  RequestOptions opts;
+  double deadline_seconds = 0.0;  // resolved; 0 = none
+  Timer submitted;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RequestResult result;
+};
+
+struct TenantRouter::Tenant {
+  Tenant(std::string tenant_id, Graph graph, const TenantOptions& options)
+      : id(std::move(tenant_id)),
+        opts(options),
+        state(std::move(graph),
+              service::GraphStateOptions{options.plan_cache_capacity,
+                                         options.plan_cache_byte_budget}) {}
+
+  const std::string id;
+  const TenantOptions opts;
+  service::GraphState state;  // internally synchronized
+
+  // --- Scheduler state, guarded by TenantRouter::sched_mu_. ---
+  std::deque<std::shared_ptr<Request>> queue;
+  std::uint32_t credit = 0;   // WRR credits left in the current cycle
+  bool in_active = false;     // linked into active_
+  std::size_t in_flight = 0;  // dispatched, not yet finished
+  bool removed = false;       // deregistered; admission closed
+
+  // --- Per-tenant counters, guarded by TenantRouter::mu_. ---
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t cancelled_midrun = 0;
+  LatencyHistogram latency;
+};
+
+std::string RouterStats::Summary() const {
+  char buf[360];
+  std::snprintf(buf, sizeof(buf),
+                "tenants=%zu qps=%.1f completed=%llu failed=%llu "
+                "rejected(queue=%llu quota=%llu deadline=%llu) "
+                "cancelled_midrun=%llu latency[%s]",
+                num_tenants, QueriesPerSecond(),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(rejected_queue_full),
+                static_cast<unsigned long long>(rejected_quota),
+                static_cast<unsigned long long>(rejected_deadline),
+                static_cast<unsigned long long>(cancelled_midrun),
+                latency.Summary().c_str());
+  return buf;
+}
+
+TenantRouter::TenantRouter(RouterOptions options)
+    : options_(std::move(options)) {
+  std::size_t n = options_.num_workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TenantRouter::~TenantRouter() { Shutdown(); }
+
+Status TenantRouter::AddTenant(const std::string& id, Graph graph,
+                               TenantOptions opts) {
+  if (opts.weight == 0) opts.weight = 1;
+  // Build the tenant (including the graph move) outside the scheduler lock.
+  auto t = std::make_shared<Tenant>(id, std::move(graph), opts);
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (stopping_) return Status::FailedPrecondition("router is shut down");
+  if (!tenants_.emplace(id, std::move(t)).second) {
+    return Status::InvalidArgument("tenant id already registered: " + id);
+  }
+  return Status::OK();
+}
+
+Status TenantRouter::RemoveTenant(const std::string& id) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) return Status::NotFound("unknown tenant: " + id);
+  std::shared_ptr<Tenant> t = it->second;
+  // Close admission first (Submit re-checks `removed` under sched_mu_), then
+  // wait for the backlog to drain: queued requests are still dispatched by
+  // the workers and finish on the snapshots they capture — the shared_ptr
+  // in each Request keeps the deregistered state alive until the last one.
+  t->removed = true;
+  tenants_.erase(it);
+  drained_cv_.wait(lock, [&] { return t->queue.empty() && t->in_flight == 0; });
+  return Status::OK();
+}
+
+std::shared_ptr<TenantRouter::Tenant> TenantRouter::FindTenant(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
+    const std::string& tenant_id, const QueryGraph& q, RequestOptions opts) {
+  std::shared_ptr<Tenant> t = FindTenant(tenant_id);
+  if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
+
+  auto req = std::make_shared<Request>();
+  // Canonicalization is the expensive part of admission; it runs outside
+  // every lock.
+  FAST_ASSIGN_OR_RETURN(req->canonical, service::CanonicalizeQuery(q));
+  req->tenant = t;
+  req->opts = std::move(opts);
+  req->deadline_seconds = req->opts.deadline_seconds >= 0.0
+                              ? req->opts.deadline_seconds
+                              : options_.default_deadline_seconds;
+
+  RequestId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("router is shut down");
+    id = next_id_++;
+    req->id = id;
+    pending_.emplace(id, req);
+  }
+
+  Status admit = Status::OK();
+  bool quota_reject = false;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (stopping_) {
+      admit = Status::FailedPrecondition("router is shut down");
+    } else if (t->removed) {
+      // Lost the race with RemoveTenant between lookup and enqueue.
+      admit = Status::NotFound("unknown tenant: " + tenant_id);
+    } else if (total_queued_ >= options_.queue_capacity) {
+      admit = Status::ResourceExhausted("router queue full");
+    } else if (t->opts.max_queued > 0 && t->queue.size() >= t->opts.max_queued) {
+      admit = Status::ResourceExhausted("tenant quota exceeded: " + tenant_id);
+      quota_reject = true;
+    } else {
+      t->queue.push_back(req);
+      ++total_queued_;
+      if (!t->in_active) {
+        t->in_active = true;
+        active_.push_back(t);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!admit.ok()) {
+      pending_.erase(id);
+      if (admit.code() == StatusCode::kResourceExhausted) {
+        if (quota_reject) {
+          ++rejected_quota_;
+          ++t->rejected_quota;
+        } else {
+          ++rejected_queue_full_;
+          ++t->rejected_queue_full;
+        }
+      }
+    } else {
+      ++submitted_;  // counts admitted requests only
+      ++t->submitted;
+    }
+  }
+  if (!admit.ok()) return admit;
+  sched_cv_.notify_one();
+  return id;
+}
+
+RequestResult TenantRouter::Wait(RequestId id) {
+  std::shared_ptr<Request> req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      RequestResult r;
+      r.status = Status::NotFound("unknown or already-waited request id");
+      return r;
+    }
+    req = it->second;
+    pending_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(req->mu);
+  req->cv.wait(lock, [&] { return req->done; });
+  return std::move(req->result);
+}
+
+StatusOr<RequestResult> TenantRouter::SubmitAndWait(const std::string& tenant_id,
+                                                    const QueryGraph& q,
+                                                    RequestOptions opts) {
+  FAST_ASSIGN_OR_RETURN(RequestId id, Submit(tenant_id, q, std::move(opts)));
+  RequestResult result = Wait(id);
+  FAST_RETURN_IF_ERROR(result.status);
+  return result;
+}
+
+StatusOr<std::uint64_t> TenantRouter::SwapGraph(const std::string& tenant_id,
+                                                Graph next) {
+  std::shared_ptr<Tenant> t = FindTenant(tenant_id);
+  if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
+  return t->state.SwapGraph(std::move(next));
+}
+
+StatusOr<std::uint64_t> TenantRouter::ApplyDelta(const std::string& tenant_id,
+                                                 const GraphDelta& delta) {
+  std::shared_ptr<Tenant> t = FindTenant(tenant_id);
+  if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
+  return t->state.ApplyDelta(delta);
+}
+
+StatusOr<GraphSnapshot> TenantRouter::snapshot(
+    const std::string& tenant_id) const {
+  std::shared_ptr<Tenant> t = FindTenant(tenant_id);
+  if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
+  return t->state.snapshot();
+}
+
+void TenantRouter::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    stopping_ = true;
+  }
+  // Workers drain the queued backlog, then exit.
+  sched_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::shared_ptr<TenantRouter::Request> TenantRouter::PopNext() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
+  if (total_queued_ == 0) return nullptr;  // stopping and drained
+  // Deficit-style weighted round robin over the backlogged tenants: the
+  // head tenant spends one credit per dequeue, rotates to the back when its
+  // credits for this cycle are spent, and leaves the list when its queue
+  // drains (credits reset, so a fresh backlog starts a fresh cycle).
+  FAST_CHECK(!active_.empty());
+  std::shared_ptr<Tenant> t = active_.front();
+  FAST_CHECK(!t->queue.empty());
+  if (t->credit == 0) t->credit = std::max<std::uint32_t>(1, t->opts.weight);
+  std::shared_ptr<Request> req = std::move(t->queue.front());
+  t->queue.pop_front();
+  --total_queued_;
+  --t->credit;
+  ++t->in_flight;
+  if (t->queue.empty()) {
+    t->in_active = false;
+    t->credit = 0;
+    active_.pop_front();
+  } else if (t->credit == 0) {
+    active_.splice(active_.end(), active_, active_.begin());
+  }
+  return req;
+}
+
+void TenantRouter::WorkerLoop() {
+  while (std::shared_ptr<Request> req = PopNext()) {
+    RequestResult result;
+    // Dispatch captures THIS tenant's snapshot inside Serve; concurrent
+    // swaps on other tenants share no state with this request.
+    req->tenant->state.Serve(req->canonical, req->opts, options_.run,
+                             req->submitted.ElapsedSeconds(),
+                             req->deadline_seconds, &result);
+    Finish(std::move(req), std::move(result));
+  }
+}
+
+void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result) {
+  result.total_seconds = req->submitted.ElapsedSeconds();
+  Tenant& t = *req->tenant;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.status.ok()) {
+      ++completed_;
+      ++t.completed;
+      latency_.Record(result.total_seconds);
+      t.latency.Record(result.total_seconds);
+    } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      // graph_epoch distinguishes "expired while queued" (never dispatched)
+      // from "aborted mid-run by the cancellation token".
+      if (result.graph_epoch == 0) {
+        ++rejected_deadline_;
+        ++t.rejected_deadline;
+      } else {
+        ++cancelled_midrun_;
+        ++t.cancelled_midrun;
+      }
+    } else {
+      ++failed_;
+      ++t.failed;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    --t.in_flight;
+    if (t.removed && t.in_flight == 0 && t.queue.empty()) {
+      drained_cv_.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(req->mu);
+    req->result = std::move(result);
+    req->done = true;
+  }
+  req->cv.notify_all();
+}
+
+void TenantRouter::FillTenantStats(const Tenant& t, TenantStats* out) {
+  // Caller holds mu_ (counters); GraphState fields are fetched by the caller
+  // after mu_ is released.
+  out->id = t.id;
+  out->weight = std::max<std::uint32_t>(1, t.opts.weight);
+  out->submitted = t.submitted;
+  out->completed = t.completed;
+  out->failed = t.failed;
+  out->rejected_queue_full = t.rejected_queue_full;
+  out->rejected_quota = t.rejected_quota;
+  out->rejected_deadline = t.rejected_deadline;
+  out->cancelled_midrun = t.cancelled_midrun;
+  out->latency = t.latency;
+}
+
+RouterStats TenantRouter::stats() const {
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    tenants.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) tenants.push_back(t);
+  }
+  std::sort(tenants.begin(), tenants.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+
+  RouterStats s;
+  s.num_tenants = tenants.size();
+  s.tenants.resize(tenants.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected_queue_full = rejected_queue_full_;
+    s.rejected_quota = rejected_quota_;
+    s.rejected_deadline = rejected_deadline_;
+    s.cancelled_midrun = cancelled_midrun_;
+    s.latency = latency_;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      FillTenantStats(*tenants[i], &s.tenants[i]);
+    }
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    tenants[i]->state.publication_stats(&s.tenants[i].epoch,
+                                        &s.tenants[i].graph_swaps);
+    s.tenants[i].cache = tenants[i]->state.cache_stats();
+  }
+  s.uptime_seconds = uptime_.ElapsedSeconds();
+  return s;
+}
+
+StatusOr<TenantStats> TenantRouter::tenant_stats(
+    const std::string& tenant_id) const {
+  std::shared_ptr<Tenant> t = FindTenant(tenant_id);
+  if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
+  TenantStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FillTenantStats(*t, &s);
+  }
+  t->state.publication_stats(&s.epoch, &s.graph_swaps);
+  s.cache = t->state.cache_stats();
+  return s;
+}
+
+std::vector<std::string> TenantRouter::tenant_ids() const {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    ids.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace fast::tenant

@@ -1,0 +1,240 @@
+#ifndef FAST_TENANT_TENANT_ROUTER_H_
+#define FAST_TENANT_TENANT_ROUTER_H_
+
+// Multi-graph tenancy: many data graphs served by ONE worker pool.
+//
+//                         ┌────────────────────────────────────────┐
+//   Submit(tenant, q) ──▶ │ registry: tenant id ─▶ GraphState      │
+//          │              │   (epoch snapshot + plan/CST cache)    │
+//     admission:          └────────────────────────────────────────┘
+//     global bound +                        │
+//     per-tenant quota     per-tenant FIFO queues (one per tenant)
+//          │                                │
+//          └──────▶ weighted round-robin dequeue ──▶ shared workers
+//                                                         │
+//                                    capture THAT tenant's snapshot,
+//                                    execute, per-tenant p50/p99 stats
+//
+// One MatchService per graph costs N worker pools and N uncoordinated
+// queues. TenantRouter hosts N graphs in one process: a registry of tenants
+// (each a GraphState — the same epoch-snapshotted graph + epoch-tagged plan
+// cache that MatchService uses, see service/graph_state.h) in front of a
+// single shared worker pool. Requests carry a tenant id; dispatch captures
+// that tenant's current snapshot, so per-tenant SwapGraph/ApplyDelta keep
+// working independently and a swap on tenant A is invisible to tenant B.
+//
+// Admission and fairness:
+//   - a process-wide bound on the total queued requests (global admission
+//     control — RESOURCE_EXHAUSTED when the process is saturated);
+//   - an optional per-tenant quota on queued requests, so one hot tenant
+//     cannot occupy the whole global queue;
+//   - deficit-style weighted round-robin dequeue: workers serve up to
+//     `weight` consecutive requests per tenant per cycle over the backlogged
+//     tenants, so dispatch slots — not queue arrival order — are what a
+//     tenant's weight buys. A hot tenant saturating its queue cannot starve
+//     a cold one.
+//
+// Tenants can be added and removed at runtime. RemoveTenant stops new
+// admissions immediately and then drains: requests already queued or
+// dispatched finish normally on the snapshots they capture (the removed
+// tenant's state stays alive via shared_ptr until the last request drops
+// it); RemoveTenant returns once the tenant has no queued or in-flight work.
+//
+// Deadlines behave exactly as in MatchService: checked at dispatch, and
+// enforced mid-run via a cooperative cancellation token armed with the
+// remaining deadline.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/driver.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "query/query_graph.h"
+#include "service/graph_state.h"
+#include "util/latency_histogram.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace fast::tenant {
+
+using service::GraphSnapshot;
+using service::RequestOptions;
+using service::RequestResult;
+
+struct TenantOptions {
+  // Plan/CST cache entries for this tenant's graph; 0 disables caching.
+  std::size_t plan_cache_capacity = 64;
+
+  // Byte bound on this tenant's summed cache images; 0 = entries-only.
+  std::size_t plan_cache_byte_budget = 0;
+
+  // Per-tenant admission quota: max requests queued (not yet dispatched)
+  // for this tenant. 0 = bounded only by the global queue capacity.
+  std::size_t max_queued = 0;
+
+  // Weighted round-robin weight: consecutive dispatch slots this tenant
+  // gets per cycle over the backlogged tenants. 0 is treated as 1.
+  std::uint32_t weight = 1;
+};
+
+struct RouterOptions {
+  // Worker threads shared by all tenants; 0 = hardware concurrency.
+  std::size_t num_workers = 0;
+
+  // Process-wide bound on the total queued requests across tenants.
+  std::size_t queue_capacity = 256;
+
+  // Default per-request deadline in seconds; 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+
+  // Base pipeline configuration shared by all tenants.
+  FastRunOptions run;
+};
+
+struct TenantStats {
+  std::string id;
+  std::uint32_t weight = 1;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_queue_full = 0;  // global queue was full
+  std::uint64_t rejected_quota = 0;       // per-tenant quota exceeded
+  std::uint64_t rejected_deadline = 0;    // deadline passed while queued
+  std::uint64_t cancelled_midrun = 0;     // deadline tripped during the run
+  std::uint64_t epoch = 0;
+  std::uint64_t graph_swaps = 0;
+  service::PlanCacheStats cache;
+  LatencyHistogram latency;  // Submit -> completion, successful requests
+};
+
+struct RouterStats {
+  std::size_t num_tenants = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t cancelled_midrun = 0;
+  LatencyHistogram latency;  // aggregate over all tenants
+  double uptime_seconds = 0.0;
+  std::vector<TenantStats> tenants;  // sorted by tenant id
+
+  double QueriesPerSecond() const {
+    return uptime_seconds > 0.0 ? static_cast<double>(completed) / uptime_seconds
+                                : 0.0;
+  }
+  std::string Summary() const;
+};
+
+class TenantRouter {
+ public:
+  using RequestId = std::uint64_t;
+
+  // Workers start immediately; tenants are added afterwards (or at any
+  // later point).
+  explicit TenantRouter(RouterOptions options = {});
+  ~TenantRouter();
+
+  TenantRouter(const TenantRouter&) = delete;
+  TenantRouter& operator=(const TenantRouter&) = delete;
+
+  // Registers `id` serving `graph` (published as that tenant's epoch 1).
+  // ALREADY_EXISTS is reported as INVALID_ARGUMENT; FAILED_PRECONDITION
+  // after Shutdown.
+  Status AddTenant(const std::string& id, Graph graph, TenantOptions opts = {});
+
+  // Deregisters `id`: new Submits fail with NOT_FOUND immediately; requests
+  // already admitted drain normally on their captured snapshots. Blocks
+  // until the tenant has no queued or in-flight requests. The tenant's
+  // stats are discarded with it.
+  Status RemoveTenant(const std::string& id);
+
+  // Canonicalizes q and enqueues it for `tenant_id`. NOT_FOUND for an
+  // unknown tenant, RESOURCE_EXHAUSTED when the global queue or the
+  // tenant's quota is full, INVALID_ARGUMENT for malformed queries,
+  // FAILED_PRECONDITION after Shutdown.
+  StatusOr<RequestId> Submit(const std::string& tenant_id, const QueryGraph& q,
+                             RequestOptions opts = {});
+
+  // Blocks until the request completes and returns its result. Each id may
+  // be waited on once; a second Wait returns NOT_FOUND.
+  RequestResult Wait(RequestId id);
+
+  // Submit + Wait; the Status covers both admission and execution.
+  StatusOr<RequestResult> SubmitAndWait(const std::string& tenant_id,
+                                        const QueryGraph& q,
+                                        RequestOptions opts = {});
+
+  // Per-tenant snapshot publication; other tenants' queries and caches are
+  // unaffected. NOT_FOUND for unknown tenants.
+  StatusOr<std::uint64_t> SwapGraph(const std::string& tenant_id, Graph next);
+  StatusOr<std::uint64_t> ApplyDelta(const std::string& tenant_id,
+                                     const GraphDelta& delta);
+
+  // The tenant's currently published snapshot.
+  StatusOr<GraphSnapshot> snapshot(const std::string& tenant_id) const;
+
+  // Stops admission, drains all queued requests, joins workers. Idempotent;
+  // also run by the destructor.
+  void Shutdown();
+
+  RouterStats stats() const;
+  StatusOr<TenantStats> tenant_stats(const std::string& tenant_id) const;
+  std::vector<std::string> tenant_ids() const;
+  std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Request;
+  struct Tenant;
+
+  void WorkerLoop();
+  // Pops the next request under weighted round-robin; blocks until work is
+  // available or shutdown has drained everything (then returns nullptr).
+  std::shared_ptr<Request> PopNext();
+  void Finish(std::shared_ptr<Request> req, RequestResult result);
+  std::shared_ptr<Tenant> FindTenant(const std::string& id) const;
+  static void FillTenantStats(const Tenant& t, TenantStats* out);
+
+  const RouterOptions options_;
+  Timer uptime_;
+  std::vector<std::thread> workers_;
+
+  // Scheduler state: registry, per-tenant queues, the WRR active list, and
+  // the global queued count. Never held while executing a query.
+  mutable std::mutex sched_mu_;
+  std::condition_variable sched_cv_;    // workers: work available / stopping
+  std::condition_variable drained_cv_;  // RemoveTenant: tenant fully drained
+  std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
+  std::list<std::shared_ptr<Tenant>> active_;  // tenants with queued work
+  std::size_t total_queued_ = 0;
+  bool stopping_ = false;
+
+  // Pending-request map, request ids, and all stats counters (global and
+  // per-tenant). Acquired strictly after sched_mu_ is released.
+  mutable std::mutex mu_;
+  std::unordered_map<RequestId, std::shared_ptr<Request>> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_quota_ = 0;
+  std::uint64_t rejected_deadline_ = 0;
+  std::uint64_t cancelled_midrun_ = 0;
+  LatencyHistogram latency_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fast::tenant
+
+#endif  // FAST_TENANT_TENANT_ROUTER_H_

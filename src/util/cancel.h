@@ -1,0 +1,67 @@
+#ifndef FAST_UTIL_CANCEL_H_
+#define FAST_UTIL_CANCEL_H_
+
+// Cooperative cancellation for long-running matching work.
+//
+// A CancelToken is a cheap probe that the inner matching loops (RunKernel's
+// round loop, MatchCstOnCpu's backtracking) consult between units of work:
+// one relaxed atomic load per probe, plus a clock read when a deadline is
+// armed and the flag has not tripped yet. Tripping is one-way — once
+// Cancelled() returns true it stays true — so a run aborts at its next probe
+// with DEADLINE_EXCEEDED instead of running an oversized query to
+// completion. The service layer arms a token with the request's remaining
+// deadline at dispatch, which is what bounds tail latency mid-run (deadlines
+// used to be checked only while queued).
+//
+// Tokens are not copyable (they hold an atomic); owners keep the token alive
+// for the duration of the run and pass `const CancelToken*` down the
+// pipeline (FastRunOptions::cancel). Cancel() may be called from any thread.
+
+#include <atomic>
+#include <chrono>
+
+namespace fast {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Trips the token after `seconds` of wall clock from now; <= 0 trips it
+  // immediately. Arming replaces any previously armed deadline.
+  void ArmDeadline(double seconds) {
+    if (seconds <= 0.0) {
+      Cancel();
+      return;
+    }
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+
+  // Explicit cancellation, safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // The probe. Latches the deadline into the flag so later probes (and other
+  // threads' probes) skip the clock read.
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;  // set before the token is shared; never mutated after
+  Clock::time_point deadline_{};
+};
+
+}  // namespace fast
+
+#endif  // FAST_UTIL_CANCEL_H_

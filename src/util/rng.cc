@@ -1,8 +1,29 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fast {
+
+std::vector<double> ZipfCdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+std::size_t SampleCdf(const std::vector<double>& cdf, Rng& rng) {
+  FAST_DCHECK(!cdf.empty());
+  // UniformDouble is in [0, 1) and the final CDF entry is exactly 1.0, so
+  // the result is always a valid index.
+  const double u = rng.UniformDouble();
+  return static_cast<std::size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
 
 std::size_t Rng::PowerLaw(std::size_t n, double alpha) {
   FAST_DCHECK(n > 0);

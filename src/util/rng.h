@@ -93,6 +93,17 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+// CDF of a bounded discrete Zipf: rank r in [0, n) with probability
+// proportional to (r+1)^-s; s = 0 degenerates to uniform. Pair with
+// SampleCdf for exact draws — unlike Rng::PowerLaw, which floors a
+// continuous Pareto and only approximates the discrete distribution. Used
+// for skewed tenant-traffic generation (bench_tenancy, fast_serve).
+std::vector<double> ZipfCdf(std::size_t n, double s);
+
+// Samples an index from a CDF as produced by ZipfCdf (non-decreasing,
+// final entry 1.0).
+std::size_t SampleCdf(const std::vector<double>& cdf, Rng& rng);
+
 }  // namespace fast
 
 #endif  // FAST_UTIL_RNG_H_

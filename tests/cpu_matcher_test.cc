@@ -35,6 +35,21 @@ TEST(CpuMatcherTest, NullCollectorCountsOnly) {
   EXPECT_EQ(MatchCstOnCpu(cst, PaperOrder(), nullptr).value(), 2u);
 }
 
+TEST(CpuMatcherTest, CancelledTokenAbortsWithDeadlineExceeded) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  CancelToken cancel;
+  cancel.Cancel();
+  auto run = MatchCstOnCpu(cst, PaperOrder(), nullptr, &cancel);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CpuMatcherTest, UntrippedTokenDoesNotPerturbResults) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  CancelToken cancel;  // never tripped, no deadline
+  EXPECT_EQ(MatchCstOnCpu(cst, PaperOrder(), nullptr, &cancel).value(), 2u);
+}
+
 TEST(CpuMatcherTest, RejectsWrongArity) {
   Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
   MatchingOrder bad;

@@ -46,6 +46,27 @@ TEST(KernelTest, MatchesBruteForceOnPaperExample) {
   EXPECT_EQ(run.embeddings, BruteForceCount(q, g));
 }
 
+TEST(KernelTest, CancelledTokenAbortsWithDeadlineExceeded) {
+  Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
+  CancelToken cancel;
+  cancel.Cancel();
+  auto run = RunKernel(cst, PaperOrder(), FpgaConfig{}, nullptr,
+                       /*round_trace=*/nullptr, &cancel);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(KernelTest, UntrippedTokenDoesNotPerturbResults) {
+  QueryGraph q = PaperQuery();
+  Graph g = PaperDataGraph();
+  Cst cst = BuildCst(q, g, 0).value();
+  CancelToken cancel;  // never tripped, no deadline
+  auto run = RunKernel(cst, PaperOrder(), FpgaConfig{}, nullptr,
+                       /*round_trace=*/nullptr, &cancel);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->embeddings, BruteForceCount(q, g));
+}
+
 TEST(KernelTest, RejectsMismatchedOrder) {
   Cst cst = BuildCst(PaperQuery(), PaperDataGraph(), 0).value();
   MatchingOrder bad;

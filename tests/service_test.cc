@@ -228,6 +228,43 @@ TEST(PlanCacheTest, StaleInsertAfterInvalidateCannotEvictLiveEntries) {
   EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
+std::shared_ptr<service::CachedPlan> PlanWithImageWords(std::size_t words) {
+  auto p = std::make_shared<service::CachedPlan>();
+  p->cst_image.assign(words, 0);
+  return p;
+}
+
+TEST(PlanCacheTest, ByteBudgetEvictsLruBeyondBytes) {
+  // Entry capacity 8 never binds here; the 400-byte budget does.
+  PlanCache cache(8, /*byte_budget=*/100 * sizeof(std::uint32_t));
+  cache.Insert("a", 1, PlanWithImageWords(40));
+  cache.Insert("b", 1, PlanWithImageWords(40));
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);      // refresh a; b becomes LRU
+  cache.Insert("c", 1, PlanWithImageWords(40));  // 480B > 400B: evict b
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  EXPECT_NE(cache.Lookup("c", 1), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes_in_use, 80 * sizeof(std::uint32_t));
+  EXPECT_EQ(stats.byte_budget, 100 * sizeof(std::uint32_t));
+}
+
+TEST(PlanCacheTest, OversizedPlanIsNeverInserted) {
+  // A single image larger than the whole budget must not wipe the cache to
+  // admit itself.
+  PlanCache cache(8, /*byte_budget=*/100 * sizeof(std::uint32_t));
+  cache.Insert("small", 1, PlanWithImageWords(30));
+  cache.Insert("big", 1, PlanWithImageWords(200));
+  EXPECT_EQ(cache.Lookup("big", 1), nullptr);
+  EXPECT_NE(cache.Lookup("small", 1), nullptr);  // untouched
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.rejected_oversized, 1u);
+  EXPECT_EQ(stats.bytes_in_use, 30 * sizeof(std::uint32_t));
+}
+
 TEST(PlanCacheTest, InvalidateBeforeDropsOldEpochsOnly) {
   PlanCache cache(8);
   auto plan = std::make_shared<service::CachedPlan>();
@@ -394,6 +431,53 @@ TEST(MatchServiceTest, DeadlinePassedInQueueRejects) {
   EXPECT_EQ(late_result.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(svc.Wait(*blocker).status.ok());
   EXPECT_EQ(svc.stats().rejected_deadline, 1u);
+}
+
+TEST(MatchServiceTest, DeadlineExpiringMidRunAbortsMatching) {
+  // 30 disjoint A-B-C triangles; with N_o = 4 the kernel needs many
+  // Generator rounds, so there is always a round boundary — and therefore a
+  // cancellation probe — after the sleeping embedding callback below.
+  GraphBuilder b;
+  for (VertexId i = 0; i < 30; ++i) {
+    const VertexId base = 3 * i;
+    b.AddVertex(0);
+    b.AddVertex(1);
+    b.AddVertex(2);
+    FAST_CHECK_OK(b.AddEdge(base, base + 1));
+    FAST_CHECK_OK(b.AddEdge(base, base + 2));
+    FAST_CHECK_OK(b.AddEdge(base + 1, base + 2));
+  }
+  ServiceOptions options = SmallServiceOptions(1);
+  options.run.fpga.max_new_partials = 4;
+  MatchService svc(std::move(b).Build().value(), options);
+
+  std::atomic<int> seen{0};
+  RequestOptions opts;
+  opts.deadline_seconds = 0.05;
+  opts.on_embedding = [&](std::span<const VertexId>) {
+    // Burn through the deadline inside the run; dispatch happened long
+    // before it expired, so only mid-run enforcement can reject this.
+    if (seen.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  };
+  auto r = svc.Submit(TriangleQuery(), opts);
+  ASSERT_TRUE(r.ok());
+  auto result = svc.Wait(*r);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  // Dispatched (epoch captured), then aborted mid-run — not a queue reject.
+  EXPECT_GT(result.graph_epoch, 0u);
+  EXPECT_GT(seen.load(), 0);
+  EXPECT_LT(seen.load(), 30);  // the run did not finish all 30 triangles
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cancelled_midrun, 1u);
+  EXPECT_EQ(stats.rejected_deadline, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // The same query without a deadline completes and finds all 30.
+  auto ok = svc.SubmitAndWait(TriangleQuery());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->run.embeddings, 30u);
 }
 
 TEST(MatchServiceTest, FullQueueRejectsSubmit) {

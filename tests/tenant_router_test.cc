@@ -1,0 +1,519 @@
+// Tests for the multi-graph tenancy subsystem (src/tenant/): routing to the
+// right tenant graph, global admission + per-tenant quotas, weighted
+// round-robin dispatch, runtime add/remove with drain, and — the headline
+// concurrency test CI runs under TSan and ASan+UBSan — tenant isolation
+// while a writer churns exactly one tenant's graph.
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_delta.h"
+#include "tenant/tenant_router.h"
+#include "tests/test_util.h"
+
+namespace fast {
+namespace {
+
+using tenant::RequestOptions;
+using tenant::RouterOptions;
+using tenant::TenantOptions;
+using tenant::TenantRouter;
+using testing::BruteForceCount;
+using testing::PaperDataGraph;
+using testing::PaperQuery;
+
+RouterOptions SmallRouterOptions(std::size_t workers) {
+  RouterOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 1024;
+  return options;
+}
+
+// The A-B-C triangle query (labels of the paper graph).
+QueryGraph TriangleQuery() {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  FAST_CHECK_OK(b.AddEdge(0, 1));
+  FAST_CHECK_OK(b.AddEdge(0, 2));
+  FAST_CHECK_OK(b.AddEdge(1, 2));
+  auto q = QueryGraph::Create(std::move(b).Build().value(), "triangle");
+  FAST_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+// A delta that appends a fresh A-B-C-D block matching the paper query
+// (labels A=0 B=1 C=2 D=3), adding embeddings without disturbing old ids.
+GraphDelta AddPatternBlockDelta(std::size_t base_vertices) {
+  const auto v = static_cast<VertexId>(base_vertices);
+  GraphDelta delta;
+  delta.add_vertices = {0, 1, 2, 3};  // A, B, C, D at ids v..v+3
+  delta.add_edges = {{v, static_cast<VertexId>(v + 1), 0},
+                     {v, static_cast<VertexId>(v + 2), 0},
+                     {static_cast<VertexId>(v + 1), static_cast<VertexId>(v + 2), 0},
+                     {static_cast<VertexId>(v + 1), static_cast<VertexId>(v + 3), 0},
+                     {static_cast<VertexId>(v + 2), static_cast<VertexId>(v + 3), 0}};
+  return delta;
+}
+
+// A graph with `n` extra A-B-C-D pattern blocks appended to the paper graph,
+// so different tenants carry different data (and different counts).
+Graph PaperGraphWithBlocks(int n) {
+  Graph g = PaperDataGraph();
+  for (int i = 0; i < n; ++i) {
+    auto next = ApplyDelta(g, AddPatternBlockDelta(g.NumVertices()));
+    FAST_CHECK(next.ok());
+    g = std::move(next).value();
+  }
+  return g;
+}
+
+TEST(TenantRouterTest, RoutesQueriesToTheirTenantGraphs) {
+  const Graph ga = PaperDataGraph();
+  const Graph gb = PaperGraphWithBlocks(2);
+  const QueryGraph q = PaperQuery();
+  const std::uint64_t expect_a = BruteForceCount(q, ga);
+  const std::uint64_t expect_b = BruteForceCount(q, gb);
+  ASSERT_NE(expect_a, expect_b);  // the tenants are distinguishable
+
+  TenantRouter router(SmallRouterOptions(2));
+  ASSERT_TRUE(router.AddTenant("a", ga).ok());
+  ASSERT_TRUE(router.AddTenant("b", gb).ok());
+  EXPECT_EQ(router.tenant_ids(), (std::vector<std::string>{"a", "b"}));
+
+  auto ra = router.SubmitAndWait("a", q);
+  auto rb = router.SubmitAndWait("b", q);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  EXPECT_EQ(ra->run.embeddings, expect_a);
+  EXPECT_EQ(rb->run.embeddings, expect_b);
+  EXPECT_EQ(ra->graph_epoch, 1u);
+  EXPECT_EQ(rb->graph_epoch, 1u);
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.num_tenants, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].id, "a");
+  EXPECT_EQ(stats.tenants[0].completed, 1u);
+  EXPECT_EQ(stats.tenants[1].completed, 1u);
+}
+
+TEST(TenantRouterTest, UnknownAndDuplicateTenantsAreRejected) {
+  TenantRouter router(SmallRouterOptions(1));
+  ASSERT_TRUE(router.AddTenant("a", PaperDataGraph()).ok());
+  EXPECT_EQ(router.AddTenant("a", PaperDataGraph()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.Submit("nope", PaperQuery()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(router.SwapGraph("nope", PaperDataGraph()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(router.ApplyDelta("nope", GraphDelta{}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(router.RemoveTenant("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(router.tenant_stats("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TenantRouterTest, AddAndRemoveTenantsAtRuntime) {
+  TenantRouter router(SmallRouterOptions(2));
+  ASSERT_TRUE(router.AddTenant("a", PaperDataGraph()).ok());
+  ASSERT_TRUE(router.SubmitAndWait("a", PaperQuery()).ok());
+
+  // A tenant added mid-flight serves immediately.
+  ASSERT_TRUE(router.AddTenant("b", PaperGraphWithBlocks(1)).ok());
+  auto rb = router.SubmitAndWait("b", PaperQuery());
+  ASSERT_TRUE(rb.ok());
+
+  // Removal closes admission; the id becomes reusable.
+  ASSERT_TRUE(router.RemoveTenant("b").ok());
+  EXPECT_EQ(router.Submit("b", PaperQuery()).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(router.AddTenant("b", PaperDataGraph()).ok());
+  auto fresh = router.SubmitAndWait("b", PaperQuery());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->graph_epoch, 1u);  // a fresh tenant, fresh epoch line
+}
+
+TEST(TenantRouterTest, RemoveTenantDrainsInFlightOnCapturedSnapshot) {
+  const Graph ga = PaperDataGraph();
+  const std::uint64_t expect_a = BruteForceCount(PaperQuery(), ga);
+  TenantRouter router(SmallRouterOptions(1));
+  ASSERT_TRUE(router.AddTenant("a", ga).ok());
+  ASSERT_TRUE(router.AddTenant("b", PaperDataGraph()).ok());
+
+  // Park the single worker inside an "a" request.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  RequestOptions blocker_opts;
+  blocker_opts.on_embedding = [&](std::span<const VertexId>) {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  auto blocker = router.Submit("a", PaperQuery(), blocker_opts);
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+
+  // RemoveTenant must block until the in-flight request drains.
+  std::atomic<bool> removed{false};
+  std::thread remover([&] {
+    EXPECT_TRUE(router.RemoveTenant("a").ok());
+    removed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(removed.load());  // still draining
+
+  release.store(true);
+  remover.join();
+  EXPECT_TRUE(removed.load());
+
+  // The drained request completed normally on its captured snapshot.
+  auto result = router.Wait(*blocker);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.graph_epoch, 1u);
+  EXPECT_EQ(result.run.embeddings, expect_a);
+
+  // Tenant "b" is untouched throughout.
+  EXPECT_EQ(router.Submit("a", PaperQuery()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(router.SubmitAndWait("b", PaperQuery()).ok());
+}
+
+TEST(TenantRouterTest, PerTenantQuotaRejectsWithoutStarvingOthers) {
+  TenantRouter router(SmallRouterOptions(1));
+  TenantOptions quota_opts;
+  quota_opts.max_queued = 2;
+  ASSERT_TRUE(router.AddTenant("a", PaperDataGraph(), quota_opts).ok());
+  ASSERT_TRUE(router.AddTenant("b", PaperDataGraph()).ok());
+
+  // Park the worker on "b" so "a" submissions stay queued.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  RequestOptions blocker_opts;
+  blocker_opts.on_embedding = [&](std::span<const VertexId>) {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  auto blocker = router.Submit("b", PaperQuery(), blocker_opts);
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+
+  std::vector<TenantRouter::RequestId> queued;
+  for (int i = 0; i < 2; ++i) {
+    auto id = router.Submit("a", PaperQuery());
+    ASSERT_TRUE(id.ok()) << id.status();
+    queued.push_back(*id);
+  }
+  // Quota of 2 reached: the third "a" submit rejects, "b" is unaffected.
+  auto rejected = router.Submit("a", PaperQuery());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  auto ok_b = router.Submit("b", TriangleQuery());
+  ASSERT_TRUE(ok_b.ok());
+
+  release.store(true);
+  EXPECT_TRUE(router.Wait(*blocker).status.ok());
+  for (auto id : queued) EXPECT_TRUE(router.Wait(id).status.ok());
+  EXPECT_TRUE(router.Wait(*ok_b).status.ok());
+
+  auto ts = router.tenant_stats("a");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->rejected_quota, 1u);
+  EXPECT_EQ(ts->rejected_queue_full, 0u);
+  EXPECT_EQ(router.stats().rejected_quota, 1u);
+}
+
+TEST(TenantRouterTest, GlobalQueueCapacityRejects) {
+  RouterOptions options = SmallRouterOptions(1);
+  options.queue_capacity = 2;
+  TenantRouter router(options);
+  ASSERT_TRUE(router.AddTenant("a", PaperDataGraph()).ok());
+  ASSERT_TRUE(router.AddTenant("b", PaperDataGraph()).ok());
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  RequestOptions blocker_opts;
+  blocker_opts.on_embedding = [&](std::span<const VertexId>) {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  auto blocker = router.Submit("a", PaperQuery(), blocker_opts);
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+
+  // The dispatched blocker no longer occupies the queue: two more admits
+  // fill the global bound, the third rejects whichever tenant it names.
+  auto q1 = router.Submit("a", PaperQuery());
+  auto q2 = router.Submit("b", PaperQuery());
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto rejected = router.Submit("b", TriangleQuery());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  release.store(true);
+  EXPECT_TRUE(router.Wait(*blocker).status.ok());
+  EXPECT_TRUE(router.Wait(*q1).status.ok());
+  EXPECT_TRUE(router.Wait(*q2).status.ok());
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  auto tb = router.tenant_stats("b");
+  ASSERT_TRUE(tb.ok());
+  EXPECT_EQ(tb->rejected_queue_full, 1u);
+}
+
+TEST(TenantRouterTest, WeightedRoundRobinHonorsWeights) {
+  TenantRouter router(SmallRouterOptions(1));
+  TenantOptions weight2;
+  weight2.weight = 2;
+  ASSERT_TRUE(router.AddTenant("a", PaperDataGraph(), weight2).ok());
+  ASSERT_TRUE(router.AddTenant("b", PaperDataGraph()).ok());  // weight 1
+  ASSERT_TRUE(router.AddTenant("blocker", PaperDataGraph()).ok());
+
+  // Park the single worker on the throwaway tenant, then build backlogs for
+  // "a" and "b" while nothing can dispatch.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  RequestOptions blocker_opts;
+  blocker_opts.on_embedding = [&](std::span<const VertexId>) {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  auto blocker = router.Submit("blocker", PaperQuery(), blocker_opts);
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+
+  // Record dispatch order via the first embedding of each request (the
+  // single worker serializes dispatches).
+  std::mutex order_mu;
+  std::vector<std::string> dispatch_order;
+  auto tagged = [&](const std::string& tag) {
+    RequestOptions opts;
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    opts.on_embedding = [&, tag, fired](std::span<const VertexId>) {
+      if (!fired->exchange(true)) {
+        std::lock_guard<std::mutex> lock(order_mu);
+        dispatch_order.push_back(tag);
+      }
+    };
+    return opts;
+  };
+  std::vector<TenantRouter::RequestId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = router.Submit("a", PaperQuery(), tagged("a"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto id = router.Submit("b", PaperQuery(), tagged("b"));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  release.store(true);
+  EXPECT_TRUE(router.Wait(*blocker).status.ok());
+  for (auto id : ids) EXPECT_TRUE(router.Wait(id).status.ok());
+
+  // Weight 2 vs 1: two "a" dispatches per "b" in every cycle.
+  const std::vector<std::string> expected = {"a", "a", "b", "a", "a", "b",
+                                             "a", "a", "b"};
+  EXPECT_EQ(dispatch_order, expected);
+}
+
+TEST(TenantRouterTest, PerTenantSwapLeavesOtherTenantsUntouched) {
+  const Graph base = PaperDataGraph();
+  const QueryGraph q = PaperQuery();
+  TenantRouter router(SmallRouterOptions(2));
+  ASSERT_TRUE(router.AddTenant("a", base).ok());
+  ASSERT_TRUE(router.AddTenant("b", base).ok());
+
+  // Warm both tenants' plan caches.
+  ASSERT_TRUE(router.SubmitAndWait("a", q).ok());
+  ASSERT_TRUE(router.SubmitAndWait("b", q).ok());
+
+  const GraphDelta delta = AddPatternBlockDelta(base.NumVertices());
+  auto expected_graph = ApplyDelta(base, delta);
+  ASSERT_TRUE(expected_graph.ok());
+  auto epoch = router.ApplyDelta("a", delta);
+  ASSERT_TRUE(epoch.ok()) << epoch.status();
+  EXPECT_EQ(*epoch, 2u);
+
+  auto ra = router.SubmitAndWait("a", q);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(ra->graph_epoch, 2u);
+  EXPECT_FALSE(ra->cache_hit);  // A's cache was invalidated by A's swap
+  EXPECT_EQ(ra->run.embeddings, BruteForceCount(q, *expected_graph));
+
+  // B still serves epoch 1, from its warm cache.
+  auto rb = router.SubmitAndWait("b", q);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->graph_epoch, 1u);
+  EXPECT_TRUE(rb->cache_hit);
+  EXPECT_EQ(rb->run.embeddings, BruteForceCount(q, base));
+
+  auto tb = router.tenant_stats("b");
+  ASSERT_TRUE(tb.ok());
+  EXPECT_EQ(tb->epoch, 1u);
+  EXPECT_EQ(tb->graph_swaps, 0u);
+  EXPECT_EQ(tb->cache.invalidations, 0u);
+}
+
+TEST(TenantRouterTest, ShutdownDrainsBacklogAndRejectsNewWork) {
+  TenantRouter router(SmallRouterOptions(2));
+  ASSERT_TRUE(router.AddTenant("a", PaperDataGraph()).ok());
+  std::vector<TenantRouter::RequestId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto id = router.Submit("a", PaperQuery());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  router.Shutdown();
+  for (auto id : ids) EXPECT_TRUE(router.Wait(id).status.ok());
+  EXPECT_EQ(router.Submit("a", PaperQuery()).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(router.AddTenant("late", PaperDataGraph()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// The headline concurrency test (run under TSan and ASan in CI): clients
+// hammer tenants A and B while a writer churns ONLY A's graph through a
+// deterministic delta sequence. Isolation means every B result reports B's
+// unchanged epoch 1 with B's unchanged count, and every A result matches
+// the one graph A published under the epoch it reports.
+TEST(TenantRouterTest, ConcurrentClientsStayIsolatedUnderSingleTenantChurn) {
+  constexpr std::size_t kClientsPerTenant = 2;
+  constexpr int kSwaps = 12;
+  constexpr int kMinRequestsPerClient = 24;
+
+  const Graph base = PaperDataGraph();
+  const std::vector<QueryGraph> mix = {PaperQuery(), TriangleQuery()};
+
+  // Precompute A's graph under each epoch 1..kSwaps+1 (the writer applies
+  // the same delta sequence) and the expected count for every (query, epoch)
+  // pair. Deltas alternate add-block / remove-block so counts change.
+  std::vector<Graph> graphs;
+  graphs.push_back(base);
+  std::vector<GraphDelta> deltas;
+  for (int i = 0; i < kSwaps; ++i) {
+    const Graph& cur = graphs.back();
+    GraphDelta d;
+    if (i % 2 == 0) {
+      d = AddPatternBlockDelta(cur.NumVertices());
+    } else {
+      for (int k = 0; k < 4; ++k) {
+        d.remove_vertices.push_back(static_cast<VertexId>(cur.NumVertices() - 1 - k));
+      }
+    }
+    auto next = ApplyDelta(cur, d);
+    ASSERT_TRUE(next.ok()) << next.status();
+    deltas.push_back(std::move(d));
+    graphs.push_back(std::move(next).value());
+  }
+  // expected_a[shape][epoch - 1]; expected_b[shape] is fixed at epoch 1.
+  std::vector<std::vector<std::uint64_t>> expected_a(mix.size());
+  std::vector<std::uint64_t> expected_b;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    for (const Graph& g : graphs) expected_a[s].push_back(BruteForceCount(mix[s], g));
+    expected_b.push_back(BruteForceCount(mix[s], base));
+  }
+
+  TenantRouter router(SmallRouterOptions(4));
+  ASSERT_TRUE(router.AddTenant("a", base).ok());
+  ASSERT_TRUE(router.AddTenant("b", base).ok());
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> warmed_up{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> bad_epochs{0};
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 2 * kClientsPerTenant; ++c) {
+    const bool on_a = (c % 2 == 0);
+    clients.emplace_back([&, c, on_a] {
+      bool counted_warmup = false;
+      // Run until kMinRequestsPerClient completed and at least one request
+      // was submitted strictly after the writer finished (for A clients,
+      // that request must capture the final epoch).
+      bool post_done_request = false;
+      int done = 0;
+      while (done < kMinRequestsPerClient || !post_done_request) {
+        const bool saw_writer_done = writer_done.load();
+        const std::size_t s = (c + static_cast<std::size_t>(done)) % mix.size();
+        auto r = router.SubmitAndWait(on_a ? "a" : "b", mix[s]);
+        if (!r.ok()) {
+          mismatches.fetch_add(1);
+          break;
+        }
+        const std::uint64_t e = r->graph_epoch;
+        if (on_a) {
+          if (e < 1 || e > static_cast<std::uint64_t>(kSwaps) + 1) {
+            bad_epochs.fetch_add(1);
+          } else if (r->run.embeddings != expected_a[s][e - 1]) {
+            mismatches.fetch_add(1);
+          }
+        } else {
+          // The isolation property: B never observes A's churn.
+          if (e != 1) {
+            bad_epochs.fetch_add(1);
+          } else if (r->run.embeddings != expected_b[s]) {
+            mismatches.fetch_add(1);
+          }
+        }
+        ++done;
+        if (saw_writer_done) post_done_request = true;
+        if (!counted_warmup) {
+          counted_warmup = true;
+          warmed_up.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    while (warmed_up.load() < static_cast<int>(2 * kClientsPerTenant)) {
+      std::this_thread::yield();
+    }
+    for (const GraphDelta& d : deltas) {
+      auto epoch = router.ApplyDelta("a", d);
+      ASSERT_TRUE(epoch.ok()) << epoch.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    writer_done.store(true);
+  });
+
+  writer.join();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(bad_epochs.load(), 0);
+
+  auto ta = router.tenant_stats("a");
+  auto tb = router.tenant_stats("b");
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(ta->epoch, static_cast<std::uint64_t>(kSwaps) + 1);
+  EXPECT_EQ(ta->graph_swaps, static_cast<std::uint64_t>(kSwaps));
+  EXPECT_EQ(tb->epoch, 1u);
+  EXPECT_EQ(tb->graph_swaps, 0u);
+  EXPECT_EQ(tb->failed, 0u);
+  EXPECT_EQ(ta->failed, 0u);
+  // A's churn exercised its cache invalidation; B's cache never invalidated.
+  EXPECT_GE(ta->cache.invalidations + ta->cache.evictions, 1u);
+  EXPECT_EQ(tb->cache.invalidations, 0u);
+  EXPECT_GT(tb->cache.hits, 0u);
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.completed,
+            static_cast<std::uint64_t>(2 * kClientsPerTenant) *
+                kMinRequestsPerClient);
+}
+
+}  // namespace
+}  // namespace fast

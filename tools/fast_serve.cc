@@ -28,10 +28,24 @@
 // The data graph is either --data FILE (t/v/e text format) or a generated
 // LDBC-SNB-like graph at --sf SCALE; --queries picks LDBC benchmark query
 // indices (comma-separated), or pass query files as positional arguments.
+//
+// Multi-tenant serving (src/tenant/tenant_router.h):
+//   --tenants N           replay N LDBC graphs (seeds seed..seed+N-1) behind
+//                         ONE shared worker pool with per-tenant admission
+//                         quotas and weighted round-robin dispatch. Clients
+//                         pick tenants Zipf(--zipf-s)-skewed (0 = uniform).
+//                         Requires --sf; replay mode only.
+//   --quota N             per-tenant cap on queued requests (0 = global only)
+//   --weights W1,...,WN   per-tenant WRR weights (default: all 1)
+//   --zipf-s S            tenant-pick skew; tenant 0 is the hottest
+//   With --swap-every-ms, the writer churns the tenants round-robin, so the
+//   per-tenant epochs advance independently.
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +54,7 @@
 #include "graph/graph_io.h"
 #include "ldbc/ldbc.h"
 #include "service/match_service.h"
+#include "tenant/tenant_router.h"
 #include "tools/flag_parser.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -75,24 +90,178 @@ StatusOr<std::vector<QueryGraph>> LoadQueryMix(const tools::FlagParser& flags) {
   return queries;
 }
 
+// Multi-tenant replay: N generated graphs behind one TenantRouter, clients
+// picking tenants Zipf-skewed, an optional writer churning the tenants
+// round-robin. Invoked by Run() when --tenants > 1.
+int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options,
+                   const std::vector<QueryGraph>& queries,
+                   std::vector<Graph> graphs, std::size_t store) {
+  const std::size_t num_tenants = graphs.size();
+  double duration, zipf_s, swap_every_ms;
+  std::size_t clients, quota, churn;
+  FAST_FLAG_ASSIGN_OR_USAGE(duration, flags.GetDouble("duration", 5.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(clients, flags.GetSizeT("clients", 4));
+  FAST_FLAG_ASSIGN_OR_USAGE(zipf_s, flags.GetDouble("zipf-s", 0.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(quota, flags.GetSizeT("quota", 0));
+  FAST_FLAG_ASSIGN_OR_USAGE(swap_every_ms, flags.GetDouble("swap-every-ms", 0.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(churn, flags.GetSizeT("churn", 16));
+  clients = std::max<std::size_t>(clients, 1);
+
+  std::vector<std::uint32_t> weights(num_tenants, 1);
+  const std::string weight_spec = flags.GetString("weights", "");
+  if (!weight_spec.empty()) {
+    const std::vector<std::string> parts = SplitCsv(weight_spec);
+    if (parts.size() != num_tenants) {
+      std::fprintf(stderr, "--weights: want %zu comma-separated values, got %zu\n",
+                   num_tenants, parts.size());
+      return 2;
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      char* end = nullptr;
+      const unsigned long w = std::strtoul(parts[i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || w == 0) {
+        std::fprintf(stderr, "--weights: '%s' is not a positive integer\n",
+                     parts[i].c_str());
+        return 2;
+      }
+      weights[i] = static_cast<std::uint32_t>(w);
+    }
+  }
+
+  tenant::RouterOptions ropts;
+  ropts.num_workers = options.num_workers;
+  ropts.queue_capacity = options.queue_capacity;
+  ropts.default_deadline_seconds = options.default_deadline_seconds;
+  ropts.run = options.run;
+  tenant::TenantRouter router(ropts);
+
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < num_tenants; ++i) {
+    tenant::TenantOptions topts;
+    topts.plan_cache_capacity = options.plan_cache_capacity;
+    topts.plan_cache_byte_budget = options.plan_cache_byte_budget;
+    topts.max_queued = quota;
+    topts.weight = weights[i];
+    ids.push_back("t" + std::to_string(i));
+    const Status s = router.AddTenant(ids.back(), std::move(graphs[i]), topts);
+    if (!s.ok()) {
+      std::fprintf(stderr, "tenant %s: %s\n", ids.back().c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("serve: %zu tenants, %zu shared workers, queue=%zu, quota=%zu, "
+              "zipf s=%g\n",
+              num_tenants, router.num_workers(), ropts.queue_capacity, quota,
+              zipf_s);
+
+  const std::vector<double> cdf = ZipfCdf(num_tenants, zipf_s);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Rng rng(0x7E4A47 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t t = SampleCdf(cdf, rng);
+        const QueryGraph& q = queries[rng.Uniform(queries.size())];
+        RequestOptions ropts_req;
+        ropts_req.store_limit = store;
+        auto id = router.Submit(ids[t], q, ropts_req);
+        if (!id.ok()) continue;  // global or per-tenant admission control
+        router.Wait(*id);
+      }
+    });
+  }
+  // Optional writer: churn the tenants round-robin, one swap per interval,
+  // so every tenant's epoch advances independently of the others.
+  std::thread writer;
+  std::atomic<bool> writer_failed{false};
+  if (swap_every_ms > 0.0) {
+    writer = std::thread([&] {
+      Rng rng(0xD317A);
+      std::size_t next_tenant = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Timer interval;
+        while (!stop.load(std::memory_order_relaxed) &&
+               interval.ElapsedSeconds() * 1e3 < swap_every_ms) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (stop.load(std::memory_order_relaxed)) break;
+        const std::string& id = ids[next_tenant++ % ids.size()];
+        auto snap = router.snapshot(id);
+        if (!snap.ok()) {
+          writer_failed.store(true);
+          break;
+        }
+        const GraphDelta delta = RandomChurnDelta(*snap->graph, churn, rng);
+        auto epoch = router.ApplyDelta(id, delta);
+        if (!epoch.ok()) {
+          std::fprintf(stderr, "swap %s: %s\n", id.c_str(),
+                       epoch.status().ToString().c_str());
+          writer_failed.store(true);
+          break;
+        }
+      }
+    });
+  }
+
+  Timer wall;
+  while (wall.ElapsedSeconds() < duration) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true);
+  for (auto& t : client_threads) t.join();
+  if (writer.joinable()) writer.join();
+
+  const auto stats = router.stats();
+  const double elapsed = wall.ElapsedSeconds();
+  std::printf("\n--- %.1fs multi-tenant replay, %zu client thread%s ---\n",
+              elapsed, clients, clients == 1 ? "" : "s");
+  std::printf("aggregate:   %.1f queries/sec | %s\n",
+              static_cast<double>(stats.completed) / elapsed,
+              stats.Summary().c_str());
+  std::printf("%-8s %8s %12s %10s %10s %10s %8s %8s %10s\n", "tenant", "wgt",
+              "completed", "p50 ms", "p99 ms", "rejected", "epoch", "swaps",
+              "hit rate");
+  for (const auto& t : stats.tenants) {
+    std::printf("%-8s %8u %12llu %10.3f %10.3f %10llu %8llu %8llu %9.1f%%\n",
+                t.id.c_str(), t.weight,
+                static_cast<unsigned long long>(t.completed),
+                t.latency.P50() * 1e3, t.latency.P99() * 1e3,
+                static_cast<unsigned long long>(t.rejected_queue_full +
+                                                t.rejected_quota),
+                static_cast<unsigned long long>(t.epoch),
+                static_cast<unsigned long long>(t.graph_swaps),
+                t.cache.HitRate() * 100.0);
+  }
+  if (writer_failed.load()) {
+    std::fprintf(stderr, "error: snapshot writer stopped early (see above)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto flags = tools::FlagParser::Parse(
       argc, argv,
       {"data", "sf", "seed", "queries", "duration", "workers", "clients",
-       "cache-size", "queue", "deadline-ms", "delta", "variant", "store",
-       "update", "reload", "swap-every-ms", "churn", "no-cache", "once",
-       "help"},
+       "cache-size", "cache-bytes", "queue", "deadline-ms", "delta", "variant",
+       "store", "update", "reload", "swap-every-ms", "churn", "tenants",
+       "zipf-s", "quota", "weights", "no-cache", "once", "help"},
       /*bool_flags=*/{"no-cache", "once", "help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
         stderr,
         "usage: fast_serve (--data FILE | --sf SCALE) [QUERY_FILE...]\n"
         "                  [--queries I,J,...] [--duration S] [--workers N]\n"
-        "                  [--clients N] [--cache-size N] [--queue N]\n"
-        "                  [--deadline-ms MS] [--delta D] [--variant V]\n"
-        "                  [--store N] [--update DELTA[,DELTA...]]\n"
-        "                  [--reload GRAPH] [--swap-every-ms MS] [--churn N]\n"
-        "                  [--no-cache] [--once]\n%s\n",
+        "                  [--clients N] [--cache-size N] [--cache-bytes B]\n"
+        "                  [--queue N] [--deadline-ms MS] [--delta D]\n"
+        "                  [--variant V] [--store N]\n"
+        "                  [--update DELTA[,DELTA...]] [--reload GRAPH]\n"
+        "                  [--swap-every-ms MS] [--churn N]\n"
+        "                  [--tenants N] [--zipf-s S] [--quota N]\n"
+        "                  [--weights W1,...,WN] [--no-cache] [--once]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -129,6 +298,8 @@ int Run(int argc, char** argv) {
   FAST_FLAG_ASSIGN_OR_USAGE(options.queue_capacity, flags->GetSizeT("queue", 256));
   FAST_FLAG_ASSIGN_OR_USAGE(options.plan_cache_capacity,
                             flags->GetSizeT("cache-size", 64));
+  FAST_FLAG_ASSIGN_OR_USAGE(options.plan_cache_byte_budget,
+                            flags->GetSizeT("cache-bytes", 0));
   if (flags->Has("no-cache")) options.plan_cache_capacity = 0;
   double deadline_ms;
   FAST_FLAG_ASSIGN_OR_USAGE(deadline_ms, flags->GetDouble("deadline-ms", 0.0));
@@ -150,6 +321,41 @@ int Run(int argc, char** argv) {
   }
   std::size_t store;
   FAST_FLAG_ASSIGN_OR_USAGE(store, flags->GetSizeT("store", 0));
+
+  // --- Multi-tenant replay branch. ---
+  std::size_t num_tenants;
+  FAST_FLAG_ASSIGN_OR_USAGE(num_tenants, flags->GetSizeT("tenants", 1));
+  if (num_tenants > 1) {
+    if (flags->Has("data") || flags->Has("once") || flags->Has("update") ||
+        flags->Has("reload")) {
+      std::fprintf(stderr, "--tenants requires --sf replay mode (no --data, "
+                           "--once, --update, or --reload)\n");
+      return 2;
+    }
+    // Tenant 0 serves the graph generated above; the rest get fresh graphs
+    // from consecutive seeds so the tenants carry genuinely different data.
+    std::vector<Graph> graphs;
+    graphs.push_back(std::move(*graph));
+    LdbcConfig config;
+    FAST_FLAG_ASSIGN_OR_USAGE(config.scale_factor, flags->GetDouble("sf", 0.5));
+    long long seed;
+    FAST_FLAG_ASSIGN_OR_USAGE(seed, flags->GetInt("seed", 42));
+    for (std::size_t i = 1; i < num_tenants; ++i) {
+      config.seed = static_cast<std::uint64_t>(seed) + i;
+      auto g = GenerateLdbcGraph(config);
+      if (!g.ok()) {
+        std::fprintf(stderr, "data: %s\n", g.status().ToString().c_str());
+        return 1;
+      }
+      graphs.push_back(std::move(*g));
+    }
+    return RunMultiTenant(*flags, options, *queries, std::move(graphs), store);
+  }
+  if (flags->Has("zipf-s") || flags->Has("quota") || flags->Has("weights")) {
+    std::fprintf(stderr, "--zipf-s/--quota/--weights only apply with "
+                         "--tenants N (N > 1)\n");
+    return 2;
+  }
 
   MatchService svc(std::move(*graph), options);
   std::printf("serve: %zu workers, queue=%zu, cache=%zu entries%s\n",
@@ -335,7 +541,7 @@ int Run(int argc, char** argv) {
   std::printf("plan cache:  hit_rate=%.1f%% entries=%zu image=%.1fKiB "
               "evictions=%llu invalidations=%llu\n",
               stats.cache.HitRate() * 100.0, stats.cache.entries,
-              static_cast<double>(stats.cache.image_bytes) / 1024.0,
+              static_cast<double>(stats.cache.bytes_in_use) / 1024.0,
               static_cast<unsigned long long>(stats.cache.evictions),
               static_cast<unsigned long long>(stats.cache.invalidations));
   std::printf("snapshots:   epoch=%llu swaps=%llu\n",
