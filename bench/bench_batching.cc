@@ -1,0 +1,337 @@
+// bench_batching: cross-query/cross-tenant batch scheduling on the shared
+// device executor (src/device/) vs the unbatched device path.
+//
+//   bench_batching [--sf 0.1] [--tenants 3] [--duration 2] [--clients 6]
+//                  [--workers 4] [--queries 0,1,2] [--zipf-s 1.2] [--quota 16]
+//                  [--batch-window-us 1000] [--max-batch 8]
+//                  [--min-occupancy 1.05] [--max-p99-factor 10] [--json FILE]
+//
+// Unlike the other serve benches, --workers defaults to 4 (not hardware
+// concurrency): cross-query batching needs more than one worker decomposing
+// queries concurrently, and CI containers can report a single core. The
+// window default (1 ms) similarly covers one query's host-side work on a
+// contended core so concurrent workers' items land in one round.
+//
+// Two phases, both in device mode under identical Zipf-skewed multi-tenant
+// closed-loop load (tenant 0 hottest):
+//
+//   unbatched  max_batch=1, window=0: every CST partition pays its own DMA
+//              transaction — the per-query serving model, measured on the
+//              same executor so the transfer accounting is identical;
+//   batched    partitions from concurrent queries — across tenants — are
+//              coalesced into device rounds, ONE transaction per round,
+//              identical images crossing once.
+//
+// CI gates (exit 1):
+//   - a tenant that completes zero queries in the batched phase (the WRR
+//     device dequeue exists to prevent exactly this starvation);
+//   - batched device-round occupancy (avg distinct queries per round) at or
+//     below --min-occupancy: batching that never coalesces is broken;
+//   - batched simulated transfer bytes per completed query not better than
+//     unbatched (per-query, so closed-loop completion-count differences
+//     between the phases cannot mask a regression);
+//   - coldest-tenant batched p99 more than --max-p99-factor times its
+//     unbatched p99 (the batch window must delay, not starve).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_serve_common.h"
+#include "device/device_executor.h"
+#include "ldbc/ldbc.h"
+#include "tenant/tenant_router.h"
+#include "tools/flag_parser.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fast;
+using bench::ServeBenchFpgaConfig;
+using tenant::RouterOptions;
+using tenant::RouterStats;
+using tenant::TenantOptions;
+using tenant::TenantRouter;
+
+std::string TenantId(std::size_t i) { return "t" + std::to_string(i); }
+
+struct PhaseOutcome {
+  double elapsed = 0;
+  double qps = 0;
+  double p99_ms = 0;  // aggregate
+  std::uint64_t completed = 0;
+  std::vector<double> tenant_p99_ms;
+  std::vector<std::uint64_t> tenant_completed;
+  device::DeviceStats device;
+
+  double WireBytesPerQuery() const {
+    return completed > 0
+               ? static_cast<double>(device.wire_bytes) /
+                     static_cast<double>(completed)
+               : 0.0;
+  }
+};
+
+PhaseOutcome RunPhase(const std::vector<Graph>& graphs,
+                      const std::vector<QueryGraph>& mix,
+                      const RouterOptions& router_options,
+                      const TenantOptions& tenant_options,
+                      const std::vector<double>& cdf, std::size_t clients,
+                      double duration_seconds) {
+  TenantRouter router(router_options);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    FAST_CHECK_OK(router.AddTenant(TenantId(i), graphs[i], tenant_options));
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0xBA7C4 + 1315423911u * c);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t t = SampleCdf(cdf, rng);
+        (void)router.SubmitAndWait(TenantId(t), mix[rng.Uniform(mix.size())]);
+      }
+    });
+  }
+  while (ready.load() < clients) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  Timer wall;
+  while (wall.ElapsedSeconds() < duration_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  const RouterStats stats = router.stats();
+  PhaseOutcome out;
+  out.elapsed = wall.ElapsedSeconds();
+  out.completed = stats.completed;
+  out.qps = static_cast<double>(stats.completed) / out.elapsed;
+  out.p99_ms = stats.latency.P99() * 1e3;
+  out.device = stats.device;
+  out.tenant_p99_ms.resize(graphs.size(), 0.0);
+  out.tenant_completed.resize(graphs.size(), 0);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const std::string id = TenantId(i);
+    const auto it = std::find_if(
+        stats.tenants.begin(), stats.tenants.end(),
+        [&](const tenant::TenantStats& ts) { return ts.id == id; });
+    FAST_CHECK(it != stats.tenants.end());
+    out.tenant_p99_ms[i] = it->latency.P99() * 1e3;
+    out.tenant_completed[i] = it->completed;
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  auto flags = tools::FlagParser::Parse(
+      argc, argv,
+      {"sf", "tenants", "duration", "clients", "workers", "queries", "zipf-s",
+       "quota", "batch-window-us", "max-batch", "min-occupancy",
+       "max-p99-factor", "json", "help"},
+      /*bool_flags=*/{"help"});
+  if (!flags.ok() || flags->Has("help")) {
+    std::fprintf(
+        stderr,
+        "usage: bench_batching [--sf S] [--tenants N] [--duration SEC]\n"
+        "                      [--clients N] [--workers N] [--queries I,J,...]\n"
+        "                      [--zipf-s S] [--quota N] [--batch-window-us US]\n"
+        "                      [--max-batch N] [--min-occupancy Q]\n"
+        "                      [--max-p99-factor F] [--json FILE]\n%s\n",
+        flags.ok() ? "" : flags.status().ToString().c_str());
+    return flags.ok() ? 0 : 2;
+  }
+  double sf, duration, zipf_s, batch_window_us, min_occupancy, max_p99_factor;
+  std::size_t num_tenants, clients, workers, quota, max_batch;
+  FAST_FLAG_ASSIGN_OR_USAGE(sf, flags->GetDouble("sf", 0.1));
+  FAST_FLAG_ASSIGN_OR_USAGE(duration, flags->GetDouble("duration", 2.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(zipf_s, flags->GetDouble("zipf-s", 1.2));
+  FAST_FLAG_ASSIGN_OR_USAGE(batch_window_us,
+                            flags->GetDouble("batch-window-us", 1000.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(min_occupancy,
+                            flags->GetDouble("min-occupancy", 1.05));
+  FAST_FLAG_ASSIGN_OR_USAGE(max_p99_factor,
+                            flags->GetDouble("max-p99-factor", 10.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(num_tenants, flags->GetSizeT("tenants", 3));
+  FAST_FLAG_ASSIGN_OR_USAGE(clients, flags->GetSizeT("clients", 6));
+  FAST_FLAG_ASSIGN_OR_USAGE(workers, flags->GetSizeT("workers", 4));
+  FAST_FLAG_ASSIGN_OR_USAGE(quota, flags->GetSizeT("quota", 16));
+  FAST_FLAG_ASSIGN_OR_USAGE(max_batch, flags->GetSizeT("max-batch", 8));
+  if (num_tenants == 0 || clients == 0) {
+    std::fprintf(stderr, "--tenants and --clients must be > 0\n");
+    return 2;
+  }
+
+  auto mix_or = ParseLdbcQueryMix(flags->GetString("queries", "0,1,2"));
+  if (!mix_or.ok()) {
+    std::fprintf(stderr, "%s\n", mix_or.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<QueryGraph> mix = std::move(*mix_or);
+
+  std::vector<Graph> graphs;
+  for (std::size_t i = 0; i < num_tenants; ++i) {
+    LdbcConfig config;
+    config.scale_factor = sf;
+    config.seed = 42 + i;
+    auto g = GenerateLdbcGraph(config);
+    if (!g.ok()) {
+      std::fprintf(stderr, "generate: %s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    graphs.push_back(std::move(*g));
+  }
+  std::printf("data: %zu tenants at sf=%g, e.g. %s\n", num_tenants, sf,
+              graphs[0].Summary().c_str());
+
+  RouterOptions base;
+  base.num_workers = workers;
+  base.queue_capacity = 512;
+  base.run.fpga = ServeBenchFpgaConfig();
+  base.device_mode = true;
+  TenantOptions tenant_options;
+  tenant_options.plan_cache_capacity = 64;
+  tenant_options.max_queued = quota;
+  tenant_options.weight = 1;
+  const std::vector<double> cdf = ZipfCdf(num_tenants, zipf_s);
+
+  RouterOptions unbatched = base;
+  unbatched.device.max_batch_items = 1;
+  unbatched.device.batch_window_seconds = 0.0;
+  RouterOptions batched = base;
+  batched.device.max_batch_items = std::max<std::size_t>(1, max_batch);
+  batched.device.batch_window_seconds = batch_window_us * 1e-6;
+
+  std::printf("mix: %zu queries, %zu clients, zipf s=%g, window=%gus, "
+              "max-batch=%zu, %.1fs per phase\n\n",
+              mix.size(), clients, zipf_s, batch_window_us,
+              batched.device.max_batch_items, duration);
+
+  const PhaseOutcome un = RunPhase(graphs, mix, unbatched, tenant_options, cdf,
+                                   clients, duration);
+  const PhaseOutcome ba = RunPhase(graphs, mix, batched, tenant_options, cdf,
+                                   clients, duration);
+
+  const auto per_query_mib = [](const PhaseOutcome& p) {
+    return p.WireBytesPerQuery() / (1024.0 * 1024.0);
+  };
+  std::printf("%-10s %10s %12s %14s %14s %16s\n", "phase", "qps", "p99 ms",
+              "queries/round", "items/round", "wire MiB/query");
+  std::printf("%-10s %10.1f %12.3f %14.2f %14.2f %16.3f\n", "unbatched",
+              un.qps, un.p99_ms, un.device.QueriesPerRound(),
+              un.device.ItemsPerRound(), per_query_mib(un));
+  std::printf("%-10s %10.1f %12.3f %14.2f %14.2f %16.3f\n", "batched", ba.qps,
+              ba.p99_ms, ba.device.QueriesPerRound(), ba.device.ItemsPerRound(),
+              per_query_mib(ba));
+  std::printf("\nbatched device: %s\n", ba.device.Summary().c_str());
+
+  const std::size_t coldest = num_tenants - 1;
+  const double coldest_factor =
+      un.tenant_p99_ms[coldest] > 0
+          ? ba.tenant_p99_ms[coldest] / un.tenant_p99_ms[coldest]
+          : 0.0;
+  std::printf("coldest tenant %s: p99 %.3fms batched vs %.3fms unbatched "
+              "(%.2fx)\n",
+              TenantId(coldest).c_str(), ba.tenant_p99_ms[coldest],
+              un.tenant_p99_ms[coldest], coldest_factor);
+
+  const std::string json = flags->GetString("json", "");
+  if (!json.empty()) {
+    bench::JsonWriter w;
+    w.Field("bench", "bench_batching");
+    w.Field("sf", sf);
+    w.Field("tenants", static_cast<std::uint64_t>(num_tenants));
+    w.Field("clients", static_cast<std::uint64_t>(clients));
+    w.Field("duration_s", duration);
+    w.Field("zipf_s", zipf_s);
+    w.Field("batch_window_us", batch_window_us);
+    w.Field("max_batch", static_cast<std::uint64_t>(max_batch));
+    for (const auto* phase : {&un, &ba}) {
+      w.BeginObject(phase == &un ? "unbatched" : "batched");
+      w.Field("qps", phase->qps);
+      w.Field("p99_ms", phase->p99_ms);
+      w.Field("completed", phase->completed);
+      w.Field("rounds", phase->device.rounds);
+      w.Field("items", phase->device.items);
+      w.Field("queries_per_round", phase->device.QueriesPerRound());
+      w.Field("items_per_round", phase->device.ItemsPerRound());
+      w.Field("payload_bytes", phase->device.payload_bytes);
+      w.Field("wire_bytes", phase->device.wire_bytes);
+      w.Field("dedup_bytes_saved", phase->device.dedup_bytes_saved);
+      w.Field("wire_bytes_per_query", phase->WireBytesPerQuery());
+      w.Field("pcie_seconds", phase->device.pcie_seconds);
+      w.Field("kernel_seconds", phase->device.kernel_seconds);
+      w.BeginArray("per_tenant");
+      for (std::size_t i = 0; i < num_tenants; ++i) {
+        w.BeginObject();
+        w.Field("id", TenantId(i));
+        w.Field("completed", phase->tenant_completed[i]);
+        w.Field("p99_ms", phase->tenant_p99_ms[i]);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.Field("coldest_p99_factor", coldest_factor);
+    bench::WriteJsonFile(json, w.Finish());
+  }
+
+  // CI gates.
+  int rc = 0;
+  for (std::size_t i = 0; i < num_tenants; ++i) {
+    if (ba.tenant_completed[i] == 0) {
+      std::fprintf(stderr,
+                   "FAIL: tenant %s completed zero queries in the batched "
+                   "phase (starved)\n",
+                   TenantId(i).c_str());
+      rc = 1;
+    }
+  }
+  if (ba.device.QueriesPerRound() <= min_occupancy) {
+    std::fprintf(stderr,
+                 "FAIL: device occupancy %.2f queries/round <= bound %.2f "
+                 "(batching never coalesced)\n",
+                 ba.device.QueriesPerRound(), min_occupancy);
+    rc = 1;
+  }
+  if (un.completed > 0 && ba.completed > 0 &&
+      ba.WireBytesPerQuery() >= un.WireBytesPerQuery()) {
+    std::fprintf(stderr,
+                 "FAIL: batched transfer %.0f bytes/query >= unbatched %.0f "
+                 "(amortization lost)\n",
+                 ba.WireBytesPerQuery(), un.WireBytesPerQuery());
+    rc = 1;
+  }
+  if (rc == 0 && coldest_factor > max_p99_factor) {
+    std::fprintf(stderr,
+                 "FAIL: coldest tenant batched p99 %.2fx its unbatched p99 "
+                 "(bound %.1fx)\n",
+                 coldest_factor, max_p99_factor);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("\nOK: occupancy %.2f queries/round, transfer %.1f%% of "
+                "unbatched bytes/query, coldest p99 factor %.2fx\n",
+                ba.device.QueriesPerRound(),
+                un.WireBytesPerQuery() > 0
+                    ? 100.0 * ba.WireBytesPerQuery() / un.WireBytesPerQuery()
+                    : 0.0,
+                coldest_factor);
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -6,6 +6,8 @@
 // bench_common.h, which pulls in benchmark/benchmark.h that these binaries
 // don't link against.
 
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -73,10 +75,21 @@ class JsonWriter {
  public:
   JsonWriter() { Open('{'); }
 
+  // JSON has no NaN/Infinity literals (an empty histogram's p99 is NaN, a
+  // ratio against a zero baseline is inf): emit null so the document stays
+  // parseable. std::to_chars is locale-independent, unlike snprintf("%g"),
+  // which under an LC_NUMERIC locale with a ',' decimal point would emit
+  // invalid JSON.
   void Field(const char* key, double v) {
+    if (!std::isfinite(v)) {
+      Emit(key, "null");
+      return;
+    }
     char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    Emit(key, buf);
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+    Emit(key, ec == std::errc() ? std::string_view(buf, ptr - buf)
+                                : std::string_view("null"));
   }
   void Field(const char* key, std::uint64_t v) {
     Emit(key, std::to_string(v));

@@ -112,6 +112,12 @@ StatusOr<FastRunResult> RunFast(const QueryGraph& q, const Graph& g,
 // BFS-tree root. `build_seconds` is reported in the result (pass the
 // measured construction time, or 0 when the CST came from a cache).
 // `options.explicit_order` and `options.order_policy` are ignored.
+//
+// This call simulates a device PRIVATE to the request: partitions match
+// inline on the calling thread and every call pays its own PCIe transfers.
+// device/device_executor.h's RunCstOnDevice is the shared-device sibling —
+// the same steps, with partitions batched onto one executor across
+// concurrent requests.
 StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& order,
                                        const FastRunOptions& options = {},
                                        double build_seconds = 0.0);

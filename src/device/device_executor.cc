@@ -1,0 +1,456 @@
+#include "device/device_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "core/kernel.h"
+#include "cst/cst_serialize.h"
+#include "cst/partition.h"
+#include "fpga/pipeline_sim.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "util/wrr.h"
+
+namespace fast::device {
+
+// One query session: identity for fairness/dedup, the per-query sinks the
+// device thread feeds, and the completion latch FinishQuery waits on.
+struct DeviceQuery {
+  std::string queue_key;
+  std::uint64_t epoch = 0;
+  std::string plan_key;
+  MatchingOrder order;
+  ResultCollector* collector = nullptr;
+  const CancelToken* cancel = nullptr;
+  std::size_t parts = 0;  // partitions enqueued so far (guarded by executor mu_)
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;  // enqueued, not yet finalized
+  DeviceQueryResult result;
+};
+
+// A CST partition awaiting its device round.
+struct DeviceExecutor::WorkItem {
+  std::shared_ptr<DeviceQuery> query;
+  Cst cst;
+  std::size_t part_index = 0;  // emission order within the query's plan
+  std::size_t wire_bytes = 0;  // CstWireBytes(cst), cached at enqueue
+};
+
+// Per-queue-key scheduler state, guarded by DeviceExecutor::mu_. Fairness
+// state lives in the shared WRR helper (util/wrr.h) — the same discipline
+// tenant::TenantRouter dispatches with.
+struct DeviceExecutor::Queue {
+  std::deque<WorkItem> items;
+  WrrQueueState wrr;
+};
+
+std::string DeviceStats::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "rounds=%llu items/round=%.2f queries/round=%.2f "
+                "wire=%.1fKiB dedup_saved=%.1fKiB cancelled=%llu failed=%llu "
+                "pcie(sim)=%.3fms kernel(sim)=%.3fms",
+                static_cast<unsigned long long>(rounds), ItemsPerRound(),
+                QueriesPerRound(), static_cast<double>(wire_bytes) / 1024.0,
+                static_cast<double>(dedup_bytes_saved) / 1024.0,
+                static_cast<unsigned long long>(cancelled_items),
+                static_cast<unsigned long long>(failed_items),
+                pcie_seconds * 1e3, kernel_seconds * 1e3);
+  return buf;
+}
+
+DeviceExecutor::DeviceExecutor(DeviceOptions options)
+    : options_(std::move(options)) {
+  device_ = std::thread([this] { DeviceLoop(); });
+}
+
+DeviceExecutor::~DeviceExecutor() { Shutdown(); }
+
+void DeviceExecutor::SetQueueWeight(const std::string& key,
+                                    std::uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Queue>& q = queues_[key];
+  if (q == nullptr) q = std::make_shared<Queue>();
+  q->wrr.weight = std::max<std::uint32_t>(1, weight);
+}
+
+void DeviceExecutor::DropQueue(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(key);
+  if (it != queues_.end() && it->second->items.empty() &&
+      !it->second->wrr.in_active) {
+    queues_.erase(it);
+  }
+}
+
+std::shared_ptr<DeviceQuery> DeviceExecutor::BeginQuery(
+    const std::string& queue_key, std::uint64_t epoch,
+    const std::string& plan_key, const MatchingOrder& order,
+    ResultCollector* collector, const CancelToken* cancel) {
+  auto query = std::make_shared<DeviceQuery>();
+  query->queue_key = queue_key;
+  query->epoch = epoch;
+  query->plan_key = plan_key;
+  query->order = order;
+  query->collector = collector;
+  query->cancel = cancel;
+  return query;
+}
+
+Status DeviceExecutor::EnqueuePartition(
+    const std::shared_ptr<DeviceQuery>& query, Cst part) {
+  WorkItem item;
+  item.query = query;
+  item.wire_bytes = CstWireBytes(part);
+  item.cst = std::move(part);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Back-pressure, not rejection: dropping one partition of a query would
+    // silently lose embeddings. The device drains independently of any
+    // worker, so this wait always makes progress. 0 = unbounded, matching
+    // the other 0-disables knobs.
+    space_cv_.wait(lock, [&] {
+      return stopping_ || options_.max_queued_items == 0 ||
+             total_queued_ < options_.max_queued_items;
+    });
+    if (stopping_) {
+      return Status::FailedPrecondition("device executor is shut down");
+    }
+    item.part_index = query->parts++;
+    std::shared_ptr<Queue>& q = queues_[query->queue_key];
+    if (q == nullptr) q = std::make_shared<Queue>();
+    {
+      std::lock_guard<std::mutex> qlock(query->mu);
+      ++query->outstanding;
+    }
+    q->items.push_back(std::move(item));
+    ++total_queued_;
+    WrrActivate(active_, q);
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+DeviceQueryResult DeviceExecutor::FinishQuery(
+    const std::shared_ptr<DeviceQuery>& query) {
+  DeviceQueryResult result;
+  {
+    std::unique_lock<std::mutex> lock(query->mu);
+    query->cv.wait(lock, [&] { return query->outstanding == 0; });
+    result = std::move(query->result);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+  }
+  return result;
+}
+
+void DeviceExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  space_cv_.notify_all();
+  if (device_.joinable()) device_.join();
+}
+
+void DeviceExecutor::DeviceLoop() {
+  while (true) {
+    std::vector<WorkItem> round = PopRound();
+    if (round.empty()) return;  // stopping and drained
+    RunRound(std::move(round));
+  }
+}
+
+std::vector<DeviceExecutor::WorkItem> DeviceExecutor::PopRound() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
+  if (total_queued_ == 0) return {};
+  const std::size_t max_batch = std::max<std::size_t>(1, options_.max_batch_items);
+  // Hold the batch open for stragglers from other in-flight queries — this
+  // window is what turns light concurrent load into >1 query per round.
+  // Skipped when stopping: drain as fast as possible.
+  if (!stopping_ && options_.batch_window_seconds > 0.0 &&
+      total_queued_ < max_batch) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.batch_window_seconds));
+    while (!stopping_ && total_queued_ < max_batch) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+  }
+  // Deficit-weighted round robin over the backlogged queues — the shared
+  // discipline of util/wrr.h, exactly as TenantRouter dispatches requests.
+  std::vector<WorkItem> round;
+  round.reserve(std::min(max_batch, total_queued_));
+  while (round.size() < max_batch && total_queued_ > 0) {
+    FAST_CHECK(!active_.empty());
+    round.push_back(WrrPop(
+        active_,
+        [](Queue& q) {
+          FAST_CHECK(!q.items.empty());
+          WorkItem item = std::move(q.items.front());
+          q.items.pop_front();
+          return item;
+        },
+        [](const Queue& q) { return q.items.empty(); }));
+    --total_queued_;
+  }
+  space_cv_.notify_all();
+  return round;
+}
+
+void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
+  const FpgaConfig& fpga = options_.fpga;
+
+  // --- Mid-batch cancellation probe: an item whose token tripped (or whose
+  // query already failed) is skipped before it costs any transfer bytes. ---
+  std::vector<bool> live(round.size(), false);
+  std::size_t n_live = 0;
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    DeviceQuery& q = *round[i].query;
+    bool query_ok;
+    {
+      std::lock_guard<std::mutex> qlock(q.mu);
+      query_ok = q.result.status.ok();
+    }
+    if (query_ok && (q.cancel == nullptr || !q.cancel->Cancelled())) {
+      live[i] = true;
+      ++n_live;
+    }
+  }
+
+  // --- Transfer phase: ONE DMA transaction for the whole round. Identical
+  // images (same queue key, epoch, plan and partition index → bit-identical
+  // CSTs) cross the bus once; duplicates ride free. ---
+  std::uint64_t payload = 0;
+  std::uint64_t saved = 0;
+  std::vector<std::size_t> contributed(round.size(), 0);
+  std::set<std::tuple<std::string_view, std::uint64_t, std::string_view,
+                      std::size_t>>
+      seen;
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    if (!live[i]) continue;
+    const DeviceQuery& q = *round[i].query;
+    const auto key = std::make_tuple(std::string_view(q.queue_key), q.epoch,
+                                     std::string_view(q.plan_key),
+                                     round[i].part_index);
+    if (seen.insert(key).second) {
+      payload += round[i].wire_bytes;
+      contributed[i] = round[i].wire_bytes;
+    } else {
+      saved += round[i].wire_bytes;
+    }
+  }
+  std::uint64_t wire = 0;
+  double pcie_s = 0.0;
+  if (n_live > 0) {
+    wire = payload + options_.transfer_overhead_bytes;
+    pcie_s = fpga.PcieSeconds(static_cast<double>(wire));
+  }
+  const double overhead_share =
+      n_live > 0 ? static_cast<double>(options_.transfer_overhead_bytes) /
+                       static_cast<double>(n_live)
+                 : 0.0;
+
+  const std::uint64_t round_id = n_live > 0 ? ++round_seq_ : round_seq_;
+
+  // --- Matching phase: items run back to back on the one simulated card.
+  // Outcomes are staged locally so the round's stats publish BEFORE any
+  // query is notified: a caller returning from FinishQuery must already see
+  // its rounds in stats(). ---
+  struct ItemOutcome {
+    Status status = Status::OK();
+    KernelRunResult run;
+    double kernel_seconds = 0.0;
+  };
+  std::vector<ItemOutcome> outcomes(round.size());
+  std::set<const DeviceQuery*> round_queries;
+  double round_kernel = 0.0;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::vector<RoundWork> trace;
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    WorkItem& item = round[i];
+    DeviceQuery& q = *item.query;
+
+    Status item_status = Status::OK();
+    KernelRunResult run;
+    double kernel_s = 0.0;
+    if (!live[i]) {
+      item_status =
+          Status::DeadlineExceeded("device work item cancelled before matching");
+    } else {
+      trace.clear();
+      StatusOr<KernelRunResult> r =
+          RunKernel(item.cst, q.order, fpga, q.collector,
+                    options_.cycle_sim ? &trace : nullptr, q.cancel);
+      if (!r.ok()) {
+        item_status = r.status();
+      } else {
+        run = std::move(*r);
+        double cycles = 0.0;
+        if (options_.cycle_sim) {
+          StatusOr<PipelineSimResult> sim =
+              SimulatePipeline(fpga, options_.variant, trace, q.cancel);
+          if (!sim.ok()) {
+            item_status = sim.status();
+          } else {
+            cycles = sim->cycles;
+          }
+        } else {
+          cycles = KernelCycles(fpga, options_.variant, run.counters);
+        }
+        if (item_status.ok()) {
+          cycles += ResultFlushCycles(fpga, run.embeddings,
+                                      item.cst.NumQueryVertices());
+          if (options_.variant != FastVariant::kDram) {
+            // The image sits in card DRAM after the shared transfer; each
+            // matching pass still DMAs it into BRAM (dedup shares the PCIe
+            // hop, not the BRAM load).
+            cycles += CstLoadCycles(fpga, item.cst.SizeWords());
+          }
+          kernel_s = fpga.CyclesToSeconds(cycles);
+        }
+      }
+    }
+
+    outcomes[i].status = std::move(item_status);
+    outcomes[i].run = std::move(run);
+    outcomes[i].kernel_seconds = kernel_s;
+    if (outcomes[i].status.ok()) {
+      ++executed;
+      round_queries.insert(&q);
+      round_kernel += kernel_s;
+    } else if (outcomes[i].status.code() == StatusCode::kDeadlineExceeded) {
+      ++cancelled;
+    } else {
+      // A genuine kernel/pipeline error, not a deadline: keep it out of the
+      // cancellation count so Summary() does not mask device failures.
+      ++failed;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rounds = round_seq_;
+    stats_.items += executed;
+    stats_.cancelled_items += cancelled;
+    stats_.failed_items += failed;
+    stats_.payload_bytes += payload;
+    stats_.wire_bytes += wire;
+    stats_.dedup_bytes_saved += saved;
+    if (executed > 0) {
+      stats_.sum_round_queries += round_queries.size();
+      stats_.max_items_per_round =
+          std::max(stats_.max_items_per_round, executed);
+      stats_.max_queries_per_round = std::max<std::uint64_t>(
+          stats_.max_queries_per_round, round_queries.size());
+    }
+    stats_.pcie_seconds += pcie_s;
+    stats_.kernel_seconds += round_kernel;
+  }
+
+  // --- Reassembly: fold each item into its query and release waiters. ---
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    DeviceQuery& q = *round[i].query;
+    ItemOutcome& out = outcomes[i];
+    const double pcie_share =
+        wire > 0 && out.status.ok()
+            ? pcie_s *
+                  ((static_cast<double>(contributed[i]) + overhead_share) /
+                   static_cast<double>(wire))
+            : 0.0;
+    {
+      std::lock_guard<std::mutex> qlock(q.mu);
+      if (!out.status.ok()) {
+        // First failure wins; an already-failed query's later items were
+        // skipped above and keep the original status.
+        if (q.result.status.ok()) q.result.status = std::move(out.status);
+      } else {
+        q.result.counters += out.run.counters;
+        q.result.embeddings += out.run.embeddings;
+        q.result.kernel_seconds += out.kernel_seconds;
+        q.result.pcie_seconds += pcie_share;
+        ++q.result.items;
+        if (q.result.first_round == 0) q.result.first_round = round_id;
+        q.result.last_round = round_id;
+      }
+      --q.outstanding;
+      if (q.outstanding == 0) q.cv.notify_all();
+    }
+  }
+}
+
+DeviceStats DeviceExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
+                                       const MatchingOrder& order,
+                                       const FastRunOptions& options,
+                                       const std::string& queue_key,
+                                       std::uint64_t epoch,
+                                       const std::string& plan_key,
+                                       double build_seconds) {
+  FAST_RETURN_IF_ERROR(device.options().fpga.Validate());
+  const QueryGraph& q = cst.layout().query();
+  FastRunResult result;
+  result.order = order;
+  result.build_seconds = build_seconds;
+
+  // The collector lives on this thread's stack; only the device thread
+  // touches it between here and FinishQuery, which synchronizes the handoff
+  // back.
+  ResultCollector collector(options.store_limit);
+  if (options.embedding_callback) collector.SetCallback(options.embedding_callback);
+
+  const PartitionConfig pconfig = DerivePartitionConfig(
+      device.options().fpga, q.NumVertices(), options.partition);
+  std::shared_ptr<DeviceQuery> session = device.BeginQuery(
+      queue_key, epoch, plan_key, order, &collector, options.cancel);
+
+  // Partitions stream to the device as Alg. 2 emits them, so matching
+  // overlaps the remainder of partitioning exactly as in the driver path.
+  Timer partition_timer;
+  const Status partition_status = PartitionCst(
+      cst, order, pconfig,
+      [&](Cst part) -> Status {
+        return device.EnqueuePartition(session, std::move(part));
+      },
+      &result.partition_stats);
+  result.partition_seconds = partition_timer.ElapsedSeconds();
+
+  // Reap before propagating any partitioning error: items already queued
+  // must be accounted for even when a later enqueue failed.
+  DeviceQueryResult reaped = device.FinishQuery(session);
+  FAST_RETURN_IF_ERROR(partition_status);
+  FAST_RETURN_IF_ERROR(reaped.status);
+
+  result.counters = reaped.counters;
+  result.embeddings = reaped.embeddings;
+  result.kernel_seconds = reaped.kernel_seconds;
+  result.pcie_seconds = reaped.pcie_seconds;
+  result.fpga_partitions = reaped.items;
+  result.total_seconds =
+      result.build_seconds +
+      std::max(result.partition_seconds,
+               result.pcie_seconds + result.kernel_seconds);
+  result.sample_embeddings = collector.stored();
+  return result;
+}
+
+}  // namespace fast::device

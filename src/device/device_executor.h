@@ -1,0 +1,245 @@
+#ifndef FAST_DEVICE_DEVICE_EXECUTOR_H_
+#define FAST_DEVICE_DEVICE_EXECUTOR_H_
+
+// Shared device executor: ONE simulated FPGA serving partition work from many
+// in-flight queries — across tenants — through a multi-queue front.
+//
+//   workers ── BeginQuery ──▶ per-tenant item queues (one per queue key)
+//      │       EnqueuePartition        │
+//      │   (CST partitions, each       │  deficit-weighted round robin
+//      │    pinned to its request's    ▼
+//      │    captured epoch)      batch scheduler: coalesce up to max_batch
+//      │                         items from MANY queries into one device
+//      │                         round (wait batch_window for stragglers)
+//      │                               │
+//      │                   ┌───────────┴────────────┐
+//      │                   │ round: ONE shared PCIe │
+//      │                   │ transfer (identical    │
+//      │                   │ images cross once),    │
+//      │                   │ then match each item   │
+//      │                   │ (kernel + cycle model) │
+//      │                   └───────────┬────────────┘
+//      └── FinishQuery ◀── per-query reassembly (counters, embeddings,
+//                          simulated kernel/PCIe seconds) ◀──┘
+//
+// The per-worker serving path (service/graph_state.h) simulates a *private*
+// device per request: every query pays its own PCIe transaction and the card
+// idles between requests. This executor is the FAST co-design applied across
+// requests: CST partitions from concurrent queries — and concurrent tenants —
+// are batched into device rounds, so the fixed per-DMA-transaction cost
+// (descriptor setup, doorbell, completion — modeled as
+// `transfer_overhead_bytes` of PCIe-equivalent bytes) is paid once per ROUND
+// instead of once per partition, and identical partition images (same tenant,
+// epoch, plan and partition index — e.g. two in-flight requests for the same
+// canonical query shape) cross the bus once.
+//
+// Fairness reuses the deficit-weighted round-robin discipline of
+// tenant::TenantRouter: each queue key (tenant) spends up to `weight` credits
+// per cycle over the backlogged queues, so a hot tenant flooding the device
+// with partitions cannot starve a cold tenant's round slots.
+//
+// Deadlines: every item carries its request's CancelToken. The scheduler
+// probes it mid-batch — before the item's transfer and again before matching
+// — and the kernel/pipeline simulation probe it per round, so an expired
+// deadline aborts inside a device round exactly like the CPU path.
+//
+// Threading: one device thread (the simulated card) executes rounds
+// sequentially; any number of workers submit concurrently. EnqueuePartition
+// applies back-pressure (blocks) past `max_queued_items`. Shutdown drains all
+// queued items, so FinishQuery never deadlocks; owners must stop submitting
+// workers before shutting the executor down.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/result_collector.h"
+#include "cst/cst.h"
+#include "fpga/config.h"
+#include "fpga/cycle_model.h"
+#include "query/matching_order.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace fast::device {
+
+struct DeviceOptions {
+  // The simulated card and pipeline variant. Services configure these from
+  // their FastRunOptions so the shared device matches the per-worker model.
+  FpgaConfig fpga = AlveoU200Config();
+  FastVariant variant = FastVariant::kSep;
+
+  // How long the scheduler holds a non-full batch open for stragglers from
+  // other queries once the first item is available. 0 = dispatch immediately.
+  double batch_window_seconds = 200e-6;
+
+  // Maximum work items (CST partitions) per device round. 1 disables
+  // coalescing — the unbatched A/B baseline of bench_batching.
+  std::size_t max_batch_items = 8;
+
+  // Back-pressure bound on queued items across all queues; EnqueuePartition
+  // blocks (never rejects — a query's partitions cannot be dropped halfway)
+  // until the device drains below it. 0 = unbounded.
+  std::size_t max_queued_items = 4096;
+
+  // Fixed per-DMA-transaction cost in PCIe-equivalent bytes (descriptor
+  // setup, doorbell write, completion interrupt — a few microseconds on real
+  // hardware, ~64 KiB at gen3 x16 bandwidth). Paid once per round; this is
+  // the quantity batching amortizes.
+  std::size_t transfer_overhead_bytes = 64 * 1024;
+
+  // Matching-phase cycles per item: true = cycle-stepped pipeline simulation
+  // over the recorded round trace (fpga/pipeline_sim.h), false = the closed
+  // forms (Eqs. 1-4). The simulation is slower but sees FIFO back-pressure.
+  bool cycle_sim = true;
+};
+
+struct DeviceStats {
+  std::uint64_t rounds = 0;            // rounds with at least one live item
+  std::uint64_t items = 0;             // partitions matched on the device
+  std::uint64_t cancelled_items = 0;   // skipped or aborted by a deadline
+  std::uint64_t failed_items = 0;      // kernel/pipeline errors (not deadlines)
+  std::uint64_t queries = 0;           // queries fully reaped (FinishQuery)
+  std::uint64_t payload_bytes = 0;     // unique image bytes transferred
+  std::uint64_t wire_bytes = 0;        // payload + per-round transaction cost
+  std::uint64_t dedup_bytes_saved = 0; // duplicate images that rode free
+  std::uint64_t sum_round_queries = 0; // Σ distinct queries per round
+  std::uint64_t max_items_per_round = 0;
+  std::uint64_t max_queries_per_round = 0;
+  double pcie_seconds = 0;    // simulated transfer time across all rounds
+  double kernel_seconds = 0;  // simulated matching time across all items
+
+  // Occupancy: how many items / distinct queries an average round carried.
+  // QueriesPerRound > 1 is the cross-query amortization actually happening.
+  double ItemsPerRound() const {
+    return rounds > 0 ? static_cast<double>(items) / static_cast<double>(rounds) : 0.0;
+  }
+  double QueriesPerRound() const {
+    return rounds > 0
+               ? static_cast<double>(sum_round_queries) / static_cast<double>(rounds)
+               : 0.0;
+  }
+  std::string Summary() const;
+};
+
+// Aggregate outcome of one query's partitions on the device.
+struct DeviceQueryResult {
+  Status status = Status::OK();  // first item failure (DEADLINE_EXCEEDED, ...)
+  KernelCounters counters;
+  std::uint64_t embeddings = 0;
+  std::size_t items = 0;  // partitions matched
+  double kernel_seconds = 0;
+  // This query's amortized share of its rounds' transfer time: contributed
+  // unique bytes plus an even slice of each round's fixed transaction cost.
+  double pcie_seconds = 0;
+  // 1-based sequence numbers of the first/last round that matched an item of
+  // this query (0 = none ran). Tests assert fairness on these: a cold
+  // tenant's rounds must not trail a hot tenant's whole backlog.
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = 0;
+};
+
+// Opaque per-query handle; defined in the .cc.
+struct DeviceQuery;
+
+class DeviceExecutor {
+ public:
+  explicit DeviceExecutor(DeviceOptions options = {});
+  ~DeviceExecutor();
+
+  DeviceExecutor(const DeviceExecutor&) = delete;
+  DeviceExecutor& operator=(const DeviceExecutor&) = delete;
+
+  // Registers (or updates) the WRR weight of `key`'s queue: consecutive
+  // dispatch slots per cycle over the backlogged queues. 0 is treated as 1.
+  void SetQueueWeight(const std::string& key, std::uint32_t weight);
+
+  // Drops `key`'s queue bookkeeping once it is empty (no-op otherwise).
+  // Callers drain the tenant's requests first (tenant::TenantRouter does).
+  void DropQueue(const std::string& key);
+
+  // Opens a query session. `queue_key` selects the fairness queue (tenant
+  // id); `epoch` and `plan_key` identify the CST image for cross-query
+  // transfer dedup (partitions of the same plan built on the same snapshot
+  // are bit-identical). `collector` and `cancel` are borrowed; the caller
+  // keeps both alive until FinishQuery returns. The collector is only
+  // touched from the device thread until then.
+  std::shared_ptr<DeviceQuery> BeginQuery(const std::string& queue_key,
+                                          std::uint64_t epoch,
+                                          const std::string& plan_key,
+                                          const MatchingOrder& order,
+                                          ResultCollector* collector,
+                                          const CancelToken* cancel);
+
+  // Enqueues one CST partition of `query`. Blocks on back-pressure;
+  // FAILED_PRECONDITION after Shutdown. Call from one thread per query.
+  Status EnqueuePartition(const std::shared_ptr<DeviceQuery>& query, Cst part);
+
+  // Blocks until every enqueued partition of `query` has been matched (or
+  // skipped by cancellation) and returns the aggregate. Call once, after the
+  // last EnqueuePartition.
+  DeviceQueryResult FinishQuery(const std::shared_ptr<DeviceQuery>& query);
+
+  // Stops admission, drains every queued item, joins the device thread.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  DeviceStats stats() const;
+  const DeviceOptions& options() const { return options_; }
+
+ private:
+  struct WorkItem;
+  struct Queue;
+
+  void DeviceLoop();
+  // Pops the next round under WRR, holding the batch open for the window;
+  // empty result = stopping and drained.
+  std::vector<WorkItem> PopRound();
+  void RunRound(std::vector<WorkItem> round);
+
+  const DeviceOptions options_;
+
+  // Scheduler state: queues, the WRR active list, the global queued count.
+  // Never held while matching.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // device: work available / stopping
+  std::condition_variable space_cv_;  // submitters: back-pressure released
+  std::unordered_map<std::string, std::shared_ptr<Queue>> queues_;
+  std::list<std::shared_ptr<Queue>> active_;  // queues with pending items
+  std::size_t total_queued_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  DeviceStats stats_;
+  std::uint64_t round_seq_ = 0;  // device thread only
+
+  std::thread device_;  // last member: joins before state is destroyed
+};
+
+// Runs steps (2)-(6) of the FAST pipeline (see core/driver.h) with every
+// partition matched on the shared device executor instead of inline on the
+// calling thread: partitions stream into the executor as Alg. 2 emits them,
+// and the call blocks until the device has matched them all. `queue_key`
+// routes fairness; `epoch`/`plan_key` enable transfer dedup. Differences from
+// RunFastWithCst: the device's FpgaConfig/variant replace options.fpga /
+// options.variant, cpu_share_delta is ignored (the device owns all
+// partitions), and the embedding callback runs on the device thread.
+// total_seconds composes as build + max(partition, pcie + kernel).
+StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
+                                       const MatchingOrder& order,
+                                       const FastRunOptions& options,
+                                       const std::string& queue_key,
+                                       std::uint64_t epoch,
+                                       const std::string& plan_key,
+                                       double build_seconds = 0.0);
+
+}  // namespace fast::device
+
+#endif  // FAST_DEVICE_DEVICE_EXECUTOR_H_

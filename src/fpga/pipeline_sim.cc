@@ -195,10 +195,16 @@ OverlapResult OverlappedRoundCycles(const FpgaConfig& config, bool split_generat
 
 StatusOr<PipelineSimResult> SimulatePipeline(const FpgaConfig& config,
                                              FastVariant variant,
-                                             std::span<const RoundWork> rounds) {
+                                             std::span<const RoundWork> rounds,
+                                             const CancelToken* cancel) {
   FAST_RETURN_IF_ERROR(config.Validate());
   PipelineSimResult result;
   for (const RoundWork& round : rounds) {
+    // One probe per simulated round, matching RunKernel's per-round probe:
+    // each round's cost is bounded by one N_o batch of work.
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return Status::DeadlineExceeded("pipeline simulation cancelled mid-run");
+    }
     if (round.new_partials == 0) continue;
     switch (variant) {
       case FastVariant::kDram:

@@ -25,6 +25,7 @@
 
 #include "fpga/config.h"
 #include "fpga/cycle_model.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace fast {
@@ -49,9 +50,15 @@ struct PipelineSimResult {
 // (kDram/kBasic) run their modules back to back per round; kTask overlaps
 // modules through FIFOs but generates t_n only after the t_v loop of the
 // round; kSep runs both generators concurrently (Sec. VI-D).
+//
+// A non-null `cancel` token is probed once per round, mirroring RunKernel's
+// discipline: device-mode serving simulates the pipeline inside shared device
+// rounds (device/device_executor.h), and an expired deadline must abort the
+// simulation mid-run with DEADLINE_EXCEEDED just like the matching loops.
 StatusOr<PipelineSimResult> SimulatePipeline(const FpgaConfig& config,
                                              FastVariant variant,
-                                             std::span<const RoundWork> rounds);
+                                             std::span<const RoundWork> rounds,
+                                             const CancelToken* cancel = nullptr);
 
 }  // namespace fast
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cst/cst_serialize.h"
+#include "device/device_executor.h"
 #include "query/matching_order.h"
 #include "util/timer.h"
 
@@ -84,7 +85,8 @@ StatusOr<std::uint64_t> GraphState::ApplyDelta(const GraphDelta& delta) {
 void GraphState::Serve(const CanonicalQuery& canonical,
                        const RequestOptions& opts,
                        const FastRunOptions& base_run, double queue_seconds,
-                       double deadline_seconds, RequestResult* result) {
+                       double deadline_seconds, device::DeviceExecutor* device,
+                       RequestResult* result) {
   result->queue_seconds = queue_seconds;
   if (deadline_seconds > 0.0 && queue_seconds > deadline_seconds) {
     result->status = Status::DeadlineExceeded("deadline passed while queued");
@@ -103,13 +105,15 @@ void GraphState::Serve(const CanonicalQuery& canonical,
   // of concurrent swaps.
   const GraphSnapshot snap = snapshot();
   result->graph_epoch = snap.epoch;
-  Execute(canonical, opts, snap, base_run, cancel, result);
+  Execute(canonical, opts, snap, base_run, cancel, device, result);
 }
 
 void GraphState::Execute(const CanonicalQuery& canonical,
                          const RequestOptions& opts, const GraphSnapshot& snap,
                          const FastRunOptions& base_run,
-                         const CancelToken* cancel, RequestResult* result) {
+                         const CancelToken* cancel,
+                         device::DeviceExecutor* device,
+                         RequestResult* result) {
   FastRunOptions run = base_run;
   run.explicit_order.reset();
   run.store_limit = opts.store_limit;
@@ -141,20 +145,41 @@ void GraphState::Execute(const CanonicalQuery& canonical,
     std::shared_ptr<const CachedPlan> plan =
         cache_.Lookup(canonical.key, snap.epoch);
     if (plan != nullptr) {
-      // Cache hit: rebuild the CST from the serialized image (the same flat
-      // words that would cross PCIe), skipping order computation and Alg. 1
-      // construction entirely.
-      StatusOr<Cst> cst = DeserializeCst(plan->layout, plan->cst_image);
-      if (cst.ok()) {
-        ran_from_cache = true;
-        result->cache_hit = true;
-        r = RunFastWithCst(*cst, plan->order, run, /*build_seconds=*/0.0);
+      if (plan->order_only()) {
+        // Order-only hit (the full image was over the byte budget): reuse
+        // the cached matching order and rebuild only the CST against this
+        // request's snapshot.
+        if (run.cancel != nullptr && run.cancel->Cancelled()) {
+          ran_from_cache = true;
+          r = Status::DeadlineExceeded("deadline expired before CST rebuild");
+        } else {
+          Timer build_timer;
+          StatusOr<Cst> cst = BuildCst(canonical.query, *snap.graph,
+                                       plan->order.root, run.cst_build);
+          if (cst.ok()) {
+            ran_from_cache = true;
+            result->cache_hit = true;
+            r = Dispatch(*cst, plan->order, canonical, snap, run, device,
+                         build_timer.ElapsedSeconds());
+          }
+        }
+      } else {
+        // Cache hit: rebuild the CST from the serialized image (the same
+        // flat words that would cross PCIe), skipping order computation and
+        // Alg. 1 construction entirely.
+        StatusOr<Cst> cst = DeserializeCst(plan->layout, plan->cst_image);
+        if (cst.ok()) {
+          ran_from_cache = true;
+          result->cache_hit = true;
+          r = Dispatch(*cst, plan->order, canonical, snap, run, device,
+                       /*build_seconds=*/0.0);
+        }
+        // A corrupt image falls through to a fresh build below (and its
+        // Insert replaces the bad entry) instead of failing every hit.
       }
-      // A corrupt image falls through to a fresh build below (and its
-      // Insert replaces the bad entry) instead of failing every hit.
     }
   }
-  if (!ran_from_cache) r = BuildAndRun(canonical, snap, run);
+  if (!ran_from_cache) r = BuildAndRun(canonical, snap, run, device);
 
   if (!r.ok()) {
     result->status = r.status();
@@ -178,9 +203,28 @@ void GraphState::Execute(const CanonicalQuery& canonical,
   }
 }
 
+StatusOr<FastRunResult> GraphState::Dispatch(const Cst& cst,
+                                             const MatchingOrder& order,
+                                             const CanonicalQuery& canonical,
+                                             const GraphSnapshot& snap,
+                                             const FastRunOptions& run,
+                                             device::DeviceExecutor* device,
+                                             double build_seconds) {
+  if (device != nullptr) {
+    // Shared-device mode: partitions are matched in cross-query batches on
+    // the executor. The canonical key + epoch identify the CST image, so
+    // concurrent requests for the same shape share one PCIe transfer.
+    return device::RunCstOnDevice(*device, cst, order, run,
+                                  options_.device_queue_key, snap.epoch,
+                                  canonical.key, build_seconds);
+  }
+  return RunFastWithCst(cst, order, run, build_seconds);
+}
+
 StatusOr<FastRunResult> GraphState::BuildAndRun(const CanonicalQuery& canonical,
                                                 const GraphSnapshot& snap,
-                                                const FastRunOptions& run) {
+                                                const FastRunOptions& run,
+                                                device::DeviceExecutor* device) {
   // Cache miss (or cache disabled): compute the order and build the CST for
   // the canonical query against this request's snapshot, publish the plan
   // under the snapshot's epoch, then run the pipeline from it.
@@ -202,7 +246,7 @@ StatusOr<FastRunResult> GraphState::BuildAndRun(const CanonicalQuery& canonical,
     plan->cst_image = SerializeCst(cst);
     cache_.Insert(canonical.key, snap.epoch, std::move(plan));
   }
-  return RunFastWithCst(cst, order, run, build_seconds);
+  return Dispatch(cst, order, canonical, snap, run, device, build_seconds);
 }
 
 }  // namespace fast::service

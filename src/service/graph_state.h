@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 
 #include "core/driver.h"
 #include "graph/graph.h"
@@ -39,6 +40,10 @@
 #include "service/query_signature.h"
 #include "util/cancel.h"
 #include "util/status.h"
+
+namespace fast::device {
+class DeviceExecutor;
+}  // namespace fast::device
 
 namespace fast::service {
 
@@ -85,6 +90,9 @@ struct GraphStateOptions {
   std::size_t plan_cache_capacity = 64;
   // Byte bound on the summed serialized-CST images; 0 = entries-only bound.
   std::size_t plan_cache_byte_budget = 0;
+  // Fairness-queue key on a shared device executor (the tenant id when this
+  // state serves one tenant of a TenantRouter). Only used in device mode.
+  std::string device_queue_key = "default";
 };
 
 class GraphState {
@@ -123,20 +131,35 @@ class GraphState {
   // while queued), mid-run cancellation armed with the remaining deadline,
   // snapshot capture, cache lookup, build/run, and result remap. base_run is
   // the service-level pipeline configuration; per-request fields
-  // (store_limit, callback, cancel) are overridden from `opts`.
+  // (store_limit, callback, cancel) are overridden from `opts`. A non-null
+  // `device` routes partition matching to the shared device executor
+  // (device/device_executor.h) under this state's device_queue_key instead
+  // of running it inline on the calling thread; result reassembly and the
+  // canonical-numbering remap are identical either way.
   void Serve(const CanonicalQuery& canonical, const RequestOptions& opts,
              const FastRunOptions& base_run, double queue_seconds,
-             double deadline_seconds, RequestResult* result);
+             double deadline_seconds, device::DeviceExecutor* device,
+             RequestResult* result);
 
   PlanCacheStats cache_stats() const { return cache_.stats(); }
 
  private:
   void Execute(const CanonicalQuery& canonical, const RequestOptions& opts,
                const GraphSnapshot& snap, const FastRunOptions& base_run,
-               const CancelToken* cancel, RequestResult* result);
+               const CancelToken* cancel, device::DeviceExecutor* device,
+               RequestResult* result);
   StatusOr<FastRunResult> BuildAndRun(const CanonicalQuery& canonical,
                                       const GraphSnapshot& snap,
-                                      const FastRunOptions& run);
+                                      const FastRunOptions& run,
+                                      device::DeviceExecutor* device);
+  // Runs the pipeline from a ready CST + order: inline on this thread, or on
+  // the shared device executor when `device` is non-null.
+  StatusOr<FastRunResult> Dispatch(const Cst& cst, const MatchingOrder& order,
+                                   const CanonicalQuery& canonical,
+                                   const GraphSnapshot& snap,
+                                   const FastRunOptions& run,
+                                   device::DeviceExecutor* device,
+                                   double build_seconds);
   std::uint64_t Publish(Graph next);
 
   const GraphStateOptions options_;

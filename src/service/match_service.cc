@@ -45,6 +45,14 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
              GraphStateOptions{options_.plan_cache_capacity,
                                options_.plan_cache_byte_budget}),
       queue_(options_.queue_capacity) {
+  if (options_.device_mode) {
+    // The shared device simulates the same card and variant the per-worker
+    // path would have.
+    device::DeviceOptions dopts = options_.device;
+    dopts.fpga = options_.run.fpga;
+    dopts.variant = options_.run.variant;
+    device_ = std::make_unique<device::DeviceExecutor>(dopts);
+  }
   std::size_t n = options_.num_workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -128,11 +136,14 @@ void MatchService::Shutdown() {
     if (shutdown_) return;
     shutdown_ = true;
   }
-  // Workers drain the queued backlog, then exit on the closed queue.
+  // Workers drain the queued backlog, then exit on the closed queue. The
+  // device shuts down only after every worker has reaped its in-flight
+  // request — a worker blocked in FinishQuery needs the device running.
   queue_.Close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (device_ != nullptr) device_->Shutdown();
 }
 
 void MatchService::WorkerLoop() {
@@ -141,7 +152,7 @@ void MatchService::WorkerLoop() {
     RequestResult result;
     state_.Serve(req->canonical, req->opts, options_.run,
                  req->submitted.ElapsedSeconds(), req->deadline_seconds,
-                 &result);
+                 device_.get(), &result);
     Finish(std::move(req), std::move(result));
   }
 }
@@ -188,6 +199,10 @@ ServiceStats MatchService::stats() const {
   state_.publication_stats(&s.epoch, &s.graph_swaps);
   s.cache = state_.cache_stats();
   s.uptime_seconds = uptime_.ElapsedSeconds();
+  if (device_ != nullptr) {
+    s.device_mode = true;
+    s.device = device_->stats();
+  }
   return s;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "device/device_executor.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "query/query_graph.h"
@@ -63,6 +64,15 @@ struct ServiceOptions {
   // Base pipeline configuration (variant, device model, cpu-share δ, order
   // policy). Per-request store_limit/embedding_callback override its fields.
   FastRunOptions run;
+
+  // Shared-device mode (device/device_executor.h): workers decompose each
+  // request into CST-partition work items on ONE device executor, which
+  // batches items from concurrent requests into shared device rounds. The
+  // executor simulates run.fpga under run.variant; device.fpga/device.variant
+  // are overridden, and run.cpu_share_delta is ignored (the device owns all
+  // partitions).
+  bool device_mode = false;
+  device::DeviceOptions device;
 };
 
 struct ServiceStats {
@@ -77,6 +87,8 @@ struct ServiceStats {
   PlanCacheStats cache;
   LatencyHistogram latency;  // Submit -> completion, successful requests
   double uptime_seconds = 0.0;
+  bool device_mode = false;
+  device::DeviceStats device;  // zero unless device_mode
 
   double QueriesPerSecond() const {
     return uptime_seconds > 0.0 ? static_cast<double>(completed) / uptime_seconds
@@ -139,6 +151,9 @@ class MatchService {
   const ServiceOptions options_;
   GraphState state_;
   Timer uptime_;
+  // The shared simulated card (device mode only). Declared before the
+  // workers that submit to it; shut down after they have drained.
+  std::unique_ptr<device::DeviceExecutor> device_;
 
   BoundedQueue<std::shared_ptr<Request>> queue_;
   std::vector<std::thread> workers_;

@@ -46,6 +46,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   ++stats_.hits;
+  if (it->second.plan->order_only()) ++stats_.order_only_hits;
   return it->second.plan;
 }
 
@@ -58,8 +59,13 @@ void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
   // entering at the MRU position and evicting a live current-epoch entry.
   if (epoch < min_epoch_) return;
   if (byte_budget_ > 0 && plan->ImageBytes() > byte_budget_) {
+    // Demote to an order-only entry: the image would evict the whole cache,
+    // but the matching order costs a few words and a hit on it still skips
+    // order computation (the CST is rebuilt on hit).
+    auto demoted = std::make_shared<CachedPlan>();
+    demoted->order = plan->order;
+    plan = std::move(demoted);
     ++stats_.rejected_oversized;
-    return;
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {

@@ -44,6 +44,11 @@ struct CachedPlan {
   std::vector<std::uint32_t> cst_image;       // SerializeCst output
 
   std::size_t ImageBytes() const { return cst_image.size() * sizeof(std::uint32_t); }
+
+  // Order-only entry: the plan's CST image exceeded the byte budget, so only
+  // the matching order is cached (layout is null). A hit skips order
+  // computation; the CST is rebuilt against the request's snapshot.
+  bool order_only() const { return cst_image.empty(); }
 };
 
 struct PlanCacheStats {
@@ -52,7 +57,8 @@ struct PlanCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;      // LRU capacity or byte-budget pressure
   std::uint64_t invalidations = 0;  // dropped for a superseded epoch
-  std::uint64_t rejected_oversized = 0;  // single plan larger than the budget
+  std::uint64_t rejected_oversized = 0;  // images over the budget (demoted)
+  std::uint64_t order_only_hits = 0;  // hits that only skipped the order
   std::size_t entries = 0;
   std::size_t bytes_in_use = 0;  // total serialized-CST footprint
   std::size_t byte_budget = 0;   // configured bound; 0 = entries-only bound
@@ -70,9 +76,11 @@ class PlanCache {
   // byte_budget bounds the summed serialized-CST image bytes in addition to
   // the entry count (hub-heavy queries produce images orders of magnitude
   // larger than typical, so an entry bound alone does not bound memory);
-  // 0 = no byte bound. A single plan larger than the whole budget is never
-  // inserted — evicting every live entry to admit one query's image would
-  // thrash the cache.
+  // 0 = no byte bound. A single plan larger than the whole budget is demoted
+  // to an order-only entry — evicting every live entry to admit one query's
+  // image would thrash the cache, but the order (a few words) is always
+  // worth keeping: a hit still skips order computation, rebuilding only the
+  // CST.
   explicit PlanCache(std::size_t capacity, std::size_t byte_budget = 0)
       : capacity_(capacity), byte_budget_(byte_budget) {}
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/wrr.h"
 
 namespace fast::tenant {
 
@@ -28,7 +29,10 @@ struct TenantRouter::Tenant {
         opts(options),
         state(std::move(graph),
               service::GraphStateOptions{options.plan_cache_capacity,
-                                         options.plan_cache_byte_budget}) {}
+                                         options.plan_cache_byte_budget,
+                                         /*device_queue_key=*/id}) {
+    wrr.weight = std::max<std::uint32_t>(1, options.weight);
+  }
 
   const std::string id;
   const TenantOptions opts;
@@ -36,8 +40,7 @@ struct TenantRouter::Tenant {
 
   // --- Scheduler state, guarded by TenantRouter::sched_mu_. ---
   std::deque<std::shared_ptr<Request>> queue;
-  std::uint32_t credit = 0;   // WRR credits left in the current cycle
-  bool in_active = false;     // linked into active_
+  WrrQueueState wrr;          // deficit-WRR state (util/wrr.h)
   std::size_t in_flight = 0;  // dispatched, not yet finished
   bool removed = false;       // deregistered; admission closed
 
@@ -71,6 +74,14 @@ std::string RouterStats::Summary() const {
 
 TenantRouter::TenantRouter(RouterOptions options)
     : options_(std::move(options)) {
+  if (options_.device_mode) {
+    // One simulated card shared by every tenant, modeling the service-level
+    // device under the service-level variant.
+    device::DeviceOptions dopts = options_.device;
+    dopts.fpga = options_.run.fpga;
+    dopts.variant = options_.run.variant;
+    device_ = std::make_unique<device::DeviceExecutor>(dopts);
+  }
   std::size_t n = options_.num_workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -91,6 +102,12 @@ Status TenantRouter::AddTenant(const std::string& id, Graph graph,
   if (!tenants_.emplace(id, std::move(t)).second) {
     return Status::InvalidArgument("tenant id already registered: " + id);
   }
+  // The tenant's WRR weight doubles as its device-round weight: dispatch
+  // slots and device slots are bought by the same knob. Registered under
+  // sched_mu_ so no Submit can race partitions onto a default-weight queue
+  // and no RemoveTenant can interleave (sched_mu_ -> device mutex is the
+  // established order; RemoveTenant's DropQueue uses the same one).
+  if (device_ != nullptr) device_->SetQueueWeight(id, opts.weight);
   return Status::OK();
 }
 
@@ -106,6 +123,9 @@ Status TenantRouter::RemoveTenant(const std::string& id) {
   t->removed = true;
   tenants_.erase(it);
   drained_cv_.wait(lock, [&] { return t->queue.empty() && t->in_flight == 0; });
+  // Drained: no request of this tenant is queued or in flight, so its device
+  // queue (if any) is empty and can be dropped.
+  if (device_ != nullptr) device_->DropQueue(id);
   return Status::OK();
 }
 
@@ -157,10 +177,7 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
     } else {
       t->queue.push_back(req);
       ++total_queued_;
-      if (!t->in_active) {
-        t->in_active = true;
-        active_.push_back(t);
-      }
+      WrrActivate(active_, t);
     }
   }
   {
@@ -244,37 +261,34 @@ void TenantRouter::Shutdown() {
     std::lock_guard<std::mutex> lock(sched_mu_);
     stopping_ = true;
   }
-  // Workers drain the queued backlog, then exit.
+  // Workers drain the queued backlog, then exit; the shared device shuts
+  // down only after every worker has reaped its in-flight request.
   sched_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (device_ != nullptr) device_->Shutdown();
 }
 
 std::shared_ptr<TenantRouter::Request> TenantRouter::PopNext() {
   std::unique_lock<std::mutex> lock(sched_mu_);
   sched_cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
   if (total_queued_ == 0) return nullptr;  // stopping and drained
-  // Deficit-style weighted round robin over the backlogged tenants: the
-  // head tenant spends one credit per dequeue, rotates to the back when its
-  // credits for this cycle are spent, and leaves the list when its queue
-  // drains (credits reset, so a fresh backlog starts a fresh cycle).
+  // Deficit-style weighted round robin over the backlogged tenants — the
+  // shared discipline of util/wrr.h, also used by the device executor's
+  // round scheduler.
   FAST_CHECK(!active_.empty());
-  std::shared_ptr<Tenant> t = active_.front();
-  FAST_CHECK(!t->queue.empty());
-  if (t->credit == 0) t->credit = std::max<std::uint32_t>(1, t->opts.weight);
-  std::shared_ptr<Request> req = std::move(t->queue.front());
-  t->queue.pop_front();
+  std::shared_ptr<Request> req = WrrPop(
+      active_,
+      [](Tenant& t) {
+        FAST_CHECK(!t.queue.empty());
+        std::shared_ptr<Request> r = std::move(t.queue.front());
+        t.queue.pop_front();
+        return r;
+      },
+      [](const Tenant& t) { return t.queue.empty(); });
   --total_queued_;
-  --t->credit;
-  ++t->in_flight;
-  if (t->queue.empty()) {
-    t->in_active = false;
-    t->credit = 0;
-    active_.pop_front();
-  } else if (t->credit == 0) {
-    active_.splice(active_.end(), active_, active_.begin());
-  }
+  ++req->tenant->in_flight;
   return req;
 }
 
@@ -285,7 +299,7 @@ void TenantRouter::WorkerLoop() {
     // swaps on other tenants share no state with this request.
     req->tenant->state.Serve(req->canonical, req->opts, options_.run,
                              req->submitted.ElapsedSeconds(),
-                             req->deadline_seconds, &result);
+                             req->deadline_seconds, device_.get(), &result);
     Finish(std::move(req), std::move(result));
   }
 }
@@ -376,6 +390,10 @@ RouterStats TenantRouter::stats() const {
     tenants[i]->state.publication_stats(&s.tenants[i].epoch,
                                         &s.tenants[i].graph_swaps);
     s.tenants[i].cache = tenants[i]->state.cache_stats();
+  }
+  if (device_ != nullptr) {
+    s.device_mode = true;
+    s.device = device_->stats();
   }
   s.uptime_seconds = uptime_.ElapsedSeconds();
   return s;

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "device/device_executor.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "query/query_graph.h"
@@ -98,6 +99,15 @@ struct RouterOptions {
 
   // Base pipeline configuration shared by all tenants.
   FastRunOptions run;
+
+  // Shared-device mode: ONE simulated card (device/device_executor.h) serves
+  // CST-partition work from all tenants, batching items from concurrent
+  // queries — across tenants — into shared device rounds with per-tenant
+  // WRR fairness (each tenant's TenantOptions::weight doubles as its device
+  // weight). The executor simulates run.fpga under run.variant;
+  // run.cpu_share_delta is ignored in this mode.
+  bool device_mode = false;
+  device::DeviceOptions device;
 };
 
 struct TenantStats {
@@ -127,6 +137,8 @@ struct RouterStats {
   std::uint64_t cancelled_midrun = 0;
   LatencyHistogram latency;  // aggregate over all tenants
   double uptime_seconds = 0.0;
+  bool device_mode = false;
+  device::DeviceStats device;  // zero unless device_mode
   std::vector<TenantStats> tenants;  // sorted by tenant id
 
   double QueriesPerSecond() const {
@@ -207,6 +219,9 @@ class TenantRouter {
 
   const RouterOptions options_;
   Timer uptime_;
+  // The shared simulated card (device mode only); created before the workers
+  // that submit to it, shut down after they drain.
+  std::unique_ptr<device::DeviceExecutor> device_;
   std::vector<std::thread> workers_;
 
   // Scheduler state: registry, per-tenant queues, the WRR active list, and

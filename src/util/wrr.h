@@ -1,0 +1,68 @@
+#ifndef FAST_UTIL_WRR_H_
+#define FAST_UTIL_WRR_H_
+
+// Deficit-style weighted round robin over backlogged queues, shared by the
+// two schedulers that need per-queue fairness: tenant::TenantRouter (dispatch
+// slots across tenants' request queues) and device::DeviceExecutor (device
+// round slots across tenants' partition queues).
+//
+// The discipline: the head queue of the active list spends one credit per
+// dequeue (credits refill to `weight` when it enters a cycle at zero),
+// rotates to the back of the list when its cycle's credits are spent, and
+// leaves the list when its backlog drains — credits reset, so a fresh
+// backlog starts a fresh cycle. A queue's weight therefore buys consecutive
+// slots per cycle over the BACKLOGGED queues: a hot queue saturating its
+// backlog cannot starve a cold one.
+//
+// Callers embed a WrrQueueState in their queue type, keep the active list of
+// queues with pending work, and hold their own lock around every call here.
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <memory>
+
+namespace fast {
+
+// Per-queue scheduler state; guarded by the caller's scheduler lock.
+struct WrrQueueState {
+  std::uint32_t weight = 1;  // consecutive slots per cycle; 0 acts as 1
+  std::uint32_t credit = 0;  // slots left in the current cycle
+  bool in_active = false;    // linked into the caller's active list
+};
+
+// Links `q` into `active` if it is not already there (call after pushing
+// backlog onto an idle queue). `q->wrr` must be the queue's WrrQueueState.
+template <typename Q>
+void WrrActivate(std::list<std::shared_ptr<Q>>& active,
+                 const std::shared_ptr<Q>& q) {
+  if (!q->wrr.in_active) {
+    q->wrr.in_active = true;
+    active.push_back(q);
+  }
+}
+
+// Dequeues one item from the head queue under the WRR discipline and
+// maintains the active list. `active` must be non-empty and its head must
+// have backlog. `pop(queue)` removes and returns the queue's next item;
+// `empty(queue)` reports whether backlog remains afterwards.
+template <typename Q, typename PopFn, typename EmptyFn>
+auto WrrPop(std::list<std::shared_ptr<Q>>& active, PopFn pop, EmptyFn empty) {
+  std::shared_ptr<Q> q = active.front();
+  WrrQueueState& s = q->wrr;
+  if (s.credit == 0) s.credit = std::max<std::uint32_t>(1, s.weight);
+  auto item = pop(*q);
+  --s.credit;
+  if (empty(*q)) {
+    s.in_active = false;
+    s.credit = 0;
+    active.pop_front();
+  } else if (s.credit == 0) {
+    active.splice(active.end(), active, active.begin());
+  }
+  return item;
+}
+
+}  // namespace fast
+
+#endif  // FAST_UTIL_WRR_H_

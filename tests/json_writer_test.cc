@@ -1,0 +1,94 @@
+// Tests for the serve-bench JSON emission (bench/bench_serve_common.h):
+// non-finite doubles must come out as null (JSON has no NaN/Infinity
+// literals), number formatting must be locale-independent, and escaping must
+// cover quotes, backslashes and control characters.
+
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_serve_common.h"
+
+namespace fast {
+namespace {
+
+using bench::JsonEscape;
+using bench::JsonWriter;
+
+TEST(JsonWriterTest, NonFiniteDoublesEmitNull) {
+  JsonWriter w;
+  w.Field("nan", std::nan(""));
+  w.Field("pos_inf", std::numeric_limits<double>::infinity());
+  w.Field("neg_inf", -std::numeric_limits<double>::infinity());
+  w.Field("finite", 1.5);
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"pos_inf\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"neg_inf\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"finite\": 1.5"), std::string::npos);
+  // The bare C library spellings must never leak into a value position.
+  EXPECT_EQ(doc.find(": nan"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find(": inf"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find(": -inf"), std::string::npos) << doc;
+}
+
+TEST(JsonWriterTest, DoubleFormattingIgnoresLocale) {
+  // Under a ',' decimal-point locale, snprintf("%g") would emit "2,5" —
+  // invalid JSON. The writer must keep emitting '.' regardless. Not every
+  // image ships de_DE; when unavailable the test still covers the default
+  // locale path.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const bool have_locale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr;
+  JsonWriter w;
+  w.Field("v", 2.5);
+  w.Field("small", 1.25e-7);
+  const std::string doc = w.Finish();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_NE(doc.find("\"v\": 2.5"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("2,5"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("1.25e-07"), std::string::npos) << doc;
+  (void)have_locale;
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriterTest, NestedScopesCommasAndIndentation) {
+  JsonWriter w;
+  w.Field("bench", "x");
+  w.BeginObject("inner");
+  w.Field("a", std::uint64_t{1});
+  w.Field("b", true);
+  w.EndObject();
+  w.BeginArray("list");
+  w.BeginObject();
+  w.Field("id", "t0");
+  w.EndObject();
+  w.EndArray();
+  const std::string doc = w.Finish();
+  EXPECT_EQ(doc,
+            "{\n"
+            "  \"bench\": \"x\",\n"
+            "  \"inner\": {\n"
+            "    \"a\": 1,\n"
+            "    \"b\": true\n"
+            "  },\n"
+            "  \"list\": [\n"
+            "    {\n"
+            "      \"id\": \"t0\"\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace fast

@@ -32,6 +32,27 @@ TEST(PipelineSimTest, EmptyTraceCostsNothing) {
   EXPECT_EQ(r.stall_cycles, 0.0);
 }
 
+TEST(PipelineSimTest, TrippedTokenAbortsSimulationMidRun) {
+  // Device-mode serving simulates the pipeline inside shared device rounds;
+  // a deadline that expires there must abort with DEADLINE_EXCEEDED exactly
+  // like the matching loops (the per-round probe, satellite of the shared
+  // device executor).
+  FpgaConfig c;
+  const auto rounds = UniformRounds(8, 256, 2);
+  CancelToken cancelled;
+  cancelled.Cancel();
+  auto r = SimulatePipeline(c, FastVariant::kSep, rounds, &cancelled);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+
+  // An armed-but-unexpired token changes nothing.
+  CancelToken idle;
+  idle.ArmDeadline(3600.0);
+  auto ok = SimulatePipeline(c, FastVariant::kSep, rounds, &idle);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->cycles, SimulatePipeline(c, FastVariant::kSep, rounds)->cycles);
+}
+
 TEST(PipelineSimTest, ZeroPartialRoundsAreSkipped) {
   FpgaConfig c;
   const auto rounds = UniformRounds(5, 0, 3);

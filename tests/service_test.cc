@@ -251,17 +251,30 @@ TEST(PlanCacheTest, ByteBudgetEvictsLruBeyondBytes) {
   EXPECT_EQ(stats.byte_budget, 100 * sizeof(std::uint32_t));
 }
 
-TEST(PlanCacheTest, OversizedPlanIsNeverInserted) {
+TEST(PlanCacheTest, OversizedPlanDemotedToOrderOnly) {
   // A single image larger than the whole budget must not wipe the cache to
-  // admit itself.
+  // admit itself — but the matching order (a few words) is kept, so a hit
+  // still skips order computation.
   PlanCache cache(8, /*byte_budget=*/100 * sizeof(std::uint32_t));
   cache.Insert("small", 1, PlanWithImageWords(30));
-  cache.Insert("big", 1, PlanWithImageWords(200));
-  EXPECT_EQ(cache.Lookup("big", 1), nullptr);
-  EXPECT_NE(cache.Lookup("small", 1), nullptr);  // untouched
+  auto big = PlanWithImageWords(200);
+  big->order.root = 3;
+  big->order.order = {3, 1, 2, 0};
+  cache.Insert("big", 1, big);
+
+  auto hit = cache.Lookup("big", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->order_only());
+  EXPECT_EQ(hit->order.root, 3u);
+  EXPECT_EQ(hit->order.order, big->order.order);
+  EXPECT_NE(cache.Lookup("small", 1), nullptr);  // untouched, full image
+  EXPECT_FALSE(cache.Lookup("small", 1)->order_only());
+
   const auto stats = cache.stats();
-  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.entries, 2u);
   EXPECT_EQ(stats.rejected_oversized, 1u);
+  EXPECT_EQ(stats.order_only_hits, 1u);
+  // Order-only entries carry no image bytes: only "small" counts.
   EXPECT_EQ(stats.bytes_in_use, 30 * sizeof(std::uint32_t));
 }
 
@@ -475,6 +488,118 @@ TEST(MatchServiceTest, DeadlineExpiringMidRunAbortsMatching) {
   EXPECT_EQ(stats.completed, 0u);
 
   // The same query without a deadline completes and finds all 30.
+  auto ok = svc.SubmitAndWait(TriangleQuery());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->run.embeddings, 30u);
+}
+
+TEST(MatchServiceTest, OrderOnlyCacheHitRebuildsCstCorrectly) {
+  const Graph g = PaperDataGraph();
+  const QueryGraph q = PaperQuery();
+  ServiceOptions options = SmallServiceOptions(2);
+  options.plan_cache_byte_budget = 8;  // every image oversized → order-only
+  MatchService svc(g, options);
+
+  auto miss = svc.SubmitAndWait(q);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->cache_hit);
+
+  auto hit = svc.SubmitAndWait(q);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->run.embeddings, BruteForceCount(q, g));
+  EXPECT_EQ(hit->run.order.order, miss->run.order.order);  // cached order
+  // The CST was rebuilt, not deserialized: build time is real again.
+  EXPECT_GT(hit->run.build_seconds, 0.0);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cache.rejected_oversized, 1u);
+  EXPECT_EQ(stats.cache.order_only_hits, 1u);
+  EXPECT_EQ(stats.cache.entries, 1u);
+  EXPECT_EQ(stats.cache.bytes_in_use, 0u);  // order-only carries no image
+}
+
+ServiceOptions DeviceServiceOptions(std::size_t workers) {
+  ServiceOptions options = SmallServiceOptions(workers);
+  options.device_mode = true;
+  options.device.batch_window_seconds = 1e-4;
+  options.device.max_batch_items = 8;
+  return options;
+}
+
+TEST(MatchServiceTest, DeviceModeMixedWorkloadMatchesBruteForce) {
+  // The shared-device path must be bit-equivalent to the per-worker path:
+  // same counts, same remapped embeddings, under concurrent submission.
+  const Graph g = PaperDataGraph();
+  const std::vector<QueryGraph> mix = {PaperQuery(), TriangleQuery(),
+                                       PathQuery()};
+  std::vector<std::uint64_t> expected;
+  expected.reserve(mix.size());
+  for (const auto& q : mix) expected.push_back(BruteForceCount(q, g));
+
+  MatchService svc(g, DeviceServiceOptions(4));
+  constexpr int kRequests = 24;
+  std::vector<MatchService::RequestId> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    auto id = svc.Submit(mix[static_cast<std::size_t>(i) % mix.size()]);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto r = svc.Wait(ids[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.run.embeddings, expected[static_cast<std::size_t>(i) % mix.size()]);
+    EXPECT_GE(r.run.fpga_partitions, 1u);
+  }
+
+  const auto stats = svc.stats();
+  EXPECT_TRUE(stats.device_mode);
+  EXPECT_EQ(stats.device.queries, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GE(stats.device.items, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GT(stats.device.wire_bytes, 0u);
+  EXPECT_GE(stats.device.QueriesPerRound(), 1.0);
+}
+
+TEST(MatchServiceTest, DeviceModeDeadlineExpiringMidRunAborts) {
+  // The device analog of DeadlineExpiringMidRunAbortsMatching: the token is
+  // probed inside the shared device round (kernel loop and pipeline
+  // simulation), so a deadline burnt inside the run still cancels, and the
+  // service still reports it as cancelled_midrun.
+  GraphBuilder b;
+  for (VertexId i = 0; i < 30; ++i) {
+    const VertexId base = 3 * i;
+    b.AddVertex(0);
+    b.AddVertex(1);
+    b.AddVertex(2);
+    FAST_CHECK_OK(b.AddEdge(base, base + 1));
+    FAST_CHECK_OK(b.AddEdge(base, base + 2));
+    FAST_CHECK_OK(b.AddEdge(base + 1, base + 2));
+  }
+  ServiceOptions options = DeviceServiceOptions(1);
+  options.run.fpga.max_new_partials = 4;
+  MatchService svc(std::move(b).Build().value(), options);
+
+  std::atomic<int> seen{0};
+  RequestOptions opts;
+  opts.deadline_seconds = 0.05;
+  opts.on_embedding = [&](std::span<const VertexId>) {
+    if (seen.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  };
+  auto r = svc.Submit(TriangleQuery(), opts);
+  ASSERT_TRUE(r.ok());
+  auto result = svc.Wait(*r);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(result.graph_epoch, 0u);  // aborted mid-run, not while queued
+  EXPECT_GT(seen.load(), 0);
+  EXPECT_LT(seen.load(), 30);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cancelled_midrun, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_GE(stats.device.cancelled_items, 1u);
+
+  // The same query without a deadline completes on the device path.
   auto ok = svc.SubmitAndWait(TriangleQuery());
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok->run.embeddings, 30u);

@@ -515,5 +515,69 @@ TEST(TenantRouterTest, ConcurrentClientsStayIsolatedUnderSingleTenantChurn) {
                 kMinRequestsPerClient);
 }
 
+// Cross-tenant batch isolation on the shared device executor (runs under
+// TSan and ASan in CI): a hot tenant flooding the device queue must not
+// starve a cold tenant's partitions. The cold client's sequential requests
+// all complete — correctly, against the cold tenant's own graph — WHILE the
+// flood is running (the hot clients only stop once the cold client is done),
+// which is exactly the liveness the per-tenant WRR device dequeue buys.
+TEST(TenantRouterTest, DeviceModeHotFloodDoesNotStarveColdTenant) {
+  const Graph ga = PaperDataGraph();
+  const Graph gb = PaperGraphWithBlocks(2);
+  const QueryGraph q = PaperQuery();
+  const std::uint64_t expected_hot = BruteForceCount(q, ga);
+  const std::uint64_t expected_cold = BruteForceCount(q, gb);
+
+  RouterOptions options = SmallRouterOptions(4);
+  options.device_mode = true;
+  options.device.batch_window_seconds = 5e-3;
+  options.device.max_batch_items = 4;
+  TenantRouter router(options);
+  ASSERT_TRUE(router.AddTenant("hot", ga).ok());
+  ASSERT_TRUE(router.AddTenant("cold", gb).ok());
+
+  constexpr int kColdRequests = 8;
+  std::atomic<bool> cold_done{false};
+  std::atomic<int> hot_mismatches{0};
+  std::atomic<int> cold_mismatches{0};
+  std::vector<std::thread> hot_clients;
+  for (int c = 0; c < 2; ++c) {
+    hot_clients.emplace_back([&] {
+      while (!cold_done.load(std::memory_order_relaxed)) {
+        auto r = router.SubmitAndWait("hot", q);
+        if (!r.ok() || r->run.embeddings != expected_hot) {
+          hot_mismatches.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  std::thread cold_client([&] {
+    for (int i = 0; i < kColdRequests; ++i) {
+      auto r = router.SubmitAndWait("cold", q);
+      if (!r.ok() || r->run.embeddings != expected_cold) {
+        cold_mismatches.fetch_add(1);
+        break;
+      }
+    }
+    cold_done.store(true);
+  });
+  cold_client.join();
+  for (auto& t : hot_clients) t.join();
+
+  EXPECT_EQ(hot_mismatches.load(), 0);
+  EXPECT_EQ(cold_mismatches.load(), 0);
+  auto cold_stats = router.tenant_stats("cold");
+  ASSERT_TRUE(cold_stats.ok());
+  EXPECT_EQ(cold_stats->completed, static_cast<std::uint64_t>(kColdRequests));
+  EXPECT_EQ(cold_stats->failed, 0u);
+
+  const auto stats = router.stats();
+  EXPECT_TRUE(stats.device_mode);
+  EXPECT_GT(stats.device.queries, static_cast<std::uint64_t>(kColdRequests));
+  EXPECT_GE(stats.device.rounds, 1u);
+  EXPECT_GT(stats.device.wire_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace fast

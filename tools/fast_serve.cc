@@ -40,6 +40,16 @@
 //   --zipf-s S            tenant-pick skew; tenant 0 is the hottest
 //   With --swap-every-ms, the writer churns the tenants round-robin, so the
 //   per-tenant epochs advance independently.
+//
+// Shared device executor (src/device/device_executor.h):
+//   --device              route partition matching to ONE shared simulated
+//                         FPGA: workers decompose queries into CST-partition
+//                         work items and a batch scheduler coalesces items
+//                         from concurrent queries — across tenants — into
+//                         device rounds with one PCIe transfer per round.
+//   --batch-window-us US  how long a non-full batch is held open for
+//                         stragglers from other queries (default 200)
+//   --max-batch N         max partitions per device round (1 = unbatched)
 
 #include <algorithm>
 #include <atomic>
@@ -133,6 +143,8 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
   ropts.queue_capacity = options.queue_capacity;
   ropts.default_deadline_seconds = options.default_deadline_seconds;
   ropts.run = options.run;
+  ropts.device_mode = options.device_mode;
+  ropts.device = options.device;
   tenant::TenantRouter router(ropts);
 
   std::vector<std::string> ids;
@@ -235,6 +247,9 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
                 static_cast<unsigned long long>(t.graph_swaps),
                 t.cache.HitRate() * 100.0);
   }
+  if (stats.device_mode) {
+    std::printf("device:      %s\n", stats.device.Summary().c_str());
+  }
   if (writer_failed.load()) {
     std::fprintf(stderr, "error: snapshot writer stopped early (see above)\n");
     return 1;
@@ -248,8 +263,9 @@ int Run(int argc, char** argv) {
       {"data", "sf", "seed", "queries", "duration", "workers", "clients",
        "cache-size", "cache-bytes", "queue", "deadline-ms", "delta", "variant",
        "store", "update", "reload", "swap-every-ms", "churn", "tenants",
-       "zipf-s", "quota", "weights", "no-cache", "once", "help"},
-      /*bool_flags=*/{"no-cache", "once", "help"});
+       "zipf-s", "quota", "weights", "device", "batch-window-us", "max-batch",
+       "no-cache", "once", "help"},
+      /*bool_flags=*/{"device", "no-cache", "once", "help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
         stderr,
@@ -261,7 +277,9 @@ int Run(int argc, char** argv) {
         "                  [--update DELTA[,DELTA...]] [--reload GRAPH]\n"
         "                  [--swap-every-ms MS] [--churn N]\n"
         "                  [--tenants N] [--zipf-s S] [--quota N]\n"
-        "                  [--weights W1,...,WN] [--no-cache] [--once]\n%s\n",
+        "                  [--weights W1,...,WN]\n"
+        "                  [--device] [--batch-window-us US] [--max-batch N]\n"
+        "                  [--no-cache] [--once]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -322,6 +340,23 @@ int Run(int argc, char** argv) {
   std::size_t store;
   FAST_FLAG_ASSIGN_OR_USAGE(store, flags->GetSizeT("store", 0));
 
+  // --- Shared device executor (src/device/): batch CST partitions from
+  // concurrent queries — and tenants — into shared device rounds. ---
+  options.device_mode = flags->Has("device");
+  if (!options.device_mode &&
+      (flags->Has("batch-window-us") || flags->Has("max-batch"))) {
+    std::fprintf(stderr,
+                 "--batch-window-us/--max-batch only apply with --device\n");
+    return 2;
+  }
+  double batch_window_us;
+  FAST_FLAG_ASSIGN_OR_USAGE(batch_window_us,
+                            flags->GetDouble("batch-window-us", 200.0));
+  std::size_t max_batch;
+  FAST_FLAG_ASSIGN_OR_USAGE(max_batch, flags->GetSizeT("max-batch", 8));
+  options.device.batch_window_seconds = batch_window_us * 1e-6;
+  options.device.max_batch_items = std::max<std::size_t>(1, max_batch);
+
   // --- Multi-tenant replay branch. ---
   std::size_t num_tenants;
   FAST_FLAG_ASSIGN_OR_USAGE(num_tenants, flags->GetSizeT("tenants", 1));
@@ -358,10 +393,11 @@ int Run(int argc, char** argv) {
   }
 
   MatchService svc(std::move(*graph), options);
-  std::printf("serve: %zu workers, queue=%zu, cache=%zu entries%s\n",
+  std::printf("serve: %zu workers, queue=%zu, cache=%zu entries%s%s\n",
               svc.num_workers(), options.queue_capacity,
               options.plan_cache_capacity,
-              options.plan_cache_capacity == 0 ? " (disabled)" : "");
+              options.plan_cache_capacity == 0 ? " (disabled)" : "",
+              options.device_mode ? ", shared device executor" : "");
 
   // --- Online-update inputs (shared by both modes). ---
   auto deltas = LoadDeltaFiles(flags->GetString("update", ""));
@@ -432,7 +468,11 @@ int Run(int argc, char** argv) {
                   svc.snapshot().graph->Summary().c_str());
       if (int rc = run_pass(); rc != 0) return rc;
     }
-    std::printf("%s\n", svc.stats().Summary().c_str());
+    const auto stats = svc.stats();
+    std::printf("%s\n", stats.Summary().c_str());
+    if (stats.device_mode) {
+      std::printf("device: %s\n", stats.device.Summary().c_str());
+    }
     return 0;
   }
 
@@ -547,6 +587,9 @@ int Run(int argc, char** argv) {
   std::printf("snapshots:   epoch=%llu swaps=%llu\n",
               static_cast<unsigned long long>(stats.epoch),
               static_cast<unsigned long long>(stats.graph_swaps));
+  if (stats.device_mode) {
+    std::printf("device:      %s\n", stats.device.Summary().c_str());
+  }
   if (writer_failed.load()) {
     std::fprintf(stderr, "error: snapshot writer stopped early (see above)\n");
     return 1;
