@@ -195,11 +195,13 @@ int Run(int argc, char** argv) {
   std::printf("data: %zu tenants at sf=%g, e.g. %s\n", num_tenants, sf,
               graphs[0].Summary().c_str());
 
+  obs::MetricsRegistry registry;
   RouterOptions base;
   base.num_workers = workers;
   base.queue_capacity = 512;
   base.run.fpga = ServeBenchFpgaConfig();
   base.device_mode = true;
+  base.metrics = &registry;
   TenantOptions tenant_options;
   tenant_options.plan_cache_capacity = 64;
   tenant_options.max_queued = quota;
@@ -284,6 +286,7 @@ int Run(int argc, char** argv) {
       w.EndObject();
     }
     w.Field("coldest_p99_factor", coldest_factor);
+    bench::EmbedMetrics(w, registry);
     bench::WriteJsonFile(json, w.Finish());
   }
 

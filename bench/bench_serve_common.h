@@ -6,16 +6,12 @@
 // bench_common.h, which pulls in benchmark/benchmark.h that these binaries
 // don't link against.
 
-#include <charconv>
-#include <cmath>
-#include <cstdint>
-#include <cstdio>
-#include <fstream>
 #include <string>
-#include <string_view>
-#include <vector>
 
 #include "fpga/config.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/json_writer.h"
 
 namespace fast::bench {
 
@@ -33,137 +29,19 @@ inline FpgaConfig ServeBenchFpgaConfig() {
 // ---- Machine-readable --json output. ----
 //
 // Every serve bench emits a JSON summary that CI uploads as a BENCH_*.json
-// artifact. The emission used to be hand-rolled snprintf templates per
-// bench; JsonWriter centralizes quoting, escaping, comma placement, and
-// indentation so a new bench only states its fields.
+// artifact. JsonWriter (util/json_writer.h, formerly defined here)
+// centralizes quoting, escaping, comma placement, and indentation so a new
+// bench only states its fields.
 
-inline std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using fast::JsonEscape;
+using fast::JsonWriter;
+using fast::WriteJsonFile;
 
-// Streams one JSON document with automatic commas and 2-space indentation.
-// Usage:
-//   JsonWriter w;                       // opens the root object
-//   w.Field("bench", "bench_service");
-//   w.BeginObject("cache_on");
-//   w.Field("qps", 123.4);
-//   w.EndObject();
-//   w.BeginArray("tenants");
-//   w.BeginObject(); ... w.EndObject();
-//   w.EndArray();
-//   std::string doc = w.Finish();       // closes the root, returns the text
-class JsonWriter {
- public:
-  JsonWriter() { Open('{'); }
-
-  // JSON has no NaN/Infinity literals (an empty histogram's p99 is NaN, a
-  // ratio against a zero baseline is inf): emit null so the document stays
-  // parseable. std::to_chars is locale-independent, unlike snprintf("%g"),
-  // which under an LC_NUMERIC locale with a ',' decimal point would emit
-  // invalid JSON.
-  void Field(const char* key, double v) {
-    if (!std::isfinite(v)) {
-      Emit(key, "null");
-      return;
-    }
-    char buf[48];
-    const auto [ptr, ec] =
-        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
-    Emit(key, ec == std::errc() ? std::string_view(buf, ptr - buf)
-                                : std::string_view("null"));
-  }
-  void Field(const char* key, std::uint64_t v) {
-    Emit(key, std::to_string(v));
-  }
-  void Field(const char* key, bool v) { Emit(key, v ? "true" : "false"); }
-  void Field(const char* key, std::string_view v) {
-    Emit(key, "\"" + JsonEscape(v) + "\"");
-  }
-  void Field(const char* key, const char* v) { Field(key, std::string_view(v)); }
-
-  void BeginObject(const char* key = nullptr) {
-    NextItem(key);
-    Open('{');
-  }
-  void EndObject() { Close('}'); }
-  void BeginArray(const char* key = nullptr) {
-    NextItem(key);
-    Open('[');
-  }
-  void EndArray() { Close(']'); }
-
-  // Closes every still-open scope (root included) and returns the document.
-  std::string Finish() {
-    while (!closers_.empty()) Close(closers_.back());
-    out_ += '\n';
-    return std::move(out_);
-  }
-
- private:
-  void Open(char opener) {
-    out_ += opener;
-    closers_.push_back(opener == '{' ? '}' : ']');
-    first_in_scope_ = true;
-  }
-  void Close(char closer) {
-    out_ += '\n';
-    closers_.pop_back();
-    Indent();
-    out_ += closer;
-    first_in_scope_ = false;
-  }
-  void NextItem(const char* key) {
-    if (!first_in_scope_) out_ += ',';
-    out_ += '\n';
-    first_in_scope_ = false;
-    Indent();
-    if (key != nullptr) {
-      out_ += '"';
-      out_ += JsonEscape(key);
-      out_ += "\": ";
-    }
-  }
-  void Emit(const char* key, std::string_view value) {
-    NextItem(key);
-    out_ += value;
-  }
-  void Indent() { out_.append(2 * closers_.size(), ' '); }
-
-  std::string out_;
-  std::vector<char> closers_;
-  bool first_in_scope_ = true;
-};
-
-// Writes `payload` to `path`, reporting failures on stderr. Returns false on
-// failure (the benches treat that as a non-fatal warning; CI notices the
-// missing artifact).
-inline bool WriteJsonFile(const std::string& path, const std::string& payload) {
-  std::ofstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "--json: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
-  f << payload;
-  return true;
+// Embeds a final registry snapshot under a "metrics" key of the bench's JSON
+// document, so every BENCH_*.json carries the same counters/gauges/quantiles
+// that `fast_serve --metrics-json` exports.
+inline void EmbedMetrics(JsonWriter& w, const obs::MetricsRegistry& registry) {
+  obs::WriteSnapshotJson(w, registry.Snapshot(), "metrics");
 }
 
 }  // namespace fast::bench

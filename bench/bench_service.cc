@@ -48,13 +48,16 @@ struct PhaseResult {
 PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
                      std::size_t cache_capacity, std::size_t workers,
                      std::size_t clients, double duration_seconds,
-                     double deadline_seconds) {
+                     double deadline_seconds, obs::MetricsRegistry* metrics,
+                     bool tracing) {
   ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = 512;
   options.plan_cache_capacity = cache_capacity;
   options.default_deadline_seconds = deadline_seconds;
   options.run.fpga = ServeBenchFpgaConfig();
+  options.metrics = metrics;
+  options.tracing = tracing;
   MatchService svc(graph, options);
 
   std::atomic<bool> go{false};
@@ -142,10 +145,20 @@ int Run(int argc, char** argv) {
   std::printf("mix: %zu queries, %zu clients, %.1fs per phase\n\n", mix.size(),
               clients, duration);
 
-  const PhaseResult off = RunPhase(*graph, mix, /*cache_capacity=*/0, workers,
-                                   clients, duration, deadline_ms / 1e3);
-  const PhaseResult on = RunPhase(*graph, mix, /*cache_capacity=*/64, workers,
-                                  clients, duration, deadline_ms / 1e3);
+  // The cache phases run with full observability on (registry + tracing) —
+  // that is the production configuration. The extra obs-off phase repeats
+  // cache-on with both disabled, so the A/B quantifies what the metrics and
+  // tracing hot paths cost (acceptance gate: < 3% qps).
+  obs::MetricsRegistry registry;
+  const PhaseResult off =
+      RunPhase(*graph, mix, /*cache_capacity=*/0, workers, clients, duration,
+               deadline_ms / 1e3, &registry, /*tracing=*/true);
+  const PhaseResult on =
+      RunPhase(*graph, mix, /*cache_capacity=*/64, workers, clients, duration,
+               deadline_ms / 1e3, &registry, /*tracing=*/true);
+  const PhaseResult obs_off =
+      RunPhase(*graph, mix, /*cache_capacity=*/64, workers, clients, duration,
+               deadline_ms / 1e3, /*metrics=*/nullptr, /*tracing=*/false);
 
   std::printf("%-12s %12s %10s %10s %10s %12s %10s\n", "phase", "queries/sec",
               "p50 ms", "p99 ms", "hit rate", "completed", "rejected");
@@ -157,8 +170,13 @@ int Run(int argc, char** argv) {
   };
   row("cache-off", off);
   row("cache-on", on);
+  row("obs-off", obs_off);
   std::printf("\ncache speedup: %.2fx queries/sec (%.1f -> %.1f)\n",
               off.qps > 0 ? on.qps / off.qps : 0.0, off.qps, on.qps);
+  const double obs_overhead_pct =
+      obs_off.qps > 0 ? (obs_off.qps - on.qps) / obs_off.qps * 100.0 : 0.0;
+  std::printf("obs overhead: %.2f%% qps (obs-on %.1f vs obs-off %.1f)\n",
+              obs_overhead_pct, on.qps, obs_off.qps);
 
   const std::string json = flags->GetString("json", "");
   if (!json.empty()) {
@@ -180,7 +198,10 @@ int Run(int argc, char** argv) {
     };
     phase("cache_off", off, /*with_hit_rate=*/false);
     phase("cache_on", on, /*with_hit_rate=*/true);
+    phase("obs_off", obs_off, /*with_hit_rate=*/true);
     w.Field("cache_speedup", off.qps > 0 ? on.qps / off.qps : 0.0);
+    w.Field("obs_overhead_pct", obs_overhead_pct);
+    bench::EmbedMetrics(w, registry);
     if (!bench::WriteJsonFile(json, w.Finish())) return 1;
   }
   return 0;

@@ -204,6 +204,7 @@ PhaseOutcome RunSplit(const std::vector<Graph>& graphs,
   options.plan_cache_capacity = plan_cache_capacity;
   options.default_deadline_seconds = router_options.default_deadline_seconds;
   options.run = router_options.run;
+  options.metrics = router_options.metrics;
 
   std::vector<std::unique_ptr<MatchService>> services;
   services.reserve(graphs.size());
@@ -298,10 +299,12 @@ int Run(int argc, char** argv) {
   std::printf("data: %zu tenants at sf=%g, e.g. %s\n", num_tenants, sf,
               graphs[0].Summary().c_str());
 
+  obs::MetricsRegistry registry;
   RouterOptions router_options;
   router_options.num_workers = workers;
   router_options.queue_capacity = 512;
   router_options.run.fpga = ServeBenchFpgaConfig();
+  router_options.metrics = &registry;
   TenantOptions tenant_options;
   tenant_options.plan_cache_capacity = 64;
   tenant_options.max_queued = quota;
@@ -369,6 +372,7 @@ int Run(int argc, char** argv) {
       w.EndObject();
     }
     w.EndArray();
+    bench::EmbedMetrics(w, registry);
     bench::WriteJsonFile(json, w.Finish());
   }
 

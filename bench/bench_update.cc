@@ -61,12 +61,13 @@ struct PhaseResult {
 PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
                      std::size_t workers, std::size_t clients,
                      double duration_seconds, double swap_every_ms,
-                     std::size_t churn) {
+                     std::size_t churn, obs::MetricsRegistry* metrics) {
   ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = 512;
   options.plan_cache_capacity = 64;
   options.run.fpga = ServeBenchFpgaConfig();
+  options.metrics = metrics;
   MatchService svc(graph, options);
 
   std::atomic<bool> go{false};
@@ -145,7 +146,7 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
 
 void WriteJson(const std::string& path, double sf, std::size_t clients,
                double swap_every_ms, const PhaseResult& steady,
-               const PhaseResult& churned) {
+               const PhaseResult& churned, const obs::MetricsRegistry& registry) {
   bench::JsonWriter w;
   w.Field("bench", "bench_update");
   w.Field("sf", sf);
@@ -167,6 +168,7 @@ void WriteJson(const std::string& path, double sf, std::size_t clients,
   w.Field("cache_invalidations", churned.cache_invalidations);
   w.EndObject();
   w.Field("qps_ratio", steady.qps > 0 ? churned.qps / steady.qps : 0.0);
+  bench::EmbedMetrics(w, registry);
   bench::WriteJsonFile(path, w.Finish());
 }
 
@@ -229,10 +231,11 @@ int Run(int argc, char** argv) {
               "(churn %zu edges)\n\n",
               mix.size(), clients, duration, swap_every_ms, churn);
 
+  obs::MetricsRegistry registry;
   const PhaseResult steady = RunPhase(*graph, mix, workers, clients, duration,
-                                      /*swap_every_ms=*/0.0, churn);
-  const PhaseResult churned =
-      RunPhase(*graph, mix, workers, clients, duration, swap_every_ms, churn);
+                                      /*swap_every_ms=*/0.0, churn, &registry);
+  const PhaseResult churned = RunPhase(*graph, mix, workers, clients, duration,
+                                       swap_every_ms, churn, &registry);
 
   std::printf("%-12s %12s %10s %10s %10s %12s %8s %12s\n", "phase",
               "queries/sec", "p50 ms", "p99 ms", "hit rate", "completed",
@@ -253,7 +256,9 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(churned.cache_invalidations));
 
   const std::string json = flags->GetString("json", "");
-  if (!json.empty()) WriteJson(json, sf, clients, swap_every_ms, steady, churned);
+  if (!json.empty()) {
+    WriteJson(json, sf, clients, swap_every_ms, steady, churned, registry);
+  }
 
   // CI gate: the writer survived, enough consecutive swaps published, and
   // queries completed in every inter-swap window (no service-wide stall).

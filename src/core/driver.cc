@@ -72,6 +72,7 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
 
   // --- FAST-DRAM strawman: no partitioning, CST stays in card DRAM. ---
   if (options.variant == FastVariant::kDram) {
+    obs::ScopedSpan match_span(options.trace, obs::Span::kMatch);
     Timer t;
     FAST_ASSIGN_OR_RETURN(KernelRunResult run,
                           RunKernel(cst, result.order, options.fpga, &collector,
@@ -83,6 +84,10 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
         options.fpga, FastVariant::kDram, run, cst.SizeWords(), q.NumVertices());
     result.pcie_seconds =
         options.fpga.PcieSeconds(static_cast<double>(CstWireBytes(cst)));
+    if (options.trace != nullptr) {
+      options.trace->RecordSimulated(obs::Span::kDma, result.pcie_seconds);
+      options.trace->RecordSimulated(obs::Span::kKernel, result.kernel_seconds);
+    }
     result.partition_stats.num_partitions = 1;
     result.partition_stats.total_size_words = cst.SizeWords();
     result.fpga_partitions = 1;
@@ -91,6 +96,11 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
     result.sample_embeddings = collector.stored();
     return result;
   }
+
+  // One wall `match` span covers partitioning, simulated-device matching,
+  // and the CPU share — host time, as opposed to the simulated dma/kernel
+  // durations recorded separately below.
+  obs::ScopedSpan match_span(options.trace, obs::Span::kMatch);
 
   // --- (2)+(3)+(4) Partition, transfer, and match; (5) CPU share. ---
   const PartitionConfig pconfig =
@@ -155,6 +165,11 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
 
   const double w_total = w_cpu + w_fpga;
   result.cpu_share_fraction = w_total > 0.0 ? w_cpu / w_total : 0.0;
+
+  if (options.trace != nullptr) {
+    options.trace->RecordSimulated(obs::Span::kDma, result.pcie_seconds);
+    options.trace->RecordSimulated(obs::Span::kKernel, result.kernel_seconds);
+  }
 
   // --- (6) Composition: the card overlaps host partitioning; the CPU share
   // extends the host path. ---

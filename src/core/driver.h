@@ -29,6 +29,7 @@
 #include "fpga/config.h"
 #include "fpga/cycle_model.h"
 #include "ldbc/ldbc.h"
+#include "obs/trace.h"
 #include "query/matching_order.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -67,6 +68,13 @@ struct FastRunOptions {
   // DEADLINE_EXCEEDED instead of finishing. Non-owning; the caller keeps the
   // token alive for the duration of the run. nullptr = never cancelled.
   const CancelToken* cancel = nullptr;
+
+  // Optional per-request span recorder (obs/trace.h). RunFastWithCst records
+  // a wall `match` span over partition + matching + CPU share, plus the
+  // simulated `dma`/`kernel` durations from the device model. The service
+  // layers record the surrounding spans (queue, snapshot, cst_build, remap).
+  // Non-owning; single-threaded like the run itself. nullptr = no tracing.
+  obs::RequestTrace* trace = nullptr;
 };
 
 struct FastRunResult {

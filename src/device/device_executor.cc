@@ -69,6 +69,27 @@ std::string DeviceStats::Summary() const {
 
 DeviceExecutor::DeviceExecutor(DeviceOptions options)
     : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    rounds_counter_ =
+        m->GetCounter("fast_device_rounds_total", "Device rounds executed");
+    items_counter_ = m->GetCounter("fast_device_items_total",
+                                   "CST partitions matched on the device");
+    cancelled_counter_ = m->GetCounter("fast_device_cancelled_items_total",
+                                       "Items skipped/aborted by a deadline");
+    failed_counter_ = m->GetCounter("fast_device_failed_items_total",
+                                    "Items failed by kernel/pipeline errors");
+    payload_bytes_counter_ = m->GetCounter("fast_device_payload_bytes_total",
+                                           "Unique image bytes transferred");
+    wire_bytes_counter_ = m->GetCounter(
+        "fast_device_wire_bytes_total", "Payload + per-round transaction cost");
+    dedup_saved_counter_ = m->GetCounter("fast_device_dedup_bytes_saved_total",
+                                         "Duplicate image bytes that rode free");
+    queue_depth_gauge_ = m->GetGauge("fast_device_queue_depth",
+                                     "Items queued for a device round");
+    occupancy_gauge_ = m->GetGauge(
+        "fast_device_occupancy", "Live items in the last round / max batch");
+  }
   device_ = std::thread([this] { DeviceLoop(); });
 }
 
@@ -133,6 +154,9 @@ Status DeviceExecutor::EnqueuePartition(
     }
     q->items.push_back(std::move(item));
     ++total_queued_;
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(total_queued_));
+    }
     WrrActivate(active_, q);
   }
   cv_.notify_one();
@@ -206,6 +230,9 @@ std::vector<DeviceExecutor::WorkItem> DeviceExecutor::PopRound() {
         },
         [](const Queue& q) { return q.items.empty(); }));
     --total_queued_;
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<double>(total_queued_));
   }
   space_cv_.notify_all();
   return round;
@@ -363,6 +390,21 @@ void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
     stats_.kernel_seconds += round_kernel;
   }
 
+  // Mirror the round into the process-wide registry (relaxed atomics; no
+  // lock shared with the stats block above).
+  if (items_counter_ != nullptr) {
+    if (n_live > 0) rounds_counter_->Increment();
+    items_counter_->Increment(executed);
+    cancelled_counter_->Increment(cancelled);
+    failed_counter_->Increment(failed);
+    payload_bytes_counter_->Increment(payload);
+    wire_bytes_counter_->Increment(wire);
+    dedup_saved_counter_->Increment(saved);
+    occupancy_gauge_->Set(
+        static_cast<double>(executed) /
+        static_cast<double>(std::max<std::size_t>(1, options_.max_batch_items)));
+  }
+
   // --- Reassembly: fold each item into its query and release waiters. ---
   for (std::size_t i = 0; i < round.size(); ++i) {
     DeviceQuery& q = *round[i].query;
@@ -399,6 +441,11 @@ DeviceStats DeviceExecutor::stats() const {
   return stats_;
 }
 
+std::size_t DeviceExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_queued_;
+}
+
 StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
                                        const MatchingOrder& order,
                                        const FastRunOptions& options,
@@ -425,6 +472,9 @@ StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
 
   // Partitions stream to the device as Alg. 2 emits them, so matching
   // overlaps the remainder of partitioning exactly as in the driver path.
+  // The whole submit-and-wait is this request's wall `device_wait` span —
+  // the time the worker thread spent blocked on shared device rounds.
+  if (options.trace != nullptr) options.trace->Begin(obs::Span::kDeviceWait);
   Timer partition_timer;
   const Status partition_status = PartitionCst(
       cst, order, pconfig,
@@ -437,9 +487,17 @@ StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
   // Reap before propagating any partitioning error: items already queued
   // must be accounted for even when a later enqueue failed.
   DeviceQueryResult reaped = device.FinishQuery(session);
+  if (options.trace != nullptr) {
+    options.trace->End();
+    // The simulated device-side attribution of that wait: this query's
+    // amortized PCIe share and its items' kernel occupancy.
+    options.trace->RecordSimulated(obs::Span::kDma, reaped.pcie_seconds);
+    options.trace->RecordSimulated(obs::Span::kKernel, reaped.kernel_seconds);
+  }
   FAST_RETURN_IF_ERROR(partition_status);
   FAST_RETURN_IF_ERROR(reaped.status);
 
+  obs::ScopedSpan reassembly_span(options.trace, obs::Span::kReassembly);
   result.counters = reaped.counters;
   result.embeddings = reaped.embeddings;
   result.kernel_seconds = reaped.kernel_seconds;

@@ -64,6 +64,7 @@
 #include "cst/cst.h"
 #include "fpga/config.h"
 #include "fpga/cycle_model.h"
+#include "obs/metrics.h"
 #include "query/matching_order.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -99,6 +100,12 @@ struct DeviceOptions {
   // over the recorded round trace (fpga/pipeline_sim.h), false = the closed
   // forms (Eqs. 1-4). The simulation is slower but sees FIFO back-pressure.
   bool cycle_sim = true;
+
+  // Process-wide metrics registry the executor reports into
+  // (fast_device_* counters, queue-depth/occupancy gauges). Non-owning; must
+  // outlive the executor. nullptr = no registry reporting. NOTE: appended
+  // last — existing call sites brace-initialize this struct positionally.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DeviceStats {
@@ -193,6 +200,9 @@ class DeviceExecutor {
 
   DeviceStats stats() const;
   const DeviceOptions& options() const { return options_; }
+  // Items currently queued (not yet popped into a round) — the periodic
+  // sampler polls this for the fast_device_queue_depth time series.
+  std::size_t queue_depth() const;
 
  private:
   struct WorkItem;
@@ -219,6 +229,17 @@ class DeviceExecutor {
   mutable std::mutex stats_mu_;
   DeviceStats stats_;
   std::uint64_t round_seq_ = 0;  // device thread only
+
+  // Registry metrics bound once at construction (null without a registry).
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* items_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;
+  obs::Counter* payload_bytes_counter_ = nullptr;
+  obs::Counter* wire_bytes_counter_ = nullptr;
+  obs::Counter* dedup_saved_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* occupancy_gauge_ = nullptr;
 
   std::thread device_;  // last member: joins before state is destroyed
 };

@@ -1,0 +1,212 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace fast::obs {
+
+namespace {
+
+// Locale-independent double formatting for the Prometheus text format.
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf");
+  char buf[48];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 9);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+void WriteHistogramFields(JsonWriter& w, const LatencyHistogram& h) {
+  w.Field("count", h.count());
+  w.Field("sum_seconds", h.sum_seconds());
+  w.Field("mean_seconds", h.mean_seconds());
+  w.Field("min_seconds", h.min_seconds());
+  w.Field("p50_seconds", h.P50());
+  w.Field("p90_seconds", h.P90());
+  w.Field("p99_seconds", h.P99());
+  w.Field("max_seconds", h.max_seconds());
+}
+
+}  // namespace
+
+void WriteSnapshotJson(JsonWriter& w, const MetricsSnapshot& snap,
+                       const char* key) {
+  w.BeginObject(key);
+  w.BeginObject("counters");
+  for (const CounterSample& c : snap.counters) w.Field(c.name.c_str(), c.value);
+  w.EndObject();
+  w.BeginObject("gauges");
+  for (const GaugeSample& g : snap.gauges) w.Field(g.name.c_str(), g.value);
+  w.EndObject();
+  w.BeginObject("histograms");
+  for (const HistogramSample& h : snap.histograms) {
+    w.BeginObject(h.name.c_str());
+    WriteHistogramFields(w, h.hist);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snap) {
+  JsonWriter w;
+  WriteSnapshotJson(w, snap, "metrics");
+  return w.Finish();
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  auto header = [&out](const std::string& name, const std::string& help,
+                       const char* type) {
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+  for (const CounterSample& c : snap.counters) {
+    header(c.name, c.help, "counter");
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    header(g.name, g.help, "gauge");
+    out += g.name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    header(h.name, h.help, "summary");
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out += h.name + "{quantile=\"" + FormatDouble(q) + "\"} " +
+             FormatDouble(h.hist.ValueAtQuantile(q)) + "\n";
+    }
+    out += h.name + "_sum " + FormatDouble(h.hist.sum_seconds()) + "\n";
+    out += h.name + "_count " + std::to_string(h.hist.count()) + "\n";
+  }
+  return out;
+}
+
+std::string TraceToJson(const CompletedTrace& trace) {
+  std::string out = "{";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "\"request_id\": %llu",
+                static_cast<unsigned long long>(trace.request_id));
+  out += buf;
+  if (!trace.tenant_id.empty()) {
+    out += ", \"tenant\": \"" + JsonEscape(trace.tenant_id) + "\"";
+  }
+  out += ", \"ok\": ";
+  out += trace.ok ? "true" : "false";
+  out += ", \"status\": \"" + JsonEscape(trace.status) + "\"";
+  out += ", \"total_seconds\": " + FormatDouble(trace.total_seconds);
+  out += ", \"wall_span_seconds\": " + FormatDouble(trace.WallSpanSeconds());
+  out += ", \"coverage\": " + FormatDouble(trace.Coverage());
+  out += ", \"spans\": [";
+  bool first = true;
+  for (const TraceSpan& s : trace.spans) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"span\": \"";
+    out += SpanName(s.span);
+    out += "\", \"start_seconds\": " + FormatDouble(s.start_seconds);
+    out += ", \"duration_seconds\": " + FormatDouble(s.duration_seconds);
+    if (s.simulated) out += ", \"simulated\": true";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+PeriodicSampler::PeriodicSampler(MetricsRegistry* registry,
+                                 double interval_seconds, SampleFn sample,
+                                 std::size_t max_points_per_series)
+    : registry_(registry),
+      interval_seconds_(interval_seconds),
+      sample_(std::move(sample)),
+      max_points_(max_points_per_series) {}
+
+PeriodicSampler::~PeriodicSampler() { Stop(); }
+
+void PeriodicSampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+  }
+  clock_ = Timer();
+  thread_ = std::thread(&PeriodicSampler::Loop, this);
+}
+
+void PeriodicSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample so a run shorter than one interval still exports a series.
+  TakeSample(clock_.ElapsedSeconds());
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void PeriodicSampler::Loop() {
+  TakeSample(clock_.ElapsedSeconds());
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    TakeSample(clock_.ElapsedSeconds());
+    lock.lock();
+  }
+}
+
+void PeriodicSampler::TakeSample(double at_seconds) {
+  if (!sample_) return;
+  const auto values = sample_();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : values) {
+    if (registry_ != nullptr) registry_->GetGauge(name)->Set(value);
+    Series* series = nullptr;
+    for (Series& s : series_) {
+      if (s.name == name) {
+        series = &s;
+        break;
+      }
+    }
+    if (series == nullptr) {
+      series_.push_back({name, {}});
+      series = &series_.back();
+    }
+    series->points.emplace_back(at_seconds, value);
+    if (series->points.size() > max_points_) {
+      series->points.erase(series->points.begin());
+    }
+  }
+}
+
+std::vector<PeriodicSampler::Series> PeriodicSampler::SeriesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+void PeriodicSampler::WriteSeriesJson(JsonWriter& w, const char* key) const {
+  const auto series = SeriesSnapshot();
+  w.BeginArray(key);
+  for (const Series& s : series) {
+    w.BeginObject();
+    w.Field("name", s.name);
+    w.BeginArray("points");
+    for (const auto& [t, v] : s.points) {
+      w.BeginObject();
+      w.Field("t", t);
+      w.Field("v", v);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace fast::obs

@@ -1,0 +1,101 @@
+#ifndef FAST_OBS_EXPORT_H_
+#define FAST_OBS_EXPORT_H_
+
+// Export surfaces for the metrics registry and request traces:
+//   - WriteSnapshotJson / SnapshotToJson: registry snapshot as JSON (either
+//     embedded into an open JsonWriter — how the benches attach a "metrics"
+//     object to BENCH_*.json — or as a standalone document for
+//     `fast_serve --metrics-json`).
+//   - ToPrometheusText: the same snapshot in Prometheus exposition format
+//     (counters/gauges verbatim, histograms as summary-style quantiles).
+//   - TraceToJson: one CompletedTrace as a single-line JSON object, for
+//     append-per-request JSONL trace logs.
+//   - PeriodicSampler: a background thread that polls caller-supplied
+//     gauges (queue depth, device occupancy, cache bytes) on an interval,
+//     mirrors the latest value into registry gauges, and retains a bounded
+//     time-series per name for export.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json_writer.h"
+#include "util/timer.h"
+
+namespace fast::obs {
+
+// Emits `snap` as an object field named `key` of the writer's current scope
+// ("counters"/"gauges" maps plus a "histograms" object of per-metric
+// count/mean/p50/p90/p99/max).
+void WriteSnapshotJson(JsonWriter& w, const MetricsSnapshot& snap,
+                       const char* key = "metrics");
+
+// Standalone JSON document of one snapshot.
+std::string SnapshotToJson(const MetricsSnapshot& snap);
+
+// Prometheus text exposition format. Histograms become summary-style series:
+//   fast_request_latency_seconds{quantile="0.99"} 0.0123
+//   fast_request_latency_seconds_sum 1.5
+//   fast_request_latency_seconds_count 420
+std::string ToPrometheusText(const MetricsSnapshot& snap);
+
+// One trace as a single-line JSON object (no trailing newline): request id,
+// tenant, status, total, coverage, and a span array.
+std::string TraceToJson(const CompletedTrace& trace);
+
+// Polls `sample` every `interval_seconds` on a background thread. Each
+// returned (name, value) pair is mirrored into `registry`'s gauge of that
+// name and appended to a retained time-series (bounded at
+// `max_points_per_series`, oldest dropped). Sampling begins on Start() and
+// one final sample is taken on Stop() so short runs still export a series.
+class PeriodicSampler {
+ public:
+  using SampleFn = std::function<std::vector<std::pair<std::string, double>>()>;
+
+  PeriodicSampler(MetricsRegistry* registry, double interval_seconds,
+                  SampleFn sample, std::size_t max_points_per_series = 4096);
+  ~PeriodicSampler();
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  void Start();
+  void Stop();  // idempotent; joins the thread
+
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;  // (seconds-since-start, value)
+  };
+  std::vector<Series> SeriesSnapshot() const;
+
+  // Emits the retained series as an array field named `key`.
+  void WriteSeriesJson(JsonWriter& w, const char* key = "samples") const;
+
+ private:
+  void Loop();
+  void TakeSample(double at_seconds);
+
+  MetricsRegistry* const registry_;
+  const double interval_seconds_;
+  const SampleFn sample_;
+  const std::size_t max_points_;
+
+  Timer clock_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::vector<Series> series_;  // insertion-ordered
+};
+
+}  // namespace fast::obs
+
+#endif  // FAST_OBS_EXPORT_H_

@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+#include "util/logging.h"
+
+namespace fast::obs {
+
+std::size_t Counter::ShardIndex() {
+  // One shard per thread, assigned round-robin at first use. Collisions
+  // after kNumShards threads are fine — they only cost some sharing.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return index;
+}
+
+void Histogram::Record(double seconds) {
+  Shard& s = shards_[Counter::ShardIndex() % kNumShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.hist.Record(seconds);
+}
+
+LatencyHistogram Histogram::Snapshot() const {
+  LatencyHistogram merged;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    merged.Merge(s.hist);
+  }
+  return merged;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(const std::string& name,
+                                                 const std::string& help,
+                                                 Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        e.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else {
+    FAST_CHECK(e.kind == kind)
+        << "metric \"" << name << "\" re-registered as a different kind";
+    if (e.help.empty() && !help.empty()) e.help = help;
+  }
+  return &e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  return GetEntry(name, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  return GetEntry(name, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return GetEntry(name, help, Kind::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iteration is already name-sorted.
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, e.help, e.counter->Value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, e.help, e.gauge->Value()});
+        break;
+      case Kind::kHistogram:
+        snap.histograms.push_back({name, e.help, e.histogram->Snapshot()});
+        break;
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return instance;
+}
+
+}  // namespace fast::obs

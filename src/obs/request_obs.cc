@@ -1,0 +1,115 @@
+#include "obs/request_obs.h"
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fast::obs {
+
+RequestObs::RequestObs(const Options& opts)
+    : opts_(opts),
+      recent_(opts.trace_ring_capacity),
+      slow_(opts.trace_ring_capacity) {
+  MetricsRegistry* m = opts_.metrics;
+  if (m == nullptr) return;
+  submitted_ = m->GetCounter("fast_requests_total", "Requests admitted");
+  completed_ =
+      m->GetCounter("fast_requests_completed_total", "Requests finished OK");
+  failed_ = m->GetCounter("fast_requests_failed_total",
+                          "Requests failed by pipeline errors");
+  rejected_queue_full_ = m->GetCounter("fast_requests_rejected_queue_full_total",
+                                       "Submits rejected: queue full");
+  rejected_quota_ = m->GetCounter("fast_requests_rejected_quota_total",
+                                  "Submits rejected: per-tenant quota");
+  rejected_deadline_ =
+      m->GetCounter("fast_requests_rejected_deadline_total",
+                    "Requests whose deadline passed while queued");
+  cancelled_midrun_ = m->GetCounter("fast_requests_cancelled_midrun_total",
+                                    "Requests cancelled mid-run by deadline");
+  slow_requests_ = m->GetCounter("fast_slow_requests_total",
+                                 "Requests over the slow-query threshold");
+  queue_depth_ =
+      m->GetGauge("fast_service_queue_depth", "Requests queued for a worker");
+  latency_ = m->GetHistogram("fast_request_latency_seconds",
+                             "Submit -> completion, successful requests");
+  if (opts_.tracing) {
+    for (std::size_t i = 0; i < kNumSpans; ++i) {
+      const auto span = static_cast<Span>(i);
+      span_hists_[i] =
+          m->GetHistogram(std::string("fast_span_") + SpanName(span) + "_seconds",
+                          std::string("Per-request ") + SpanName(span) +
+                              " span duration");
+    }
+  }
+}
+
+std::unique_ptr<RequestTrace> RequestObs::StartTrace() const {
+  return opts_.tracing ? std::make_unique<RequestTrace>() : nullptr;
+}
+
+void RequestObs::OnSubmitted() {
+  if (submitted_ != nullptr) submitted_->Increment();
+}
+
+void RequestObs::OnRejectedQueueFull() {
+  if (rejected_queue_full_ != nullptr) rejected_queue_full_->Increment();
+}
+
+void RequestObs::OnRejectedQuota() {
+  if (rejected_quota_ != nullptr) rejected_quota_->Increment();
+}
+
+void RequestObs::SetQueueDepth(std::size_t depth) {
+  if (queue_depth_ != nullptr) queue_depth_->Set(static_cast<double>(depth));
+}
+
+std::shared_ptr<const CompletedTrace> RequestObs::OnFinished(
+    Outcome outcome, double total_seconds, std::unique_ptr<RequestTrace> trace,
+    std::uint64_t request_id, bool ok, const char* status_name,
+    std::string tenant_id) {
+  switch (outcome) {
+    case Outcome::kCompleted:
+      if (completed_ != nullptr) completed_->Increment();
+      if (latency_ != nullptr) latency_->Record(total_seconds);
+      break;
+    case Outcome::kRejectedDeadline:
+      if (rejected_deadline_ != nullptr) rejected_deadline_->Increment();
+      break;
+    case Outcome::kCancelledMidrun:
+      if (cancelled_midrun_ != nullptr) cancelled_midrun_->Increment();
+      break;
+    case Outcome::kFailed:
+      if (failed_ != nullptr) failed_->Increment();
+      break;
+  }
+
+  if (trace == nullptr) return nullptr;
+
+  auto done = std::make_shared<CompletedTrace>(
+      trace->Finish(request_id, ok, status_name, std::move(tenant_id)));
+  for (const TraceSpan& s : done->spans) {
+    Histogram* h = span_hists_[static_cast<std::size_t>(s.span)];
+    if (h != nullptr) h->Record(s.duration_seconds);
+  }
+  recent_.Push(done);
+  if (opts_.slow_request_seconds > 0.0 &&
+      done->total_seconds >= opts_.slow_request_seconds) {
+    if (slow_requests_ != nullptr) slow_requests_->Increment();
+    slow_.Push(done);
+    FAST_LOG(WARNING) << "slow request: " << done->Summary();
+  }
+  return done;
+}
+
+std::vector<std::shared_ptr<const CompletedTrace>> RequestObs::recent_traces()
+    const {
+  return recent_.Snapshot();
+}
+
+std::vector<std::shared_ptr<const CompletedTrace>> RequestObs::slow_traces()
+    const {
+  return slow_.Snapshot();
+}
+
+}  // namespace fast::obs

@@ -1,0 +1,99 @@
+#ifndef FAST_OBS_REQUEST_OBS_H_
+#define FAST_OBS_REQUEST_OBS_H_
+
+// Per-service observability bundle shared by MatchService and TenantRouter:
+// the request-level registry metrics (outcome counters, latency and per-span
+// histograms, queue-depth gauge), the recent-trace ring, the slow-query
+// retention ring, and the slow-query WARNING log. Both services classify
+// outcomes identically, so the whole finish-side pipeline lives here once.
+//
+// The services keep their per-instance counters (their stats() structs are
+// per-instance views benches compare phase by phase); this bundle adds the
+// process-wide view on top.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fast::obs {
+
+class RequestObs {
+ public:
+  struct Options {
+    // Registry to report into; nullptr disables all registry metrics (trace
+    // rings and the slow log still work when tracing is on).
+    MetricsRegistry* metrics = nullptr;
+    // Record per-request span traces. Off, StartTrace returns nullptr and
+    // every downstream span record is a skipped branch.
+    bool tracing = true;
+    // Requests slower than this get a FAST_LOG(WARNING) with their span
+    // breakdown and are retained in the slow ring. 0 disables.
+    double slow_request_seconds = 0.0;
+    // Capacity of the recent-trace ring (the slow ring uses the same).
+    std::size_t trace_ring_capacity = 256;
+  };
+
+  enum class Outcome {
+    kCompleted,
+    kRejectedDeadline,   // deadline passed while queued; never dispatched
+    kCancelledMidrun,    // deadline tripped during the run
+    kFailed,             // pipeline error
+  };
+
+  explicit RequestObs(const Options& opts);
+
+  bool tracing() const { return opts_.tracing; }
+
+  // New per-request recorder; nullptr when tracing is disabled.
+  std::unique_ptr<RequestTrace> StartTrace() const;
+
+  // Admission-side counters.
+  void OnSubmitted();
+  void OnRejectedQueueFull();
+  void OnRejectedQuota();
+
+  // Queue-depth gauge (sampled value, set by the owning service).
+  void SetQueueDepth(std::size_t depth);
+
+  // Finish-side pipeline: bumps the outcome counter, records the latency
+  // and per-span histograms, retains the trace in the recent ring (and the
+  // slow ring + WARNING log past the threshold). Returns the frozen trace
+  // for the RequestResult, or nullptr when `trace` was null.
+  std::shared_ptr<const CompletedTrace> OnFinished(
+      Outcome outcome, double total_seconds, std::unique_ptr<RequestTrace> trace,
+      std::uint64_t request_id, bool ok, const char* status_name,
+      std::string tenant_id = "");
+
+  // Newest-last snapshots of the retained traces.
+  std::vector<std::shared_ptr<const CompletedTrace>> recent_traces() const;
+  std::vector<std::shared_ptr<const CompletedTrace>> slow_traces() const;
+
+  double slow_request_seconds() const { return opts_.slow_request_seconds; }
+
+ private:
+  const Options opts_;
+
+  // Null when no registry was supplied.
+  Counter* submitted_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* failed_ = nullptr;
+  Counter* rejected_queue_full_ = nullptr;
+  Counter* rejected_quota_ = nullptr;
+  Counter* rejected_deadline_ = nullptr;
+  Counter* cancelled_midrun_ = nullptr;
+  Counter* slow_requests_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+  Histogram* latency_ = nullptr;
+  Histogram* span_hists_[kNumSpans] = {};
+
+  TraceRing recent_;
+  TraceRing slow_;
+};
+
+}  // namespace fast::obs
+
+#endif  // FAST_OBS_REQUEST_OBS_H_

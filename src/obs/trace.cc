@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace fast::obs {
+
+const char* SpanName(Span s) {
+  switch (s) {
+    case Span::kAdmit:
+      return "admit";
+    case Span::kQueue:
+      return "queue";
+    case Span::kSnapshot:
+      return "snapshot";
+    case Span::kPlanLookup:
+      return "plan_lookup";
+    case Span::kCstBuild:
+      return "cst_build";
+    case Span::kDeviceWait:
+      return "device_wait";
+    case Span::kDma:
+      return "dma";
+    case Span::kKernel:
+      return "kernel";
+    case Span::kMatch:
+      return "match";
+    case Span::kReassembly:
+      return "reassembly";
+    case Span::kRemap:
+      return "remap";
+    case Span::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+double CompletedTrace::WallSpanSeconds() const {
+  double total = 0.0;
+  for (const TraceSpan& s : spans) {
+    if (!s.simulated) total += s.duration_seconds;
+  }
+  return total;
+}
+
+double CompletedTrace::Coverage() const {
+  return total_seconds > 0.0 ? WallSpanSeconds() / total_seconds : 0.0;
+}
+
+double CompletedTrace::SpanSeconds(Span target) const {
+  double total = 0.0;
+  for (const TraceSpan& s : spans) {
+    if (s.span == target) total += s.duration_seconds;
+  }
+  return total;
+}
+
+std::string CompletedTrace::Summary() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "req=%llu%s%s total=%.3fms [",
+                static_cast<unsigned long long>(request_id),
+                tenant_id.empty() ? "" : " tenant=",
+                tenant_id.c_str(), total_seconds * 1e3);
+  out += buf;
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    std::snprintf(buf, sizeof(buf), "%s%s%s=%.3fms", first ? "" : " ",
+                  SpanName(s.span), s.simulated ? "(sim)" : "",
+                  s.duration_seconds * 1e3);
+    out += buf;
+    first = false;
+  }
+  out += ']';
+  return out;
+}
+
+void RequestTrace::Begin(Span s) {
+  if (open_) End();
+  open_ = true;
+  open_span_ = s;
+  open_start_ = anchor_.ElapsedSeconds();
+}
+
+void RequestTrace::End() {
+  if (!open_) return;
+  const double now = anchor_.ElapsedSeconds();
+  spans_.push_back({open_span_, open_start_, now - open_start_, false});
+  open_ = false;
+}
+
+void RequestTrace::RecordSimulated(Span s, double seconds) {
+  // Anchored where it was observed; duration is the device model's, not the
+  // anchor clock's.
+  spans_.push_back({s, anchor_.ElapsedSeconds(), seconds, true});
+}
+
+CompletedTrace RequestTrace::Finish(std::uint64_t request_id, bool ok,
+                                    std::string status, std::string tenant_id) {
+  End();
+  CompletedTrace done;
+  done.request_id = request_id;
+  done.tenant_id = std::move(tenant_id);
+  done.total_seconds = anchor_.ElapsedSeconds();
+  done.ok = ok;
+  done.status = std::move(status);
+  done.spans = std::move(spans_);
+  spans_.clear();
+  return done;
+}
+
+void TraceRing::Push(std::shared_ptr<const CompletedTrace> trace) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<std::shared_ptr<const CompletedTrace>> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+}  // namespace fast::obs

@@ -34,7 +34,16 @@ void RemapEmbedding(const std::vector<VertexId>& to_canonical,
 GraphState::GraphState(Graph graph, const GraphStateOptions& options)
     : options_(options),
       cache_(options.plan_cache_capacity, options.plan_cache_byte_budget),
-      graph_(std::make_shared<const Graph>(std::move(graph))) {}
+      graph_(std::make_shared<const Graph>(std::move(graph))) {
+  if (options_.metrics != nullptr) {
+    cache_.BindMetrics(options_.metrics);
+    swaps_counter_ = options_.metrics->GetCounter(
+        "fast_graph_swaps_total", "Graph snapshots published (swaps + deltas)");
+    epoch_gauge_ = options_.metrics->GetGauge(
+        "fast_graph_epoch", "Most recently published graph epoch");
+    epoch_gauge_->Set(static_cast<double>(epoch_));
+  }
+}
 
 GraphSnapshot GraphState::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
@@ -65,6 +74,8 @@ std::uint64_t GraphState::Publish(Graph next) {
   // Eager reclamation only: stale plans that race past this are caught by
   // the per-key epoch tag in Lookup.
   cache_.InvalidateBefore(new_epoch);
+  if (swaps_counter_ != nullptr) swaps_counter_->Increment();
+  if (epoch_gauge_ != nullptr) epoch_gauge_->Set(static_cast<double>(new_epoch));
   return new_epoch;
 }
 
@@ -86,7 +97,7 @@ void GraphState::Serve(const CanonicalQuery& canonical,
                        const RequestOptions& opts,
                        const FastRunOptions& base_run, double queue_seconds,
                        double deadline_seconds, device::DeviceExecutor* device,
-                       RequestResult* result) {
+                       obs::RequestTrace* trace, RequestResult* result) {
   result->queue_seconds = queue_seconds;
   if (deadline_seconds > 0.0 && queue_seconds > deadline_seconds) {
     result->status = Status::DeadlineExceeded("deadline passed while queued");
@@ -103,9 +114,11 @@ void GraphState::Serve(const CanonicalQuery& canonical,
   // Capture the snapshot once at dispatch: the whole request — cache
   // lookup, build, run — sees one consistent {graph, epoch}, regardless
   // of concurrent swaps.
+  if (trace != nullptr) trace->Begin(obs::Span::kSnapshot);
   const GraphSnapshot snap = snapshot();
+  if (trace != nullptr) trace->End();
   result->graph_epoch = snap.epoch;
-  Execute(canonical, opts, snap, base_run, cancel, device, result);
+  Execute(canonical, opts, snap, base_run, cancel, device, trace, result);
 }
 
 void GraphState::Execute(const CanonicalQuery& canonical,
@@ -113,11 +126,14 @@ void GraphState::Execute(const CanonicalQuery& canonical,
                          const FastRunOptions& base_run,
                          const CancelToken* cancel,
                          device::DeviceExecutor* device,
-                         RequestResult* result) {
+                         obs::RequestTrace* trace, RequestResult* result) {
   FastRunOptions run = base_run;
   run.explicit_order.reset();
   run.store_limit = opts.store_limit;
   run.cancel = cancel;
+  // The pipeline below records its own spans (match / device_wait / the
+  // simulated dma+kernel) through this pointer.
+  run.trace = trace;
 
   const std::vector<VertexId>& to_canonical = canonical.to_canonical;
   const bool identity = IsIdentity(to_canonical);
@@ -142,8 +158,10 @@ void GraphState::Execute(const CanonicalQuery& canonical,
   StatusOr<FastRunResult> r = Status::Internal("unreachable");
   bool ran_from_cache = false;
   if (options_.plan_cache_capacity > 0) {
+    if (trace != nullptr) trace->Begin(obs::Span::kPlanLookup);
     std::shared_ptr<const CachedPlan> plan =
         cache_.Lookup(canonical.key, snap.epoch);
+    if (trace != nullptr) trace->End();
     if (plan != nullptr) {
       if (plan->order_only()) {
         // Order-only hit (the full image was over the byte budget): reuse
@@ -153,9 +171,11 @@ void GraphState::Execute(const CanonicalQuery& canonical,
           ran_from_cache = true;
           r = Status::DeadlineExceeded("deadline expired before CST rebuild");
         } else {
+          if (trace != nullptr) trace->Begin(obs::Span::kCstBuild);
           Timer build_timer;
           StatusOr<Cst> cst = BuildCst(canonical.query, *snap.graph,
                                        plan->order.root, run.cst_build);
+          if (trace != nullptr) trace->End();
           if (cst.ok()) {
             ran_from_cache = true;
             result->cache_hit = true;
@@ -166,8 +186,11 @@ void GraphState::Execute(const CanonicalQuery& canonical,
       } else {
         // Cache hit: rebuild the CST from the serialized image (the same
         // flat words that would cross PCIe), skipping order computation and
-        // Alg. 1 construction entirely.
+        // Alg. 1 construction entirely. The image decode is this request's
+        // whole "cst_build" phase.
+        if (trace != nullptr) trace->Begin(obs::Span::kCstBuild);
         StatusOr<Cst> cst = DeserializeCst(plan->layout, plan->cst_image);
+        if (trace != nullptr) trace->End();
         if (cst.ok()) {
           ran_from_cache = true;
           result->cache_hit = true;
@@ -186,20 +209,23 @@ void GraphState::Execute(const CanonicalQuery& canonical,
     return;
   }
   result->run = std::move(*r);
-  if (!identity) {
-    // Everything client-visible is reported in the submitted numbering: the
-    // sample embeddings and the matching order (root + visit sequence).
-    for (Embedding& e : result->run.sample_embeddings) {
-      Embedding remapped;
-      RemapEmbedding(to_canonical, e, &remapped);
-      e = std::move(remapped);
+  {
+    obs::ScopedSpan remap_span(trace, obs::Span::kRemap);
+    if (!identity) {
+      // Everything client-visible is reported in the submitted numbering: the
+      // sample embeddings and the matching order (root + visit sequence).
+      for (Embedding& e : result->run.sample_embeddings) {
+        Embedding remapped;
+        RemapEmbedding(to_canonical, e, &remapped);
+        e = std::move(remapped);
+      }
+      std::vector<VertexId> from_canonical(to_canonical.size());
+      for (std::size_t u = 0; u < to_canonical.size(); ++u) {
+        from_canonical[to_canonical[u]] = static_cast<VertexId>(u);
+      }
+      result->run.order.root = from_canonical[result->run.order.root];
+      for (VertexId& v : result->run.order.order) v = from_canonical[v];
     }
-    std::vector<VertexId> from_canonical(to_canonical.size());
-    for (std::size_t u = 0; u < to_canonical.size(); ++u) {
-      from_canonical[to_canonical[u]] = static_cast<VertexId>(u);
-    }
-    result->run.order.root = from_canonical[result->run.order.root];
-    for (VertexId& v : result->run.order.order) v = from_canonical[v];
   }
 }
 
@@ -230,6 +256,10 @@ StatusOr<FastRunResult> GraphState::BuildAndRun(const CanonicalQuery& canonical,
   // under the snapshot's epoch, then run the pipeline from it.
   const QueryGraph& q = canonical.query;
   const Graph& g = *snap.graph;
+  // One cst_build span covers order computation, Alg. 1 construction, and
+  // the serialize+insert that publishes the plan; an early error return
+  // leaves the span open and RequestTrace::Finish closes it.
+  if (run.trace != nullptr) run.trace->Begin(obs::Span::kCstBuild);
   FAST_ASSIGN_OR_RETURN(MatchingOrder order,
                         ComputeMatchingOrder(q, g, run.order_policy));
   if (run.cancel != nullptr && run.cancel->Cancelled()) {
@@ -246,6 +276,7 @@ StatusOr<FastRunResult> GraphState::BuildAndRun(const CanonicalQuery& canonical,
     plan->cst_image = SerializeCst(cst);
     cache_.Insert(canonical.key, snap.epoch, std::move(plan));
   }
+  if (run.trace != nullptr) run.trace->End();
   return Dispatch(cst, order, canonical, snap, run, device, build_seconds);
 }
 

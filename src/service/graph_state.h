@@ -36,6 +36,8 @@
 #include "core/driver.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/plan_cache.h"
 #include "service/query_signature.h"
 #include "util/cancel.h"
@@ -83,6 +85,10 @@ struct RequestResult {
   std::uint64_t graph_epoch = 0;
   double queue_seconds = 0.0;  // Submit -> dispatch
   double total_seconds = 0.0;  // Submit -> completion
+  // Per-span latency breakdown of this request (obs/trace.h); null when the
+  // service ran with tracing disabled. Shared with the service's recent- and
+  // slow-trace rings.
+  std::shared_ptr<const obs::CompletedTrace> trace;
 };
 
 struct GraphStateOptions {
@@ -93,6 +99,11 @@ struct GraphStateOptions {
   // Fairness-queue key on a shared device executor (the tenant id when this
   // state serves one tenant of a TenantRouter). Only used in device mode.
   std::string device_queue_key = "default";
+  // Process-wide metrics registry (obs/metrics.h) the state reports into:
+  // graph-swap counts, published epoch, and plan-cache traffic. Non-owning;
+  // must outlive the state. nullptr = no registry reporting. NOTE: appended
+  // last — existing call sites brace-initialize this struct positionally.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class GraphState {
@@ -135,11 +146,14 @@ class GraphState {
   // `device` routes partition matching to the shared device executor
   // (device/device_executor.h) under this state's device_queue_key instead
   // of running it inline on the calling thread; result reassembly and the
-  // canonical-numbering remap are identical either way.
+  // canonical-numbering remap are identical either way. A non-null `trace`
+  // records the execution-side spans (snapshot, plan_lookup, cst_build,
+  // match/device_wait, remap); the caller owns it and folds it into the
+  // result after classification.
   void Serve(const CanonicalQuery& canonical, const RequestOptions& opts,
              const FastRunOptions& base_run, double queue_seconds,
              double deadline_seconds, device::DeviceExecutor* device,
-             RequestResult* result);
+             obs::RequestTrace* trace, RequestResult* result);
 
   PlanCacheStats cache_stats() const { return cache_.stats(); }
 
@@ -147,7 +161,7 @@ class GraphState {
   void Execute(const CanonicalQuery& canonical, const RequestOptions& opts,
                const GraphSnapshot& snap, const FastRunOptions& base_run,
                const CancelToken* cancel, device::DeviceExecutor* device,
-               RequestResult* result);
+               obs::RequestTrace* trace, RequestResult* result);
   StatusOr<FastRunResult> BuildAndRun(const CanonicalQuery& canonical,
                                       const GraphSnapshot& snap,
                                       const FastRunOptions& run,
@@ -164,6 +178,9 @@ class GraphState {
 
   const GraphStateOptions options_;
   PlanCache cache_;
+  // Registry metrics bound once at construction (null without a registry).
+  obs::Counter* swaps_counter_ = nullptr;
+  obs::Gauge* epoch_gauge_ = nullptr;
 
   // Snapshot publication. snapshot_mu_ only guards the {pointer, epoch}
   // pair — never held while building a graph or running a query.

@@ -14,6 +14,10 @@ struct MatchService::Request {
   RequestOptions opts;
   double deadline_seconds = 0.0;  // resolved; 0 = none
   Timer submitted;
+  // Span recorder (null when tracing is off). Recorded on the client thread
+  // up to the queue push, then exclusively on the worker that popped the
+  // request — the queue handoff orders the two.
+  std::unique_ptr<obs::RequestTrace> trace;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -43,7 +47,12 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
     : options_(std::move(options)),
       state_(std::move(graph),
              GraphStateOptions{options_.plan_cache_capacity,
-                               options_.plan_cache_byte_budget}),
+                               options_.plan_cache_byte_budget,
+                               /*device_queue_key=*/"default",
+                               options_.metrics}),
+      obs_(obs::RequestObs::Options{options_.metrics, options_.tracing,
+                                    options_.slow_request_seconds,
+                                    options_.trace_ring_capacity}),
       queue_(options_.queue_capacity) {
   if (options_.device_mode) {
     // The shared device simulates the same card and variant the per-worker
@@ -51,6 +60,7 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
     device::DeviceOptions dopts = options_.device;
     dopts.fpga = options_.run.fpga;
     dopts.variant = options_.run.variant;
+    dopts.metrics = options_.metrics;
     device_ = std::make_unique<device::DeviceExecutor>(dopts);
   }
   std::size_t n = options_.num_workers;
@@ -74,10 +84,16 @@ StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
   if (queue_.size() >= queue_.capacity()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++rejected_queue_full_;
+    obs_.OnRejectedQueueFull();
     return Status::ResourceExhausted("request queue full");
   }
 
   auto req = std::make_shared<Request>();
+  req->trace = obs_.StartTrace();
+  // No ScopedSpan here: after the queue push the worker owns the trace, so
+  // nothing on this thread may touch it past that point. Begin(kQueue) below
+  // closes the admit span.
+  if (req->trace != nullptr) req->trace->Begin(obs::Span::kAdmit);
   FAST_ASSIGN_OR_RETURN(req->canonical, CanonicalizeQuery(q));
   req->opts = std::move(opts);
   req->deadline_seconds = req->opts.deadline_seconds >= 0.0
@@ -94,13 +110,20 @@ StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
     ++submitted_;
   }
 
+  // Open the queue span BEFORE the push: once the request is in the queue a
+  // worker may already be recording into the trace, and the queue's internal
+  // mutex is what orders this write against the worker's End().
+  if (req->trace != nullptr) req->trace->Begin(obs::Span::kQueue);
   if (!queue_.TryPush(req)) {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.erase(id);
     --submitted_;  // submitted_ counts admitted requests only
     ++rejected_queue_full_;
+    obs_.OnRejectedQueueFull();
     return Status::ResourceExhausted("request queue full");
   }
+  obs_.OnSubmitted();
+  obs_.SetQueueDepth(queue_.size());
   return id;
 }
 
@@ -149,33 +172,44 @@ void MatchService::Shutdown() {
 void MatchService::WorkerLoop() {
   while (auto item = queue_.Pop()) {
     std::shared_ptr<Request> req = std::move(*item);
+    if (req->trace != nullptr) req->trace->End();  // closes the queue span
+    obs_.SetQueueDepth(queue_.size());
     RequestResult result;
     state_.Serve(req->canonical, req->opts, options_.run,
                  req->submitted.ElapsedSeconds(), req->deadline_seconds,
-                 device_.get(), &result);
+                 device_.get(), req->trace.get(), &result);
     Finish(std::move(req), std::move(result));
   }
 }
 
 void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
   result.total_seconds = req->submitted.ElapsedSeconds();
+  obs::RequestObs::Outcome outcome;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (result.status.ok()) {
       ++completed_;
       latency_.Record(result.total_seconds);
+      outcome = obs::RequestObs::Outcome::kCompleted;
     } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
       // graph_epoch distinguishes "expired while queued" (never dispatched)
       // from "aborted mid-run by the cancellation token".
       if (result.graph_epoch == 0) {
         ++rejected_deadline_;
+        outcome = obs::RequestObs::Outcome::kRejectedDeadline;
       } else {
         ++cancelled_midrun_;
+        outcome = obs::RequestObs::Outcome::kCancelledMidrun;
       }
     } else {
       ++failed_;
+      outcome = obs::RequestObs::Outcome::kFailed;
     }
   }
+  result.trace = obs_.OnFinished(outcome, result.total_seconds,
+                                 std::move(req->trace), req->id,
+                                 result.status.ok(),
+                                 StatusCodeToString(result.status.code()));
   {
     std::lock_guard<std::mutex> lock(req->mu);
     req->result = std::move(result);

@@ -35,6 +35,7 @@
 #include "device/device_executor.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
+#include "obs/request_obs.h"
 #include "query/query_graph.h"
 #include "service/graph_state.h"
 #include "service/plan_cache.h"
@@ -73,6 +74,21 @@ struct ServiceOptions {
   // partitions).
   bool device_mode = false;
   device::DeviceOptions device;
+
+  // ---- Observability (src/obs/). NOTE: appended last — call sites
+  // brace-initialize this struct positionally. ----
+  // Process-wide metrics registry the service (and its cache, graph state,
+  // and device executor) reports into. Non-owning; must outlive the service.
+  // nullptr = registry metrics off.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Per-request span tracing (obs/trace.h). Off: no trace is allocated and
+  // every span record is a skipped branch.
+  bool tracing = true;
+  // Requests slower than this are FAST_LOG(WARNING)-ed with their span
+  // breakdown and retained in the slow-trace ring. 0 disables.
+  double slow_request_seconds = 0.0;
+  // Capacity of the recent-trace ring (the slow ring uses the same).
+  std::size_t trace_ring_capacity = 256;
 };
 
 struct ServiceStats {
@@ -142,6 +158,17 @@ class MatchService {
 
   std::size_t num_workers() const { return workers_.size(); }
 
+  // Requests queued but not yet dispatched (periodic-sampler probe).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  // Newest-last rings of retained traces (empty when tracing is off).
+  std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
+    return obs_.recent_traces();
+  }
+  std::vector<std::shared_ptr<const obs::CompletedTrace>> slow_traces() const {
+    return obs_.slow_traces();
+  }
+
  private:
   struct Request;
 
@@ -150,6 +177,7 @@ class MatchService {
 
   const ServiceOptions options_;
   GraphState state_;
+  obs::RequestObs obs_;
   Timer uptime_;
   // The shared simulated card (device mode only). Declared before the
   // workers that submit to it; shut down after they have drained.

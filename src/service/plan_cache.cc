@@ -4,12 +4,39 @@
 
 namespace fast::service {
 
+void PlanCache::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_counter_ = registry->GetCounter("fast_plan_cache_hits_total",
+                                       "Plan cache hits (incl. order-only)");
+  misses_counter_ = registry->GetCounter("fast_plan_cache_misses_total",
+                                         "Plan cache misses");
+  insertions_counter_ = registry->GetCounter("fast_plan_cache_insertions_total",
+                                             "Plans inserted or replaced");
+  evictions_counter_ = registry->GetCounter(
+      "fast_plan_cache_evictions_total", "Entries evicted by LRU/byte pressure");
+  invalidations_counter_ =
+      registry->GetCounter("fast_plan_cache_invalidations_total",
+                           "Entries dropped for a superseded epoch");
+  entries_gauge_ = registry->GetGauge("fast_plan_cache_entries",
+                                      "Live plan cache entries (all caches)");
+  bytes_gauge_ = registry->GetGauge(
+      "fast_plan_cache_bytes", "Serialized-CST bytes cached (all caches)");
+}
+
 void PlanCache::EraseLocked(std::unordered_map<std::string, Entry>::iterator it,
                             std::uint64_t* counter) {
-  stats_.bytes_in_use -= it->second.plan->ImageBytes();
+  const std::size_t image_bytes = it->second.plan->ImageBytes();
+  stats_.bytes_in_use -= image_bytes;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
   ++*counter;
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Add(-1.0);
+    bytes_gauge_->Add(-static_cast<double>(image_bytes));
+    (counter == &stats_.evictions ? evictions_counter_ : invalidations_counter_)
+        ->Increment();
+  }
 }
 
 void PlanCache::EvictToFitLocked() {
@@ -28,6 +55,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
     return nullptr;
   }
   if (it->second.epoch != epoch) {
@@ -42,10 +70,12 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
     // request draining on an old epoch raced a rebuild). It is the one
     // current requests want — leave it alone and treat this as a miss.
     ++stats_.misses;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   ++stats_.hits;
+  if (hits_counter_ != nullptr) hits_counter_->Increment();
   if (it->second.plan->order_only()) ++stats_.order_only_hits;
   return it->second.plan;
 }
@@ -72,8 +102,13 @@ void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
     // Never replace a fresher plan with one a draining old-epoch request
     // just built — that would thrash the slot around every swap.
     if (it->second.epoch > epoch) return;
+    const auto old_bytes = static_cast<double>(it->second.plan->ImageBytes());
     stats_.bytes_in_use -= it->second.plan->ImageBytes();
     stats_.bytes_in_use += plan->ImageBytes();
+    if (bytes_gauge_ != nullptr) {
+      bytes_gauge_->Add(static_cast<double>(plan->ImageBytes()) - old_bytes);
+      insertions_counter_->Increment();
+    }
     it->second.plan = std::move(plan);
     it->second.epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -83,6 +118,11 @@ void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
   }
   lru_.push_front(key);
   stats_.bytes_in_use += plan->ImageBytes();
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Add(static_cast<double>(plan->ImageBytes()));
+    entries_gauge_->Add(1.0);
+    insertions_counter_->Increment();
+  }
   entries_.emplace(key, Entry{lru_.begin(), epoch, std::move(plan)});
   ++stats_.insertions;
   EvictToFitLocked();

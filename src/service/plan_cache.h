@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cst/cst.h"
+#include "obs/metrics.h"
 #include "query/matching_order.h"
 
 namespace fast::service {
@@ -108,6 +109,12 @@ class PlanCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t byte_budget() const { return byte_budget_; }
 
+  // Additionally reports cache traffic into the process-wide registry
+  // (fast_plan_cache_* counters; entries/bytes gauges are adjusted by delta,
+  // so several caches — one per tenant — sum correctly into one gauge).
+  // Call before the cache sees traffic; the registry must outlive the cache.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Entry {
     std::list<std::string>::iterator lru_it;
@@ -125,6 +132,15 @@ class PlanCache {
 
   const std::size_t capacity_;
   const std::size_t byte_budget_;
+  // Registry metrics (null until BindMetrics): bumped alongside stats_ under
+  // mu_, mirroring the per-instance counters into the process-wide view.
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* insertions_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* invalidations_counter_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> entries_;

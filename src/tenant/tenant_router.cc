@@ -16,6 +16,10 @@ struct TenantRouter::Request {
   RequestOptions opts;
   double deadline_seconds = 0.0;  // resolved; 0 = none
   Timer submitted;
+  // Span recorder (null when tracing is off). Recorded on the client thread
+  // up to the queue push under sched_mu_, then exclusively on the worker that
+  // popped the request — sched_mu_ orders the two.
+  std::unique_ptr<obs::RequestTrace> trace;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -24,13 +28,14 @@ struct TenantRouter::Request {
 };
 
 struct TenantRouter::Tenant {
-  Tenant(std::string tenant_id, Graph graph, const TenantOptions& options)
+  Tenant(std::string tenant_id, Graph graph, const TenantOptions& options,
+         obs::MetricsRegistry* metrics)
       : id(std::move(tenant_id)),
         opts(options),
         state(std::move(graph),
               service::GraphStateOptions{options.plan_cache_capacity,
                                          options.plan_cache_byte_budget,
-                                         /*device_queue_key=*/id}) {
+                                         /*device_queue_key=*/id, metrics}) {
     wrr.weight = std::max<std::uint32_t>(1, options.weight);
   }
 
@@ -73,13 +78,17 @@ std::string RouterStats::Summary() const {
 }
 
 TenantRouter::TenantRouter(RouterOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      obs_(obs::RequestObs::Options{options_.metrics, options_.tracing,
+                                    options_.slow_request_seconds,
+                                    options_.trace_ring_capacity}) {
   if (options_.device_mode) {
     // One simulated card shared by every tenant, modeling the service-level
     // device under the service-level variant.
     device::DeviceOptions dopts = options_.device;
     dopts.fpga = options_.run.fpga;
     dopts.variant = options_.run.variant;
+    dopts.metrics = options_.metrics;
     device_ = std::make_unique<device::DeviceExecutor>(dopts);
   }
   std::size_t n = options_.num_workers;
@@ -96,7 +105,7 @@ Status TenantRouter::AddTenant(const std::string& id, Graph graph,
                                TenantOptions opts) {
   if (opts.weight == 0) opts.weight = 1;
   // Build the tenant (including the graph move) outside the scheduler lock.
-  auto t = std::make_shared<Tenant>(id, std::move(graph), opts);
+  auto t = std::make_shared<Tenant>(id, std::move(graph), opts, options_.metrics);
   std::lock_guard<std::mutex> lock(sched_mu_);
   if (stopping_) return Status::FailedPrecondition("router is shut down");
   if (!tenants_.emplace(id, std::move(t)).second) {
@@ -142,6 +151,11 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
   if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
 
   auto req = std::make_shared<Request>();
+  req->trace = obs_.StartTrace();
+  // No ScopedSpan: after the queue push the worker owns the trace, so nothing
+  // on this thread may touch it past that point. Begin(kQueue) below closes
+  // the admit span.
+  if (req->trace != nullptr) req->trace->Begin(obs::Span::kAdmit);
   // Canonicalization is the expensive part of admission; it runs outside
   // every lock.
   FAST_ASSIGN_OR_RETURN(req->canonical, service::CanonicalizeQuery(q));
@@ -175,8 +189,13 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
       admit = Status::ResourceExhausted("tenant quota exceeded: " + tenant_id);
       quota_reject = true;
     } else {
+      // Open the queue span BEFORE the push: once the request is queued a
+      // worker may already be recording into the trace; sched_mu_ orders this
+      // write against the worker's End().
+      if (req->trace != nullptr) req->trace->Begin(obs::Span::kQueue);
       t->queue.push_back(req);
       ++total_queued_;
+      obs_.SetQueueDepth(total_queued_);
       WrrActivate(active_, t);
     }
   }
@@ -188,14 +207,17 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
         if (quota_reject) {
           ++rejected_quota_;
           ++t->rejected_quota;
+          obs_.OnRejectedQuota();
         } else {
           ++rejected_queue_full_;
           ++t->rejected_queue_full;
+          obs_.OnRejectedQueueFull();
         }
       }
     } else {
       ++submitted_;  // counts admitted requests only
       ++t->submitted;
+      obs_.OnSubmitted();
     }
   }
   if (!admit.ok()) return admit;
@@ -288,18 +310,26 @@ std::shared_ptr<TenantRouter::Request> TenantRouter::PopNext() {
       },
       [](const Tenant& t) { return t.queue.empty(); });
   --total_queued_;
+  obs_.SetQueueDepth(total_queued_);
   ++req->tenant->in_flight;
   return req;
 }
 
+std::size_t TenantRouter::queue_depth() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return total_queued_;
+}
+
 void TenantRouter::WorkerLoop() {
   while (std::shared_ptr<Request> req = PopNext()) {
+    if (req->trace != nullptr) req->trace->End();  // closes the queue span
     RequestResult result;
     // Dispatch captures THIS tenant's snapshot inside Serve; concurrent
     // swaps on other tenants share no state with this request.
     req->tenant->state.Serve(req->canonical, req->opts, options_.run,
                              req->submitted.ElapsedSeconds(),
-                             req->deadline_seconds, device_.get(), &result);
+                             req->deadline_seconds, device_.get(),
+                             req->trace.get(), &result);
     Finish(std::move(req), std::move(result));
   }
 }
@@ -307,6 +337,7 @@ void TenantRouter::WorkerLoop() {
 void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result) {
   result.total_seconds = req->submitted.ElapsedSeconds();
   Tenant& t = *req->tenant;
+  obs::RequestObs::Outcome outcome;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (result.status.ok()) {
@@ -314,21 +345,29 @@ void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result) {
       ++t.completed;
       latency_.Record(result.total_seconds);
       t.latency.Record(result.total_seconds);
+      outcome = obs::RequestObs::Outcome::kCompleted;
     } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
       // graph_epoch distinguishes "expired while queued" (never dispatched)
       // from "aborted mid-run by the cancellation token".
       if (result.graph_epoch == 0) {
         ++rejected_deadline_;
         ++t.rejected_deadline;
+        outcome = obs::RequestObs::Outcome::kRejectedDeadline;
       } else {
         ++cancelled_midrun_;
         ++t.cancelled_midrun;
+        outcome = obs::RequestObs::Outcome::kCancelledMidrun;
       }
     } else {
       ++failed_;
       ++t.failed;
+      outcome = obs::RequestObs::Outcome::kFailed;
     }
   }
+  result.trace = obs_.OnFinished(outcome, result.total_seconds,
+                                 std::move(req->trace), req->id,
+                                 result.status.ok(),
+                                 StatusCodeToString(result.status.code()), t.id);
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     --t.in_flight;

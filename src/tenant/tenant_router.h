@@ -59,6 +59,7 @@
 #include "device/device_executor.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
+#include "obs/request_obs.h"
 #include "query/query_graph.h"
 #include "service/graph_state.h"
 #include "util/latency_histogram.h"
@@ -108,6 +109,20 @@ struct RouterOptions {
   // run.cpu_share_delta is ignored in this mode.
   bool device_mode = false;
   device::DeviceOptions device;
+
+  // ---- Observability (src/obs/). NOTE: appended last — call sites
+  // brace-initialize this struct positionally. ----
+  // Process-wide metrics registry the router (and every tenant's cache and
+  // graph state, plus the shared device) reports into. Non-owning; must
+  // outlive the router. nullptr = registry metrics off.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Per-request span tracing (obs/trace.h).
+  bool tracing = true;
+  // Requests slower than this are FAST_LOG(WARNING)-ed with their span
+  // breakdown and retained in the slow-trace ring. 0 disables.
+  double slow_request_seconds = 0.0;
+  // Capacity of the recent-trace ring (the slow ring uses the same).
+  std::size_t trace_ring_capacity = 256;
 };
 
 struct TenantStats {
@@ -205,6 +220,18 @@ class TenantRouter {
   std::vector<std::string> tenant_ids() const;
   std::size_t num_workers() const { return workers_.size(); }
 
+  // Requests queued but not yet dispatched, across all tenants
+  // (periodic-sampler probe).
+  std::size_t queue_depth() const;
+
+  // Newest-last rings of retained traces (empty when tracing is off).
+  std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
+    return obs_.recent_traces();
+  }
+  std::vector<std::shared_ptr<const obs::CompletedTrace>> slow_traces() const {
+    return obs_.slow_traces();
+  }
+
  private:
   struct Request;
   struct Tenant;
@@ -218,6 +245,7 @@ class TenantRouter {
   static void FillTenantStats(const Tenant& t, TenantStats* out);
 
   const RouterOptions options_;
+  obs::RequestObs obs_;
   Timer uptime_;
   // The shared simulated card (device mode only); created before the workers
   // that submit to it, shut down after they drain.

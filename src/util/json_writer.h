@@ -1,0 +1,151 @@
+#ifndef FAST_UTIL_JSON_WRITER_H_
+#define FAST_UTIL_JSON_WRITER_H_
+
+// Minimal streaming JSON emission, shared by the serve benches' --json
+// summaries and the observability exports (src/obs/). Lived in
+// bench/bench_serve_common.h until the metrics registry needed machine-
+// readable snapshots from library code.
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fast {
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Streams one JSON document with automatic commas and 2-space indentation.
+// Usage:
+//   JsonWriter w;                       // opens the root object
+//   w.Field("bench", "bench_service");
+//   w.BeginObject("cache_on");
+//   w.Field("qps", 123.4);
+//   w.EndObject();
+//   w.BeginArray("tenants");
+//   w.BeginObject(); ... w.EndObject();
+//   w.EndArray();
+//   std::string doc = w.Finish();       // closes the root, returns the text
+class JsonWriter {
+ public:
+  JsonWriter() { Open('{'); }
+
+  // JSON has no NaN/Infinity literals (an empty histogram's p99 is NaN, a
+  // ratio against a zero baseline is inf): emit null so the document stays
+  // parseable. std::to_chars is locale-independent, unlike snprintf("%g"),
+  // which under an LC_NUMERIC locale with a ',' decimal point would emit
+  // invalid JSON.
+  void Field(const char* key, double v) {
+    if (!std::isfinite(v)) {
+      Emit(key, "null");
+      return;
+    }
+    char buf[48];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+    Emit(key, ec == std::errc() ? std::string_view(buf, ptr - buf)
+                                : std::string_view("null"));
+  }
+  void Field(const char* key, std::uint64_t v) {
+    Emit(key, std::to_string(v));
+  }
+  void Field(const char* key, bool v) { Emit(key, v ? "true" : "false"); }
+  void Field(const char* key, std::string_view v) {
+    Emit(key, "\"" + JsonEscape(v) + "\"");
+  }
+  void Field(const char* key, const char* v) { Field(key, std::string_view(v)); }
+
+  void BeginObject(const char* key = nullptr) {
+    NextItem(key);
+    Open('{');
+  }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* key = nullptr) {
+    NextItem(key);
+    Open('[');
+  }
+  void EndArray() { Close(']'); }
+
+  // Closes every still-open scope (root included) and returns the document.
+  std::string Finish() {
+    while (!closers_.empty()) Close(closers_.back());
+    out_ += '\n';
+    return std::move(out_);
+  }
+
+ private:
+  void Open(char opener) {
+    out_ += opener;
+    closers_.push_back(opener == '{' ? '}' : ']');
+    first_in_scope_ = true;
+  }
+  void Close(char closer) {
+    out_ += '\n';
+    closers_.pop_back();
+    Indent();
+    out_ += closer;
+    first_in_scope_ = false;
+  }
+  void NextItem(const char* key) {
+    if (!first_in_scope_) out_ += ',';
+    out_ += '\n';
+    first_in_scope_ = false;
+    Indent();
+    if (key != nullptr) {
+      out_ += '"';
+      out_ += JsonEscape(key);
+      out_ += "\": ";
+    }
+  }
+  void Emit(const char* key, std::string_view value) {
+    NextItem(key);
+    out_ += value;
+  }
+  void Indent() { out_.append(2 * closers_.size(), ' '); }
+
+  std::string out_;
+  std::vector<char> closers_;
+  bool first_in_scope_ = true;
+};
+
+// Writes `payload` to `path`, reporting failures on stderr. Returns false on
+// failure (callers treat that as a non-fatal warning; CI notices the missing
+// artifact).
+inline bool WriteJsonFile(const std::string& path, const std::string& payload) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << payload;
+  return true;
+}
+
+}  // namespace fast
+
+#endif  // FAST_UTIL_JSON_WRITER_H_

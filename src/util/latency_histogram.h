@@ -36,6 +36,7 @@ class LatencyHistogram {
   // Returns 0 for an empty histogram.
   double ValueAtQuantile(double q) const;
   double P50() const { return ValueAtQuantile(0.50); }
+  double P90() const { return ValueAtQuantile(0.90); }
   double P99() const { return ValueAtQuantile(0.99); }
 
   void Merge(const LatencyHistogram& other);

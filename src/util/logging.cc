@@ -1,11 +1,20 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <chrono>
 
 namespace fast {
 
 namespace {
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+// Set once SetMinLogSeverity runs, so an explicit call beats FAST_LOG_LEVEL
+// regardless of whether the env var is read before or after it.
+std::atomic<bool> g_severity_explicit{false};
 
 const char* SeverityName(LogSeverity s) {
   switch (s) {
@@ -22,12 +31,43 @@ const char* SeverityName(LogSeverity s) {
   }
   return "UNKNOWN";
 }
+
+LogSeverity EnvMinSeverity() {
+  // Magic static: the environment is parsed once, on first log/query.
+  static const LogSeverity parsed = [] {
+    const char* env = std::getenv("FAST_LOG_LEVEL");
+    if (env != nullptr) {
+      if (const auto s = ParseLogSeverity(env)) return *s;
+      std::fprintf(stderr, "FAST_LOG_LEVEL: unrecognized level \"%s\"; using INFO\n", env);
+    }
+    return LogSeverity::kInfo;
+  }();
+  return parsed;
+}
 }  // namespace
 
-LogSeverity MinLogSeverity() { return g_min_severity.load(std::memory_order_relaxed); }
+std::optional<LogSeverity> ParseLogSeverity(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug" || lower == "0") return LogSeverity::kDebug;
+  if (lower == "info" || lower == "1") return LogSeverity::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") return LogSeverity::kWarning;
+  if (lower == "error" || lower == "3") return LogSeverity::kError;
+  if (lower == "fatal" || lower == "4") return LogSeverity::kFatal;
+  return std::nullopt;
+}
+
+LogSeverity MinLogSeverity() {
+  if (g_severity_explicit.load(std::memory_order_acquire)) {
+    return g_min_severity.load(std::memory_order_relaxed);
+  }
+  return EnvMinSeverity();
+}
 
 void SetMinLogSeverity(LogSeverity severity) {
   g_min_severity.store(severity, std::memory_order_relaxed);
+  g_severity_explicit.store(true, std::memory_order_release);
 }
 
 namespace internal {
@@ -39,12 +79,34 @@ LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line << "] ";
+
+  // Wall-clock timestamp with microseconds, e.g. "20260808 14:03:07.123456".
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char ts[80];
+  std::snprintf(ts, sizeof(ts), "%04d%02d%02d %02d:%02d:%02d.%06d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(micros));
+
+  stream_ << "[" << ts << " " << SeverityName(severity) << " " << base << ":"
+          << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // One fwrite per message: POSIX stdio streams lock around each call, so
+    // whole lines from concurrent threads never interleave mid-line (the
+    // previous operator<< chain on std::cerr gave no such guarantee).
+    std::string line = stream_.str();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

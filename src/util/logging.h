@@ -9,19 +9,31 @@
 //
 // FATAL (and failed CHECKs) abort the process: they flag programmer errors,
 // not runtime conditions (which use fast::Status).
+//
+// Each message is flushed to stderr as ONE write (timestamp + severity +
+// file:line prefix + body + newline), so logs from concurrent workers never
+// interleave mid-line.
 
 #include <cstdlib>
-#include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace fast {
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-// Process-wide minimum severity that is actually emitted. Default: kInfo.
+// Process-wide minimum severity that is actually emitted. Default: kInfo,
+// overridable via the FAST_LOG_LEVEL environment variable ("debug", "info",
+// "warning", "error", "fatal", case-insensitive; numeric 0-4 also accepted).
+// An explicit SetMinLogSeverity call always wins over the environment.
 LogSeverity MinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
+
+// Parses a FAST_LOG_LEVEL-style severity name; nullopt when unrecognized.
+// Exposed for tests.
+std::optional<LogSeverity> ParseLogSeverity(std::string_view name);
 
 namespace internal {
 

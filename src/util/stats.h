@@ -12,7 +12,9 @@
 
 namespace fast {
 
-// Streaming min/max/mean/count accumulator.
+// Streaming min/max/mean/variance/count accumulator. Variance uses
+// Welford's online update (numerically stable even when the mean is large
+// relative to the spread, where the naive sum-of-squares cancels).
 class RunningStats {
  public:
   void Add(double x) {
@@ -20,6 +22,31 @@ class RunningStats {
     sum_ += x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  // Folds `other` into this accumulator, as if every sample Add()ed to
+  // either had been Add()ed here. Chan et al.'s parallel combination of the
+  // Welford moments — this is how per-worker accumulators aggregate into a
+  // global export without replaying samples.
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * (nb / n);
+    m2_ += other.m2_ + delta * delta * (na * nb / n);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
 
   std::uint64_t count() const { return count_; }
@@ -27,12 +54,20 @@ class RunningStats {
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Population variance (divides by n, not n-1): these accumulators describe
+  // the full set of observed requests, not a sample of a larger population.
+  double variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
 
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;  // Welford running mean (sum_/count_ kept for mean())
+  double m2_ = 0.0;    // sum of squared deviations from the running mean
 };
 
 // Human-readable count, e.g. 1234567 -> "1.23M".

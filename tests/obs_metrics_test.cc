@@ -1,0 +1,225 @@
+// Tests for the metrics registry (src/obs/metrics.h) and its export
+// surfaces (src/obs/export.h): counter/gauge/histogram semantics, named
+// registration, concurrent hot-path updates racing a scraper (the TSan
+// target), the JSON/Prometheus emitters, and the periodic gauge sampler.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/json_writer.h"
+
+namespace fast {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::PeriodicSampler;
+
+TEST(MetricsTest, CounterIncrementsAcrossShards) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetReplacesAndAddAdjusts) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(10.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 10.0);
+  // Add() lets several component instances share one gauge: each adjusts by
+  // its delta and the contributions sum.
+  g.Add(5.0);
+  g.Add(-2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 12.5);
+}
+
+TEST(MetricsTest, HistogramMergesShardsInSnapshot) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);
+  const LatencyHistogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 100u);
+  EXPECT_DOUBLE_EQ(snap.min_seconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(snap.max_seconds(), 0.1);
+  EXPECT_GT(snap.P50(), 0.04);
+  EXPECT_LT(snap.P50(), 0.07);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total", "first registration wins the help");
+  Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = reg.GetGauge("x_gauge");
+  Gauge* g2 = reg.GetGauge("x_gauge", "backfilled into the empty help");
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchIsFatal) {
+  MetricsRegistry reg;
+  reg.GetCounter("dual_use");
+  EXPECT_DEATH(reg.GetGauge("dual_use"), "different kind");
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b_total")->Increment(2);
+  reg.GetCounter("a_total")->Increment(1);
+  reg.GetGauge("depth")->Set(7.0);
+  reg.GetHistogram("lat_seconds")->Record(0.5);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a_total");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b_total");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count(), 1u);
+}
+
+// The TSan target: worker threads hammering counters/gauges/histograms (and
+// registering new metrics) while another thread scrapes snapshots. No result
+// assertions beyond final totals — the point is a data-race-free interleave.
+TEST(MetricsRegistryTest, ConcurrentUpdatesRaceSnapshots) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = reg.Snapshot();
+      for (const auto& c : snap.counters) EXPECT_LE(c.value, kThreads * kIters);
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      Counter* shared = reg.GetCounter("hammer_total");
+      Gauge* gauge = reg.GetGauge("hammer_gauge");
+      Histogram* hist = reg.GetHistogram("hammer_seconds");
+      Counter* own = reg.GetCounter("hammer_" + std::to_string(t) + "_total");
+      for (int i = 0; i < kIters; ++i) {
+        shared->Increment();
+        own->Increment();
+        gauge->Add(1.0);
+        hist->Record(1e-4 * (i % 17 + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  scraper.join();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == "hammer_total") {
+      EXPECT_EQ(c.value, static_cast<std::uint64_t>(kThreads) * kIters);
+    }
+  }
+  EXPECT_DOUBLE_EQ(reg.GetGauge("hammer_gauge")->Value(), kThreads * kIters);
+  EXPECT_EQ(reg.GetHistogram("hammer_seconds")->Snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsExportTest, SnapshotJsonContainsAllSections) {
+  MetricsRegistry reg;
+  reg.GetCounter("reqs_total", "requests")->Increment(3);
+  reg.GetGauge("depth")->Set(2.0);
+  reg.GetHistogram("lat_seconds")->Record(0.25);
+  const std::string doc = obs::SnapshotToJson(reg.Snapshot());
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"reqs_total\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99_seconds\""), std::string::npos);
+}
+
+TEST(MetricsExportTest, EmbeddedSnapshotNestsUnderKey) {
+  MetricsRegistry reg;
+  reg.GetCounter("reqs_total")->Increment();
+  JsonWriter w;
+  w.Field("bench", "unit");
+  obs::WriteSnapshotJson(w, reg.Snapshot(), "metrics");
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"reqs_total\": 1"), std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusTextHasHelpTypeAndQuantiles) {
+  MetricsRegistry reg;
+  reg.GetCounter("reqs_total", "Requests admitted")->Increment(5);
+  reg.GetGauge("depth", "Queue depth")->Set(4.0);
+  for (int i = 0; i < 10; ++i) reg.GetHistogram("lat_seconds")->Record(0.01);
+  const std::string text = obs::ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# HELP reqs_total Requests admitted"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 10"), std::string::npos);
+}
+
+TEST(PeriodicSamplerTest, RetainsSeriesAndMirrorsGauges) {
+  MetricsRegistry reg;
+  std::atomic<int> ticks{0};
+  PeriodicSampler sampler(&reg, /*interval_seconds=*/0.005, [&ticks] {
+    const int t = ticks.fetch_add(1) + 1;
+    return std::vector<std::pair<std::string, double>>{
+        {"sampled_depth", static_cast<double>(t)}};
+  });
+  sampler.Start();
+  while (ticks.load() < 3) std::this_thread::yield();
+  sampler.Stop();   // takes one final sample
+  sampler.Stop();   // idempotent
+
+  const auto series = sampler.SeriesSnapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].name, "sampled_depth");
+  ASSERT_GE(series[0].points.size(), 3u);
+  for (std::size_t i = 1; i < series[0].points.size(); ++i) {
+    EXPECT_GE(series[0].points[i].first, series[0].points[i - 1].first);
+    EXPECT_GT(series[0].points[i].second, series[0].points[i - 1].second);
+  }
+  // The latest value is mirrored into the registry gauge of the same name.
+  EXPECT_DOUBLE_EQ(reg.GetGauge("sampled_depth")->Value(),
+                   series[0].points.back().second);
+
+  JsonWriter w;
+  sampler.WriteSeriesJson(w, "samples");
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"samples\""), std::string::npos);
+  EXPECT_NE(doc.find("\"sampled_depth\""), std::string::npos);
+}
+
+TEST(PeriodicSamplerTest, BoundsPointsPerSeries) {
+  MetricsRegistry reg;
+  PeriodicSampler sampler(&reg, /*interval_seconds=*/1e-4,
+                          [] {
+                            return std::vector<std::pair<std::string, double>>{
+                                {"busy", 1.0}};
+                          },
+                          /*max_points_per_series=*/4);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.Stop();
+  const auto series = sampler.SeriesSnapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_LE(series[0].points.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fast

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
+#include "util/latency_histogram.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -122,6 +124,69 @@ TEST(StatsTest, RunningStatsBasics) {
   EXPECT_DOUBLE_EQ(s.sum(), 12.0);
 }
 
+TEST(StatsTest, RunningStatsVarianceAndStddev) {
+  RunningStats s;
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4, stddev 2.
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(StatsTest, RunningStatsWelfordIsStableForLargeMean) {
+  // Naive sum-of-squares catastrophically cancels when mean >> spread; the
+  // Welford update must not. Values 1e9 + {0, 1, 2}: variance 2/3.
+  RunningStats s;
+  for (double off : {0.0, 1.0, 2.0}) s.Add(1e9 + off);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(StatsTest, RunningStatsMergeMatchesPooled) {
+  Rng rng(99);
+  RunningStats pooled, a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.UniformDouble() * 10.0 + (i % 3 == 0 ? 50.0 : 0.0);
+    pooled.Add(x);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(x);
+  }
+  RunningStats merged;
+  merged.Merge(a);  // merge-into-empty adopts a wholesale
+  merged.Merge(b);
+  merged.Merge(c);
+  merged.Merge(RunningStats());  // merging an empty accumulator is a no-op
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(merged.max(), pooled.max());
+  EXPECT_NEAR(merged.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), pooled.variance(), 1e-6);
+  EXPECT_NEAR(merged.stddev(), pooled.stddev(), 1e-6);
+}
+
+// ---- LatencyHistogram ----
+
+TEST(LatencyHistogramTest, MergeMatchesPooledQuantiles) {
+  Rng rng(7);
+  LatencyHistogram pooled, a, b;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = (rng.UniformDouble() + 0.001) * (i % 2 == 0 ? 0.01 : 1.0);
+    pooled.Record(x);
+    (i % 2 == 0 ? a : b).Record(x);
+  }
+  LatencyHistogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(merged.min_seconds(), pooled.min_seconds());
+  EXPECT_DOUBLE_EQ(merged.max_seconds(), pooled.max_seconds());
+  // Same records, same buckets: the merged histogram must report identical
+  // quantiles, not merely close ones.
+  EXPECT_DOUBLE_EQ(merged.P50(), pooled.P50());
+  EXPECT_DOUBLE_EQ(merged.P90(), pooled.P90());
+  EXPECT_DOUBLE_EQ(merged.P99(), pooled.P99());
+}
+
 TEST(StatsTest, HumanCount) {
   EXPECT_EQ(HumanCount(950), "950.00");
   EXPECT_EQ(HumanCount(3.18e6), "3.18M");
@@ -211,6 +276,32 @@ TEST(LoggingTest, SeverityThresholdControlsEmission) {
   SetMinLogSeverity(old);
   EXPECT_EQ(err.find("hidden"), std::string::npos);
   EXPECT_NE(err.find("visible"), std::string::npos);
+}
+
+TEST(LoggingTest, ParseLogSeverityAcceptsNamesAndNumbers) {
+  EXPECT_EQ(ParseLogSeverity("debug"), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("INFO"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("Warning"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("warn"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("error"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("fatal"), LogSeverity::kFatal);
+  EXPECT_EQ(ParseLogSeverity("0"), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("3"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity(""), std::nullopt);
+}
+
+TEST(LoggingTest, MessagesCarryTimestampSeverityAndLocationPrefix) {
+  const LogSeverity old = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kInfo);
+  ::testing::internal::CaptureStderr();
+  FAST_LOG(WARNING) << "prefixed";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetMinLogSeverity(old);
+  // "[YYYYMMDD HH:MM:SS.micros WARNING util_test.cc:NN] prefixed"
+  EXPECT_EQ(err.find('['), 0u);
+  EXPECT_NE(err.find(" WARNING util_test.cc:"), std::string::npos);
+  EXPECT_NE(err.find("] prefixed"), std::string::npos);
 }
 
 TEST(LoggingTest, CheckPassesOnTrueCondition) {

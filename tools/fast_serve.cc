@@ -56,16 +56,21 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_delta.h"
 #include "graph/graph_io.h"
 #include "ldbc/ldbc.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "service/match_service.h"
 #include "tenant/tenant_router.h"
 #include "tools/flag_parser.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -76,6 +81,84 @@ using namespace fast;
 using service::MatchService;
 using service::RequestOptions;
 using service::ServiceOptions;
+
+// Observability exports (src/obs/): where to write the final registry
+// snapshot, the Prometheus text dump, and the retained-trace JSONL.
+struct ObsConfig {
+  std::string metrics_json;
+  std::string metrics_prom;
+  std::string trace_log;
+  double sample_ms = 100.0;  // periodic-sampler interval
+};
+
+// Background gauge sampler: polls the serving gauges the components maintain
+// (queue depth, cache bytes, device occupancy) into bounded time-series that
+// --metrics-json exports. Started only when that export is requested.
+std::unique_ptr<obs::PeriodicSampler> StartGaugeSampler(
+    obs::MetricsRegistry* registry, double sample_ms) {
+  auto sampler = std::make_unique<obs::PeriodicSampler>(
+      registry, sample_ms / 1e3, [registry] {
+        std::vector<std::pair<std::string, double>> out;
+        for (const char* name :
+             {"fast_service_queue_depth", "fast_plan_cache_bytes",
+              "fast_device_queue_depth", "fast_device_occupancy"}) {
+          out.emplace_back(name, registry->GetGauge(name)->Value());
+        }
+        return out;
+      });
+  sampler->Start();
+  return sampler;
+}
+
+// Writes the requested export files at the end of a run. Returns nonzero when
+// a requested file could not be written.
+int WriteObsOutputs(
+    const ObsConfig& cfg, obs::MetricsRegistry& registry,
+    const obs::PeriodicSampler* sampler,
+    const std::vector<std::shared_ptr<const obs::CompletedTrace>>& traces) {
+  if (!cfg.metrics_json.empty()) {
+    JsonWriter w;
+    obs::WriteSnapshotJson(w, registry.Snapshot(), "metrics");
+    if (sampler != nullptr) sampler->WriteSeriesJson(w, "samples");
+    // Wall-span coverage over the retained traces: how much of each request's
+    // end-to-end latency the recorded spans explain.
+    double cov_sum = 0.0;
+    double cov_min = 1.0;
+    std::uint64_t covered = 0;
+    for (const auto& t : traces) {
+      if (!t->ok || t->total_seconds <= 0.0) continue;
+      const double c = t->Coverage();
+      cov_sum += c;
+      cov_min = std::min(cov_min, c);
+      ++covered;
+    }
+    w.BeginObject("trace_summary");
+    w.Field("retained", static_cast<std::uint64_t>(traces.size()));
+    w.Field("covered", covered);
+    w.Field("mean_coverage", covered > 0 ? cov_sum / covered : 0.0);
+    w.Field("min_coverage", covered > 0 ? cov_min : 0.0);
+    w.EndObject();
+    if (!WriteJsonFile(cfg.metrics_json, w.Finish())) return 1;
+    std::printf("metrics:     wrote %s\n", cfg.metrics_json.c_str());
+  }
+  if (!cfg.metrics_prom.empty()) {
+    if (!WriteJsonFile(cfg.metrics_prom, obs::ToPrometheusText(registry.Snapshot()))) {
+      return 1;
+    }
+    std::printf("metrics:     wrote %s\n", cfg.metrics_prom.c_str());
+  }
+  if (!cfg.trace_log.empty()) {
+    std::string lines;
+    for (const auto& t : traces) {
+      lines += obs::TraceToJson(*t);
+      lines += '\n';
+    }
+    if (!WriteJsonFile(cfg.trace_log, lines)) return 1;
+    std::printf("traces:      wrote %zu trace%s to %s\n", traces.size(),
+                traces.size() == 1 ? "" : "s", cfg.trace_log.c_str());
+  }
+  return 0;
+}
 
 StatusOr<std::vector<GraphDelta>> LoadDeltaFiles(const std::string& spec) {
   std::vector<GraphDelta> deltas;
@@ -105,7 +188,8 @@ StatusOr<std::vector<QueryGraph>> LoadQueryMix(const tools::FlagParser& flags) {
 // round-robin. Invoked by Run() when --tenants > 1.
 int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options,
                    const std::vector<QueryGraph>& queries,
-                   std::vector<Graph> graphs, std::size_t store) {
+                   std::vector<Graph> graphs, std::size_t store,
+                   const ObsConfig& obs_cfg, obs::MetricsRegistry* registry) {
   const std::size_t num_tenants = graphs.size();
   double duration, zipf_s, swap_every_ms;
   std::size_t clients, quota, churn;
@@ -145,6 +229,10 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
   ropts.run = options.run;
   ropts.device_mode = options.device_mode;
   ropts.device = options.device;
+  ropts.metrics = options.metrics;
+  ropts.tracing = options.tracing;
+  ropts.slow_request_seconds = options.slow_request_seconds;
+  ropts.trace_ring_capacity = options.trace_ring_capacity;
   tenant::TenantRouter router(ropts);
 
   std::vector<std::string> ids;
@@ -166,6 +254,11 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
               "zipf s=%g\n",
               num_tenants, router.num_workers(), ropts.queue_capacity, quota,
               zipf_s);
+
+  std::unique_ptr<obs::PeriodicSampler> sampler;
+  if (!obs_cfg.metrics_json.empty()) {
+    sampler = StartGaugeSampler(registry, obs_cfg.sample_ms);
+  }
 
   const std::vector<double> cdf = ZipfCdf(num_tenants, zipf_s);
   std::atomic<bool> stop{false};
@@ -225,6 +318,7 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
   stop.store(true);
   for (auto& t : client_threads) t.join();
   if (writer.joinable()) writer.join();
+  if (sampler != nullptr) sampler->Stop();
 
   const auto stats = router.stats();
   const double elapsed = wall.ElapsedSeconds();
@@ -250,6 +344,11 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
   if (stats.device_mode) {
     std::printf("device:      %s\n", stats.device.Summary().c_str());
   }
+  if (int rc = WriteObsOutputs(obs_cfg, *registry, sampler.get(),
+                               router.recent_traces());
+      rc != 0) {
+    return rc;
+  }
   if (writer_failed.load()) {
     std::fprintf(stderr, "error: snapshot writer stopped early (see above)\n");
     return 1;
@@ -264,8 +363,9 @@ int Run(int argc, char** argv) {
        "cache-size", "cache-bytes", "queue", "deadline-ms", "delta", "variant",
        "store", "update", "reload", "swap-every-ms", "churn", "tenants",
        "zipf-s", "quota", "weights", "device", "batch-window-us", "max-batch",
-       "no-cache", "once", "help"},
-      /*bool_flags=*/{"device", "no-cache", "once", "help"});
+       "metrics-json", "metrics-prom", "trace-log", "slow-ms", "sample-ms",
+       "no-trace", "no-cache", "once", "help"},
+      /*bool_flags=*/{"device", "no-trace", "no-cache", "once", "help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
         stderr,
@@ -279,7 +379,9 @@ int Run(int argc, char** argv) {
         "                  [--tenants N] [--zipf-s S] [--quota N]\n"
         "                  [--weights W1,...,WN]\n"
         "                  [--device] [--batch-window-us US] [--max-batch N]\n"
-        "                  [--no-cache] [--once]\n%s\n",
+        "                  [--metrics-json FILE] [--metrics-prom FILE]\n"
+        "                  [--trace-log FILE] [--slow-ms MS] [--sample-ms MS]\n"
+        "                  [--no-trace] [--no-cache] [--once]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -357,6 +459,22 @@ int Run(int argc, char** argv) {
   options.device.batch_window_seconds = batch_window_us * 1e-6;
   options.device.max_batch_items = std::max<std::size_t>(1, max_batch);
 
+  // --- Observability (src/obs/): process-wide registry, span tracing, and
+  // the export files written at exit. The registry outlives the service (and
+  // the router in the multi-tenant branch). ---
+  obs::MetricsRegistry registry;
+  ObsConfig obs_cfg;
+  obs_cfg.metrics_json = flags->GetString("metrics-json", "");
+  obs_cfg.metrics_prom = flags->GetString("metrics-prom", "");
+  obs_cfg.trace_log = flags->GetString("trace-log", "");
+  FAST_FLAG_ASSIGN_OR_USAGE(obs_cfg.sample_ms,
+                            flags->GetDouble("sample-ms", 100.0));
+  double slow_ms;
+  FAST_FLAG_ASSIGN_OR_USAGE(slow_ms, flags->GetDouble("slow-ms", 0.0));
+  options.metrics = &registry;
+  options.tracing = !flags->Has("no-trace");
+  options.slow_request_seconds = slow_ms / 1e3;
+
   // --- Multi-tenant replay branch. ---
   std::size_t num_tenants;
   FAST_FLAG_ASSIGN_OR_USAGE(num_tenants, flags->GetSizeT("tenants", 1));
@@ -384,7 +502,8 @@ int Run(int argc, char** argv) {
       }
       graphs.push_back(std::move(*g));
     }
-    return RunMultiTenant(*flags, options, *queries, std::move(graphs), store);
+    return RunMultiTenant(*flags, options, *queries, std::move(graphs), store,
+                          obs_cfg, &registry);
   }
   if (flags->Has("zipf-s") || flags->Has("quota") || flags->Has("weights")) {
     std::fprintf(stderr, "--zipf-s/--quota/--weights only apply with "
@@ -473,7 +592,8 @@ int Run(int argc, char** argv) {
     if (stats.device_mode) {
       std::printf("device: %s\n", stats.device.Summary().c_str());
     }
-    return 0;
+    return WriteObsOutputs(obs_cfg, registry, /*sampler=*/nullptr,
+                           svc.recent_traces());
   }
 
   // --- Fixed-duration replay. ---
@@ -502,6 +622,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--churn needs --swap-every-ms and no --update files "
                          "(churn generates the random deltas)\n");
     return 2;
+  }
+
+  std::unique_ptr<obs::PeriodicSampler> sampler;
+  if (!obs_cfg.metrics_json.empty()) {
+    sampler = StartGaugeSampler(&registry, obs_cfg.sample_ms);
   }
 
   std::atomic<bool> stop{false};
@@ -561,6 +686,7 @@ int Run(int argc, char** argv) {
   stop.store(true);
   for (auto& t : client_threads) t.join();
   if (writer.joinable()) writer.join();
+  if (sampler != nullptr) sampler->Stop();
 
   const auto stats = svc.stats();
   const double elapsed = wall.ElapsedSeconds();
@@ -589,6 +715,11 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(stats.graph_swaps));
   if (stats.device_mode) {
     std::printf("device:      %s\n", stats.device.Summary().c_str());
+  }
+  if (int rc = WriteObsOutputs(obs_cfg, registry, sampler.get(),
+                               svc.recent_traces());
+      rc != 0) {
+    return rc;
   }
   if (writer_failed.load()) {
     std::fprintf(stderr, "error: snapshot writer stopped early (see above)\n");
