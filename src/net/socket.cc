@@ -1,0 +1,115 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fast::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+StatusOr<sockaddr_in> MakeAddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void ScopedFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<ScopedFd> ListenTcp(const std::string& host, std::uint16_t port,
+                             std::uint16_t* bound_port) {
+  FAST_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 128) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+StatusOr<ScopedFd> AcceptTcp(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return ScopedFd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+StatusOr<ScopedFd> ConnectTcp(const std::string& host, std::uint16_t port) {
+  FAST_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SendAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::size_t> RecvSome(int fd, std::uint8_t* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t rc = ::recv(fd, buf, cap, 0);
+    if (rc >= 0) return static_cast<std::size_t>(rc);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace fast::net

@@ -1,0 +1,67 @@
+#ifndef FAST_NET_SOCKET_H_
+#define FAST_NET_SOCKET_H_
+
+// Thin POSIX TCP helpers for the wire server/client. Blocking sockets,
+// Status-based errors, no ownership magic beyond ScopedFd.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace fast::net {
+
+// Closes the fd on destruction. Movable, not copyable.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Close(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on `host:port` (IPv4; host "0.0.0.0" or "127.0.0.1").
+// port 0 picks an ephemeral port; *bound_port reports the actual one.
+StatusOr<ScopedFd> ListenTcp(const std::string& host, std::uint16_t port,
+                             std::uint16_t* bound_port);
+
+// Blocking accept. Returns an error Status when the listener was shut down
+// or closed (the server's exit path).
+StatusOr<ScopedFd> AcceptTcp(int listen_fd);
+
+// Blocking connect to `host:port` with TCP_NODELAY set.
+StatusOr<ScopedFd> ConnectTcp(const std::string& host, std::uint16_t port);
+
+// Writes all n bytes (looping over partial writes, EINTR-safe, SIGPIPE
+// suppressed). Error when the peer closed.
+Status SendAll(int fd, const std::uint8_t* data, std::size_t n);
+
+// One blocking recv. Returns 0 on clean EOF, otherwise the byte count.
+StatusOr<std::size_t> RecvSome(int fd, std::uint8_t* buf, std::size_t cap);
+
+// Unblocks any thread parked in accept/recv on fd (::shutdown(SHUT_RDWR)).
+void ShutdownFd(int fd);
+
+}  // namespace fast::net
+
+#endif  // FAST_NET_SOCKET_H_

@@ -1,0 +1,272 @@
+#include "net/wire_client.h"
+
+#include <utility>
+
+namespace fast::net {
+
+StatusOr<std::unique_ptr<WireClient>> WireClient::Connect(
+    const std::string& host, std::uint16_t port) {
+  auto client = std::unique_ptr<WireClient>(new WireClient());
+  FAST_ASSIGN_OR_RETURN(client->fd_, ConnectTcp(host, port));
+
+  // HELLO handshake, synchronously before the reader thread exists so the
+  // advertised window is known when Connect returns.
+  FrameHeader hello;
+  hello.type = FrameType::kHello;
+  FAST_RETURN_IF_ERROR(client->SendFrame(hello, {}));
+
+  FrameDecoder decoder;
+  std::uint8_t buf[4096];
+  for (;;) {
+    Frame frame;
+    FAST_ASSIGN_OR_RETURN(const bool has, decoder.Next(&frame));
+    if (has) {
+      if (frame.header.type != FrameType::kHelloAck) {
+        return Status::Internal(std::string("wire: expected HELLO_ACK, got ") +
+                                FrameTypeName(frame.header.type));
+      }
+      FAST_ASSIGN_OR_RETURN(const HelloAckPayload ack,
+                            DecodeHelloAckPayload(frame.payload));
+      client->max_inflight_ = ack.max_inflight;
+      break;
+    }
+    FAST_ASSIGN_OR_RETURN(const std::size_t n,
+                          RecvSome(client->fd_.get(), buf, sizeof(buf)));
+    if (n == 0) return Status::Internal("wire: server closed during handshake");
+    decoder.Feed({buf, n});
+  }
+
+  // Handshake bytes are a prefix of the stream: the decoder is drained, so
+  // the reader thread can start with a fresh one.
+  client->reader_ = std::thread([c = client.get()] { c->ReaderLoop(); });
+  return client;
+}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  bool expected = false;
+  if (!closed_.compare_exchange_strong(expected, true)) {
+    // A second caller must still not return before the reader is gone.
+    if (reader_.joinable() &&
+        reader_.get_id() != std::this_thread::get_id()) {
+      reader_.join();
+    }
+    return;
+  }
+  ShutdownFd(fd_.get());
+  if (reader_.joinable()) reader_.join();
+  FailAllPending(Status::Internal("wire: connection closed"));
+}
+
+std::size_t WireClient::inflight() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.size();
+}
+
+StatusOr<std::uint64_t> WireClient::SubmitAsync(const QueryGraph& q,
+                                                WireSubmitArgs args,
+                                                Handler handler) {
+  if (closed_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("wire: client closed");
+  }
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::uint8_t> payload;
+  EncodeSubmitPayload(q, args.store_limit, &payload);
+  FrameHeader h;
+  h.type = FrameType::kSubmit;
+  h.request_id = id;
+  h.deadline_us = args.deadline_us;
+  h.tenant = std::move(args.tenant);
+  if (args.stream_embeddings) h.flags |= kFlagStreamEmbeddings;
+
+  // Register BEFORE sending: the response can beat the map insert otherwise.
+  {
+    auto pending = std::make_unique<PendingRequest>();
+    pending->handler = std::move(handler);
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(id, std::move(pending));
+  }
+  const Status sent = SendFrame(h, payload);
+  if (!sent.ok()) {
+    // The error return IS the notification — deregister without invoking the
+    // handler so the caller sees exactly one signal. (Take may come up empty
+    // if the reader already failed everything; that call invoked it.)
+    Take(id);
+    return sent;
+  }
+  return id;
+}
+
+StatusOr<WireResponse> WireClient::Call(const QueryGraph& q,
+                                        WireSubmitArgs args) {
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    WireResponse resp;
+  };
+  auto state = std::make_shared<SyncState>();
+  FAST_RETURN_IF_ERROR(SubmitAsync(q, std::move(args),
+                                   [state](WireResponse resp) {
+                                     std::lock_guard<std::mutex> lock(state->mu);
+                                     state->resp = std::move(resp);
+                                     state->done = true;
+                                     state->cv.notify_all();
+                                   })
+                           .status());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->done; });
+  return std::move(state->resp);
+}
+
+Status WireClient::Ping() {
+  if (closed_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("wire: client closed");
+  }
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ping_mu_);
+    awaited_pong_ = id;
+    pong_seen_ = false;
+  }
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  h.request_id = id;
+  FAST_RETURN_IF_ERROR(SendFrame(h, {}));
+  std::unique_lock<std::mutex> lock(ping_mu_);
+  ping_cv_.wait(lock, [this] {
+    return pong_seen_ || closed_.load(std::memory_order_relaxed);
+  });
+  if (!pong_seen_) return Status::Internal("wire: connection closed");
+  return Status::OK();
+}
+
+void WireClient::ReaderLoop() {
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> buf(64u << 10);
+  Status exit_status = Status::Internal("wire: connection closed");
+  for (;;) {
+    StatusOr<std::size_t> n = RecvSome(fd_.get(), buf.data(), buf.size());
+    if (!n.ok()) {
+      exit_status = n.status();
+      break;
+    }
+    if (*n == 0) break;  // clean EOF
+    decoder.Feed({buf.data(), *n});
+    bool poisoned = false;
+    for (;;) {
+      Frame frame;
+      StatusOr<bool> has = decoder.Next(&frame);
+      if (!has.ok()) {
+        exit_status = has.status();
+        poisoned = true;
+        break;
+      }
+      if (!*has) break;
+      OnFrame(std::move(frame));
+    }
+    if (poisoned) break;
+  }
+  closed_.store(true, std::memory_order_relaxed);
+  FailAllPending(exit_status);
+  {
+    std::lock_guard<std::mutex> lock(ping_mu_);
+    ping_cv_.notify_all();
+  }
+}
+
+void WireClient::OnFrame(Frame frame) {
+  const std::uint64_t id = frame.header.request_id;
+  switch (frame.header.type) {
+    case FrameType::kEmbedding: {
+      StatusOr<EmbeddingPayload> batch = DecodeEmbeddingPayload(frame.payload);
+      if (!batch.ok()) return;  // malformed non-terminal frame: drop
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        it->second->embeddings.push_back(std::move(*batch));
+      }
+      return;
+    }
+    case FrameType::kResult:
+    case FrameType::kPushback:
+    case FrameType::kError: {
+      auto pending = Take(id);
+      if (pending == nullptr) return;  // duplicate/unknown id
+      WireResponse resp;
+      resp.embeddings = std::move(pending->embeddings);
+      if (frame.header.type == FrameType::kResult) {
+        StatusOr<ResultPayload> result = DecodeResultPayload(frame.payload);
+        if (result.ok()) {
+          resp.kind = WireResponse::Kind::kResult;
+          resp.result = std::move(*result);
+          resp.status =
+              Status(static_cast<StatusCode>(resp.result.status_code),
+                     resp.result.message);
+        } else {
+          resp.kind = WireResponse::Kind::kTransport;
+          resp.status = result.status();
+        }
+      } else {
+        resp.kind = frame.header.type == FrameType::kPushback
+                        ? WireResponse::Kind::kPushback
+                        : WireResponse::Kind::kError;
+        resp.pushback_flags = frame.header.flags;
+        StatusOr<StatusPayload> sp = DecodeStatusPayload(frame.payload);
+        resp.status = sp.ok()
+                          ? Status(static_cast<StatusCode>(sp->code), sp->message)
+                          : sp.status();
+      }
+      pending->handler(std::move(resp));
+      return;
+    }
+    case FrameType::kPong: {
+      std::lock_guard<std::mutex> lock(ping_mu_);
+      if (id == awaited_pong_) {
+        pong_seen_ = true;
+        ping_cv_.notify_all();
+      }
+      return;
+    }
+    default:
+      return;  // HELLO_ACK after handshake or client-bound types: ignore
+  }
+}
+
+std::unique_ptr<WireClient::PendingRequest> WireClient::Take(
+    std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return nullptr;
+  auto pending = std::move(it->second);
+  pending_.erase(it);
+  return pending;
+}
+
+Status WireClient::SendFrame(const FrameHeader& header,
+                             std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(kPreludeBytes + header.tenant.size() + payload.size());
+  EncodeFrame(header, payload, &wire);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return SendAll(fd_.get(), wire.data(), wire.size());
+}
+
+void WireClient::FailAllPending(const Status& why) {
+  std::unordered_map<std::uint64_t, std::unique_ptr<PendingRequest>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, pending] : orphaned) {
+    WireResponse resp;
+    resp.kind = WireResponse::Kind::kTransport;
+    resp.status = why;
+    resp.embeddings = std::move(pending->embeddings);
+    pending->handler(std::move(resp));
+  }
+}
+
+}  // namespace fast::net

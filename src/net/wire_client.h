@@ -1,0 +1,130 @@
+#ifndef FAST_NET_WIRE_CLIENT_H_
+#define FAST_NET_WIRE_CLIENT_H_
+
+// Client side of the wire protocol (net/wire_format.h): one TCP connection,
+// a writer serialized by a lock, and a reader thread that demultiplexes
+// response frames to per-request handlers by request id. Built for the
+// open-loop driver (bench/bench_wire.cc): SubmitAsync never blocks on the
+// request's completion, so one connection can keep hundreds of requests in
+// flight at a fixed arrival rate.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire_format.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace fast::net {
+
+// Terminal outcome of one wire request.
+struct WireResponse {
+  // What the terminal frame was.
+  enum class Kind { kResult, kPushback, kError, kTransport };
+  Kind kind = Kind::kTransport;
+
+  // RESULT: the decoded payload (its status_code is the *execution* status —
+  // e.g. DEADLINE_EXCEEDED rides in a RESULT frame). PUSHBACK/ERROR: code
+  // and message mapped into `status` below. kTransport: the connection
+  // failed or was closed with the request outstanding.
+  ResultPayload result;
+  Status status = Status::OK();
+  // PUSHBACK detail: kFlagConnLimit distinguishes the connection window from
+  // the service admission queue.
+  std::uint8_t pushback_flags = 0;
+  // Streamed (or sampled) embedding batches, in arrival order.
+  std::vector<EmbeddingPayload> embeddings;
+};
+
+struct WireSubmitArgs {
+  WireSubmitArgs() = default;
+
+  std::string tenant;            // session key; empty for single-graph servers
+  std::uint64_t store_limit = 0;
+  std::uint64_t deadline_us = 0;  // relative budget; 0 = none
+  bool stream_embeddings = false;
+};
+static_assert(!std::is_aggregate_v<WireSubmitArgs>,
+              "WireSubmitArgs must not be positionally brace-initializable");
+
+class WireClient {
+ public:
+  using Handler = std::function<void(WireResponse)>;
+
+  // Connects, performs the HELLO handshake, and starts the reader thread.
+  static StatusOr<std::unique_ptr<WireClient>> Connect(const std::string& host,
+                                                       std::uint16_t port);
+
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // The server's advertised per-connection in-flight window (0 = unlimited).
+  std::uint32_t max_inflight() const { return max_inflight_; }
+
+  // Sends one SUBMIT frame and registers `handler` for its terminal frame.
+  // Returns the wire request id. The handler runs on the reader thread (or
+  // on the Close() caller for kTransport) exactly once; it must not call
+  // back into this client. Never blocks on the request.
+  StatusOr<std::uint64_t> SubmitAsync(const QueryGraph& q, WireSubmitArgs args,
+                                      Handler handler);
+
+  // Synchronous round trip: SubmitAsync + wait for the terminal frame.
+  StatusOr<WireResponse> Call(const QueryGraph& q, WireSubmitArgs args = {});
+
+  // PING/PONG round trip (liveness + a wire latency floor).
+  Status Ping();
+
+  // Requests currently awaiting a terminal frame.
+  std::size_t inflight() const;
+
+  // Shuts the socket down, joins the reader, and fails every outstanding
+  // handler with kTransport. Idempotent; also run by the destructor.
+  void Close();
+
+ private:
+  WireClient() = default;
+
+  struct PendingRequest {
+    Handler handler;
+    std::vector<EmbeddingPayload> embeddings;
+  };
+
+  void ReaderLoop();
+  void OnFrame(Frame frame);
+  // Removes and returns the pending entry for id (null if unknown).
+  std::unique_ptr<PendingRequest> Take(std::uint64_t id);
+  Status SendFrame(const FrameHeader& header,
+                   std::span<const std::uint8_t> payload);
+  void FailAllPending(const Status& why);
+
+  ScopedFd fd_;
+  std::uint32_t max_inflight_ = 0;
+  std::thread reader_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::mutex write_mu_;
+
+  mutable std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<PendingRequest>> pending_;
+
+  // Ping coordination: pong_seen_ flips when a PONG for ping_id_ arrives.
+  std::mutex ping_mu_;
+  std::condition_variable ping_cv_;
+  std::uint64_t awaited_pong_ = 0;
+  bool pong_seen_ = false;
+};
+
+}  // namespace fast::net
+
+#endif  // FAST_NET_WIRE_CLIENT_H_

@@ -1,0 +1,343 @@
+#include "net/wire_format.h"
+
+#include <algorithm>
+
+namespace fast::net {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated payload: ") + what);
+}
+
+bool KnownFrameType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kPong);
+}
+
+std::uint16_t LoadU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0]) |
+         static_cast<std::uint16_t>(p[1]) << 8;
+}
+
+std::uint32_t LoadU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t LoadU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(LoadU32(p)) |
+         static_cast<std::uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+void StoreU16(std::uint16_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void StoreU32(std::uint32_t v, std::uint8_t* p) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void StoreU64(std::uint64_t v, std::uint8_t* p) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloAck:
+      return "HELLO_ACK";
+    case FrameType::kSubmit:
+      return "SUBMIT";
+    case FrameType::kResult:
+      return "RESULT";
+    case FrameType::kEmbedding:
+      return "EMBEDDING";
+    case FrameType::kPushback:
+      return "PUSHBACK";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kPing:
+      return "PING";
+    case FrameType::kPong:
+      return "PONG";
+  }
+  return "UNKNOWN";
+}
+
+// ---- PayloadReader ----
+
+template <typename T>
+StatusOr<T> PayloadReader::ReadLe() {
+  if (data_.size() - pos_ < sizeof(T)) return Truncated("scalar past end");
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += sizeof(T);
+  return v;
+}
+
+StatusOr<std::uint8_t> PayloadReader::U8() { return ReadLe<std::uint8_t>(); }
+StatusOr<std::uint16_t> PayloadReader::U16() { return ReadLe<std::uint16_t>(); }
+StatusOr<std::uint32_t> PayloadReader::U32() { return ReadLe<std::uint32_t>(); }
+StatusOr<std::uint64_t> PayloadReader::U64() { return ReadLe<std::uint64_t>(); }
+
+StatusOr<double> PayloadReader::F64() {
+  FAST_ASSIGN_OR_RETURN(const std::uint64_t bits, ReadLe<std::uint64_t>());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+StatusOr<std::string> PayloadReader::Str() {
+  FAST_ASSIGN_OR_RETURN(const std::uint32_t len, U32());
+  if (data_.size() - pos_ < len) return Truncated("string past end");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+// ---- EncodeFrame / FrameDecoder ----
+
+void EncodeFrame(const FrameHeader& header,
+                 std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>* out) {
+  const std::size_t tenant_len =
+      std::min<std::size_t>(header.tenant.size(), kMaxTenantBytes);
+  const std::size_t body = tenant_len + payload.size();
+  const std::size_t base = out->size();
+  out->resize(base + kPreludeBytes);
+  std::uint8_t* p = out->data() + base;
+  StoreU16(kWireMagic, p + 0);
+  p[2] = kWireVersion;
+  p[3] = static_cast<std::uint8_t>(header.type);
+  StoreU32(static_cast<std::uint32_t>(body), p + 4);
+  StoreU64(header.request_id, p + 8);
+  StoreU64(header.deadline_us, p + 16);
+  StoreU16(static_cast<std::uint16_t>(tenant_len), p + 24);
+  p[26] = header.flags;
+  p[27] = 0;  // reserved
+  out->insert(out->end(), header.tenant.begin(),
+              header.tenant.begin() + tenant_len);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::Feed(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  if (buffered_bytes() == 0) arrival_.Reset();
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+StatusOr<bool> FrameDecoder::Next(Frame* out) {
+  if (poisoned_.has_value()) return *poisoned_;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kPreludeBytes) return false;
+  const std::uint8_t* p = buf_.data() + pos_;
+
+  const std::uint16_t magic = LoadU16(p);
+  if (magic != kWireMagic) {
+    poisoned_ = Status::InvalidArgument("wire: bad frame magic");
+    return *poisoned_;
+  }
+  if (p[2] != kWireVersion) {
+    poisoned_ = Status::InvalidArgument("wire: unsupported protocol version " +
+                                        std::to_string(p[2]));
+    return *poisoned_;
+  }
+  if (!KnownFrameType(p[3])) {
+    poisoned_ = Status::InvalidArgument("wire: unknown frame type " +
+                                        std::to_string(p[3]));
+    return *poisoned_;
+  }
+  const std::size_t body = LoadU32(p + 4);
+  if (body > max_body_) {
+    poisoned_ = Status::InvalidArgument(
+        "wire: frame body " + std::to_string(body) + " bytes exceeds bound " +
+        std::to_string(max_body_));
+    return *poisoned_;
+  }
+  const std::size_t tenant_len = LoadU16(p + 24);
+  if (tenant_len > body || tenant_len > kMaxTenantBytes) {
+    poisoned_ = Status::InvalidArgument("wire: tenant length exceeds body");
+    return *poisoned_;
+  }
+  if (avail < kPreludeBytes + body) return false;  // need more bytes
+
+  out->header.type = static_cast<FrameType>(p[3]);
+  out->header.request_id = LoadU64(p + 8);
+  out->header.deadline_us = LoadU64(p + 16);
+  out->header.flags = p[26];
+  const std::uint8_t* tenant_begin = p + kPreludeBytes;
+  out->header.tenant.assign(reinterpret_cast<const char*>(tenant_begin),
+                            tenant_len);
+  const std::uint8_t* payload_begin = tenant_begin + tenant_len;
+  out->payload.assign(payload_begin, payload_begin + (body - tenant_len));
+  pos_ += kPreludeBytes + body;
+  last_assembly_seconds_ = arrival_.ElapsedSeconds();
+
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ >= (64u << 10)) {
+    // Compact consumed prefix so a long-lived connection doesn't grow the
+    // buffer without bound.
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return true;
+}
+
+// ---- Typed payloads ----
+
+void EncodeSubmitPayload(const QueryGraph& q, std::uint64_t store_limit,
+                         std::vector<std::uint8_t>* out) {
+  PayloadWriter w(out);
+  w.U64(store_limit);
+  const std::uint32_t nv = static_cast<std::uint32_t>(q.NumVertices());
+  w.U32(nv);
+  w.U32(static_cast<std::uint32_t>(q.NumEdges()));
+  for (VertexId u = 0; u < nv; ++u) w.U32(q.label(u));
+  for (VertexId u = 0; u < nv; ++u) {
+    for (const VertexId v : q.neighbors(u)) {
+      if (u >= v) continue;  // each undirected edge once
+      w.U32(u);
+      w.U32(v);
+      w.U32(q.has_edge_labels() ? q.EdgeLabel(u, v) : 0);
+    }
+  }
+}
+
+StatusOr<SubmitPayload> DecodeSubmitPayload(
+    std::span<const std::uint8_t> data) {
+  PayloadReader r(data);
+  SubmitPayload out;
+  FAST_ASSIGN_OR_RETURN(out.store_limit, r.U64());
+  FAST_ASSIGN_OR_RETURN(const std::uint32_t nv, r.U32());
+  FAST_ASSIGN_OR_RETURN(const std::uint32_t ne, r.U32());
+  if (nv == 0 || nv > kMaxQueryVertices) {
+    return Status::InvalidArgument("wire: query vertex count " +
+                                   std::to_string(nv) + " out of range");
+  }
+  // A connected simple query has at most nv*(nv-1)/2 edges; anything larger
+  // is a malformed count, not a big query.
+  if (ne > nv * (nv - 1) / 2) {
+    return Status::InvalidArgument("wire: query edge count " +
+                                   std::to_string(ne) + " impossible for " +
+                                   std::to_string(nv) + " vertices");
+  }
+  GraphBuilder builder;
+  for (std::uint32_t i = 0; i < nv; ++i) {
+    FAST_ASSIGN_OR_RETURN(const Label label, r.U32());
+    builder.AddVertex(label);
+  }
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    FAST_ASSIGN_OR_RETURN(const std::uint32_t u, r.U32());
+    FAST_ASSIGN_OR_RETURN(const std::uint32_t v, r.U32());
+    FAST_ASSIGN_OR_RETURN(const Label label, r.U32());
+    if (u >= nv || v >= nv) {
+      return Status::InvalidArgument("wire: query edge endpoint out of range");
+    }
+    FAST_RETURN_IF_ERROR(builder.AddEdge(u, v, label));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("wire: trailing bytes after query");
+  }
+  FAST_ASSIGN_OR_RETURN(Graph graph, builder.Build());
+  FAST_ASSIGN_OR_RETURN(out.query, QueryGraph::Create(std::move(graph), "wire"));
+  return out;
+}
+
+void EncodeResultPayload(const ResultPayload& r,
+                         std::vector<std::uint8_t>* out) {
+  PayloadWriter w(out);
+  w.U32(r.status_code);
+  w.Str(r.message);
+  w.U64(r.embeddings);
+  w.U64(r.graph_epoch);
+  w.F64(r.queue_seconds);
+  w.F64(r.total_seconds);
+  w.U8(r.cache_hit ? 1 : 0);
+}
+
+StatusOr<ResultPayload> DecodeResultPayload(
+    std::span<const std::uint8_t> data) {
+  PayloadReader r(data);
+  ResultPayload out;
+  FAST_ASSIGN_OR_RETURN(out.status_code, r.U32());
+  FAST_ASSIGN_OR_RETURN(out.message, r.Str());
+  FAST_ASSIGN_OR_RETURN(out.embeddings, r.U64());
+  FAST_ASSIGN_OR_RETURN(out.graph_epoch, r.U64());
+  FAST_ASSIGN_OR_RETURN(out.queue_seconds, r.F64());
+  FAST_ASSIGN_OR_RETURN(out.total_seconds, r.F64());
+  FAST_ASSIGN_OR_RETURN(const std::uint8_t hit, r.U8());
+  out.cache_hit = hit != 0;
+  return out;
+}
+
+void EncodeEmbeddingPayload(const EmbeddingPayload& e,
+                            std::vector<std::uint8_t>* out) {
+  PayloadWriter w(out);
+  w.U32(e.width);
+  w.U32(static_cast<std::uint32_t>(e.rows()));
+  for (const std::uint32_t v : e.vertices) w.U32(v);
+}
+
+StatusOr<EmbeddingPayload> DecodeEmbeddingPayload(
+    std::span<const std::uint8_t> data) {
+  PayloadReader r(data);
+  EmbeddingPayload out;
+  FAST_ASSIGN_OR_RETURN(out.width, r.U32());
+  FAST_ASSIGN_OR_RETURN(const std::uint32_t rows, r.U32());
+  if (out.width == 0 || out.width > kMaxQueryVertices) {
+    return Status::InvalidArgument("wire: embedding width out of range");
+  }
+  const std::size_t total = static_cast<std::size_t>(rows) * out.width;
+  if (r.remaining() != total * sizeof(std::uint32_t)) {
+    return Truncated("embedding rows");
+  }
+  out.vertices.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    FAST_ASSIGN_OR_RETURN(const std::uint32_t v, r.U32());
+    out.vertices.push_back(v);
+  }
+  return out;
+}
+
+void EncodeStatusPayload(const StatusPayload& s,
+                         std::vector<std::uint8_t>* out) {
+  PayloadWriter w(out);
+  w.U32(s.code);
+  w.Str(s.message);
+}
+
+StatusOr<StatusPayload> DecodeStatusPayload(
+    std::span<const std::uint8_t> data) {
+  PayloadReader r(data);
+  StatusPayload out;
+  FAST_ASSIGN_OR_RETURN(out.code, r.U32());
+  FAST_ASSIGN_OR_RETURN(out.message, r.Str());
+  return out;
+}
+
+void EncodeHelloAckPayload(const HelloAckPayload& h,
+                           std::vector<std::uint8_t>* out) {
+  PayloadWriter w(out);
+  w.U32(h.max_inflight);
+}
+
+StatusOr<HelloAckPayload> DecodeHelloAckPayload(
+    std::span<const std::uint8_t> data) {
+  PayloadReader r(data);
+  HelloAckPayload out;
+  FAST_ASSIGN_OR_RETURN(out.max_inflight, r.U32());
+  return out;
+}
+
+}  // namespace fast::net

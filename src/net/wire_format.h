@@ -1,0 +1,261 @@
+#ifndef FAST_NET_WIRE_FORMAT_H_
+#define FAST_NET_WIRE_FORMAT_H_
+
+// Binary length-prefixed framing protocol for the serving front end.
+//
+// Every frame is a fixed 28-byte little-endian prelude followed by the
+// routing key (tenant id bytes) and a type-specific payload:
+//
+//   offset  size  field
+//        0     2  magic 0xFA57
+//        2     1  protocol version (kWireVersion)
+//        3     1  frame type (FrameType)
+//        4     4  body length   = tenant_len + payload bytes
+//        8     8  request id    (client-chosen on SUBMIT; echoed back)
+//       16     8  deadline, µs  (0 = none; SUBMIT only)
+//       24     2  tenant_len    (routing key bytes immediately after prelude)
+//       26     1  flags         (FrameFlags)
+//       27     1  reserved (0)
+//       28     …  tenant id bytes, then payload
+//
+// The tenant id rides in the *header*, not the payload, because it is the
+// routing key: the server must pick the session before it decodes anything
+// else, and an intermediary (the future inter-shard router) can forward a
+// frame without understanding its payload.
+//
+// Conversation:
+//
+//   client                                server
+//     ── HELLO ───────────────────────────▶
+//     ◀────────────────────────── HELLO_ACK   (max in-flight per connection)
+//     ── SUBMIT(id, tenant, deadline, q) ─▶
+//     ◀─────────────────────── EMBEDDING(id)  (0+ frames, if flag set)
+//     ◀────────────────────────── RESULT(id)  (exactly one, terminal)
+//   or
+//     ◀──────────────────────── PUSHBACK(id)  (admission rejected: queue or
+//                                              connection window full — the
+//                                              stream stays healthy, resubmit
+//                                              later; NOT a dropped byte)
+//   or
+//     ◀─────────────────────────── ERROR(id)  (this request failed: unknown
+//                                              tenant, malformed query, ...)
+//
+// Framing-level violations (bad magic, version mismatch, unknown type,
+// body_len over the decoder bound) are NOT per-request errors: the byte
+// stream is unrecoverable, the decoder returns an error Status and the
+// server closes the connection.
+//
+// All integers are little-endian; floats are IEEE-754 doubles memcpy'd to 8
+// bytes. Strings are u32 length + raw bytes.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace fast::net {
+
+inline constexpr std::uint16_t kWireMagic = 0xFA57;
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kPreludeBytes = 28;
+// Decoder bound on body_len: a frame claiming more is a protocol violation
+// (protects the server from one bogus length allocating gigabytes).
+inline constexpr std::size_t kDefaultMaxBody = 16u << 20;  // 16 MiB
+inline constexpr std::size_t kMaxTenantBytes = 4096;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     // client → server, first frame on a connection
+  kHelloAck = 2,  // server → client: u32 max in-flight requests
+  kSubmit = 3,    // client → server: query submission
+  kResult = 4,    // server → client: terminal result for request id
+  kEmbedding = 5, // server → client: streamed embedding rows for request id
+  kPushback = 6,  // server → client: admission rejected, flow control
+  kError = 7,     // server → client: per-request failure (stream survives)
+  kPing = 8,      // either direction; peer answers kPong
+  kPong = 9,
+};
+
+const char* FrameTypeName(FrameType t);
+
+enum FrameFlags : std::uint8_t {
+  // SUBMIT: stream each embedding back as EMBEDDING frames (bounded by the
+  // payload's store_limit) before the RESULT.
+  kFlagStreamEmbeddings = 0x1,
+  // PUSHBACK: the *connection's* in-flight window is full (as opposed to the
+  // service admission queue).
+  kFlagConnLimit = 0x2,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kPing;
+  std::uint64_t request_id = 0;
+  std::uint64_t deadline_us = 0;  // SUBMIT: per-request deadline; 0 = none
+  std::uint8_t flags = 0;
+  std::string tenant;  // routing key (session key); may be empty
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- Payload primitives. ----
+
+// Appends little-endian scalars / length-prefixed strings to a byte buffer.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_->push_back(v); }
+  void U16(std::uint16_t v) { AppendLe(v); }
+  void U32(std::uint32_t v) { AppendLe(v); }
+  void U64(std::uint64_t v) { AppendLe(v); }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendLe(bits);
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t>* out_;
+};
+
+// Bounds-checked little-endian reader; every getter fails with
+// INVALID_ARGUMENT ("truncated payload") past the end.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  StatusOr<std::uint8_t> U8();
+  StatusOr<std::uint16_t> U16();
+  StatusOr<std::uint32_t> U32();
+  StatusOr<std::uint64_t> U64();
+  StatusOr<double> F64();
+  StatusOr<std::string> Str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  StatusOr<T> ReadLe();
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Frame encode / decode. ----
+
+// Appends the full wire image (prelude + tenant + payload) to *out.
+void EncodeFrame(const FrameHeader& header,
+                 std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>* out);
+
+// Incremental frame parser over an arbitrarily-chunked byte stream. Feed()
+// bytes as they arrive; Next() yields complete frames. A protocol violation
+// (bad magic/version/unknown type/oversized body) poisons the decoder: Next
+// keeps returning the same error and the connection must be dropped.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_body = kDefaultMaxBody)
+      : max_body_(max_body) {}
+
+  void Feed(std::span<const std::uint8_t> data);
+
+  // True: *out holds the next frame. False: need more bytes. Error Status:
+  // the stream is unrecoverable.
+  StatusOr<bool> Next(Frame* out);
+
+  // Wall seconds from the arrival of the returned frame's first byte to the
+  // Feed() that completed it — the wire recv span for that frame. Valid
+  // after a Next() that returned true.
+  double last_assembly_seconds() const { return last_assembly_seconds_; }
+
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  const std::size_t max_body_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  Timer arrival_;  // reset when the buffer transitions empty -> non-empty
+  double last_assembly_seconds_ = 0.0;
+  std::optional<Status> poisoned_;
+};
+
+// ---- Typed payloads. ----
+
+struct SubmitPayload {
+  std::uint64_t store_limit = 0;
+  QueryGraph query;
+};
+
+// Serializes the query structure (labels + labelled edge list).
+void EncodeSubmitPayload(const QueryGraph& q, std::uint64_t store_limit,
+                         std::vector<std::uint8_t>* out);
+// Rebuilds the QueryGraph; INVALID_ARGUMENT for malformed bytes (bad counts,
+// out-of-range endpoints, disconnected/oversized query).
+StatusOr<SubmitPayload> DecodeSubmitPayload(std::span<const std::uint8_t> data);
+
+struct ResultPayload {
+  std::uint32_t status_code = 0;  // fast::StatusCode numeric value
+  std::string message;
+  std::uint64_t embeddings = 0;
+  std::uint64_t graph_epoch = 0;
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+  bool cache_hit = false;
+};
+
+void EncodeResultPayload(const ResultPayload& r, std::vector<std::uint8_t>* out);
+StatusOr<ResultPayload> DecodeResultPayload(std::span<const std::uint8_t> data);
+
+// Embedding rows: `width` vertices per row, row-major.
+struct EmbeddingPayload {
+  std::uint32_t width = 0;
+  std::vector<std::uint32_t> vertices;  // rows * width entries
+
+  std::size_t rows() const { return width == 0 ? 0 : vertices.size() / width; }
+};
+
+void EncodeEmbeddingPayload(const EmbeddingPayload& e,
+                            std::vector<std::uint8_t>* out);
+StatusOr<EmbeddingPayload> DecodeEmbeddingPayload(
+    std::span<const std::uint8_t> data);
+
+// PUSHBACK and ERROR share the {code, message} shape.
+struct StatusPayload {
+  std::uint32_t code = 0;  // fast::StatusCode numeric value
+  std::string message;
+};
+
+void EncodeStatusPayload(const StatusPayload& s, std::vector<std::uint8_t>* out);
+StatusOr<StatusPayload> DecodeStatusPayload(std::span<const std::uint8_t> data);
+
+// HELLO_ACK: the server's per-connection in-flight window (flow control).
+struct HelloAckPayload {
+  std::uint32_t max_inflight = 0;
+};
+
+void EncodeHelloAckPayload(const HelloAckPayload& h,
+                           std::vector<std::uint8_t>* out);
+StatusOr<HelloAckPayload> DecodeHelloAckPayload(
+    std::span<const std::uint8_t> data);
+
+}  // namespace fast::net
+
+#endif  // FAST_NET_WIRE_FORMAT_H_

@@ -44,8 +44,8 @@ RequestObs::RequestObs(const Options& opts)
   }
 }
 
-std::unique_ptr<RequestTrace> RequestObs::StartTrace() const {
-  return opts_.tracing ? std::make_unique<RequestTrace>() : nullptr;
+std::shared_ptr<RequestTrace> RequestObs::StartTrace() const {
+  return opts_.tracing ? std::make_shared<RequestTrace>() : nullptr;
 }
 
 void RequestObs::OnSubmitted() {
@@ -65,7 +65,7 @@ void RequestObs::SetQueueDepth(std::size_t depth) {
 }
 
 std::shared_ptr<const CompletedTrace> RequestObs::OnFinished(
-    Outcome outcome, double total_seconds, std::unique_ptr<RequestTrace> trace,
+    Outcome outcome, double total_seconds, std::shared_ptr<RequestTrace> trace,
     std::uint64_t request_id, bool ok, const char* status_name,
     std::string tenant_id) {
   switch (outcome) {

@@ -48,8 +48,11 @@ class RequestObs {
 
   bool tracing() const { return opts_.tracing; }
 
-  // New per-request recorder; nullptr when tracing is disabled.
-  std::unique_ptr<RequestTrace> StartTrace() const;
+  // New per-request recorder; nullptr when tracing is disabled. shared_ptr
+  // because a transport front end may start the trace before Submit (anchored
+  // at frame receive) and hand it to the service via
+  // RequestOptions::resume_trace.
+  std::shared_ptr<RequestTrace> StartTrace() const;
 
   // Admission-side counters.
   void OnSubmitted();
@@ -64,7 +67,7 @@ class RequestObs {
   // slow ring + WARNING log past the threshold). Returns the frozen trace
   // for the RequestResult, or nullptr when `trace` was null.
   std::shared_ptr<const CompletedTrace> OnFinished(
-      Outcome outcome, double total_seconds, std::unique_ptr<RequestTrace> trace,
+      Outcome outcome, double total_seconds, std::shared_ptr<RequestTrace> trace,
       std::uint64_t request_id, bool ok, const char* status_name,
       std::string tenant_id = "");
 

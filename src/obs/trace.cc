@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -7,6 +8,10 @@ namespace fast::obs {
 
 const char* SpanName(Span s) {
   switch (s) {
+    case Span::kRecv:
+      return "recv";
+    case Span::kDecode:
+      return "decode";
     case Span::kAdmit:
       return "admit";
     case Span::kQueue:
@@ -29,6 +34,10 @@ const char* SpanName(Span s) {
       return "reassembly";
     case Span::kRemap:
       return "remap";
+    case Span::kEncode:
+      return "encode";
+    case Span::kSend:
+      return "send";
     case Span::kCount:
       break;
   }
@@ -87,6 +96,13 @@ void RequestTrace::End() {
   const double now = anchor_.ElapsedSeconds();
   spans_.push_back({open_span_, open_start_, now - open_start_, false});
   open_ = false;
+}
+
+void RequestTrace::RecordWall(Span s, double seconds) {
+  if (open_) End();
+  const double now = anchor_.ElapsedSeconds();
+  const double duration = std::min(std::max(seconds, 0.0), now);
+  spans_.push_back({s, now - duration, duration, false});
 }
 
 void RequestTrace::RecordSimulated(Span s, double seconds) {

@@ -46,7 +46,9 @@
 namespace fast::obs {
 
 enum class Span : std::uint8_t {
-  kAdmit = 0,    // Submit: canonicalize + admission control
+  kRecv = 0,     // wire: frame bytes arriving on the socket (src/net/)
+  kDecode,       // wire: frame parse + query graph decode
+  kAdmit,        // Submit: canonicalize + admission control
   kQueue,        // queued, waiting for a worker
   kSnapshot,     // capture the epoch snapshot
   kPlanLookup,   // plan/CST cache probe
@@ -57,6 +59,10 @@ enum class Span : std::uint8_t {
   kMatch,        // CPU mode: partition + match execution
   kReassembly,   // device mode: fold per-partition results together
   kRemap,        // map matches back through the canonical permutation
+  kEncode,       // wire: result/embedding frame encode (registry-only: the
+                 // trace is frozen at service finish, so the wire server
+                 // records encode/send into fast_span_*_seconds directly)
+  kSend,         // wire: socket write of the encoded frames (registry-only)
   kCount,
 };
 
@@ -106,6 +112,12 @@ class RequestTrace {
 
   // Records a device-model duration (no wall-clock meaning).
   void RecordSimulated(Span s, double seconds);
+
+  // Records a wall span that already elapsed: it ends now and started
+  // `seconds` ago (clamped to the anchor). The wire front end uses this for
+  // the recv span — the bytes' arrival was timed by the frame decoder before
+  // the trace's first Begin().
+  void RecordWall(Span s, double seconds);
 
   double Elapsed() const { return anchor_.ElapsedSeconds(); }
 

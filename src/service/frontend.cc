@@ -1,0 +1,66 @@
+#include "service/frontend.h"
+
+#include <utility>
+
+namespace fast::service {
+
+std::uint64_t RequestLedger::Add(const std::shared_ptr<Slot>& slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  // Callback-mode requests are delivered on the worker thread and never
+  // looked up again; keeping them out of the map keeps Wait's NOT_FOUND
+  // contract ("unknown or already delivered") uniform.
+  if (!slot->on_complete) waitable_.emplace(id, slot);
+  return id;
+}
+
+void RequestLedger::Forget(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waitable_.erase(id);
+}
+
+StatusOr<RequestResult> RequestLedger::Wait(std::uint64_t id) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waitable_.find(id);
+    if (it == waitable_.end()) {
+      return Status::NotFound("unknown or already-waited request id");
+    }
+    slot = it->second;
+    waitable_.erase(it);  // once-only: a second Wait finds nothing
+  }
+  std::unique_lock<std::mutex> lock(slot->mu);
+  slot->cv.wait(lock, [&] { return slot->done; });
+  return std::move(slot->result);
+}
+
+void RequestLedger::Deliver(std::uint64_t id, const std::shared_ptr<Slot>& slot,
+                            RequestResult result) {
+  if (slot->on_complete) {
+    // Worker-thread delivery; the slot is not in the waitable map, so the
+    // callback is the only consumer and runs exactly once.
+    slot->on_complete(id, result);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->result = std::move(result);
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+}
+
+StatusOr<RequestResult> Frontend::SubmitAndWait(const SessionKey& session,
+                                                const QueryGraph& q,
+                                                RequestOptions opts) {
+  FAST_ASSIGN_OR_RETURN(const RequestId id, Submit(session, q, std::move(opts)));
+  FAST_ASSIGN_OR_RETURN(RequestResult result, Wait(id));
+  // Flatten the execution outcome into the outer Status so callers check one
+  // place for "did this query succeed" (admission errors and execution errors
+  // surface identically).
+  FAST_RETURN_IF_ERROR(result.status);
+  return result;
+}
+
+}  // namespace fast::service

@@ -57,6 +57,8 @@ struct GraphSnapshot {
   std::uint64_t epoch = 0;
 };
 
+struct RequestResult;
+
 struct RequestOptions {
   // Sample-embedding mode: retain up to this many embeddings (remapped to
   // the submitted numbering). 0 = count-only.
@@ -69,6 +71,19 @@ struct RequestOptions {
   // mapping in the submitted numbering. Must be thread-safe if the same
   // callable is shared across requests.
   std::function<void(std::span<const VertexId>)> on_embedding;
+
+  // Completion callback, invoked exactly once on the finishing worker thread
+  // with (request id, result). A request submitted with a callback is never
+  // waitable — Frontend::Wait on its id returns NOT_FOUND. This is the
+  // asynchronous delivery mode the wire server (src/net/) runs on. The
+  // callback must not re-enter the service it was registered with.
+  std::function<void(std::uint64_t, const RequestResult&)> on_complete;
+
+  // Resumes a trace the transport layer started before Submit (anchored at
+  // frame receive, already carrying recv/decode spans) instead of starting a
+  // fresh one at admission, so wire-path spans land in the same per-request
+  // trace as the service-side ones. Null = the service starts its own trace.
+  std::shared_ptr<obs::RequestTrace> resume_trace;
 };
 
 struct RequestResult {

@@ -16,13 +16,11 @@ struct MatchService::Request {
   Timer submitted;
   // Span recorder (null when tracing is off). Recorded on the client thread
   // up to the queue push, then exclusively on the worker that popped the
-  // request — the queue handoff orders the two.
-  std::unique_ptr<obs::RequestTrace> trace;
-
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  RequestResult result;
+  // request — the queue handoff orders the two. shared_ptr because a
+  // transport front end may have started it before Submit (resume_trace).
+  std::shared_ptr<obs::RequestTrace> trace;
+  // Delivery slot (Wait or completion callback) in the ledger.
+  std::shared_ptr<RequestLedger::Slot> slot;
 };
 
 std::string ServiceStats::Summary() const {
@@ -73,7 +71,8 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
 
 MatchService::~MatchService() { Shutdown(); }
 
-StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
+StatusOr<MatchService::RequestId> MatchService::Submit(const SessionKey&,
+                                                       const QueryGraph& q,
                                                        RequestOptions opts) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -89,7 +88,10 @@ StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
   }
 
   auto req = std::make_shared<Request>();
-  req->trace = obs_.StartTrace();
+  // A transport-started trace (anchored at frame receive, already carrying
+  // the recv/decode spans) resumes here; otherwise tracing starts now.
+  req->trace = opts.resume_trace != nullptr ? std::move(opts.resume_trace)
+                                            : obs_.StartTrace();
   // No ScopedSpan here: after the queue push the worker owns the trace, so
   // nothing on this thread may touch it past that point. Begin(kQueue) below
   // closes the admit span.
@@ -100,13 +102,16 @@ StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
                               ? req->opts.deadline_seconds
                               : options_.default_deadline_seconds;
 
-  RequestId id;
+  req->slot = std::make_shared<RequestLedger::Slot>();
+  req->slot->on_complete = req->opts.on_complete;
+  const RequestId id = ledger_.Add(req->slot);
+  req->id = id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return Status::FailedPrecondition("service is shut down");
-    id = next_id_++;
-    req->id = id;
-    pending_.emplace(id, req);
+    if (shutdown_) {
+      ledger_.Forget(id);
+      return Status::FailedPrecondition("service is shut down");
+    }
     ++submitted_;
   }
 
@@ -115,8 +120,8 @@ StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
   // mutex is what orders this write against the worker's End().
   if (req->trace != nullptr) req->trace->Begin(obs::Span::kQueue);
   if (!queue_.TryPush(req)) {
+    ledger_.Forget(id);
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.erase(id);
     --submitted_;  // submitted_ counts admitted requests only
     ++rejected_queue_full_;
     obs_.OnRejectedQueueFull();
@@ -127,30 +132,8 @@ StatusOr<MatchService::RequestId> MatchService::Submit(const QueryGraph& q,
   return id;
 }
 
-RequestResult MatchService::Wait(RequestId id) {
-  std::shared_ptr<Request> req;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = pending_.find(id);
-    if (it == pending_.end()) {
-      RequestResult r;
-      r.status = Status::NotFound("unknown or already-waited request id");
-      return r;
-    }
-    req = it->second;
-    pending_.erase(it);
-  }
-  std::unique_lock<std::mutex> lock(req->mu);
-  req->cv.wait(lock, [&] { return req->done; });
-  return std::move(req->result);
-}
-
-StatusOr<RequestResult> MatchService::SubmitAndWait(const QueryGraph& q,
-                                                    RequestOptions opts) {
-  FAST_ASSIGN_OR_RETURN(RequestId id, Submit(q, std::move(opts)));
-  RequestResult result = Wait(id);
-  FAST_RETURN_IF_ERROR(result.status);
-  return result;
+StatusOr<RequestResult> MatchService::Wait(RequestId id) {
+  return ledger_.Wait(id);
 }
 
 void MatchService::Shutdown() {
@@ -210,12 +193,7 @@ void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
                                  std::move(req->trace), req->id,
                                  result.status.ok(),
                                  StatusCodeToString(result.status.code()));
-  {
-    std::lock_guard<std::mutex> lock(req->mu);
-    req->result = std::move(result);
-    req->done = true;
-  }
-  req->cv.notify_all();
+  RequestLedger::Deliver(req->id, req->slot, std::move(result));
 }
 
 ServiceStats MatchService::stats() const {

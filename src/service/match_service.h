@@ -14,7 +14,10 @@
 // delegates everything per-graph (epoch-snapshotted graph, epoch-tagged
 // plan/CST cache, request execution and result remap) to one GraphState.
 // The same GraphState type serves many graphs behind one shared pool in
-// tenant::TenantRouter; this class is the single-graph configuration.
+// tenant::TenantRouter; this class is the single-graph configuration. Both
+// implement the transport-agnostic Frontend interface (service/frontend.h),
+// which is what the wire server, the CLI, and the serving benches code
+// against; the session key is advisory here (one graph serves them all).
 //
 // Admission control: Submit never blocks — a full queue rejects with
 // RESOURCE_EXHAUSTED. Per-request deadlines are enforced at dispatch (a
@@ -37,6 +40,7 @@
 #include "graph/graph_delta.h"
 #include "obs/request_obs.h"
 #include "query/query_graph.h"
+#include "service/frontend.h"
 #include "service/graph_state.h"
 #include "service/plan_cache.h"
 #include "util/bounded_queue.h"
@@ -46,50 +50,15 @@
 
 namespace fast::service {
 
-struct ServiceOptions {
-  // Worker threads executing the pipeline; 0 = hardware concurrency.
-  std::size_t num_workers = 0;
-
-  // Bound of the request queue; TryPush beyond it rejects the Submit.
-  std::size_t queue_capacity = 256;
-
-  // Plan/CST cache entries; 0 disables caching.
-  std::size_t plan_cache_capacity = 64;
-
-  // Byte bound on the summed serialized-CST cache images; 0 = entries-only.
-  std::size_t plan_cache_byte_budget = 0;
-
-  // Default per-request deadline in seconds; 0 = no deadline.
-  double default_deadline_seconds = 0.0;
-
-  // Base pipeline configuration (variant, device model, cpu-share δ, order
-  // policy). Per-request store_limit/embedding_callback override its fields.
-  FastRunOptions run;
-
-  // Shared-device mode (device/device_executor.h): workers decompose each
-  // request into CST-partition work items on ONE device executor, which
-  // batches items from concurrent requests into shared device rounds. The
-  // executor simulates run.fpga under run.variant; device.fpga/device.variant
-  // are overridden, and run.cpu_share_delta is ignored (the device owns all
-  // partitions).
-  bool device_mode = false;
-  device::DeviceOptions device;
-
-  // ---- Observability (src/obs/). NOTE: appended last — call sites
-  // brace-initialize this struct positionally. ----
-  // Process-wide metrics registry the service (and its cache, graph state,
-  // and device executor) reports into. Non-owning; must outlive the service.
-  // nullptr = registry metrics off.
-  obs::MetricsRegistry* metrics = nullptr;
-  // Per-request span tracing (obs/trace.h). Off: no trace is allocated and
-  // every span record is a skipped branch.
-  bool tracing = true;
-  // Requests slower than this are FAST_LOG(WARNING)-ed with their span
-  // breakdown and retained in the slow-trace ring. 0 disables.
-  double slow_request_seconds = 0.0;
-  // Capacity of the recent-trace ring (the slow ring uses the same).
-  std::size_t trace_ring_capacity = 256;
+// Pool knobs (CommonServingOptions) + the single graph's plan-cache budget
+// (PlanCacheOptions); see service/frontend.h for every field. The defaulted
+// constructor keeps this a non-aggregate on purpose — set fields by name,
+// positional brace-initialization does not compile.
+struct ServiceOptions : CommonServingOptions, PlanCacheOptions {
+  ServiceOptions() = default;
 };
+static_assert(!std::is_aggregate_v<ServiceOptions>,
+              "ServiceOptions must not be positionally brace-initializable");
 
 struct ServiceStats {
   std::uint64_t submitted = 0;
@@ -113,31 +82,41 @@ struct ServiceStats {
   std::string Summary() const;
 };
 
-class MatchService {
+class MatchService : public Frontend {
  public:
-  using RequestId = std::uint64_t;
+  using RequestId = Frontend::RequestId;
   // Compatibility alias: the snapshot type moved to service/graph_state.h.
   using GraphSnapshot = service::GraphSnapshot;
 
   // Takes ownership of the data graph and publishes it as epoch 1. Workers
   // start immediately.
   MatchService(Graph graph, ServiceOptions options = {});
-  ~MatchService();
+  ~MatchService() override;
 
   MatchService(const MatchService&) = delete;
   MatchService& operator=(const MatchService&) = delete;
 
-  // Canonicalizes q and enqueues it. Fails fast with RESOURCE_EXHAUSTED when
-  // the queue is full, INVALID_ARGUMENT for malformed queries, and
+  // Frontend: the session key is advisory — every session is served from
+  // this service's one graph. Fails fast with RESOURCE_EXHAUSTED when the
+  // queue is full, INVALID_ARGUMENT for malformed queries, and
   // FAILED_PRECONDITION after Shutdown.
-  StatusOr<RequestId> Submit(const QueryGraph& q, RequestOptions opts = {});
+  StatusOr<RequestId> Submit(const SessionKey& session, const QueryGraph& q,
+                             RequestOptions opts = {}) override;
+  // Single-graph convenience: the historical one-graph signature.
+  StatusOr<RequestId> Submit(const QueryGraph& q, RequestOptions opts = {}) {
+    return Submit(SessionKey(), q, std::move(opts));
+  }
 
-  // Blocks until the request completes and returns its result. Each id may
-  // be waited on once; a second Wait returns NOT_FOUND.
-  RequestResult Wait(RequestId id);
+  // Blocks until the request completes. NOT_FOUND (outer status) for
+  // unknown, already-waited, or callback-mode ids.
+  StatusOr<RequestResult> Wait(RequestId id) override;
 
+  using Frontend::SubmitAndWait;
   // Submit + Wait; the Status covers both admission and execution.
-  StatusOr<RequestResult> SubmitAndWait(const QueryGraph& q, RequestOptions opts = {});
+  StatusOr<RequestResult> SubmitAndWait(const QueryGraph& q,
+                                        RequestOptions opts = {}) {
+    return SubmitAndWait(SessionKey(), q, std::move(opts));
+  }
 
   // Snapshot publication — see GraphState for the epoch semantics.
   std::uint64_t SwapGraph(Graph next) { return state_.SwapGraph(std::move(next)); }
@@ -147,7 +126,7 @@ class MatchService {
 
   // Stops admission, drains queued requests, joins workers. Idempotent;
   // also run by the destructor.
-  void Shutdown();
+  void Shutdown() override;
 
   ServiceStats stats() const;
 
@@ -159,7 +138,7 @@ class MatchService {
   std::size_t num_workers() const { return workers_.size(); }
 
   // Requests queued but not yet dispatched (periodic-sampler probe).
-  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_depth() const override { return queue_.size(); }
 
   // Newest-last rings of retained traces (empty when tracing is off).
   std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
@@ -185,10 +164,10 @@ class MatchService {
 
   BoundedQueue<std::shared_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
+  // Id allocation + Wait/callback delivery (service/frontend.h).
+  RequestLedger ledger_;
 
-  mutable std::mutex mu_;  // pending-request map + counters + histogram
-  std::unordered_map<RequestId, std::shared_ptr<Request>> pending_;
-  std::uint64_t next_id_ = 1;
+  mutable std::mutex mu_;  // counters + histogram + shutdown flag
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;

@@ -18,13 +18,11 @@ struct TenantRouter::Request {
   Timer submitted;
   // Span recorder (null when tracing is off). Recorded on the client thread
   // up to the queue push under sched_mu_, then exclusively on the worker that
-  // popped the request — sched_mu_ orders the two.
-  std::unique_ptr<obs::RequestTrace> trace;
-
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  RequestResult result;
+  // popped the request — sched_mu_ orders the two. shared_ptr because a
+  // transport front end may have started it before Submit (resume_trace).
+  std::shared_ptr<obs::RequestTrace> trace;
+  // Delivery slot (Wait or completion callback) in the ledger.
+  std::shared_ptr<service::RequestLedger::Slot> slot;
 };
 
 struct TenantRouter::Tenant {
@@ -146,12 +144,16 @@ std::shared_ptr<TenantRouter::Tenant> TenantRouter::FindTenant(
 }
 
 StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
-    const std::string& tenant_id, const QueryGraph& q, RequestOptions opts) {
+    const service::SessionKey& tenant_id, const QueryGraph& q,
+    RequestOptions opts) {
   std::shared_ptr<Tenant> t = FindTenant(tenant_id);
   if (t == nullptr) return Status::NotFound("unknown tenant: " + tenant_id);
 
   auto req = std::make_shared<Request>();
-  req->trace = obs_.StartTrace();
+  // A transport-started trace (anchored at frame receive, already carrying
+  // the recv/decode spans) resumes here; otherwise tracing starts now.
+  req->trace = opts.resume_trace != nullptr ? std::move(opts.resume_trace)
+                                            : obs_.StartTrace();
   // No ScopedSpan: after the queue push the worker owns the trace, so nothing
   // on this thread may touch it past that point. Begin(kQueue) below closes
   // the admit span.
@@ -165,14 +167,14 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
                               ? req->opts.deadline_seconds
                               : options_.default_deadline_seconds;
 
-  RequestId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return Status::FailedPrecondition("router is shut down");
-    id = next_id_++;
-    req->id = id;
-    pending_.emplace(id, req);
   }
+  req->slot = std::make_shared<service::RequestLedger::Slot>();
+  req->slot->on_complete = req->opts.on_complete;
+  const RequestId id = ledger_.Add(req->slot);
+  req->id = id;
 
   Status admit = Status::OK();
   bool quota_reject = false;
@@ -199,10 +201,10 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
       WrrActivate(active_, t);
     }
   }
+  if (!admit.ok()) ledger_.Forget(id);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!admit.ok()) {
-      pending_.erase(id);
       if (admit.code() == StatusCode::kResourceExhausted) {
         if (quota_reject) {
           ++rejected_quota_;
@@ -225,31 +227,8 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
   return id;
 }
 
-RequestResult TenantRouter::Wait(RequestId id) {
-  std::shared_ptr<Request> req;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = pending_.find(id);
-    if (it == pending_.end()) {
-      RequestResult r;
-      r.status = Status::NotFound("unknown or already-waited request id");
-      return r;
-    }
-    req = it->second;
-    pending_.erase(it);
-  }
-  std::unique_lock<std::mutex> lock(req->mu);
-  req->cv.wait(lock, [&] { return req->done; });
-  return std::move(req->result);
-}
-
-StatusOr<RequestResult> TenantRouter::SubmitAndWait(const std::string& tenant_id,
-                                                    const QueryGraph& q,
-                                                    RequestOptions opts) {
-  FAST_ASSIGN_OR_RETURN(RequestId id, Submit(tenant_id, q, std::move(opts)));
-  RequestResult result = Wait(id);
-  FAST_RETURN_IF_ERROR(result.status);
-  return result;
+StatusOr<RequestResult> TenantRouter::Wait(RequestId id) {
+  return ledger_.Wait(id);
 }
 
 StatusOr<std::uint64_t> TenantRouter::SwapGraph(const std::string& tenant_id,
@@ -375,12 +354,7 @@ void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result) {
       drained_cv_.notify_all();
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(req->mu);
-    req->result = std::move(result);
-    req->done = true;
-  }
-  req->cv.notify_all();
+  service::RequestLedger::Deliver(req->id, req->slot, std::move(result));
 }
 
 void TenantRouter::FillTenantStats(const Tenant& t, TenantStats* out) {

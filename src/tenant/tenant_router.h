@@ -61,6 +61,7 @@
 #include "graph/graph_delta.h"
 #include "obs/request_obs.h"
 #include "query/query_graph.h"
+#include "service/frontend.h"
 #include "service/graph_state.h"
 #include "util/latency_histogram.h"
 #include "util/status.h"
@@ -72,58 +73,35 @@ using service::GraphSnapshot;
 using service::RequestOptions;
 using service::RequestResult;
 
-struct TenantOptions {
-  // Plan/CST cache entries for this tenant's graph; 0 disables caching.
-  std::size_t plan_cache_capacity = 64;
-
-  // Byte bound on this tenant's summed cache images; 0 = entries-only.
-  std::size_t plan_cache_byte_budget = 0;
+// Per-tenant knobs: the tenant graph's plan-cache budget (PlanCacheOptions,
+// see service/frontend.h) plus admission quota and WRR weight. Non-aggregate
+// on purpose — set fields by name.
+struct TenantOptions : service::PlanCacheOptions {
+  TenantOptions() = default;
 
   // Per-tenant admission quota: max requests queued (not yet dispatched)
   // for this tenant. 0 = bounded only by the global queue capacity.
   std::size_t max_queued = 0;
 
   // Weighted round-robin weight: consecutive dispatch slots this tenant
-  // gets per cycle over the backlogged tenants. 0 is treated as 1.
+  // gets per cycle over the backlogged tenants. 0 is treated as 1. In
+  // device mode this doubles as the tenant's device-round weight.
   std::uint32_t weight = 1;
 };
+static_assert(!std::is_aggregate_v<TenantOptions>,
+              "TenantOptions must not be positionally brace-initializable");
 
-struct RouterOptions {
-  // Worker threads shared by all tenants; 0 = hardware concurrency.
-  std::size_t num_workers = 0;
-
-  // Process-wide bound on the total queued requests across tenants.
-  std::size_t queue_capacity = 256;
-
-  // Default per-request deadline in seconds; 0 = no deadline.
-  double default_deadline_seconds = 0.0;
-
-  // Base pipeline configuration shared by all tenants.
-  FastRunOptions run;
-
-  // Shared-device mode: ONE simulated card (device/device_executor.h) serves
-  // CST-partition work from all tenants, batching items from concurrent
-  // queries — across tenants — into shared device rounds with per-tenant
-  // WRR fairness (each tenant's TenantOptions::weight doubles as its device
-  // weight). The executor simulates run.fpga under run.variant;
-  // run.cpu_share_delta is ignored in this mode.
-  bool device_mode = false;
-  device::DeviceOptions device;
-
-  // ---- Observability (src/obs/). NOTE: appended last — call sites
-  // brace-initialize this struct positionally. ----
-  // Process-wide metrics registry the router (and every tenant's cache and
-  // graph state, plus the shared device) reports into. Non-owning; must
-  // outlive the router. nullptr = registry metrics off.
-  obs::MetricsRegistry* metrics = nullptr;
-  // Per-request span tracing (obs/trace.h).
-  bool tracing = true;
-  // Requests slower than this are FAST_LOG(WARNING)-ed with their span
-  // breakdown and retained in the slow-trace ring. 0 disables.
-  double slow_request_seconds = 0.0;
-  // Capacity of the recent-trace ring (the slow ring uses the same).
-  std::size_t trace_ring_capacity = 256;
+// The shared pool/queue/obs knobs (service::CommonServingOptions — see
+// service/frontend.h for every field) are the whole configuration: the
+// router adds nothing pool-level of its own; per-graph knobs live in
+// TenantOptions. In device mode each tenant's WRR weight doubles as its
+// device-round weight, and queue_capacity bounds the total queued requests
+// across all tenants.
+struct RouterOptions : service::CommonServingOptions {
+  RouterOptions() = default;
 };
+static_assert(!std::is_aggregate_v<RouterOptions>,
+              "RouterOptions must not be positionally brace-initializable");
 
 struct TenantStats {
   std::string id;
@@ -163,14 +141,14 @@ struct RouterStats {
   std::string Summary() const;
 };
 
-class TenantRouter {
+class TenantRouter : public service::Frontend {
  public:
-  using RequestId = std::uint64_t;
+  using RequestId = service::Frontend::RequestId;
 
   // Workers start immediately; tenants are added afterwards (or at any
   // later point).
   explicit TenantRouter(RouterOptions options = {});
-  ~TenantRouter();
+  ~TenantRouter() override;
 
   TenantRouter(const TenantRouter&) = delete;
   TenantRouter& operator=(const TenantRouter&) = delete;
@@ -186,21 +164,21 @@ class TenantRouter {
   // stats are discarded with it.
   Status RemoveTenant(const std::string& id);
 
-  // Canonicalizes q and enqueues it for `tenant_id`. NOT_FOUND for an
-  // unknown tenant, RESOURCE_EXHAUSTED when the global queue or the
-  // tenant's quota is full, INVALID_ARGUMENT for malformed queries,
-  // FAILED_PRECONDITION after Shutdown.
-  StatusOr<RequestId> Submit(const std::string& tenant_id, const QueryGraph& q,
-                             RequestOptions opts = {});
+  // Frontend: the session key is the tenant id. Canonicalizes q and
+  // enqueues it for that tenant. NOT_FOUND for an unknown tenant,
+  // RESOURCE_EXHAUSTED when the global queue or the tenant's quota is full,
+  // INVALID_ARGUMENT for malformed queries, FAILED_PRECONDITION after
+  // Shutdown.
+  StatusOr<RequestId> Submit(const service::SessionKey& tenant_id,
+                             const QueryGraph& q,
+                             RequestOptions opts = {}) override;
 
-  // Blocks until the request completes and returns its result. Each id may
-  // be waited on once; a second Wait returns NOT_FOUND.
-  RequestResult Wait(RequestId id);
+  // Blocks until the request completes. NOT_FOUND (outer status) for
+  // unknown, already-waited, or callback-mode ids.
+  StatusOr<RequestResult> Wait(RequestId id) override;
 
-  // Submit + Wait; the Status covers both admission and execution.
-  StatusOr<RequestResult> SubmitAndWait(const std::string& tenant_id,
-                                        const QueryGraph& q,
-                                        RequestOptions opts = {});
+  // SubmitAndWait(tenant_id, q, opts) is inherited: the Status covers both
+  // admission and execution.
 
   // Per-tenant snapshot publication; other tenants' queries and caches are
   // unaffected. NOT_FOUND for unknown tenants.
@@ -213,7 +191,7 @@ class TenantRouter {
 
   // Stops admission, drains all queued requests, joins workers. Idempotent;
   // also run by the destructor.
-  void Shutdown();
+  void Shutdown() override;
 
   RouterStats stats() const;
   StatusOr<TenantStats> tenant_stats(const std::string& tenant_id) const;
@@ -222,7 +200,7 @@ class TenantRouter {
 
   // Requests queued but not yet dispatched, across all tenants
   // (periodic-sampler probe).
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const override;
 
   // Newest-last rings of retained traces (empty when tracing is off).
   std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
@@ -247,6 +225,8 @@ class TenantRouter {
   const RouterOptions options_;
   obs::RequestObs obs_;
   Timer uptime_;
+  // Id allocation + Wait/callback delivery (service/frontend.h).
+  service::RequestLedger ledger_;
   // The shared simulated card (device mode only); created before the workers
   // that submit to it, shut down after they drain.
   std::unique_ptr<device::DeviceExecutor> device_;
@@ -262,11 +242,9 @@ class TenantRouter {
   std::size_t total_queued_ = 0;
   bool stopping_ = false;
 
-  // Pending-request map, request ids, and all stats counters (global and
-  // per-tenant). Acquired strictly after sched_mu_ is released.
+  // All stats counters (global and per-tenant) + the shutdown flag.
+  // Acquired strictly after sched_mu_ is released.
   mutable std::mutex mu_;
-  std::unordered_map<RequestId, std::shared_ptr<Request>> pending_;
-  std::uint64_t next_id_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;

@@ -38,6 +38,7 @@ class LatencyHistogram {
   double P50() const { return ValueAtQuantile(0.50); }
   double P90() const { return ValueAtQuantile(0.90); }
   double P99() const { return ValueAtQuantile(0.99); }
+  double P999() const { return ValueAtQuantile(0.999); }
 
   void Merge(const LatencyHistogram& other);
   void Clear();

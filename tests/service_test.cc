@@ -441,8 +441,8 @@ TEST(MatchServiceTest, DeadlinePassedInQueueRejects) {
   ASSERT_TRUE(late.ok());
 
   auto late_result = svc.Wait(*late);
-  EXPECT_EQ(late_result.status.code(), StatusCode::kDeadlineExceeded);
-  EXPECT_TRUE(svc.Wait(*blocker).status.ok());
+  EXPECT_EQ(late_result->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(svc.Wait(*blocker)->status.ok());
   EXPECT_EQ(svc.stats().rejected_deadline, 1u);
 }
 
@@ -477,9 +477,9 @@ TEST(MatchServiceTest, DeadlineExpiringMidRunAbortsMatching) {
   auto r = svc.Submit(TriangleQuery(), opts);
   ASSERT_TRUE(r.ok());
   auto result = svc.Wait(*r);
-  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result->status.code(), StatusCode::kDeadlineExceeded);
   // Dispatched (epoch captured), then aborted mid-run — not a queue reject.
-  EXPECT_GT(result.graph_epoch, 0u);
+  EXPECT_GT(result->graph_epoch, 0u);
   EXPECT_GT(seen.load(), 0);
   EXPECT_LT(seen.load(), 30);  // the run did not finish all 30 triangles
   const auto stats = svc.stats();
@@ -547,9 +547,10 @@ TEST(MatchServiceTest, DeviceModeMixedWorkloadMatchesBruteForce) {
   }
   for (int i = 0; i < kRequests; ++i) {
     auto r = svc.Wait(ids[static_cast<std::size_t>(i)]);
-    ASSERT_TRUE(r.status.ok()) << r.status;
-    EXPECT_EQ(r.run.embeddings, expected[static_cast<std::size_t>(i) % mix.size()]);
-    EXPECT_GE(r.run.fpga_partitions, 1u);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE((*r).status.ok()) << (*r).status;
+    EXPECT_EQ((*r).run.embeddings, expected[static_cast<std::size_t>(i) % mix.size()]);
+    EXPECT_GE((*r).run.fpga_partitions, 1u);
   }
 
   const auto stats = svc.stats();
@@ -590,8 +591,8 @@ TEST(MatchServiceTest, DeviceModeDeadlineExpiringMidRunAborts) {
   auto r = svc.Submit(TriangleQuery(), opts);
   ASSERT_TRUE(r.ok());
   auto result = svc.Wait(*r);
-  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
-  EXPECT_GT(result.graph_epoch, 0u);  // aborted mid-run, not while queued
+  EXPECT_EQ(result->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(result->graph_epoch, 0u);  // aborted mid-run, not while queued
   EXPECT_GT(seen.load(), 0);
   EXPECT_LT(seen.load(), 30);
   const auto stats = svc.stats();
@@ -630,8 +631,8 @@ TEST(MatchServiceTest, FullQueueRejectsSubmit) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
 
   release.store(true);
-  EXPECT_TRUE(svc.Wait(*blocker).status.ok());
-  EXPECT_TRUE(svc.Wait(*queued).status.ok());
+  EXPECT_TRUE(svc.Wait(*blocker)->status.ok());
+  EXPECT_TRUE(svc.Wait(*queued)->status.ok());
   EXPECT_EQ(svc.stats().rejected_queue_full, 1u);
 }
 
@@ -645,7 +646,7 @@ TEST(MatchServiceTest, ShutdownDrainsBacklogAndRejectsNewWork) {
     ids.push_back(*id);
   }
   svc.Shutdown();
-  for (auto id : ids) EXPECT_TRUE(svc.Wait(id).status.ok());
+  for (auto id : ids) EXPECT_TRUE(svc.Wait(id)->status.ok());
   EXPECT_EQ(svc.Submit(PaperQuery()).status().code(),
             StatusCode::kFailedPrecondition);
 }
@@ -655,8 +656,10 @@ TEST(MatchServiceTest, WaitTwiceReturnsNotFound) {
   MatchService svc(g, SmallServiceOptions(1));
   auto id = svc.Submit(PaperQuery());
   ASSERT_TRUE(id.ok());
-  EXPECT_TRUE(svc.Wait(*id).status.ok());
-  EXPECT_EQ(svc.Wait(*id).status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(svc.Wait(*id)->status.ok());
+  // Double Wait: the NOT_FOUND is on the OUTER StatusOr, so it can never
+  // be mistaken for an execution outcome.
+  EXPECT_EQ(svc.Wait(*id).status().code(), StatusCode::kNotFound);
 }
 
 // ---- Supporting utilities. ----

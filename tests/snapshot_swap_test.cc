@@ -188,10 +188,10 @@ TEST(SnapshotSwapTest, InFlightRequestFinishesOnCapturedSnapshot) {
 
   release.store(true);
   auto in_flight = svc.Wait(*blocker);
-  ASSERT_TRUE(in_flight.status.ok());
+  ASSERT_TRUE(in_flight->status.ok());
   // Dispatched before the swap: ran to completion on the epoch-1 snapshot.
-  EXPECT_EQ(in_flight.graph_epoch, 1u);
-  EXPECT_EQ(in_flight.run.embeddings, old_count);
+  EXPECT_EQ(in_flight->graph_epoch, 1u);
+  EXPECT_EQ(in_flight->run.embeddings, old_count);
 
   auto fresh = svc.SubmitAndWait(q);
   ASSERT_TRUE(fresh.ok());

@@ -175,9 +175,9 @@ TEST(TenantRouterTest, RemoveTenantDrainsInFlightOnCapturedSnapshot) {
 
   // The drained request completed normally on its captured snapshot.
   auto result = router.Wait(*blocker);
-  ASSERT_TRUE(result.status.ok());
-  EXPECT_EQ(result.graph_epoch, 1u);
-  EXPECT_EQ(result.run.embeddings, expect_a);
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(result->graph_epoch, 1u);
+  EXPECT_EQ(result->run.embeddings, expect_a);
 
   // Tenant "b" is untouched throughout.
   EXPECT_EQ(router.Submit("a", PaperQuery()).status().code(),
@@ -218,9 +218,9 @@ TEST(TenantRouterTest, PerTenantQuotaRejectsWithoutStarvingOthers) {
   ASSERT_TRUE(ok_b.ok());
 
   release.store(true);
-  EXPECT_TRUE(router.Wait(*blocker).status.ok());
-  for (auto id : queued) EXPECT_TRUE(router.Wait(id).status.ok());
-  EXPECT_TRUE(router.Wait(*ok_b).status.ok());
+  EXPECT_TRUE(router.Wait(*blocker)->status.ok());
+  for (auto id : queued) EXPECT_TRUE(router.Wait(id)->status.ok());
+  EXPECT_TRUE(router.Wait(*ok_b)->status.ok());
 
   auto ts = router.tenant_stats("a");
   ASSERT_TRUE(ts.ok());
@@ -258,9 +258,9 @@ TEST(TenantRouterTest, GlobalQueueCapacityRejects) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
 
   release.store(true);
-  EXPECT_TRUE(router.Wait(*blocker).status.ok());
-  EXPECT_TRUE(router.Wait(*q1).status.ok());
-  EXPECT_TRUE(router.Wait(*q2).status.ok());
+  EXPECT_TRUE(router.Wait(*blocker)->status.ok());
+  EXPECT_TRUE(router.Wait(*q1)->status.ok());
+  EXPECT_TRUE(router.Wait(*q2)->status.ok());
 
   const auto stats = router.stats();
   EXPECT_EQ(stats.rejected_queue_full, 1u);
@@ -318,8 +318,8 @@ TEST(TenantRouterTest, WeightedRoundRobinHonorsWeights) {
   }
 
   release.store(true);
-  EXPECT_TRUE(router.Wait(*blocker).status.ok());
-  for (auto id : ids) EXPECT_TRUE(router.Wait(id).status.ok());
+  EXPECT_TRUE(router.Wait(*blocker)->status.ok());
+  for (auto id : ids) EXPECT_TRUE(router.Wait(id)->status.ok());
 
   // Weight 2 vs 1: two "a" dispatches per "b" in every cycle.
   const std::vector<std::string> expected = {"a", "a", "b", "a", "a", "b",
@@ -375,7 +375,7 @@ TEST(TenantRouterTest, ShutdownDrainsBacklogAndRejectsNewWork) {
     ids.push_back(*id);
   }
   router.Shutdown();
-  for (auto id : ids) EXPECT_TRUE(router.Wait(id).status.ok());
+  for (auto id : ids) EXPECT_TRUE(router.Wait(id)->status.ok());
   EXPECT_EQ(router.Submit("a", PaperQuery()).status().code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(router.AddTenant("late", PaperDataGraph()).code(),

@@ -1,0 +1,429 @@
+// Property-style tests for the wire codec (net/wire_format.h): payload
+// round trips over randomized inputs, frame reassembly under arbitrary
+// chunking, and decoder poisoning on every class of framing violation.
+
+#include "net/wire_format.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/query_graph.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace fast::net {
+namespace {
+
+std::vector<std::uint8_t> EncodeOne(const FrameHeader& h,
+                                    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> wire;
+  EncodeFrame(h, payload, &wire);
+  return wire;
+}
+
+// Feeds `wire` into a fresh decoder in one call and expects exactly one frame.
+Frame DecodeOne(const std::vector<std::uint8_t>& wire) {
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  auto has = decoder.Next(&frame);
+  EXPECT_TRUE(has.ok()) << has.status().ToString();
+  EXPECT_TRUE(*has);
+  Frame none;
+  auto more = decoder.Next(&none);
+  EXPECT_TRUE(more.ok() && !*more) << "unexpected second frame";
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+// A random connected labelled query graph with <= max_v vertices.
+QueryGraph RandomQuery(Rng& rng, std::size_t max_v, bool edge_labels) {
+  const std::size_t nv = 2 + rng.Uniform(max_v - 1);
+  GraphBuilder b;
+  for (std::size_t u = 0; u < nv; ++u) {
+    b.AddVertex(static_cast<Label>(rng.Uniform(5)));
+  }
+  // Spanning path keeps it connected; extra random edges densify.
+  for (std::size_t u = 1; u < nv; ++u) {
+    const Label el = edge_labels ? static_cast<Label>(1 + rng.Uniform(3)) : 0;
+    FAST_CHECK_OK(b.AddEdge(static_cast<VertexId>(u - 1),
+                            static_cast<VertexId>(u), el));
+  }
+  for (std::size_t extra = 0; extra < nv; ++extra) {
+    const auto u = static_cast<VertexId>(rng.Uniform(nv));
+    const auto v = static_cast<VertexId>(rng.Uniform(nv));
+    if (u == v) continue;
+    const Label el = edge_labels ? static_cast<Label>(1 + rng.Uniform(3)) : 0;
+    FAST_CHECK_OK(b.AddEdge(u, v, el));
+  }
+  auto q = QueryGraph::Create(std::move(b).Build().value(), "rand");
+  FAST_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+void ExpectSameStructure(const QueryGraph& a, const QueryGraph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  for (VertexId u = 0; u < static_cast<VertexId>(a.NumVertices()); ++u) {
+    EXPECT_EQ(a.label(u), b.label(u)) << "vertex " << u;
+    for (VertexId v = 0; v < static_cast<VertexId>(a.NumVertices()); ++v) {
+      ASSERT_EQ(a.HasEdge(u, v), b.HasEdge(u, v)) << u << "-" << v;
+      if (a.HasEdge(u, v) && a.has_edge_labels()) {
+        EXPECT_EQ(a.EdgeLabel(u, v), b.EdgeLabel(u, v)) << u << "-" << v;
+      }
+    }
+  }
+}
+
+// ---- Header + frame round trips. ----
+
+TEST(WireFormat, HeaderFieldsRoundTrip) {
+  FrameHeader h;
+  h.type = FrameType::kSubmit;
+  h.request_id = 0x0123456789ABCDEFull;
+  h.deadline_us = 1500000;
+  h.flags = kFlagStreamEmbeddings;
+  h.tenant = "tenant-42";
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+
+  const Frame frame = DecodeOne(EncodeOne(h, payload));
+  EXPECT_EQ(frame.header.type, FrameType::kSubmit);
+  EXPECT_EQ(frame.header.request_id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(frame.header.deadline_us, 1500000u);
+  EXPECT_EQ(frame.header.flags, kFlagStreamEmbeddings);
+  EXPECT_EQ(frame.header.tenant, "tenant-42");
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(WireFormat, EmptyTenantAndPayload) {
+  FrameHeader h;
+  h.type = FrameType::kHello;
+  const Frame frame = DecodeOne(EncodeOne(h, {}));
+  EXPECT_EQ(frame.header.type, FrameType::kHello);
+  EXPECT_TRUE(frame.header.tenant.empty());
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFormat, MaxLengthTenant) {
+  FrameHeader h;
+  h.type = FrameType::kSubmit;
+  h.tenant = std::string(kMaxTenantBytes, 't');
+  const Frame frame = DecodeOne(EncodeOne(h, {}));
+  EXPECT_EQ(frame.header.tenant.size(), kMaxTenantBytes);
+}
+
+// Frames must reassemble identically regardless of how the stream is
+// chunked: feed a multi-frame stream one byte at a time.
+TEST(WireFormat, ByteAtATimeReassembly) {
+  Rng rng(0xC0DEC);
+  std::vector<std::uint8_t> stream;
+  std::vector<FrameHeader> sent;
+  for (int i = 0; i < 5; ++i) {
+    FrameHeader h;
+    h.type = i % 2 == 0 ? FrameType::kSubmit : FrameType::kPing;
+    h.request_id = 1000 + i;
+    h.tenant = i % 2 == 0 ? "t" + std::to_string(i) : "";
+    std::vector<std::uint8_t> payload(rng.Uniform(64));
+    for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.Uniform(256));
+    EncodeFrame(h, payload, &stream);
+    sent.push_back(h);
+  }
+
+  FrameDecoder decoder;
+  std::vector<Frame> got;
+  for (const std::uint8_t byte : stream) {
+    decoder.Feed({&byte, 1});
+    for (;;) {
+      Frame frame;
+      auto has = decoder.Next(&frame);
+      ASSERT_TRUE(has.ok()) << has.status().ToString();
+      if (!*has) break;
+      got.push_back(std::move(frame));
+    }
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].header.request_id, sent[i].request_id);
+    EXPECT_EQ(got[i].header.type, sent[i].type);
+    EXPECT_EQ(got[i].header.tenant, sent[i].tenant);
+  }
+}
+
+// Same stream, random chunk sizes, many rounds.
+TEST(WireFormat, RandomChunkingRoundTrip) {
+  Rng rng(0x5EED);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t frames = 1 + rng.Uniform(6);
+    std::vector<std::uint8_t> stream;
+    for (std::size_t i = 0; i < frames; ++i) {
+      FrameHeader h;
+      h.type = FrameType::kResult;
+      h.request_id = i;
+      std::vector<std::uint8_t> payload(rng.Uniform(256));
+      for (auto& byte : payload) {
+        byte = static_cast<std::uint8_t>(rng.Uniform(256));
+      }
+      EncodeFrame(h, payload, &stream);
+    }
+    FrameDecoder decoder;
+    std::size_t got = 0, pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.Uniform(40), stream.size() - pos);
+      decoder.Feed({stream.data() + pos, n});
+      pos += n;
+      for (;;) {
+        Frame frame;
+        auto has = decoder.Next(&frame);
+        ASSERT_TRUE(has.ok());
+        if (!*has) break;
+        EXPECT_EQ(frame.header.request_id, got);
+        ++got;
+      }
+    }
+    EXPECT_EQ(got, frames);
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+// ---- Poisoning: every framing violation is sticky and unrecoverable. ----
+
+TEST(WireFormat, BadMagicPoisons) {
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  std::vector<std::uint8_t> wire = EncodeOne(h, {});
+  wire[0] ^= 0xFF;
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  auto r = decoder.Next(&frame);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Sticky: feeding a pristine frame afterwards cannot revive the stream.
+  decoder.Feed(EncodeOne(h, {}));
+  auto again = decoder.Next(&frame);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), r.status().code());
+}
+
+TEST(WireFormat, BadVersionPoisons) {
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  std::vector<std::uint8_t> wire = EncodeOne(h, {});
+  wire[2] = kWireVersion + 1;
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+}
+
+TEST(WireFormat, UnknownFrameTypePoisons) {
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  std::vector<std::uint8_t> wire = EncodeOne(h, {});
+  wire[3] = 0xEE;
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+}
+
+TEST(WireFormat, OversizedBodyPoisonsBeforeBuffering) {
+  FrameHeader h;
+  h.type = FrameType::kSubmit;
+  std::vector<std::uint8_t> wire = EncodeOne(h, {});
+  const std::uint32_t huge = 1u << 20;
+  std::memcpy(wire.data() + 4, &huge, sizeof(huge));  // body_len field
+  FrameDecoder decoder(/*max_body=*/1024);
+  decoder.Feed(wire);
+  Frame frame;
+  auto r = decoder.Next(&frame);
+  ASSERT_FALSE(r.ok());  // rejected from the prelude alone, no body needed
+}
+
+TEST(WireFormat, TenantLongerThanBodyPoisons) {
+  FrameHeader h;
+  h.type = FrameType::kSubmit;
+  std::vector<std::uint8_t> wire = EncodeOne(h, {});
+  const std::uint16_t tenant_len = 64;  // but body_len stays 0
+  std::memcpy(wire.data() + 24, &tenant_len, sizeof(tenant_len));
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+}
+
+TEST(WireFormat, PartialPreludeIsNotAFrame) {
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  const std::vector<std::uint8_t> wire = EncodeOne(h, {});
+  FrameDecoder decoder;
+  decoder.Feed({wire.data(), kPreludeBytes - 1});
+  Frame frame;
+  auto r = decoder.Next(&frame);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  EXPECT_EQ(decoder.buffered_bytes(), kPreludeBytes - 1);
+}
+
+// ---- Payload round trips. ----
+
+TEST(WireFormat, SubmitPayloadRoundTripsRandomQueries) {
+  Rng rng(0x9A3F);
+  for (int round = 0; round < 50; ++round) {
+    const bool edge_labels = rng.Bernoulli(0.5);
+    const QueryGraph q = RandomQuery(rng, 8, edge_labels);
+    const std::uint64_t limit = rng.Uniform(1000);
+    std::vector<std::uint8_t> bytes;
+    EncodeSubmitPayload(q, limit, &bytes);
+    auto decoded = DecodeSubmitPayload(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->store_limit, limit);
+    ExpectSameStructure(q, decoded->query);
+  }
+}
+
+TEST(WireFormat, SubmitPayloadRoundTripsPaperQuery) {
+  const QueryGraph q = testing::PaperQuery();
+  std::vector<std::uint8_t> bytes;
+  EncodeSubmitPayload(q, 7, &bytes);
+  auto decoded = DecodeSubmitPayload(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->store_limit, 7u);
+  ExpectSameStructure(q, decoded->query);
+}
+
+TEST(WireFormat, SubmitPayloadRejectsTruncationAtEveryLength) {
+  const QueryGraph q = testing::PaperQuery();
+  std::vector<std::uint8_t> bytes;
+  EncodeSubmitPayload(q, 0, &bytes);
+  // Every strict prefix must fail cleanly — truncated or structurally short,
+  // never a crash or a silently different query.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DecodeSubmitPayload({bytes.data(), len});
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(WireFormat, SubmitPayloadRejectsTrailingBytes) {
+  const QueryGraph q = testing::PaperQuery();
+  std::vector<std::uint8_t> bytes;
+  EncodeSubmitPayload(q, 0, &bytes);
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeSubmitPayload(bytes).ok());
+}
+
+TEST(WireFormat, SubmitPayloadRejectsOutOfRangeEndpoint) {
+  std::vector<std::uint8_t> bytes;
+  PayloadWriter w(&bytes);
+  w.U64(0);  // store_limit
+  w.U32(2);  // nv
+  w.U32(1);  // ne
+  w.U32(0);  // label u0
+  w.U32(0);  // label u1
+  w.U32(0);  // edge 0 - 5: endpoint out of range
+  w.U32(5);
+  w.U32(0);
+  EXPECT_FALSE(DecodeSubmitPayload(bytes).ok());
+}
+
+TEST(WireFormat, SubmitPayloadRejectsImpossibleEdgeCount) {
+  std::vector<std::uint8_t> bytes;
+  PayloadWriter w(&bytes);
+  w.U64(0);
+  w.U32(2);   // nv = 2 admits at most 1 edge...
+  w.U32(40);  // ...so ne = 40 is structurally bogus, reject before reading
+  w.U32(0);
+  w.U32(0);
+  EXPECT_FALSE(DecodeSubmitPayload(bytes).ok());
+}
+
+TEST(WireFormat, ResultPayloadRoundTrip) {
+  ResultPayload r;
+  r.status_code = static_cast<std::uint32_t>(StatusCode::kDeadlineExceeded);
+  r.message = "deadline of 5ms exceeded";
+  r.embeddings = 123456789;
+  r.graph_epoch = 42;
+  r.queue_seconds = 0.00125;
+  r.total_seconds = 0.875;
+  r.cache_hit = true;
+  std::vector<std::uint8_t> bytes;
+  EncodeResultPayload(r, &bytes);
+  auto d = DecodeResultPayload(bytes);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->status_code, r.status_code);
+  EXPECT_EQ(d->message, r.message);
+  EXPECT_EQ(d->embeddings, r.embeddings);
+  EXPECT_EQ(d->graph_epoch, r.graph_epoch);
+  EXPECT_DOUBLE_EQ(d->queue_seconds, r.queue_seconds);
+  EXPECT_DOUBLE_EQ(d->total_seconds, r.total_seconds);
+  EXPECT_TRUE(d->cache_hit);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeResultPayload({bytes.data(), len}).ok());
+  }
+}
+
+TEST(WireFormat, EmbeddingPayloadRoundTrip) {
+  Rng rng(0xE14B);
+  for (int round = 0; round < 20; ++round) {
+    EmbeddingPayload e;
+    e.width = 1 + static_cast<std::uint32_t>(rng.Uniform(8));
+    const std::size_t rows = rng.Uniform(20);
+    for (std::size_t i = 0; i < rows * e.width; ++i) {
+      e.vertices.push_back(static_cast<std::uint32_t>(rng.Uniform(1 << 20)));
+    }
+    std::vector<std::uint8_t> bytes;
+    EncodeEmbeddingPayload(e, &bytes);
+    auto d = DecodeEmbeddingPayload(bytes);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->width, e.width);
+    EXPECT_EQ(d->rows(), rows);
+    EXPECT_EQ(d->vertices, e.vertices);
+  }
+}
+
+TEST(WireFormat, StatusAndHelloAckPayloadRoundTrip) {
+  StatusPayload s;
+  s.code = static_cast<std::uint32_t>(StatusCode::kResourceExhausted);
+  s.message = "queue full";
+  std::vector<std::uint8_t> bytes;
+  EncodeStatusPayload(s, &bytes);
+  auto d = DecodeStatusPayload(bytes);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->code, s.code);
+  EXPECT_EQ(d->message, "queue full");
+
+  HelloAckPayload ack;
+  ack.max_inflight = 64;
+  bytes.clear();
+  EncodeHelloAckPayload(ack, &bytes);
+  auto a = DecodeHelloAckPayload(bytes);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->max_inflight, 64u);
+}
+
+TEST(WireFormat, PayloadReaderRejectsShortReads) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  PayloadReader r(three);
+  EXPECT_TRUE(r.U16().ok());
+  EXPECT_FALSE(r.U16().ok());  // 1 byte left
+  PayloadReader r2(three);
+  EXPECT_FALSE(r2.U32().ok());
+  PayloadReader r3(three);
+  EXPECT_FALSE(r3.Str().ok());  // length prefix alone needs 4 bytes
+}
+
+TEST(WireFormat, StrLengthBeyondPayloadRejected) {
+  std::vector<std::uint8_t> bytes;
+  PayloadWriter w(&bytes);
+  w.U32(1000);  // claims 1000 bytes, none follow
+  PayloadReader r(bytes);
+  EXPECT_FALSE(r.Str().ok());
+}
+
+}  // namespace
+}  // namespace fast::net

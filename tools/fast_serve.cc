@@ -50,12 +50,24 @@
 //   --batch-window-us US  how long a non-full batch is held open for
 //                         stragglers from other queries (default 200)
 //   --max-batch N         max partitions per device round (1 = unbatched)
+//
+// Transport mode (src/net/):
+//   --listen              serve the binary wire protocol over TCP instead of
+//                         driving in-process replay clients. Works single-
+//                         graph and with --tenants N (the SUBMIT frame's
+//                         tenant id routes). Prints the bound address, then
+//                         serves for --duration seconds, or until stdin
+//                         closes when no --duration is given.
+//   --host H / --port P   bind address (default 127.0.0.1, ephemeral port)
+//   --max-inflight N      per-connection in-flight window advertised in
+//                         HELLO_ACK; beyond it SUBMITs get PUSHBACK (64)
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -65,6 +77,7 @@
 #include "graph/graph_delta.h"
 #include "graph/graph_io.h"
 #include "ldbc/ldbc.h"
+#include "net/wire_server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "service/match_service.h"
@@ -183,6 +196,75 @@ StatusOr<std::vector<QueryGraph>> LoadQueryMix(const tools::FlagParser& flags) {
   return queries;
 }
 
+// Transport mode (--listen): expose the frontend over the binary wire
+// protocol (src/net/wire_server.h) instead of driving in-process replay
+// clients. Blocks for --duration seconds, or until stdin reaches EOF when no
+// duration is given — so `fast_serve --listen &` under a script dies with the
+// script, and an interactive run stops on Ctrl-D.
+int RunListen(
+    service::Frontend* frontend, const tools::FlagParser& flags,
+    const ObsConfig& obs_cfg, obs::MetricsRegistry* registry,
+    const std::function<std::vector<std::shared_ptr<const obs::CompletedTrace>>()>&
+        traces) {
+  net::WireServerOptions wopts;
+  wopts.host = flags.GetString("host", "127.0.0.1");
+  std::size_t port, max_inflight;
+  double duration;
+  FAST_FLAG_ASSIGN_OR_USAGE(port, flags.GetSizeT("port", 0));
+  FAST_FLAG_ASSIGN_OR_USAGE(max_inflight, flags.GetSizeT("max-inflight", 64));
+  FAST_FLAG_ASSIGN_OR_USAGE(duration, flags.GetDouble("duration", 0.0));
+  if (port > 65535) {
+    std::fprintf(stderr, "--port: %zu is not a TCP port\n", port);
+    return 2;
+  }
+  wopts.port = static_cast<std::uint16_t>(port);
+  wopts.max_inflight_per_conn = static_cast<std::uint32_t>(max_inflight);
+  wopts.metrics = registry;
+  wopts.tracing = !flags.Has("no-trace");
+
+  net::WireServer server(frontend, wopts);
+  if (const Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "listen: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Scripts parse this line for the ephemeral port; flush past the buffer.
+  std::printf("listen: wire protocol on %s:%u (window %zu/conn)%s\n",
+              wopts.host.c_str(), server.port(), max_inflight,
+              duration > 0.0 ? "" : ", close stdin to stop");
+  std::fflush(stdout);
+
+  std::unique_ptr<obs::PeriodicSampler> sampler;
+  if (!obs_cfg.metrics_json.empty()) {
+    sampler = StartGaugeSampler(registry, obs_cfg.sample_ms);
+  }
+  if (duration > 0.0) {
+    Timer wall;
+    while (wall.ElapsedSeconds() < duration) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } else {
+    while (std::getchar() != EOF) {
+    }
+  }
+  server.Shutdown();
+  if (sampler != nullptr) sampler->Stop();
+
+  const auto stats = server.stats();
+  std::printf("wire:        connections=%llu frames rx=%llu tx=%llu "
+              "submits=%llu\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.frames_sent),
+              static_cast<unsigned long long>(stats.submits));
+  std::printf("pushback:    queue=%llu conn=%llu errors=%llu "
+              "protocol_errors=%llu\n",
+              static_cast<unsigned long long>(stats.pushback_queue),
+              static_cast<unsigned long long>(stats.pushback_conn),
+              static_cast<unsigned long long>(stats.errors_sent),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return WriteObsOutputs(obs_cfg, *registry, sampler.get(), traces());
+}
+
 // Multi-tenant replay: N generated graphs behind one TenantRouter, clients
 // picking tenants Zipf-skewed, an optional writer churning the tenants
 // round-robin. Invoked by Run() when --tenants > 1.
@@ -222,17 +304,10 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
     }
   }
 
+  // RouterOptions IS the shared pool/obs configuration: copy the common base
+  // in one assignment (the per-graph cache fields move to TenantOptions).
   tenant::RouterOptions ropts;
-  ropts.num_workers = options.num_workers;
-  ropts.queue_capacity = options.queue_capacity;
-  ropts.default_deadline_seconds = options.default_deadline_seconds;
-  ropts.run = options.run;
-  ropts.device_mode = options.device_mode;
-  ropts.device = options.device;
-  ropts.metrics = options.metrics;
-  ropts.tracing = options.tracing;
-  ropts.slow_request_seconds = options.slow_request_seconds;
-  ropts.trace_ring_capacity = options.trace_ring_capacity;
+  static_cast<service::CommonServingOptions&>(ropts) = options;
   tenant::TenantRouter router(ropts);
 
   std::vector<std::string> ids;
@@ -254,6 +329,11 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
               "zipf s=%g\n",
               num_tenants, router.num_workers(), ropts.queue_capacity, quota,
               zipf_s);
+
+  if (flags.Has("listen")) {
+    return RunListen(&router, flags, obs_cfg, registry,
+                     [&router] { return router.recent_traces(); });
+  }
 
   std::unique_ptr<obs::PeriodicSampler> sampler;
   if (!obs_cfg.metrics_json.empty()) {
@@ -364,8 +444,10 @@ int Run(int argc, char** argv) {
        "store", "update", "reload", "swap-every-ms", "churn", "tenants",
        "zipf-s", "quota", "weights", "device", "batch-window-us", "max-batch",
        "metrics-json", "metrics-prom", "trace-log", "slow-ms", "sample-ms",
+       "listen", "host", "port", "max-inflight",
        "no-trace", "no-cache", "once", "help"},
-      /*bool_flags=*/{"device", "no-trace", "no-cache", "once", "help"});
+      /*bool_flags=*/{"device", "listen", "no-trace", "no-cache", "once",
+                      "help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
         stderr,
@@ -379,6 +461,7 @@ int Run(int argc, char** argv) {
         "                  [--tenants N] [--zipf-s S] [--quota N]\n"
         "                  [--weights W1,...,WN]\n"
         "                  [--device] [--batch-window-us US] [--max-batch N]\n"
+        "                  [--listen] [--host H] [--port P] [--max-inflight N]\n"
         "                  [--metrics-json FILE] [--metrics-prom FILE]\n"
         "                  [--trace-log FILE] [--slow-ms MS] [--sample-ms MS]\n"
         "                  [--no-trace] [--no-cache] [--once]\n%s\n",
@@ -475,6 +558,25 @@ int Run(int argc, char** argv) {
   options.tracing = !flags->Has("no-trace");
   options.slow_request_seconds = slow_ms / 1e3;
 
+  // --- Transport mode (--listen) excludes the in-process load/update loops:
+  // remote clients drive the traffic, so the replay knobs have nothing to
+  // configure. ---
+  if (flags->Has("listen") &&
+      (flags->Has("once") || flags->Has("update") || flags->Has("reload") ||
+       flags->Has("swap-every-ms") || flags->Has("churn") ||
+       flags->Has("clients"))) {
+    std::fprintf(stderr,
+                 "--listen serves remote clients: drop --once/--update/"
+                 "--reload/--swap-every-ms/--churn/--clients\n");
+    return 2;
+  }
+  if (!flags->Has("listen") &&
+      (flags->Has("host") || flags->Has("port") || flags->Has("max-inflight"))) {
+    std::fprintf(stderr,
+                 "--host/--port/--max-inflight only apply with --listen\n");
+    return 2;
+  }
+
   // --- Multi-tenant replay branch. ---
   std::size_t num_tenants;
   FAST_FLAG_ASSIGN_OR_USAGE(num_tenants, flags->GetSizeT("tenants", 1));
@@ -517,6 +619,11 @@ int Run(int argc, char** argv) {
               options.plan_cache_capacity,
               options.plan_cache_capacity == 0 ? " (disabled)" : "",
               options.device_mode ? ", shared device executor" : "");
+
+  if (flags->Has("listen")) {
+    return RunListen(&svc, *flags, obs_cfg, &registry,
+                     [&svc] { return svc.recent_traces(); });
+  }
 
   // --- Online-update inputs (shared by both modes). ---
   auto deltas = LoadDeltaFiles(flags->GetString("update", ""));
