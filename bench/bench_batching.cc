@@ -286,6 +286,7 @@ int Run(int argc, char** argv) {
       w.EndObject();
     }
     w.Field("coldest_p99_factor", coldest_factor);
+    bench::EmbedBuildInfo(w);
     bench::EmbedMetrics(w, registry);
     bench::WriteJsonFile(json, w.Finish());
   }

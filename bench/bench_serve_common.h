@@ -44,6 +44,10 @@ inline void EmbedMetrics(JsonWriter& w, const obs::MetricsRegistry& registry) {
   obs::WriteSnapshotJson(w, registry.Snapshot(), "metrics");
 }
 
+// Embeds the build stamp (util/build_info.h) under a "build" key, so a
+// BENCH_*.json artifact records which commit and compiler produced it.
+inline void EmbedBuildInfo(JsonWriter& w) { obs::WriteBuildInfoJson(w); }
+
 }  // namespace fast::bench
 
 #endif  // FAST_BENCH_BENCH_SERVE_COMMON_H_

@@ -201,6 +201,7 @@ int Run(int argc, char** argv) {
     phase("obs_off", obs_off, /*with_hit_rate=*/true);
     w.Field("cache_speedup", off.qps > 0 ? on.qps / off.qps : 0.0);
     w.Field("obs_overhead_pct", obs_overhead_pct);
+    bench::EmbedBuildInfo(w);
     bench::EmbedMetrics(w, registry);
     if (!bench::WriteJsonFile(json, w.Finish())) return 1;
   }

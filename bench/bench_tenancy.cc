@@ -372,6 +372,7 @@ int Run(int argc, char** argv) {
       w.EndObject();
     }
     w.EndArray();
+    bench::EmbedBuildInfo(w);
     bench::EmbedMetrics(w, registry);
     bench::WriteJsonFile(json, w.Finish());
   }

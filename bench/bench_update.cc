@@ -168,6 +168,7 @@ void WriteJson(const std::string& path, double sf, std::size_t clients,
   w.Field("cache_invalidations", churned.cache_invalidations);
   w.EndObject();
   w.Field("qps_ratio", steady.qps > 0 ? churned.qps / steady.qps : 0.0);
+  bench::EmbedBuildInfo(w);
   bench::EmbedMetrics(w, registry);
   bench::WriteJsonFile(path, w.Finish());
 }

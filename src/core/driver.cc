@@ -82,8 +82,9 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
     result.embeddings = run.embeddings;
     result.kernel_seconds = SimulatedKernelSeconds(
         options.fpga, FastVariant::kDram, run, cst.SizeWords(), q.NumVertices());
+    result.dma_bytes = CstWireBytes(cst);
     result.pcie_seconds =
-        options.fpga.PcieSeconds(static_cast<double>(CstWireBytes(cst)));
+        options.fpga.PcieSeconds(static_cast<double>(result.dma_bytes));
     if (options.trace != nullptr) {
       options.trace->RecordSimulated(obs::Span::kDma, result.pcie_seconds);
       options.trace->RecordSimulated(obs::Span::kKernel, result.kernel_seconds);
@@ -122,7 +123,9 @@ StatusOr<FastRunResult> RunFastWithCst(const Cst& cst, const MatchingOrder& orde
     result.embeddings += run.embeddings;
     kernel_seconds += SimulatedKernelSeconds(options.fpga, options.variant, run,
                                              part.SizeWords(), q.NumVertices());
-    pcie_seconds += options.fpga.PcieSeconds(static_cast<double>(CstWireBytes(part)));
+    const std::uint64_t part_bytes = CstWireBytes(part);
+    result.dma_bytes += part_bytes;
+    pcie_seconds += options.fpga.PcieSeconds(static_cast<double>(part_bytes));
     ++result.fpga_partitions;
     return Status::OK();
   };

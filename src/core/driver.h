@@ -92,6 +92,11 @@ struct FastRunResult {
   // Simulated device times (seconds).
   double kernel_seconds = 0;
   double pcie_seconds = 0;
+  // Simulated bytes this run pushed across PCIe. In shared-device mode this
+  // is the dedup-aware attribution: a query whose CST image was deduplicated
+  // against a round-mate's transfer is charged only its share of the round's
+  // fixed transaction overhead. Feeds per-tenant accounting (obs/accounting.h).
+  std::uint64_t dma_bytes = 0;
 
   // Composed end-to-end time (see header comment).
   double total_seconds = 0;

@@ -426,6 +426,8 @@ void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
         q.result.embeddings += out.run.embeddings;
         q.result.kernel_seconds += out.kernel_seconds;
         q.result.pcie_seconds += pcie_share;
+        q.result.dma_bytes += contributed[i] +
+                              static_cast<std::uint64_t>(overhead_share);
         ++q.result.items;
         if (q.result.first_round == 0) q.result.first_round = round_id;
         q.result.last_round = round_id;
@@ -502,6 +504,7 @@ StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
   result.embeddings = reaped.embeddings;
   result.kernel_seconds = reaped.kernel_seconds;
   result.pcie_seconds = reaped.pcie_seconds;
+  result.dma_bytes = reaped.dma_bytes;
   result.fpga_partitions = reaped.items;
   result.total_seconds =
       result.build_seconds +

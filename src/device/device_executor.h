@@ -146,6 +146,10 @@ struct DeviceQueryResult {
   // This query's amortized share of its rounds' transfer time: contributed
   // unique bytes plus an even slice of each round's fixed transaction cost.
   double pcie_seconds = 0;
+  // The byte form of the same attribution (what pcie_seconds was computed
+  // from), for per-tenant DMA accounting. A fully deduplicated query is
+  // charged only its overhead slices.
+  std::uint64_t dma_bytes = 0;
   // 1-based sequence numbers of the first/last round that matched an item of
   // this query (0 = none ran). Tests assert fairness on these: a cold
   // tenant's rounds must not trail a hot tenant's whole backlog.

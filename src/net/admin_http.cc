@@ -1,0 +1,432 @@
+#include "net/admin_http.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/export.h"
+#include "util/build_info.h"
+#include "util/json_writer.h"
+
+namespace fast::net {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& r, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    ReasonPhrase(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+// ---- HttpRequestParser. ----
+
+HttpRequestParser::State HttpRequestParser::Next(HttpRequest* out) {
+  if (poisoned_) return State::kError;
+  const std::size_t head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    // Even an incomplete head must stay bounded; a peer trickling an
+    // endless header line would otherwise grow the buffer forever.
+    if (buf_.size() > max_header_bytes_) {
+      poisoned_ = true;
+      error_ = "request head exceeds " + std::to_string(max_header_bytes_) +
+               " bytes";
+      return State::kError;
+    }
+    return State::kNeedMore;
+  }
+  if (head_end + 4 > max_header_bytes_) {
+    poisoned_ = true;
+    error_ = "request head exceeds " + std::to_string(max_header_bytes_) +
+             " bytes";
+    return State::kError;
+  }
+
+  // Request line: METHOD SP request-target SP HTTP-version.
+  const std::size_t line_end = buf_.find("\r\n");  // <= head_end
+  const std::string line = buf_.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0 ||
+      sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    poisoned_ = true;
+    error_ = "malformed request line: \"" + line + "\"";
+    return State::kError;
+  }
+  out->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->version = line.substr(sp2 + 1);
+  const std::size_t qpos = target.find('?');
+  if (qpos == std::string::npos) {
+    out->path = std::move(target);
+    out->query.clear();
+  } else {
+    out->path = target.substr(0, qpos);
+    out->query = target.substr(qpos + 1);
+  }
+  // Header fields are otherwise skipped (the admin endpoints key on
+  // method+path only, and GET carries no body), but "Connection: close"
+  // matters: clients that read the response to EOF hang unless the server
+  // actually closes. Case-insensitive scan of the head.
+  std::string head = buf_.substr(0, head_end + 4);
+  for (char& c : head) {
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+  }
+  out->close = head.find("connection: close") != std::string::npos;
+  buf_.erase(0, head_end + 4);
+  return State::kReady;
+}
+
+// ---- AdminHttpServer. ----
+
+AdminHttpServer::AdminHttpServer(AdminHttpOptions options)
+    : options_(std::move(options)) {}
+
+AdminHttpServer::~AdminHttpServer() { Shutdown(); }
+
+void AdminHttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status AdminHttpServer::Start() {
+  FAST_ASSIGN_OR_RETURN(listener_,
+                        ListenTcp(options_.host, options_.port, &port_));
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminHttpServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listener_.valid()) ShutdownFd(listener_.get());
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    if (c->fd.valid()) ShutdownFd(c->fd.get());
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+AdminHttpStats AdminHttpServer::stats() const {
+  AdminHttpStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.requests_served = requests_served_.load();
+  s.not_found = not_found_.load();
+  s.bad_requests = bad_requests_.load();
+  return s;
+}
+
+void AdminHttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    StatusOr<ScopedFd> accepted = AcceptTcp(listener_.get());
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(*accepted);
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] {
+      ConnectionLoop(raw);
+      // Signal EOF to a peer draining the response (the fd itself is closed
+      // by the reaper / Shutdown, which also joins this thread).
+      ShutdownFd(raw->fd.get());
+      raw->done.store(true);
+    });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+    ReapFinished();
+  }
+}
+
+void AdminHttpServer::ReapFinished() {
+  // conns_mu_ held. Finished threads join instantly.
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AdminHttpServer::ConnectionLoop(Connection* conn) {
+  HttpRequestParser parser(options_.max_header_bytes);
+  std::uint8_t buf[4096];
+  while (!stopping_.load()) {
+    StatusOr<std::size_t> n = RecvSome(conn->fd.get(), buf, sizeof(buf));
+    if (!n.ok() || *n == 0) return;  // peer closed or shutdown
+    parser.Feed(reinterpret_cast<const char*>(buf), *n);
+    // Drain every pipelined request already buffered before blocking again.
+    for (;;) {
+      HttpRequest req;
+      const HttpRequestParser::State st = parser.Next(&req);
+      if (st == HttpRequestParser::State::kNeedMore) break;
+      if (st == HttpRequestParser::State::kError) {
+        bad_requests_.fetch_add(1);
+        HttpResponse resp;
+        resp.status =
+            parser.error().find("exceeds") != std::string::npos ? 431 : 400;
+        resp.body = parser.error() + "\n";
+        const std::string wire = SerializeResponse(resp, /*keep_alive=*/false);
+        // Best-effort: the connection is closing either way.
+        (void)SendAll(conn->fd.get(),
+                      reinterpret_cast<const std::uint8_t*>(wire.data()),
+                      wire.size());
+        return;
+      }
+      HttpResponse resp;
+      if (req.method != "GET") {
+        resp.status = 405;
+        resp.body = "only GET is supported\n";
+      } else {
+        auto it = handlers_.find(req.path);
+        if (it == handlers_.end()) {
+          not_found_.fetch_add(1);
+          resp.status = 404;
+          resp.body = "unknown path: " + req.path + "\n";
+        } else {
+          resp = it->second(req);
+        }
+      }
+      requests_served_.fetch_add(1);
+      const std::string wire =
+          SerializeResponse(resp, /*keep_alive=*/!req.close);
+      if (!SendAll(conn->fd.get(),
+                   reinterpret_cast<const std::uint8_t*>(wire.data()),
+                   wire.size())
+               .ok()) {
+        return;
+      }
+      if (req.close) return;
+    }
+  }
+}
+
+// ---- Standard endpoint set. ----
+
+namespace {
+
+HttpResponse JsonResponse(std::string body) {
+  HttpResponse r;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+void WriteSloJson(JsonWriter& w, const obs::RequestObs* ro) {
+  const obs::SloEngine* slo = ro == nullptr ? nullptr : ro->slo();
+  w.Field("enabled", slo != nullptr);
+  if (slo == nullptr) return;
+  const obs::SloOptions& o = slo->options();
+  w.BeginObject("objective");
+  w.Field("latency_seconds", o.latency_objective_seconds);
+  w.Field("target", o.target);
+  w.Field("short_window_seconds", o.short_window_seconds);
+  w.Field("long_window_seconds", o.long_window_seconds);
+  w.Field("breach_burn_rate", o.breach_burn_rate);
+  w.EndObject();
+  const double now = ro->uptime_seconds();
+  w.Field("now_seconds", now);
+  w.BeginArray("tenants");
+  for (const obs::SloTenantState& t : slo->StateSnapshot(now)) {
+    w.BeginObject();
+    w.Field("tenant", t.tenant);
+    w.Field("short_burn", t.short_burn);
+    w.Field("long_burn", t.long_burn);
+    w.Field("short_total", t.short_total);
+    w.Field("short_bad", t.short_bad);
+    w.Field("long_total", t.long_total);
+    w.Field("long_bad", t.long_bad);
+    w.Field("breached", t.breached);
+    w.Field("breaches", t.breaches);
+    w.Field("recoveries", t.recoveries);
+    w.EndObject();
+  }
+  w.EndArray();
+  const obs::FlightRecorder* fr = ro->flight_recorder();
+  w.BeginObject("flight_recorder");
+  w.Field("enabled", fr != nullptr && fr->enabled());
+  if (fr != nullptr) {
+    w.Field("dumps_written", fr->dumps_written());
+    w.Field("dumps_suppressed", fr->dumps_suppressed());
+    w.BeginArray("dump_paths");
+    for (const std::string& p : fr->dump_paths()) {
+      w.BeginObject();
+      w.Field("path", p);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+}
+
+HttpResponse TracesResponse(
+    const std::vector<std::shared_ptr<const obs::CompletedTrace>>& traces) {
+  HttpResponse r;
+  r.content_type = "application/x-ndjson";
+  for (const auto& t : traces) {
+    if (t == nullptr) continue;
+    r.body += obs::TraceToJson(*t);
+    r.body += '\n';
+  }
+  return r;
+}
+
+}  // namespace
+
+void RegisterAdminEndpoints(AdminHttpServer& server,
+                            AdminEndpointsOptions opts) {
+  // Handlers capture `o` by value (shared state is behind stable pointers
+  // the caller guarantees outlive the server).
+  auto o = std::make_shared<AdminEndpointsOptions>(std::move(opts));
+  Timer start_time;
+
+  server.Handle("/metrics", [o](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (o->metrics != nullptr) {
+      r.body = obs::ToPrometheusText(o->metrics->Snapshot());
+    }
+    if (o->request_obs != nullptr) {
+      r.body +=
+          obs::AccountsToPrometheusText(o->request_obs->accounts().Snapshot());
+    }
+    return r;
+  });
+
+  server.Handle("/metrics.json", [o](const HttpRequest&) {
+    JsonWriter w;
+    if (o->metrics != nullptr) {
+      obs::WriteSnapshotJson(w, o->metrics->Snapshot());
+    }
+    if (o->request_obs != nullptr) {
+      obs::WriteAccountsJson(w, o->request_obs->accounts().Snapshot());
+    }
+    return JsonResponse(w.Finish());
+  });
+
+  server.Handle("/traces/recent", [o](const HttpRequest&) {
+    return TracesResponse(o->request_obs != nullptr
+                              ? o->request_obs->recent_traces()
+                              : std::vector<std::shared_ptr<
+                                    const obs::CompletedTrace>>{});
+  });
+
+  server.Handle("/traces/slow", [o](const HttpRequest&) {
+    return TracesResponse(o->request_obs != nullptr
+                              ? o->request_obs->slow_traces()
+                              : std::vector<std::shared_ptr<
+                                    const obs::CompletedTrace>>{});
+  });
+
+  server.Handle("/tenants", [o](const HttpRequest&) {
+    JsonWriter w;
+    const std::vector<obs::AccountSnapshot> accounts =
+        o->request_obs != nullptr ? o->request_obs->accounts().Snapshot()
+                                  : std::vector<obs::AccountSnapshot>{};
+    w.Field("num_tenants", static_cast<std::uint64_t>(accounts.size()));
+    obs::WriteAccountsJson(w, accounts);
+    return JsonResponse(w.Finish());
+  });
+
+  server.Handle("/slo", [o](const HttpRequest&) {
+    JsonWriter w;
+    WriteSloJson(w, o->request_obs);
+    return JsonResponse(w.Finish());
+  });
+
+  server.Handle("/healthz", [o](const HttpRequest&) {
+    HttpResponse r;
+    const bool ready = !o->ready || o->ready();
+    r.status = ready ? 200 : 503;
+    r.body = ready ? "ok\n" : "unavailable\n";
+    return r;
+  });
+
+  server.Handle("/varz", [o, start_time](const HttpRequest&) {
+    JsonWriter w;
+    obs::WriteBuildInfoJson(w);
+    w.Field("uptime_seconds", start_time.ElapsedSeconds());
+    if (o->request_obs != nullptr) {
+      w.Field("obs_uptime_seconds", o->request_obs->uptime_seconds());
+    }
+    if (o->queue_depth) {
+      w.Field("queue_depth", static_cast<std::uint64_t>(o->queue_depth()));
+    }
+    w.Field("flags", o->flags);
+    return JsonResponse(w.Finish());
+  });
+}
+
+// ---- Scrape client. ----
+
+StatusOr<HttpResponse> HttpGet(const std::string& host, std::uint16_t port,
+                               const std::string& path) {
+  FAST_ASSIGN_OR_RETURN(ScopedFd fd, ConnectTcp(host, port));
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  FAST_RETURN_IF_ERROR(SendAll(
+      fd.get(), reinterpret_cast<const std::uint8_t*>(req.data()), req.size()));
+  std::string raw;
+  std::uint8_t buf[4096];
+  for (;;) {
+    FAST_ASSIGN_OR_RETURN(std::size_t n, RecvSome(fd.get(), buf, sizeof(buf)));
+    if (n == 0) break;  // server honors Connection: close
+    raw.append(reinterpret_cast<const char*>(buf), n);
+  }
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Internal("malformed HTTP response");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return Status::Internal("malformed HTTP status line");
+  }
+  HttpResponse resp;
+  resp.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::Internal("HTTP response missing head terminator");
+  }
+  // Content-Type echo (best effort; the body is what callers care about).
+  const std::size_t ct = raw.find("Content-Type: ");
+  if (ct != std::string::npos && ct < head_end) {
+    const std::size_t ct_end = raw.find("\r\n", ct);
+    resp.content_type = raw.substr(ct + 14, ct_end - ct - 14);
+  }
+  resp.body = raw.substr(head_end + 4);
+  return resp;
+}
+
+}  // namespace fast::net

@@ -1,0 +1,200 @@
+#ifndef FAST_NET_ADMIN_HTTP_H_
+#define FAST_NET_ADMIN_HTTP_H_
+
+// Minimal GET-only HTTP/1.1 admin plane over the same POSIX socket helpers
+// the wire server uses (net/socket.h) — no external HTTP dependency.
+//
+//   curl :PORT/metrics        Prometheus exposition (registry + per-tenant)
+//   curl :PORT/metrics.json   registry snapshot as JSON
+//   curl :PORT/traces/recent  retained request traces, one JSON per line
+//   curl :PORT/traces/slow    slow-trace ring, one JSON per line
+//   curl :PORT/tenants        per-tenant resource accounts (JSON)
+//   curl :PORT/slo            SLO objectives + live burn rates (JSON)
+//   curl :PORT/healthz        200 "ok" when serving, 503 otherwise
+//   curl :PORT/varz           build info, uptime, flag echo (JSON)
+//
+// Threading mirrors WireServer: one accept thread plus one thread per
+// connection; every handler runs on the connection's thread, so handlers
+// must be safe to call concurrently (all registered ones only read snapshot
+// APIs that take their own locks). Connections are keep-alive and requests
+// may be pipelined; anything other than GET gets 405, unknown paths 404,
+// and a malformed or oversized request head closes the connection after a
+// 400/431.
+//
+// The parser is exposed (HttpRequestParser) so tests can drive truncated,
+// pipelined, and oversized inputs byte-by-byte without sockets.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/request_obs.h"
+#include "util/status.h"
+
+namespace fast::net {
+
+struct HttpRequest {
+  std::string method;   // "GET"
+  std::string path;     // "/metrics" (no query string)
+  std::string query;    // text after '?', "" when absent
+  std::string version;  // "HTTP/1.1"
+  bool close = false;   // peer sent "Connection: close"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Incremental request-head parser. Feed() raw bytes as they arrive, then
+// drain complete requests with Next() — one call per pipelined request.
+// GET/HEAD carry no body, so the head terminator (CRLFCRLF) bounds each
+// request; header fields themselves are skipped, not stored.
+class HttpRequestParser {
+ public:
+  enum class State {
+    kNeedMore,  // no complete request head buffered yet
+    kReady,     // *out holds the next request
+    kError,     // malformed or oversized head; connection must close
+  };
+
+  explicit HttpRequestParser(std::size_t max_header_bytes = 8192)
+      : max_header_bytes_(max_header_bytes) {}
+
+  void Feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  void Feed(const std::string& data) { buf_.append(data); }
+
+  // Extracts the next complete request from the buffered bytes. Once kError
+  // is returned the parser stays poisoned (the byte stream has no reliable
+  // resync point).
+  State Next(HttpRequest* out);
+
+  const std::string& error() const { return error_; }
+  std::size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  const std::size_t max_header_bytes_;
+  std::string buf_;
+  std::string error_;
+  bool poisoned_ = false;
+};
+
+struct AdminHttpOptions {
+  AdminHttpOptions() = default;
+
+  std::string host = "127.0.0.1";
+  // 0 = pick an ephemeral port (read it back via port() after Start()).
+  std::uint16_t port = 0;
+  // Request heads beyond this are rejected with 431 and the connection
+  // closed (scrapers send tiny requests; anything bigger is abuse).
+  std::size_t max_header_bytes = 8192;
+};
+static_assert(!std::is_aggregate_v<AdminHttpOptions>,
+              "AdminHttpOptions must not be positionally brace-initializable");
+
+struct AdminHttpStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t not_found = 0;      // 404s
+  std::uint64_t bad_requests = 0;   // parse errors (connection closed)
+};
+
+class AdminHttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit AdminHttpServer(AdminHttpOptions options = {});
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  // Registers an exact-path handler. Call before Start(); handlers run
+  // concurrently on connection threads.
+  void Handle(std::string path, Handler handler);
+
+  // Binds, listens, and starts the accept thread.
+  Status Start();
+
+  // The bound port (valid after Start()).
+  std::uint16_t port() const { return port_; }
+
+  // Stops accepting, unblocks every connection, joins all threads.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  AdminHttpStats stats() const;
+
+ private:
+  struct Connection {
+    ScopedFd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  // Joins and frees connections whose loop has exited (called from the
+  // accept thread so a long-lived server does not accumulate dead fds).
+  void ReapFinished();
+
+  const AdminHttpOptions options_;
+  std::uint16_t port_ = 0;
+  std::map<std::string, Handler> handlers_;
+
+  ScopedFd listener_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> not_found_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+};
+
+// What the standard endpoint set needs from the process. Everything is
+// optional: a null/empty member degrades the dependent endpoint gracefully
+// (e.g. no registry -> /metrics serves only the per-tenant account families).
+struct AdminEndpointsOptions {
+  AdminEndpointsOptions() = default;
+
+  obs::MetricsRegistry* metrics = nullptr;
+  // The serving frontend's observability hub: accounts, SLO engine, flight
+  // recorder, trace rings. Must outlive the server.
+  const obs::RequestObs* request_obs = nullptr;
+  // Readiness probe for /healthz (e.g. Frontend::ready). Empty = always ready.
+  std::function<bool()> ready;
+  // Queued-but-not-dispatched requests, echoed in /varz. Empty = omitted.
+  std::function<std::size_t()> queue_depth;
+  // Command-line echo for /varz (how this process was launched).
+  std::string flags;
+};
+static_assert(!std::is_aggregate_v<AdminEndpointsOptions>,
+              "AdminEndpointsOptions must not be positionally brace-init");
+
+// Registers /metrics, /metrics.json, /traces/recent, /traces/slow, /tenants,
+// /slo, /healthz, and /varz on `server` against the suppliers in `opts`.
+void RegisterAdminEndpoints(AdminHttpServer& server, AdminEndpointsOptions opts);
+
+// Blocking one-shot GET against a local admin server ("Connection: close").
+// Returns the parsed status + body; transport failures come back as Status.
+// Used by the scrape bench and the end-to-end tests — not a general client.
+StatusOr<HttpResponse> HttpGet(const std::string& host, std::uint16_t port,
+                               const std::string& path);
+
+}  // namespace fast::net
+
+#endif  // FAST_NET_ADMIN_HTTP_H_

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/build_info.h"
+
 namespace fast::obs {
 
 namespace {
@@ -72,11 +74,15 @@ std::string ToPrometheusText(const MetricsSnapshot& snap) {
     out += g.name + " " + FormatDouble(g.value) + "\n";
   }
   for (const HistogramSample& h : snap.histograms) {
-    header(h.name, h.help, "summary");
-    for (const double q : {0.5, 0.9, 0.99}) {
-      out += h.name + "{quantile=\"" + FormatDouble(q) + "\"} " +
-             FormatDouble(h.hist.ValueAtQuantile(q)) + "\n";
+    header(h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (const LatencyHistogram::Bucket& b : h.hist.Buckets()) {
+      cumulative += b.count;
+      out += h.name + "_bucket{le=\"" + FormatDouble(b.upper_seconds) + "\"} " +
+             std::to_string(cumulative) + "\n";
     }
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(h.hist.count()) +
+           "\n";
     out += h.name + "_sum " + FormatDouble(h.hist.sum_seconds()) + "\n";
     out += h.name + "_count " + std::to_string(h.hist.count()) + "\n";
   }
@@ -112,6 +118,37 @@ std::string TraceToJson(const CompletedTrace& trace) {
   }
   out += "]}";
   return out;
+}
+
+void WriteTraceJson(JsonWriter& w, const CompletedTrace& trace) {
+  w.BeginObject();
+  w.Field("request_id", trace.request_id);
+  if (!trace.tenant_id.empty()) w.Field("tenant", trace.tenant_id);
+  w.Field("ok", trace.ok);
+  w.Field("status", trace.status);
+  w.Field("total_seconds", trace.total_seconds);
+  w.Field("wall_span_seconds", trace.WallSpanSeconds());
+  w.Field("coverage", trace.Coverage());
+  w.BeginArray("spans");
+  for (const TraceSpan& s : trace.spans) {
+    w.BeginObject();
+    w.Field("span", SpanName(s.span));
+    w.Field("start_seconds", s.start_seconds);
+    w.Field("duration_seconds", s.duration_seconds);
+    if (s.simulated) w.Field("simulated", true);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void WriteBuildInfoJson(JsonWriter& w, const char* key) {
+  const BuildInfo& b = GetBuildInfo();
+  w.BeginObject(key);
+  w.Field("git_sha", b.git_sha);
+  w.Field("build_type", b.build_type);
+  w.Field("compiler", b.compiler);
+  w.EndObject();
 }
 
 PeriodicSampler::PeriodicSampler(MetricsRegistry* registry,

@@ -40,8 +40,12 @@ void WriteSnapshotJson(JsonWriter& w, const MetricsSnapshot& snap,
 // Standalone JSON document of one snapshot.
 std::string SnapshotToJson(const MetricsSnapshot& snap);
 
-// Prometheus text exposition format. Histograms become summary-style series:
-//   fast_request_latency_seconds{quantile="0.99"} 0.0123
+// Prometheus text exposition format. Histograms are exported as native
+// cumulative histograms — only occupied buckets emit a series, closed by the
+// mandatory +Inf bucket — so a real Prometheus/Grafana can histogram_quantile
+// across scrapes and restarts (the JSON export keeps the quantile form):
+//   fast_request_latency_seconds_bucket{le="0.001"} 5
+//   fast_request_latency_seconds_bucket{le="+Inf"} 420
 //   fast_request_latency_seconds_sum 1.5
 //   fast_request_latency_seconds_count 420
 std::string ToPrometheusText(const MetricsSnapshot& snap);
@@ -49,6 +53,14 @@ std::string ToPrometheusText(const MetricsSnapshot& snap);
 // One trace as a single-line JSON object (no trailing newline): request id,
 // tenant, status, total, coverage, and a span array.
 std::string TraceToJson(const CompletedTrace& trace);
+
+// The same trace emitted through an open JsonWriter as one object element of
+// the current (array) scope — how the flight recorder embeds trace rings in
+// a breach dump.
+void WriteTraceJson(JsonWriter& w, const CompletedTrace& trace);
+
+// Build/version stamp (util/build_info.h) as an object field named `key`.
+void WriteBuildInfoJson(JsonWriter& w, const char* key = "build");
 
 // Polls `sample` every `interval_seconds` on a background thread. Each
 // returned (name, value) pair is mirrored into `registry`'s gauge of that
@@ -68,6 +80,12 @@ class PeriodicSampler {
 
   void Start();
   void Stop();  // idempotent; joins the thread
+
+  // Takes one sample immediately, attributed to `at_seconds` on the series
+  // time axis. This is the deterministic entry point tests drive instead of
+  // Start(): inject ticks at chosen instants, no background thread, no
+  // sleeps. Safe to combine with Start() (the mirror + append is locked).
+  void SampleNow(double at_seconds) { TakeSample(at_seconds); }
 
   struct Series {
     std::string name;

@@ -10,7 +10,25 @@ namespace fast::obs {
 RequestObs::RequestObs(const Options& opts)
     : opts_(opts),
       recent_(opts.trace_ring_capacity),
-      slow_(opts.trace_ring_capacity) {
+      slow_(opts.trace_ring_capacity),
+      accounts_(opts.metrics) {
+  if (opts_.slo.latency_objective_seconds > 0.0) {
+    slo_ = std::make_unique<SloEngine>(opts_.slo, opts_.metrics);
+    if (!opts_.flight.dir.empty()) {
+      flight_ = std::make_unique<FlightRecorder>(opts_.flight);
+      // The breach hook runs on the finishing worker thread, outside the
+      // engine lock; everything it snapshots takes its own (independent)
+      // locks.
+      slo_->set_on_breach(
+          [this](const std::string& tenant, const SloTenantState& state) {
+            flight_->RecordBreach(
+                tenant, state, uptime_.ElapsedSeconds(),
+                opts_.metrics != nullptr ? opts_.metrics->Snapshot()
+                                         : MetricsSnapshot{},
+                accounts_.Snapshot(), recent_traces(), slow_traces());
+          });
+    }
+  }
   MetricsRegistry* m = opts_.metrics;
   if (m == nullptr) return;
   submitted_ = m->GetCounter("fast_requests_total", "Requests admitted");
@@ -67,7 +85,13 @@ void RequestObs::SetQueueDepth(std::size_t depth) {
 std::shared_ptr<const CompletedTrace> RequestObs::OnFinished(
     Outcome outcome, double total_seconds, std::shared_ptr<RequestTrace> trace,
     std::uint64_t request_id, bool ok, const char* status_name,
-    std::string tenant_id) {
+    std::string tenant_id, const RequestCost& cost) {
+  // Attribution first: the account table and the SLO stream see every
+  // finished request, whatever its outcome (tenant_id is moved below).
+  accounts_.Charge(tenant_id, cost, ok);
+  if (slo_ != nullptr) {
+    slo_->Record(tenant_id, total_seconds, ok, uptime_.ElapsedSeconds());
+  }
   switch (outcome) {
     case Outcome::kCompleted:
       if (completed_ != nullptr) completed_->Increment();

@@ -7,6 +7,12 @@
 // retention ring, and the slow-query WARNING log. Both services classify
 // outcomes identically, so the whole finish-side pipeline lives here once.
 //
+// It is also the admin plane's attribution point: every OnFinished charges
+// the request's cost vector to the per-tenant resource accountant
+// (obs/accounting.h) and feeds the SLO burn-rate engine (obs/slo.h), whose
+// breach transitions trigger the flight recorder. One call site, every
+// serving mode.
+//
 // The services keep their per-instance counters (their stats() structs are
 // per-instance views benches compare phase by phase); this bundle adds the
 // process-wide view on top.
@@ -16,8 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/accounting.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace fast::obs {
 
@@ -35,6 +44,12 @@ class RequestObs {
     double slow_request_seconds = 0.0;
     // Capacity of the recent-trace ring (the slow ring uses the same).
     std::size_t trace_ring_capacity = 256;
+    // Per-tenant SLO objectives (obs/slo.h); latency_objective_seconds == 0
+    // leaves the engine off. NOTE: appended last — existing call sites
+    // brace-initialize this struct positionally.
+    SloOptions slo;
+    // Breach flight recorder (obs/slo.h); an empty dir leaves it off.
+    FlightRecorderOptions flight;
   };
 
   enum class Outcome {
@@ -63,19 +78,28 @@ class RequestObs {
   void SetQueueDepth(std::size_t depth);
 
   // Finish-side pipeline: bumps the outcome counter, records the latency
-  // and per-span histograms, retains the trace in the recent ring (and the
-  // slow ring + WARNING log past the threshold). Returns the frozen trace
-  // for the RequestResult, or nullptr when `trace` was null.
+  // and per-span histograms, charges `cost` to the tenant's resource
+  // account, feeds the SLO engine, and retains the trace in the recent ring
+  // (and the slow ring + WARNING log past the threshold). Returns the
+  // frozen trace for the RequestResult, or nullptr when `trace` was null.
   std::shared_ptr<const CompletedTrace> OnFinished(
       Outcome outcome, double total_seconds, std::shared_ptr<RequestTrace> trace,
       std::uint64_t request_id, bool ok, const char* status_name,
-      std::string tenant_id = "");
+      std::string tenant_id = "", const RequestCost& cost = {});
 
   // Newest-last snapshots of the retained traces.
   std::vector<std::shared_ptr<const CompletedTrace>> recent_traces() const;
   std::vector<std::shared_ptr<const CompletedTrace>> slow_traces() const;
 
   double slow_request_seconds() const { return opts_.slow_request_seconds; }
+
+  // ---- Admin-plane surfaces. ----
+  const ResourceAccounts& accounts() const { return accounts_; }
+  // Null when the engine / recorder is disabled.
+  const SloEngine* slo() const { return slo_.get(); }
+  const FlightRecorder* flight_recorder() const { return flight_.get(); }
+  // The time axis SLO records and flight-recorder rate limits run on.
+  double uptime_seconds() const { return uptime_.ElapsedSeconds(); }
 
  private:
   const Options opts_;
@@ -95,6 +119,11 @@ class RequestObs {
 
   TraceRing recent_;
   TraceRing slow_;
+
+  Timer uptime_;
+  ResourceAccounts accounts_;
+  std::unique_ptr<SloEngine> slo_;       // null when objectives are unset
+  std::unique_ptr<FlightRecorder> flight_;  // null when no dump dir
 };
 
 }  // namespace fast::obs

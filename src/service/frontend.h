@@ -47,6 +47,8 @@
 #include "core/driver.h"
 #include "device/device_executor.h"
 #include "obs/metrics.h"
+#include "obs/request_obs.h"
+#include "obs/slo.h"
 #include "query/query_graph.h"
 #include "service/graph_state.h"
 #include "util/status.h"
@@ -106,6 +108,15 @@ struct CommonServingOptions {
   double slow_request_seconds = 0.0;
   // Capacity of the recent-trace ring (the slow ring uses the same).
   std::size_t trace_ring_capacity = 256;
+  // Per-tenant SLO objectives (obs/slo.h): a request is good when it
+  // finishes OK within slo.latency_objective_seconds; multi-window burn
+  // rates per tenant, breach/recovery counters in the registry.
+  // latency_objective_seconds == 0 leaves the engine off.
+  obs::SloOptions slo;
+  // Flight recorder for SLO breaches (obs/slo.h): one bounded, rate-limited
+  // JSON dump (registry snapshot + trace rings + account table) per breach.
+  // An empty dir leaves it off.
+  obs::FlightRecorderOptions flight;
 };
 static_assert(!std::is_aggregate_v<CommonServingOptions>,
               "CommonServingOptions must not be positionally brace-initializable");
@@ -200,6 +211,17 @@ class Frontend {
   // Requests queued but not yet dispatched (periodic-sampler probe and the
   // wire server's flow-control hint).
   virtual std::size_t queue_depth() const = 0;
+
+  // ---- Admin-plane surfaces (src/net/admin_http.h). ----
+
+  // The finish-side observability bundle: trace rings, per-tenant resource
+  // accounts, SLO burn-rate state. Both backends own one; the default is
+  // for Frontend fakes in tests.
+  virtual const obs::RequestObs* request_obs() const { return nullptr; }
+
+  // Readiness for /healthz: accepting work (not shut down) and every
+  // registered graph has published a snapshot (epoch > 0).
+  virtual bool ready() const { return true; }
 };
 
 }  // namespace fast::service

@@ -202,7 +202,9 @@ void GraphState::Execute(const CanonicalQuery& canonical,
       }
     }
   }
-  if (!ran_from_cache) r = BuildAndRun(canonical, snap, run, device);
+  if (!ran_from_cache) {
+    r = BuildAndRun(canonical, snap, run, device, &result->plan_bytes_charged);
+  }
 
   if (!r.ok()) {
     result->status = r.status();
@@ -247,10 +249,10 @@ StatusOr<FastRunResult> GraphState::Dispatch(const Cst& cst,
   return RunFastWithCst(cst, order, run, build_seconds);
 }
 
-StatusOr<FastRunResult> GraphState::BuildAndRun(const CanonicalQuery& canonical,
-                                                const GraphSnapshot& snap,
-                                                const FastRunOptions& run,
-                                                device::DeviceExecutor* device) {
+StatusOr<FastRunResult> GraphState::BuildAndRun(
+    const CanonicalQuery& canonical, const GraphSnapshot& snap,
+    const FastRunOptions& run, device::DeviceExecutor* device,
+    std::uint64_t* plan_bytes_charged) {
   // Cache miss (or cache disabled): compute the order and build the CST for
   // the canonical query against this request's snapshot, publish the plan
   // under the snapshot's epoch, then run the pipeline from it.
@@ -274,6 +276,7 @@ StatusOr<FastRunResult> GraphState::BuildAndRun(const CanonicalQuery& canonical,
     plan->order = order;
     plan->layout = cst.layout_ptr();
     plan->cst_image = SerializeCst(cst);
+    *plan_bytes_charged = plan->ImageBytes();
     cache_.Insert(canonical.key, snap.epoch, std::move(plan));
   }
   if (run.trace != nullptr) run.trace->End();

@@ -100,6 +100,10 @@ struct RequestResult {
   std::uint64_t graph_epoch = 0;
   double queue_seconds = 0.0;  // Submit -> dispatch
   double total_seconds = 0.0;  // Submit -> completion
+  // Serialized CST image bytes this request inserted into the plan cache
+  // (0 on a hit or with caching off) — the plan-cache dimension of the
+  // request's resource-account charge (obs/accounting.h).
+  std::uint64_t plan_bytes_charged = 0;
   // Per-span latency breakdown of this request (obs/trace.h); null when the
   // service ran with tracing disabled. Shared with the service's recent- and
   // slow-trace rings.
@@ -180,7 +184,8 @@ class GraphState {
   StatusOr<FastRunResult> BuildAndRun(const CanonicalQuery& canonical,
                                       const GraphSnapshot& snap,
                                       const FastRunOptions& run,
-                                      device::DeviceExecutor* device);
+                                      device::DeviceExecutor* device,
+                                      std::uint64_t* plan_bytes_charged);
   // Runs the pipeline from a ready CST + order: inline on this thread, or on
   // the shared device executor when `device` is non-null.
   StatusOr<FastRunResult> Dispatch(const Cst& cst, const MatchingOrder& order,

@@ -50,7 +50,8 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
                                options_.metrics}),
       obs_(obs::RequestObs::Options{options_.metrics, options_.tracing,
                                     options_.slow_request_seconds,
-                                    options_.trace_ring_capacity}),
+                                    options_.trace_ring_capacity, options_.slo,
+                                    options_.flight}),
       queue_(options_.queue_capacity) {
   if (options_.device_mode) {
     // The shared device simulates the same card and variant the per-worker
@@ -158,14 +159,18 @@ void MatchService::WorkerLoop() {
     if (req->trace != nullptr) req->trace->End();  // closes the queue span
     obs_.SetQueueDepth(queue_.size());
     RequestResult result;
+    // Thread-CPU clock around the whole dispatch+execute: this worker's host
+    // cost for the request (a device-mode wait accrues no CPU here).
+    const std::uint64_t cpu_start = ThreadCpuNanos();
     state_.Serve(req->canonical, req->opts, options_.run,
                  req->submitted.ElapsedSeconds(), req->deadline_seconds,
                  device_.get(), req->trace.get(), &result);
-    Finish(std::move(req), std::move(result));
+    Finish(std::move(req), std::move(result), ThreadCpuNanos() - cpu_start);
   }
 }
 
-void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
+void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result,
+                          std::uint64_t cpu_ns) {
   result.total_seconds = req->submitted.ElapsedSeconds();
   obs::RequestObs::Outcome outcome;
   {
@@ -189,10 +194,18 @@ void MatchService::Finish(std::shared_ptr<Request> req, RequestResult result) {
       outcome = obs::RequestObs::Outcome::kFailed;
     }
   }
+  obs::RequestCost cost;
+  cost.cpu_ns = cpu_ns;
+  cost.device_kernel_ns =
+      static_cast<std::uint64_t>(result.run.kernel_seconds * 1e9);
+  cost.dma_bytes = result.run.dma_bytes;
+  cost.queue_wait_ns = static_cast<std::uint64_t>(result.queue_seconds * 1e9);
+  cost.plan_cache_bytes = result.plan_bytes_charged;
   result.trace = obs_.OnFinished(outcome, result.total_seconds,
                                  std::move(req->trace), req->id,
                                  result.status.ok(),
-                                 StatusCodeToString(result.status.code()));
+                                 StatusCodeToString(result.status.code()),
+                                 /*tenant_id=*/"", cost);
   RequestLedger::Deliver(req->id, req->slot, std::move(result));
 }
 

@@ -140,6 +140,16 @@ class MatchService : public Frontend {
   // Requests queued but not yet dispatched (periodic-sampler probe).
   std::size_t queue_depth() const override { return queue_.size(); }
 
+  // Admin-plane surfaces (service/frontend.h).
+  const obs::RequestObs* request_obs() const override { return &obs_; }
+  bool ready() const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return false;
+    }
+    return state_.epoch() > 0;
+  }
+
   // Newest-last rings of retained traces (empty when tracing is off).
   std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
     return obs_.recent_traces();
@@ -152,7 +162,8 @@ class MatchService : public Frontend {
   struct Request;
 
   void WorkerLoop();
-  void Finish(std::shared_ptr<Request> req, RequestResult result);
+  void Finish(std::shared_ptr<Request> req, RequestResult result,
+              std::uint64_t cpu_ns);
 
   const ServiceOptions options_;
   GraphState state_;

@@ -79,7 +79,8 @@ TenantRouter::TenantRouter(RouterOptions options)
     : options_(std::move(options)),
       obs_(obs::RequestObs::Options{options_.metrics, options_.tracing,
                                     options_.slow_request_seconds,
-                                    options_.trace_ring_capacity}) {
+                                    options_.trace_ring_capacity, options_.slo,
+                                    options_.flight}) {
   if (options_.device_mode) {
     // One simulated card shared by every tenant, modeling the service-level
     // device under the service-level variant.
@@ -304,16 +305,19 @@ void TenantRouter::WorkerLoop() {
     if (req->trace != nullptr) req->trace->End();  // closes the queue span
     RequestResult result;
     // Dispatch captures THIS tenant's snapshot inside Serve; concurrent
-    // swaps on other tenants share no state with this request.
+    // swaps on other tenants share no state with this request. The
+    // thread-CPU clock around it is this tenant's host-cost charge.
+    const std::uint64_t cpu_start = ThreadCpuNanos();
     req->tenant->state.Serve(req->canonical, req->opts, options_.run,
                              req->submitted.ElapsedSeconds(),
                              req->deadline_seconds, device_.get(),
                              req->trace.get(), &result);
-    Finish(std::move(req), std::move(result));
+    Finish(std::move(req), std::move(result), ThreadCpuNanos() - cpu_start);
   }
 }
 
-void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result) {
+void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result,
+                          std::uint64_t cpu_ns) {
   result.total_seconds = req->submitted.ElapsedSeconds();
   Tenant& t = *req->tenant;
   obs::RequestObs::Outcome outcome;
@@ -343,10 +347,18 @@ void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result) {
       outcome = obs::RequestObs::Outcome::kFailed;
     }
   }
+  obs::RequestCost cost;
+  cost.cpu_ns = cpu_ns;
+  cost.device_kernel_ns =
+      static_cast<std::uint64_t>(result.run.kernel_seconds * 1e9);
+  cost.dma_bytes = result.run.dma_bytes;
+  cost.queue_wait_ns = static_cast<std::uint64_t>(result.queue_seconds * 1e9);
+  cost.plan_cache_bytes = result.plan_bytes_charged;
   result.trace = obs_.OnFinished(outcome, result.total_seconds,
                                  std::move(req->trace), req->id,
                                  result.status.ok(),
-                                 StatusCodeToString(result.status.code()), t.id);
+                                 StatusCodeToString(result.status.code()), t.id,
+                                 cost);
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     --t.in_flight;

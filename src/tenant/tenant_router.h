@@ -202,6 +202,14 @@ class TenantRouter : public service::Frontend {
   // (periodic-sampler probe).
   std::size_t queue_depth() const override;
 
+  // Admin-plane surfaces (service/frontend.h). Every registered tenant has
+  // published epoch >= 1 by construction, so readiness is "not shut down".
+  const obs::RequestObs* request_obs() const override { return &obs_; }
+  bool ready() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !shutdown_;
+  }
+
   // Newest-last rings of retained traces (empty when tracing is off).
   std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
     return obs_.recent_traces();
@@ -218,7 +226,8 @@ class TenantRouter : public service::Frontend {
   // Pops the next request under weighted round-robin; blocks until work is
   // available or shutdown has drained everything (then returns nullptr).
   std::shared_ptr<Request> PopNext();
-  void Finish(std::shared_ptr<Request> req, RequestResult result);
+  void Finish(std::shared_ptr<Request> req, RequestResult result,
+              std::uint64_t cpu_ns);
   std::shared_ptr<Tenant> FindTenant(const std::string& id) const;
   static void FillTenantStats(const Tenant& t, TenantStats* out);
 

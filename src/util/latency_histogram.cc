@@ -55,6 +55,15 @@ double LatencyHistogram::ValueAtQuantile(double q) const {
   return max_seconds_;
 }
 
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::Buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    out.push_back({BucketUpperSeconds(i), buckets_[i]});
+  }
+  return out;
+}
+
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   if (other.count_ == 0) return;
   for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fast {
 
@@ -39,6 +40,17 @@ class LatencyHistogram {
   double P90() const { return ValueAtQuantile(0.90); }
   double P99() const { return ValueAtQuantile(0.99); }
   double P999() const { return ValueAtQuantile(0.999); }
+
+  // Non-empty buckets in ascending upper-bound order, counts per bucket
+  // (NOT cumulative). This is the raw form behind the Prometheus
+  // `_bucket{le=...}` export (obs/export.cc), which accumulates while
+  // emitting; only occupied buckets are returned so a sparse histogram
+  // exports O(distinct latencies) series, not kNumBuckets.
+  struct Bucket {
+    double upper_seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> Buckets() const;
 
   void Merge(const LatencyHistogram& other);
   void Clear();

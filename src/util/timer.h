@@ -5,8 +5,25 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace fast {
+
+// CPU time consumed by the calling thread, in nanoseconds. This is what the
+// per-tenant resource accountant charges for host work: a worker blocked on
+// the device executor accrues wall time but no thread-CPU time, so the two
+// dimensions stay separable. Returns 0 on platforms without a per-thread
+// CPU clock.
+inline std::uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
 
 // Monotonic stopwatch. Starts running on construction.
 class Timer {

@@ -159,7 +159,7 @@ TEST(MetricsExportTest, EmbeddedSnapshotNestsUnderKey) {
   EXPECT_NE(doc.find("\"reqs_total\": 1"), std::string::npos);
 }
 
-TEST(MetricsExportTest, PrometheusTextHasHelpTypeAndQuantiles) {
+TEST(MetricsExportTest, PrometheusTextHasHelpTypeAndHistogramBuckets) {
   MetricsRegistry reg;
   reg.GetCounter("reqs_total", "Requests admitted")->Increment(5);
   reg.GetGauge("depth", "Queue depth")->Set(4.0);
@@ -169,8 +169,32 @@ TEST(MetricsExportTest, PrometheusTextHasHelpTypeAndQuantiles) {
   EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
   EXPECT_NE(text.find("reqs_total 5"), std::string::npos);
   EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
-  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+  // Histograms export as native cumulative histograms, closed by the
+  // mandatory +Inf bucket, so histogram_quantile works across scrapes.
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 10"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 10"), std::string::npos);
+  // The quantile-series form is gone from the exposition (JSON keeps it).
+  EXPECT_EQ(text.find("quantile="), std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("spread_seconds");
+  h->Record(1e-4);  // well below the second recording's bucket
+  h->Record(1.0);
+  const std::string text = obs::ToPrometheusText(reg.Snapshot());
+  // Two occupied buckets: the first carries 1, the closing +Inf carries the
+  // full count — cumulative, not per-bucket.
+  EXPECT_NE(text.find("spread_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  const std::size_t first = text.find("spread_seconds_bucket{le=\"");
+  ASSERT_NE(first, std::string::npos);
+  const std::size_t line_end = text.find('\n', first);
+  const std::string first_line = text.substr(first, line_end - first);
+  EXPECT_NE(first_line.find("} 1"), std::string::npos) << first_line;
 }
 
 TEST(PeriodicSamplerTest, RetainsSeriesAndMirrorsGauges) {
@@ -203,6 +227,33 @@ TEST(PeriodicSamplerTest, RetainsSeriesAndMirrorsGauges) {
   const std::string doc = w.Finish();
   EXPECT_NE(doc.find("\"samples\""), std::string::npos);
   EXPECT_NE(doc.find("\"sampled_depth\""), std::string::npos);
+}
+
+// Deterministic ticks: SampleNow injects samples at chosen instants on the
+// series time axis — no background thread, no sleeps, no flakiness.
+TEST(PeriodicSamplerTest, SampleNowInjectsDeterministicTicks) {
+  MetricsRegistry reg;
+  int value = 0;
+  PeriodicSampler sampler(&reg, /*interval_seconds=*/3600.0, [&value] {
+    return std::vector<std::pair<std::string, double>>{
+        {"ticked_depth", static_cast<double>(++value)}};
+  });
+  // Never Start()ed: every point below comes from an explicit tick.
+  sampler.SampleNow(1.0);
+  sampler.SampleNow(2.5);
+  sampler.SampleNow(10.0);
+
+  const auto series = sampler.SeriesSnapshot();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].name, "ticked_depth");
+  ASSERT_EQ(series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].points[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].points[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].points[1].first, 2.5);
+  EXPECT_DOUBLE_EQ(series[0].points[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(series[0].points[2].first, 10.0);
+  EXPECT_DOUBLE_EQ(series[0].points[2].second, 3.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("ticked_depth")->Value(), 3.0);
 }
 
 TEST(PeriodicSamplerTest, BoundsPointsPerSeries) {

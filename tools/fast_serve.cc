@@ -61,6 +61,18 @@
 //   --host H / --port P   bind address (default 127.0.0.1, ephemeral port)
 //   --max-inflight N      per-connection in-flight window advertised in
 //                         HELLO_ACK; beyond it SUBMITs get PUSHBACK (64)
+//
+// Admin plane (src/net/admin_http.h), available in every serving mode:
+//   --admin-port P        serve GET-only HTTP introspection on 127.0.0.1:P
+//                         (0 = ephemeral; the bound port is printed):
+//                         /metrics /metrics.json /traces/recent /traces/slow
+//                         /tenants /slo /healthz /varz
+//   --slo-ms MS           per-tenant latency objective: a request is GOOD
+//                         when it finishes OK within MS ms (0 = SLO off)
+//   --slo-target F        good-request fraction objective (default 0.999)
+//   --flight-dir DIR      on an SLO breach, write one rate-limited flight-
+//                         recorder JSON dump (metrics + traces + accounts)
+//                         into DIR
 
 #include <algorithm>
 #include <atomic>
@@ -77,12 +89,14 @@
 #include "graph/graph_delta.h"
 #include "graph/graph_io.h"
 #include "ldbc/ldbc.h"
+#include "net/admin_http.h"
 #include "net/wire_server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "service/match_service.h"
 #include "tenant/tenant_router.h"
 #include "tools/flag_parser.h"
+#include "util/build_info.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -171,6 +185,38 @@ int WriteObsOutputs(
                 traces.size() == 1 ? "" : "s", cfg.trace_log.c_str());
   }
   return 0;
+}
+
+// Starts the admin HTTP server against `frontend` when --admin-port was
+// given (any serving mode); returns null without the flag. The returned
+// server must be destroyed before the frontend.
+StatusOr<std::unique_ptr<net::AdminHttpServer>> StartAdminServer(
+    const tools::FlagParser& flags, service::Frontend* frontend,
+    obs::MetricsRegistry* registry, const std::string& flags_echo) {
+  if (!flags.Has("admin-port")) {
+    return std::unique_ptr<net::AdminHttpServer>();
+  }
+  FAST_ASSIGN_OR_RETURN(const std::size_t port, flags.GetSizeT("admin-port", 0));
+  if (port > 65535) {
+    return Status::InvalidArgument("--admin-port: not a TCP port");
+  }
+  net::AdminHttpOptions aopts;
+  aopts.port = static_cast<std::uint16_t>(port);
+  auto server = std::make_unique<net::AdminHttpServer>(aopts);
+  net::AdminEndpointsOptions eopts;
+  eopts.metrics = registry;
+  eopts.request_obs = frontend->request_obs();
+  eopts.ready = [frontend] { return frontend->ready(); };
+  eopts.queue_depth = [frontend] { return frontend->queue_depth(); };
+  eopts.flags = flags_echo;
+  net::RegisterAdminEndpoints(*server, std::move(eopts));
+  FAST_RETURN_IF_ERROR(server->Start());
+  // Scripts parse this line for the ephemeral port; flush past the buffer.
+  std::printf("admin: http on 127.0.0.1:%u (/metrics /healthz /tenants /slo "
+              "/varz /traces)\n",
+              server->port());
+  std::fflush(stdout);
+  return server;
 }
 
 StatusOr<std::vector<GraphDelta>> LoadDeltaFiles(const std::string& spec) {
@@ -271,7 +317,8 @@ int RunListen(
 int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options,
                    const std::vector<QueryGraph>& queries,
                    std::vector<Graph> graphs, std::size_t store,
-                   const ObsConfig& obs_cfg, obs::MetricsRegistry* registry) {
+                   const ObsConfig& obs_cfg, obs::MetricsRegistry* registry,
+                   const std::string& flags_echo) {
   const std::size_t num_tenants = graphs.size();
   double duration, zipf_s, swap_every_ms;
   std::size_t clients, quota, churn;
@@ -329,6 +376,12 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
               "zipf s=%g\n",
               num_tenants, router.num_workers(), ropts.queue_capacity, quota,
               zipf_s);
+
+  auto admin = StartAdminServer(flags, &router, registry, flags_echo);
+  if (!admin.ok()) {
+    std::fprintf(stderr, "admin: %s\n", admin.status().ToString().c_str());
+    return 1;
+  }
 
   if (flags.Has("listen")) {
     return RunListen(&router, flags, obs_cfg, registry,
@@ -445,6 +498,7 @@ int Run(int argc, char** argv) {
        "zipf-s", "quota", "weights", "device", "batch-window-us", "max-batch",
        "metrics-json", "metrics-prom", "trace-log", "slow-ms", "sample-ms",
        "listen", "host", "port", "max-inflight",
+       "admin-port", "slo-ms", "slo-target", "flight-dir",
        "no-trace", "no-cache", "once", "help"},
       /*bool_flags=*/{"device", "listen", "no-trace", "no-cache", "once",
                       "help"});
@@ -464,9 +518,18 @@ int Run(int argc, char** argv) {
         "                  [--listen] [--host H] [--port P] [--max-inflight N]\n"
         "                  [--metrics-json FILE] [--metrics-prom FILE]\n"
         "                  [--trace-log FILE] [--slow-ms MS] [--sample-ms MS]\n"
+        "                  [--admin-port P] [--slo-ms MS] [--slo-target F]\n"
+        "                  [--flight-dir DIR]\n"
         "                  [--no-trace] [--no-cache] [--once]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
+  }
+  std::printf("build: %s\n", BuildInfoSummary().c_str());
+  // Echo of how this process was launched, served verbatim by /varz.
+  std::string flags_echo;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) flags_echo += ' ';
+    flags_echo += argv[i];
   }
 
   // --- Data graph. ---
@@ -558,6 +621,19 @@ int Run(int argc, char** argv) {
   options.tracing = !flags->Has("no-trace");
   options.slow_request_seconds = slow_ms / 1e3;
 
+  // --- SLO engine + breach flight recorder (obs/slo.h). ---
+  double slo_ms, slo_target;
+  FAST_FLAG_ASSIGN_OR_USAGE(slo_ms, flags->GetDouble("slo-ms", 0.0));
+  FAST_FLAG_ASSIGN_OR_USAGE(slo_target, flags->GetDouble("slo-target", 0.999));
+  options.slo.latency_objective_seconds = slo_ms / 1e3;
+  options.slo.target = slo_target;
+  options.flight.dir = flags->GetString("flight-dir", "");
+  if (!options.flight.dir.empty() && slo_ms <= 0.0) {
+    std::fprintf(stderr, "--flight-dir needs --slo-ms (breaches trigger the "
+                         "dumps)\n");
+    return 2;
+  }
+
   // --- Transport mode (--listen) excludes the in-process load/update loops:
   // remote clients drive the traffic, so the replay knobs have nothing to
   // configure. ---
@@ -605,7 +681,7 @@ int Run(int argc, char** argv) {
       graphs.push_back(std::move(*g));
     }
     return RunMultiTenant(*flags, options, *queries, std::move(graphs), store,
-                          obs_cfg, &registry);
+                          obs_cfg, &registry, flags_echo);
   }
   if (flags->Has("zipf-s") || flags->Has("quota") || flags->Has("weights")) {
     std::fprintf(stderr, "--zipf-s/--quota/--weights only apply with "
@@ -619,6 +695,12 @@ int Run(int argc, char** argv) {
               options.plan_cache_capacity,
               options.plan_cache_capacity == 0 ? " (disabled)" : "",
               options.device_mode ? ", shared device executor" : "");
+
+  auto admin = StartAdminServer(*flags, &svc, &registry, flags_echo);
+  if (!admin.ok()) {
+    std::fprintf(stderr, "admin: %s\n", admin.status().ToString().c_str());
+    return 1;
+  }
 
   if (flags->Has("listen")) {
     return RunListen(&svc, *flags, obs_cfg, &registry,
