@@ -5,6 +5,7 @@
 //
 //   bench_service [--sf 0.3] [--duration 3] [--clients 8] [--workers 0]
 //                 [--queries 0,1,2] [--deadline-ms 0] [--json FILE]
+//                 [--profile-hz HZ] [--profile-out FILE] [--chrome-trace FILE]
 //
 // --json FILE writes the two phases as a machine-readable summary (the CI
 // smoke step uploads it as the BENCH_service.json workflow artifact).
@@ -14,6 +15,12 @@
 // the benchmark output. Unlike the per-figure binaries this is a plain
 // binary (no google-benchmark): the quantity under test is sustained service
 // throughput, not per-call time.
+//
+// --profile-hz HZ adds a fourth phase repeating cache-on with the stage
+// sampling profiler (src/obs/profiler.h) running at HZ: the qps delta vs the
+// plain cache-on phase is reported as profiler_overhead_pct (CI gates it
+// < 3%). --profile-out writes that phase's collapsed-stack profile and
+// --chrome-trace its trace-event timeline.
 
 #include <atomic>
 #include <cstdio>
@@ -23,6 +30,8 @@
 
 #include "bench/bench_serve_common.h"
 #include "ldbc/ldbc.h"
+#include "obs/export.h"
+#include "obs/profiler.h"
 #include "service/match_service.h"
 #include "tools/flag_parser.h"
 #include "util/rng.h"
@@ -49,7 +58,10 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
                      std::size_t cache_capacity, std::size_t workers,
                      std::size_t clients, double duration_seconds,
                      double deadline_seconds, obs::MetricsRegistry* metrics,
-                     bool tracing) {
+                     bool tracing,
+                     std::vector<std::shared_ptr<const obs::CompletedTrace>>*
+                         traces_out = nullptr,
+                     std::vector<obs::InstantEvent>* events_out = nullptr) {
   ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = 512;
@@ -97,6 +109,8 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
   r.hit_rate = stats.cache.HitRate();
   r.completed = stats.completed;
   r.rejected = stats.rejected_queue_full + stats.rejected_deadline;
+  if (traces_out != nullptr) *traces_out = svc.recent_traces();
+  if (events_out != nullptr) *events_out = svc.request_obs()->recent_events();
   return r;
 }
 
@@ -104,13 +118,15 @@ int Run(int argc, char** argv) {
   auto flags = tools::FlagParser::Parse(
       argc, argv,
       {"sf", "duration", "clients", "workers", "queries", "deadline-ms",
-       "json", "help"},
+       "json", "profile-hz", "profile-out", "chrome-trace", "help"},
       /*bool_flags=*/{"help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(stderr,
                  "usage: bench_service [--sf S] [--duration SEC] [--clients N]\n"
                  "                     [--workers N] [--queries I,J,...]\n"
-                 "                     [--deadline-ms MS] [--json FILE]\n%s\n",
+                 "                     [--deadline-ms MS] [--json FILE]\n"
+                 "                     [--profile-hz HZ] [--profile-out FILE]\n"
+                 "                     [--chrome-trace FILE]\n%s\n",
                  flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -121,6 +137,15 @@ int Run(int argc, char** argv) {
   FAST_FLAG_ASSIGN_OR_USAGE(deadline_ms, flags->GetDouble("deadline-ms", 0.0));
   FAST_FLAG_ASSIGN_OR_USAGE(clients, flags->GetSizeT("clients", 8));
   FAST_FLAG_ASSIGN_OR_USAGE(workers, flags->GetSizeT("workers", 0));
+  double profile_hz;
+  FAST_FLAG_ASSIGN_OR_USAGE(profile_hz, flags->GetDouble("profile-hz", 0.0));
+  const std::string profile_out = flags->GetString("profile-out", "");
+  const std::string chrome_trace = flags->GetString("chrome-trace", "");
+  if ((!profile_out.empty() || !chrome_trace.empty()) && profile_hz <= 0.0) {
+    std::fprintf(stderr, "--profile-out/--chrome-trace need --profile-hz (the "
+                         "profile phase produces them)\n");
+    return 2;
+  }
 
   LdbcConfig config;
   config.scale_factor = sf;
@@ -160,6 +185,23 @@ int Run(int argc, char** argv) {
       RunPhase(*graph, mix, /*cache_capacity=*/64, workers, clients, duration,
                deadline_ms / 1e3, /*metrics=*/nullptr, /*tracing=*/false);
 
+  // Profile phase: cache-on repeated with the stage sampler running. The
+  // A/B against the plain cache-on phase is the profiler's qps overhead.
+  PhaseResult prof;
+  double profiler_overhead_pct = 0.0;
+  std::vector<std::shared_ptr<const obs::CompletedTrace>> prof_traces;
+  std::vector<obs::InstantEvent> prof_events;
+  if (profile_hz > 0.0) {
+    obs::Profiler::Default()->BindMetrics(&registry);
+    obs::Profiler::Default()->Start(profile_hz);
+    prof = RunPhase(*graph, mix, /*cache_capacity=*/64, workers, clients,
+                    duration, deadline_ms / 1e3, &registry, /*tracing=*/true,
+                    &prof_traces, &prof_events);
+    obs::Profiler::Default()->Stop();
+    profiler_overhead_pct =
+        on.qps > 0 ? (on.qps - prof.qps) / on.qps * 100.0 : 0.0;
+  }
+
   std::printf("%-12s %12s %10s %10s %10s %12s %10s\n", "phase", "queries/sec",
               "p50 ms", "p99 ms", "hit rate", "completed", "rejected");
   auto row = [](const char* name, const PhaseResult& r) {
@@ -171,12 +213,38 @@ int Run(int argc, char** argv) {
   row("cache-off", off);
   row("cache-on", on);
   row("obs-off", obs_off);
+  if (profile_hz > 0.0) row("profile-on", prof);
   std::printf("\ncache speedup: %.2fx queries/sec (%.1f -> %.1f)\n",
               off.qps > 0 ? on.qps / off.qps : 0.0, off.qps, on.qps);
   const double obs_overhead_pct =
       obs_off.qps > 0 ? (obs_off.qps - on.qps) / obs_off.qps * 100.0 : 0.0;
   std::printf("obs overhead: %.2f%% qps (obs-on %.1f vs obs-off %.1f)\n",
               obs_overhead_pct, on.qps, obs_off.qps);
+  if (profile_hz > 0.0) {
+    std::printf("profiler overhead: %.2f%% qps at %g Hz (profile-on %.1f vs "
+                "cache-on %.1f)\n",
+                profiler_overhead_pct, profile_hz, prof.qps, on.qps);
+  }
+
+  if (!profile_out.empty()) {
+    bench::WriteJsonFile(
+        profile_out, obs::CollapsedStacks(obs::Profiler::Default()->Snapshot()));
+    std::printf("profile: wrote %s\n", profile_out.c_str());
+  }
+  if (!chrome_trace.empty()) {
+    obs::ChromeTraceInputs in;
+    in.process_name = "bench_service";
+    in.traces = prof_traces;
+    const obs::ProfileSnapshot prof_snap = obs::Profiler::Default()->Snapshot();
+    in.threads = prof_snap.threads;
+    in.stage_samples = obs::Profiler::Default()->TimelineSnapshot();
+    in.sample_period_seconds = 1.0 / profile_hz;
+    in.instants = prof_events;
+    bench::WriteJsonFile(chrome_trace, obs::ChromeTraceJson(in));
+    std::printf("timeline: wrote %s (%zu traces, %zu stage samples)\n",
+                chrome_trace.c_str(), in.traces.size(),
+                in.stage_samples.size());
+  }
 
   const std::string json = flags->GetString("json", "");
   if (!json.empty()) {
@@ -199,8 +267,13 @@ int Run(int argc, char** argv) {
     phase("cache_off", off, /*with_hit_rate=*/false);
     phase("cache_on", on, /*with_hit_rate=*/true);
     phase("obs_off", obs_off, /*with_hit_rate=*/true);
+    if (profile_hz > 0.0) phase("profile_on", prof, /*with_hit_rate=*/true);
     w.Field("cache_speedup", off.qps > 0 ? on.qps / off.qps : 0.0);
     w.Field("obs_overhead_pct", obs_overhead_pct);
+    if (profile_hz > 0.0) {
+      w.Field("profile_hz", profile_hz);
+      w.Field("profiler_overhead_pct", profiler_overhead_pct);
+    }
     bench::EmbedBuildInfo(w);
     bench::EmbedMetrics(w, registry);
     if (!bench::WriteJsonFile(json, w.Finish())) return 1;

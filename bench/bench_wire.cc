@@ -11,6 +11,19 @@
 //              [--interactive-deadline-ms 500] [--batch-deadline-ms 0]
 //              [--overload-factor 25] [--overload-duration 1]
 //              [--min-achieved 0.95] [--no-overload] [--json FILE]
+//              [--device] [--profile-hz HZ] [--profile-out FILE]
+//              [--chrome-trace FILE]
+//
+// --device routes partition matching through the shared simulated FPGA
+// executor, so one process carries worker, net, AND device threads — the
+// full-tracks case for the profiling plane below.
+//
+// Profiling plane (src/obs/profiler.h): --profile-hz starts the stage
+// sampler; --profile-out writes the final collapsed-stack profile
+// (flamegraph.pl input) and --chrome-trace the trace-event timeline
+// (request spans + device rounds + sampled stages + instant events; load in
+// Perfetto). With --admin-port the scraper also rotates through /profile and
+// /locks, so those endpoints are exercised under load.
 //
 // Tenants alternate SLO classes: even tenants are "interactive" (tight
 // deadline), odd tenants are "batch" (loose/no deadline); the per-class
@@ -59,6 +72,8 @@
 #include "net/wire_client.h"
 #include "net/wire_server.h"
 #include "obs/accounting.h"
+#include "obs/export.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tenant/tenant_router.h"
 #include "tools/flag_parser.h"
@@ -408,8 +423,9 @@ int Run(int argc, char** argv) {
       {"sf", "tenants", "workers", "connections", "rate", "duration", "trace",
        "burst-factor", "queries", "zipf-s", "interactive-deadline-ms",
        "batch-deadline-ms", "overload-duration", "min-achieved", "no-overload",
-       "admin-port", "slo-ms", "flight-dir", "json", "help"},
-      /*bool_flags=*/{"no-overload", "help"});
+       "admin-port", "slo-ms", "flight-dir", "json", "device", "profile-hz",
+       "profile-out", "chrome-trace", "help"},
+      /*bool_flags=*/{"no-overload", "device", "help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
         stderr,
@@ -421,7 +437,9 @@ int Run(int argc, char** argv) {
         "                  [--batch-deadline-ms MS]\n"
         "                  [--overload-duration SEC] [--min-achieved R]\n"
         "                  [--no-overload] [--admin-port P] [--slo-ms MS]\n"
-        "                  [--flight-dir DIR] [--json FILE]\n%s\n",
+        "                  [--flight-dir DIR] [--json FILE] [--device]\n"
+        "                  [--profile-hz HZ] [--profile-out FILE]\n"
+        "                  [--chrome-trace FILE]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
@@ -447,6 +465,10 @@ int Run(int argc, char** argv) {
   FAST_FLAG_ASSIGN_OR_USAGE(admin_port, flags->GetSizeT("admin-port", 0));
   FAST_FLAG_ASSIGN_OR_USAGE(slo_ms, flags->GetDouble("slo-ms", 0.0));
   const std::string flight_dir = flags->GetString("flight-dir", "");
+  double profile_hz;
+  FAST_FLAG_ASSIGN_OR_USAGE(profile_hz, flags->GetDouble("profile-hz", 0.0));
+  const std::string profile_out = flags->GetString("profile-out", "");
+  const std::string chrome_trace = flags->GetString("chrome-trace", "");
   if (tenants == 0 || connections == 0 || rate <= 0) {
     std::fprintf(stderr, "--tenants/--connections/--rate must be > 0\n");
     return 2;
@@ -491,12 +513,24 @@ int Run(int argc, char** argv) {
               graphs[0].Summary().c_str());
 
   obs::MetricsRegistry registry;
+  // The profiler reports into `registry` and must stop before it is
+  // destroyed, on every return path below.
+  struct ProfilerStopper {
+    ~ProfilerStopper() { obs::Profiler::Default()->Stop(); }
+  } profiler_stopper;
+  if (profile_hz > 0.0) {
+    obs::Profiler::Default()->BindMetrics(&registry);
+    obs::Profiler::Default()->Start(profile_hz);
+    std::printf("profile: sampling at %.0f Hz\n",
+                obs::Profiler::Default()->hz());
+  }
   tenant::RouterOptions ropts;
   ropts.num_workers = workers;
   ropts.queue_capacity = 256;
   ropts.run.fpga = ServeBenchFpgaConfig();
   ropts.metrics = &registry;
   ropts.tracing = true;
+  ropts.device_mode = flags->Has("device");
   ropts.slo.latency_objective_seconds = slo_ms / 1e3;
   ropts.flight.dir = flight_dir;
   tenant::TenantRouter router(ropts);
@@ -515,9 +549,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf("wire: serving %zu tenants on 127.0.0.1:%u, %zu workers, "
-              "queue=%zu\n",
+              "queue=%zu%s\n",
               tenants, server.port(), router.num_workers(),
-              ropts.queue_capacity);
+              ropts.queue_capacity,
+              ropts.device_mode ? ", shared device executor" : "");
 
   std::vector<std::unique_ptr<net::WireClient>> clients;
   for (std::size_t c = 0; c < connections; ++c) {
@@ -554,6 +589,8 @@ int Run(int argc, char** argv) {
     eopts.request_obs = router.request_obs();
     eopts.ready = [&router] { return router.ready(); };
     eopts.queue_depth = [&router] { return router.queue_depth(); };
+    eopts.profiler = obs::Profiler::Default();
+    eopts.device_rounds = [&router] { return router.device_rounds(); };
     net::RegisterAdminEndpoints(*admin, std::move(eopts));
     if (const Status s = admin->Start(); !s.ok()) {
       std::fprintf(stderr, "admin: %s\n", s.ToString().c_str());
@@ -563,7 +600,8 @@ int Run(int argc, char** argv) {
                 admin->port());
     scraper = std::thread([&] {
       static const char* kPaths[] = {"/metrics", "/healthz", "/tenants",
-                                     "/metrics.json", "/slo", "/varz"};
+                                     "/metrics.json", "/slo", "/varz",
+                                     "/profile", "/locks"};
       std::size_t i = 0;
       while (!scrape_stop.load(std::memory_order_relaxed)) {
         const char* path = kPaths[i++ % (sizeof(kPaths) / sizeof(kPaths[0]))];
@@ -736,6 +774,31 @@ int Run(int argc, char** argv) {
   std::printf("traces: %zu retained, %.1f%% lead with recv span, mean wall "
               "coverage %.3f\n",
               traces.size(), wire_span_fraction * 100.0, mean_coverage);
+
+  // --- Profiling-plane outputs: the collapsed-stack profile and the
+  // trace-event timeline over everything this process just did. ---
+  if (!profile_out.empty()) {
+    bench::WriteJsonFile(
+        profile_out, obs::CollapsedStacks(obs::Profiler::Default()->Snapshot()));
+    std::printf("profile: wrote %s\n", profile_out.c_str());
+  }
+  if (!chrome_trace.empty()) {
+    obs::ChromeTraceInputs in;
+    in.process_name = "bench_wire";
+    in.traces = traces;
+    const obs::ProfileSnapshot prof_snap = obs::Profiler::Default()->Snapshot();
+    in.threads = prof_snap.threads;
+    in.stage_samples = obs::Profiler::Default()->TimelineSnapshot();
+    in.sample_period_seconds =
+        prof_snap.hz > 0.0 ? 1.0 / prof_snap.hz : 0.0;
+    in.rounds = router.device_rounds();
+    in.instants = router_obs->recent_events();
+    bench::WriteJsonFile(chrome_trace, obs::ChromeTraceJson(in));
+    std::printf("timeline: wrote %s (%zu traces, %zu stage samples, "
+                "%zu rounds, %zu instants)\n",
+                chrome_trace.c_str(), in.traces.size(), in.stage_samples.size(),
+                in.rounds.size(), in.instants.size());
+  }
 
   const std::string json = flags->GetString("json", "");
   if (!json.empty()) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <optional>
 #include <set>
 #include <string_view>
 #include <tuple>
@@ -13,11 +14,17 @@
 #include "cst/cst_serialize.h"
 #include "cst/partition.h"
 #include "fpga/pipeline_sim.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/wrr.h"
 
 namespace fast::device {
+
+namespace {
+// Bound on the retained TimelineRound ring (~2k rounds of timeline history).
+constexpr std::size_t kRecentRoundsCapacity = 2048;
+}  // namespace
 
 // One query session: identity for fairness/dedup, the per-query sinks the
 // device thread feeds, and the completion latch FinishQuery waits on.
@@ -97,14 +104,14 @@ DeviceExecutor::~DeviceExecutor() { Shutdown(); }
 
 void DeviceExecutor::SetQueueWeight(const std::string& key,
                                     std::uint32_t weight) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   std::shared_ptr<Queue>& q = queues_[key];
   if (q == nullptr) q = std::make_shared<Queue>();
   q->wrr.weight = std::max<std::uint32_t>(1, weight);
 }
 
 void DeviceExecutor::DropQueue(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   auto it = queues_.find(key);
   if (it != queues_.end() && it->second->items.empty() &&
       !it->second->wrr.in_active) {
@@ -133,7 +140,7 @@ Status DeviceExecutor::EnqueuePartition(
   item.wire_bytes = CstWireBytes(part);
   item.cst = std::move(part);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<util::ProfiledMutex> lock(mu_);
     // Back-pressure, not rejection: dropping one partition of a query would
     // silently lose embeddings. The device drains independently of any
     // worker, so this wait always makes progress. 0 = unbounded, matching
@@ -180,7 +187,7 @@ DeviceQueryResult DeviceExecutor::FinishQuery(
 
 void DeviceExecutor::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<util::ProfiledMutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -189,15 +196,21 @@ void DeviceExecutor::Shutdown() {
 }
 
 void DeviceExecutor::DeviceLoop() {
+  obs::Profiler::RegisterCurrentThread("device", obs::ThreadKind::kDevice);
   while (true) {
-    std::vector<WorkItem> round = PopRound();
+    std::vector<WorkItem> round;
+    {
+      FAST_PROF_STAGE("pop_round");
+      round = PopRound();
+    }
     if (round.empty()) return;  // stopping and drained
+    FAST_PROF_STAGE("round");
     RunRound(std::move(round));
   }
 }
 
 std::vector<DeviceExecutor::WorkItem> DeviceExecutor::PopRound() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::ProfiledMutex> lock(mu_);
   cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
   if (total_queued_ == 0) return {};
   const std::size_t max_batch = std::max<std::size_t>(1, options_.max_batch_items);
@@ -240,6 +253,8 @@ std::vector<DeviceExecutor::WorkItem> DeviceExecutor::PopRound() {
 
 void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
   const FpgaConfig& fpga = options_.fpga;
+  const double round_start = obs::ProcessUptimeSeconds();
+  Timer round_timer;
 
   // --- Mid-batch cancellation probe: an item whose token tripped (or whose
   // query already failed) is skipped before it costs any transfer bytes. ---
@@ -309,6 +324,10 @@ void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
   std::vector<RoundWork> trace;
+  // Stage scopes held in an optional so "kernel" closes before "reassembly"
+  // opens without re-nesting the two big loops below.
+  std::optional<obs::StageScope> prof_stage;
+  prof_stage.emplace("kernel");
   for (std::size_t i = 0; i < round.size(); ++i) {
     WorkItem& item = round[i];
     DeviceQuery& q = *item.query;
@@ -370,9 +389,26 @@ void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
     }
   }
 
+  prof_stage.reset();
+
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.rounds = round_seq_;
+    if (n_live > 0) {
+      obs::TimelineRound tr;
+      tr.round = round_id;
+      tr.start_seconds = round_start;
+      tr.duration_seconds = round_timer.ElapsedSeconds();
+      tr.pcie_sim_seconds = pcie_s;
+      tr.kernel_sim_seconds = round_kernel;
+      tr.items = executed;
+      tr.queries = round_queries.size();
+      tr.wire_bytes = wire;
+      recent_rounds_.push_back(tr);
+      while (recent_rounds_.size() > kRecentRoundsCapacity) {
+        recent_rounds_.pop_front();
+      }
+    }
     stats_.items += executed;
     stats_.cancelled_items += cancelled;
     stats_.failed_items += failed;
@@ -406,6 +442,7 @@ void DeviceExecutor::RunRound(std::vector<WorkItem> round) {
   }
 
   // --- Reassembly: fold each item into its query and release waiters. ---
+  prof_stage.emplace("reassembly");
   for (std::size_t i = 0; i < round.size(); ++i) {
     DeviceQuery& q = *round[i].query;
     ItemOutcome& out = outcomes[i];
@@ -444,8 +481,13 @@ DeviceStats DeviceExecutor::stats() const {
 }
 
 std::size_t DeviceExecutor::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   return total_queued_;
+}
+
+std::vector<obs::TimelineRound> DeviceExecutor::recent_rounds() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return {recent_rounds_.begin(), recent_rounds_.end()};
 }
 
 StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
@@ -477,6 +519,7 @@ StatusOr<FastRunResult> RunCstOnDevice(DeviceExecutor& device, const Cst& cst,
   // The whole submit-and-wait is this request's wall `device_wait` span —
   // the time the worker thread spent blocked on shared device rounds.
   if (options.trace != nullptr) options.trace->Begin(obs::Span::kDeviceWait);
+  FAST_PROF_STAGE("device_wait");
   Timer partition_timer;
   const Status partition_status = PartitionCst(
       cst, order, pconfig,

@@ -51,6 +51,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -64,9 +65,11 @@
 #include "cst/cst.h"
 #include "fpga/config.h"
 #include "fpga/cycle_model.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "query/matching_order.h"
 #include "util/cancel.h"
+#include "util/profiled_mutex.h"
 #include "util/status.h"
 
 namespace fast::device {
@@ -208,6 +211,11 @@ class DeviceExecutor {
   // sampler polls this for the fast_device_queue_depth time series.
   std::size_t queue_depth() const;
 
+  // Oldest-first ring of recent rounds on the ProcessUptimeSeconds axis —
+  // the timeline exporter's synthetic "device" track. Bounded (oldest
+  // evicted); only rounds with at least one live item are retained.
+  std::vector<obs::TimelineRound> recent_rounds() const;
+
  private:
   struct WorkItem;
   struct Queue;
@@ -221,10 +229,11 @@ class DeviceExecutor {
   const DeviceOptions options_;
 
   // Scheduler state: queues, the WRR active list, the global queued count.
-  // Never held while matching.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // device: work available / stopping
-  std::condition_variable space_cv_;  // submitters: back-pressure released
+  // Never held while matching. Contention-profiled as "device_sched" (the
+  // condition variables are _any variants so they can wait on it).
+  mutable util::ProfiledMutex mu_{"device_sched"};
+  std::condition_variable_any cv_;        // device: work available / stopping
+  std::condition_variable_any space_cv_;  // submitters: back-pressure released
   std::unordered_map<std::string, std::shared_ptr<Queue>> queues_;
   std::list<std::shared_ptr<Queue>> active_;  // queues with pending items
   std::size_t total_queued_ = 0;
@@ -232,6 +241,7 @@ class DeviceExecutor {
 
   mutable std::mutex stats_mu_;
   DeviceStats stats_;
+  std::deque<obs::TimelineRound> recent_rounds_;  // guarded by stats_mu_
   std::uint64_t round_seq_ = 0;  // device thread only
 
   // Registry metrics bound once at construction (null without a registry).

@@ -1,11 +1,14 @@
 #include "net/admin_http.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
 #include "obs/export.h"
 #include "util/build_info.h"
 #include "util/json_writer.h"
+#include "util/profiled_mutex.h"
 
 namespace fast::net {
 
@@ -144,6 +147,7 @@ AdminHttpStats AdminHttpServer::stats() const {
 }
 
 void AdminHttpServer::AcceptLoop() {
+  obs::Profiler::RegisterCurrentThread("admin-accept", obs::ThreadKind::kAdmin);
   while (!stopping_.load()) {
     StatusOr<ScopedFd> accepted = AcceptTcp(listener_.get());
     if (!accepted.ok()) {
@@ -181,6 +185,7 @@ void AdminHttpServer::ReapFinished() {
 }
 
 void AdminHttpServer::ConnectionLoop(Connection* conn) {
+  obs::Profiler::RegisterCurrentThread("admin-conn", obs::ThreadKind::kAdmin);
   HttpRequestParser parser(options_.max_header_bytes);
   std::uint8_t buf[4096];
   while (!stopping_.load()) {
@@ -303,6 +308,27 @@ HttpResponse TracesResponse(
   return r;
 }
 
+// "a=1&b=2" -> value of `key` as double, or `fallback` when absent/garbage.
+double QueryParam(const std::string& query, const std::string& key,
+                  double fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      const char* start = query.c_str() + eq + 1;
+      char* end = nullptr;
+      const double v = std::strtod(start, &end);
+      if (end != start) return v;
+      return fallback;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
 }  // namespace
 
 void RegisterAdminEndpoints(AdminHttpServer& server,
@@ -322,6 +348,9 @@ void RegisterAdminEndpoints(AdminHttpServer& server,
       r.body +=
           obs::AccountsToPrometheusText(o->request_obs->accounts().Snapshot());
     }
+    // Lock contention families render at scrape time from the process-wide
+    // ProfiledMutex registry (same pattern as the per-tenant accounts).
+    r.body += obs::LocksToPrometheusText(util::SnapshotLockStats());
     return r;
   });
 
@@ -372,6 +401,60 @@ void RegisterAdminEndpoints(AdminHttpServer& server,
     r.status = ready ? 200 : 503;
     r.body = ready ? "ok\n" : "unavailable\n";
     return r;
+  });
+
+  server.Handle("/profile", [o](const HttpRequest& req) {
+    obs::Profiler* p = o->profiler;
+    if (p == nullptr) {
+      return JsonResponse("{\"enabled\": false}\n");
+    }
+    const double want_seconds = QueryParam(req.query, "seconds", 0.0);
+    if (!p->running() || want_seconds <= 0.0) {
+      // Sampler off, or no window requested: serve the cumulative profile
+      // immediately (hz 0 marks a disabled sampler).
+      return JsonResponse(obs::ProfileToJson(p->Snapshot()));
+    }
+    // Window delta: snapshot, sleep the requested window, snapshot again.
+    // Runs on this connection's thread; the sampler keeps ticking meanwhile.
+    const double seconds = std::clamp(want_seconds, 0.05, 30.0);
+    const obs::ProfileSnapshot begin = p->Snapshot();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return JsonResponse(obs::ProfileToJson(obs::DeltaProfile(begin, p->Snapshot())));
+  });
+
+  server.Handle("/profile/flame", [o](const HttpRequest&) {
+    HttpResponse r;
+    if (o->profiler != nullptr) {
+      r.body = obs::CollapsedStacks(o->profiler->Snapshot());
+    }
+    return r;
+  });
+
+  server.Handle("/locks", [](const HttpRequest&) {
+    return JsonResponse(obs::LocksToJson(util::SnapshotLockStats()));
+  });
+
+  server.Handle("/timeline/chrome", [o](const HttpRequest& req) {
+    obs::ChromeTraceInputs in;
+    if (o->request_obs != nullptr) {
+      in.traces = o->request_obs->recent_traces();
+      const auto last = static_cast<std::size_t>(std::clamp(
+          QueryParam(req.query, "last", 0.0), 0.0, 1e9));
+      if (last > 0 && in.traces.size() > last) {
+        // The ring is newest-last; keep the newest N.
+        in.traces.erase(in.traces.begin(),
+                        in.traces.end() - static_cast<std::ptrdiff_t>(last));
+      }
+      in.instants = o->request_obs->recent_events();
+    }
+    if (o->profiler != nullptr) {
+      const obs::ProfileSnapshot snap = o->profiler->Snapshot();
+      in.threads = snap.threads;
+      in.stage_samples = o->profiler->TimelineSnapshot();
+      in.sample_period_seconds = snap.hz > 0.0 ? 1.0 / snap.hz : 0.0;
+    }
+    if (o->device_rounds) in.rounds = o->device_rounds();
+    return JsonResponse(obs::ChromeTraceJson(in));
   });
 
   server.Handle("/varz", [o, start_time](const HttpRequest&) {

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/request_obs.h"
 #include "util/status.h"
 
@@ -181,12 +183,22 @@ struct AdminEndpointsOptions {
   std::function<std::size_t()> queue_depth;
   // Command-line echo for /varz (how this process was launched).
   std::string flags;
+  // The process profiler for /profile, /profile/flame, and the stage tracks
+  // of /timeline/chrome. Null degrades those endpoints to "enabled": false /
+  // span-only timelines. Must outlive the server.
+  obs::Profiler* profiler = nullptr;
+  // Recent device rounds (Frontend::device_rounds) for the timeline's
+  // synthetic device track. Empty = no device track.
+  std::function<std::vector<obs::TimelineRound>()> device_rounds;
 };
 static_assert(!std::is_aggregate_v<AdminEndpointsOptions>,
               "AdminEndpointsOptions must not be positionally brace-init");
 
 // Registers /metrics, /metrics.json, /traces/recent, /traces/slow, /tenants,
-// /slo, /healthz, and /varz on `server` against the suppliers in `opts`.
+// /slo, /healthz, /varz, /profile (?seconds=N window delta), /profile/flame
+// (collapsed stacks for flamegraph.pl), /locks (ProfiledMutex contention),
+// and /timeline/chrome (?last=N, trace-event JSON for Perfetto) on `server`
+// against the suppliers in `opts`.
 void RegisterAdminEndpoints(AdminHttpServer& server, AdminEndpointsOptions opts);
 
 // Blocking one-shot GET against a local admin server ("Connection: close").

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -96,6 +97,7 @@ WireServerStats WireServer::stats() const {
 }
 
 void WireServer::AcceptLoop() {
+  obs::Profiler::RegisterCurrentThread("net-accept", obs::ThreadKind::kNet);
   for (;;) {
     StatusOr<ScopedFd> accepted = AcceptTcp(listener_.get());
     if (!accepted.ok()) {
@@ -114,6 +116,7 @@ void WireServer::AcceptLoop() {
 }
 
 void WireServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  obs::Profiler::RegisterCurrentThread("net-conn", obs::ThreadKind::kNet);
   FrameDecoder decoder(options_.max_body);
   std::vector<std::uint8_t> buf(64u << 10);
   bool protocol_error = false;

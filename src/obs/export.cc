@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <string_view>
 
 #include "util/build_info.h"
 
@@ -102,6 +104,7 @@ std::string TraceToJson(const CompletedTrace& trace) {
   out += trace.ok ? "true" : "false";
   out += ", \"status\": \"" + JsonEscape(trace.status) + "\"";
   out += ", \"total_seconds\": " + FormatDouble(trace.total_seconds);
+  out += ", \"anchor_seconds\": " + FormatDouble(trace.anchor_uptime_seconds);
   out += ", \"wall_span_seconds\": " + FormatDouble(trace.WallSpanSeconds());
   out += ", \"coverage\": " + FormatDouble(trace.Coverage());
   out += ", \"spans\": [";
@@ -114,6 +117,11 @@ std::string TraceToJson(const CompletedTrace& trace) {
     out += "\", \"start_seconds\": " + FormatDouble(s.start_seconds);
     out += ", \"duration_seconds\": " + FormatDouble(s.duration_seconds);
     if (s.simulated) out += ", \"simulated\": true";
+    if (s.tid != 0) {
+      char tid_buf[32];
+      std::snprintf(tid_buf, sizeof(tid_buf), ", \"tid\": %u", s.tid);
+      out += tid_buf;
+    }
     out += "}";
   }
   out += "]}";
@@ -127,6 +135,7 @@ void WriteTraceJson(JsonWriter& w, const CompletedTrace& trace) {
   w.Field("ok", trace.ok);
   w.Field("status", trace.status);
   w.Field("total_seconds", trace.total_seconds);
+  w.Field("anchor_seconds", trace.anchor_uptime_seconds);
   w.Field("wall_span_seconds", trace.WallSpanSeconds());
   w.Field("coverage", trace.Coverage());
   w.BeginArray("spans");
@@ -136,6 +145,7 @@ void WriteTraceJson(JsonWriter& w, const CompletedTrace& trace) {
     w.Field("start_seconds", s.start_seconds);
     w.Field("duration_seconds", s.duration_seconds);
     if (s.simulated) w.Field("simulated", true);
+    if (s.tid != 0) w.Field("tid", static_cast<std::uint64_t>(s.tid));
     w.EndObject();
   }
   w.EndArray();
@@ -244,6 +254,262 @@ void PeriodicSampler::WriteSeriesJson(JsonWriter& w, const char* key) const {
     w.EndObject();
   }
   w.EndArray();
+}
+
+std::string LocksToPrometheusText(const std::vector<util::LockStats>& locks) {
+  if (locks.empty()) return "";
+  std::string out;
+  struct Family {
+    const char* name;
+    const char* type;
+    const char* help;
+  };
+  static constexpr Family kFamilies[] = {
+      {"fast_lock_acquisitions_total", "counter", "Lock acquisitions"},
+      {"fast_lock_contended_total", "counter",
+       "Acquisitions that had to block"},
+      {"fast_lock_wait_seconds_total", "counter",
+       "Total seconds spent blocked acquiring"},
+      {"fast_lock_wait_seconds_max", "gauge", "Longest single blocked acquire"},
+      {"fast_lock_hold_seconds_total", "counter",
+       "Total seconds the lock was held"},
+      {"fast_lock_hold_seconds_max", "gauge", "Longest single hold"},
+  };
+  for (const Family& f : kFamilies) {
+    out += std::string("# HELP ") + f.name + " " + f.help + "\n";
+    out += std::string("# TYPE ") + f.name + " " + f.type + "\n";
+    for (const util::LockStats& l : locks) {
+      if (l.name.empty()) continue;
+      double value = 0.0;
+      if (f.name == std::string_view("fast_lock_acquisitions_total")) {
+        value = static_cast<double>(l.acquisitions);
+      } else if (f.name == std::string_view("fast_lock_contended_total")) {
+        value = static_cast<double>(l.contended);
+      } else if (f.name == std::string_view("fast_lock_wait_seconds_total")) {
+        value = static_cast<double>(l.total_wait_ns) / 1e9;
+      } else if (f.name == std::string_view("fast_lock_wait_seconds_max")) {
+        value = static_cast<double>(l.max_wait_ns) / 1e9;
+      } else if (f.name == std::string_view("fast_lock_hold_seconds_total")) {
+        value = static_cast<double>(l.total_hold_ns) / 1e9;
+      } else {
+        value = static_cast<double>(l.max_hold_ns) / 1e9;
+      }
+      out += std::string(f.name) + "{lock=\"" + JsonEscape(l.name) + "\"} " +
+             FormatDouble(value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string LocksToJson(const std::vector<util::LockStats>& locks) {
+  JsonWriter w;
+  w.BeginArray("locks");
+  for (const util::LockStats& l : locks) {
+    w.BeginObject();
+    w.Field("name", l.name);
+    w.Field("acquisitions", l.acquisitions);
+    w.Field("contended", l.contended);
+    w.Field("contention_rate",
+            l.acquisitions > 0 ? static_cast<double>(l.contended) /
+                                     static_cast<double>(l.acquisitions)
+                               : 0.0);
+    w.Field("total_wait_ns", l.total_wait_ns);
+    w.Field("max_wait_ns", l.max_wait_ns);
+    w.Field("total_hold_ns", l.total_hold_ns);
+    w.Field("max_hold_ns", l.max_hold_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.Finish();
+}
+
+std::string ProfileToJson(const ProfileSnapshot& snap) {
+  JsonWriter w;
+  w.Field("enabled", snap.hz > 0.0);
+  w.Field("hz", snap.hz);
+  w.Field("at_seconds", snap.at_seconds);
+  w.Field("total_samples", snap.total_samples);
+  w.BeginArray("buckets");
+  for (const ProfileBucket& b : snap.buckets) {
+    w.BeginObject();
+    w.Field("kind", ThreadKindName(b.kind));
+    w.Field("path", b.path);
+    w.Field("samples", b.samples);
+    w.Field("cpu_ns", b.cpu_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.BeginArray("threads");
+  for (const ProfThreadInfo& t : snap.threads) {
+    w.BeginObject();
+    w.Field("tid", static_cast<std::uint64_t>(t.tid));
+    w.Field("name", t.name);
+    w.Field("kind", ThreadKindName(t.kind));
+    w.Field("alive", t.alive);
+    w.Field("cpu_ns", t.cpu_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.Finish();
+}
+
+namespace {
+
+// Synthetic track layout: real thread spans keep their profiler tid; each
+// thread's sampled stage runs render one track up at tid + kStageTidOffset;
+// device rounds share one synthetic card track.
+constexpr std::uint64_t kStageTidOffset = 100000;
+constexpr std::uint64_t kDeviceTrackTid = 999999;
+constexpr std::uint64_t kEventTrackTid = 999998;
+
+double ClampNonNegative(double v) { return v > 0.0 ? v : 0.0; }
+
+void WriteMetadataEvent(JsonWriter& w, std::uint64_t tid, const char* type,
+                        const std::string& value) {
+  w.BeginObject();
+  w.Field("name", type);
+  w.Field("ph", "M");
+  w.Field("pid", std::uint64_t{1});
+  w.Field("tid", tid);
+  w.BeginObject("args");
+  w.Field("name", value);
+  w.EndObject();
+  w.EndObject();
+}
+
+void BeginCompleteEvent(JsonWriter& w, const char* name, const char* cat,
+                        std::uint64_t tid, double start_seconds,
+                        double duration_seconds) {
+  w.BeginObject();
+  w.Field("name", name);
+  w.Field("cat", cat);
+  w.Field("ph", "X");
+  w.Field("pid", std::uint64_t{1});
+  w.Field("tid", tid);
+  w.Field("ts", ClampNonNegative(start_seconds) * 1e6);
+  w.Field("dur", ClampNonNegative(duration_seconds) * 1e6);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const ChromeTraceInputs& inputs) {
+  JsonWriter w;
+  w.Field("displayTimeUnit", "ms");
+  w.BeginArray("traceEvents");
+
+  WriteMetadataEvent(w, 0, "process_name", inputs.process_name);
+  for (const ProfThreadInfo& t : inputs.threads) {
+    WriteMetadataEvent(w, t.tid, "thread_name",
+                       t.name + " [" + ThreadKindName(t.kind) + "]");
+  }
+
+  // Request spans on their recording threads' tracks. Simulated spans carry
+  // device-model seconds, not wall time — they are the rounds' job to show.
+  for (const auto& trace : inputs.traces) {
+    if (trace == nullptr) continue;
+    for (const TraceSpan& s : trace->spans) {
+      if (s.simulated) continue;
+      BeginCompleteEvent(w, SpanName(s.span), "request", s.tid,
+                         trace->anchor_uptime_seconds + s.start_seconds,
+                         s.duration_seconds);
+      w.BeginObject("args");
+      w.Field("request_id", trace->request_id);
+      if (!trace->tenant_id.empty()) w.Field("tenant", trace->tenant_id);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+
+  // Sampled stage timeline: per thread, merge consecutive same-path samples
+  // into one event; a path change closes the previous run at the new
+  // sample's time, and the final run closes one sample period after its
+  // last observation. Idle samples only close runs.
+  {
+    struct OpenRun {
+      std::string path;
+      double start = 0.0;
+      double last = 0.0;
+    };
+    std::map<std::uint32_t, OpenRun> open;  // samples arrive time-ordered
+    std::map<std::uint32_t, bool> has_track;
+    auto close_run = [&](std::uint32_t tid, const OpenRun& run, double end) {
+      BeginCompleteEvent(w, run.path.c_str(), "stage", tid + kStageTidOffset,
+                         run.start, end - run.start);
+      w.EndObject();
+    };
+    for (const StageSample& s : inputs.stage_samples) {
+      auto it = open.find(s.tid);
+      const bool idle = s.path == "(idle)";
+      if (it != open.end() && (idle || it->second.path != s.path)) {
+        close_run(s.tid, it->second, s.t_seconds);
+        open.erase(it);
+        it = open.end();
+      }
+      if (idle) continue;
+      has_track[s.tid] = true;
+      if (it == open.end()) {
+        open[s.tid] = OpenRun{s.path, s.t_seconds, s.t_seconds};
+      } else {
+        it->second.last = s.t_seconds;
+      }
+    }
+    for (const auto& [tid, run] : open) {
+      close_run(tid, run, run.last + inputs.sample_period_seconds);
+    }
+    for (const auto& [tid, _] : has_track) {
+      std::string name = "thread-" + std::to_string(tid);
+      for (const ProfThreadInfo& t : inputs.threads) {
+        if (t.tid == tid) {
+          name = t.name;
+          break;
+        }
+      }
+      WriteMetadataEvent(w, tid + kStageTidOffset, "thread_name",
+                         name + " (stages)");
+    }
+  }
+
+  // Device rounds on the synthetic card track.
+  if (!inputs.rounds.empty()) {
+    WriteMetadataEvent(w, kDeviceTrackTid, "thread_name", "device (rounds)");
+    for (const TimelineRound& r : inputs.rounds) {
+      const std::string name = "round " + std::to_string(r.round);
+      BeginCompleteEvent(w, name.c_str(), "device", kDeviceTrackTid,
+                         r.start_seconds, r.duration_seconds);
+      w.BeginObject("args");
+      w.Field("items", r.items);
+      w.Field("queries", r.queries);
+      w.Field("wire_bytes", r.wire_bytes);
+      w.Field("pcie_sim_ms", r.pcie_sim_seconds * 1e3);
+      w.Field("kernel_sim_ms", r.kernel_sim_seconds * 1e3);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+
+  // Instant events (SLO breaches, pushbacks, slow requests).
+  if (!inputs.instants.empty()) {
+    WriteMetadataEvent(w, kEventTrackTid, "thread_name", "events");
+    for (const InstantEvent& e : inputs.instants) {
+      w.BeginObject();
+      w.Field("name", e.name);
+      w.Field("cat", "event");
+      w.Field("ph", "i");
+      w.Field("s", "t");
+      w.Field("pid", std::uint64_t{1});
+      w.Field("tid", kEventTrackTid);
+      w.Field("ts", ClampNonNegative(e.t_seconds) * 1e6);
+      if (!e.detail.empty()) {
+        w.BeginObject("args");
+        w.Field("detail", e.detail);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+  }
+
+  w.EndArray();
+  return w.Finish();
 }
 
 }  // namespace fast::obs

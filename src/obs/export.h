@@ -14,19 +14,30 @@
 //     gauges (queue depth, device occupancy, cache bytes) on an interval,
 //     mirrors the latest value into registry gauges, and retains a bounded
 //     time-series per name for export.
+//   - LocksToPrometheusText / LocksToJson: the ProfiledMutex contention
+//     registry as fast_lock_* label families / as the /locks document.
+//   - ProfileToJson: a profiler snapshot as the /profile document.
+//   - ChromeTraceJson: request spans, device rounds, sampled stage
+//     transitions, and instant events merged onto one Chrome trace-event
+//     timeline (load in Perfetto or chrome://tracing).
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/json_writer.h"
+#include "util/profiled_mutex.h"
 #include "util/timer.h"
 
 namespace fast::obs {
@@ -61,6 +72,70 @@ void WriteTraceJson(JsonWriter& w, const CompletedTrace& trace);
 
 // Build/version stamp (util/build_info.h) as an object field named `key`.
 void WriteBuildInfoJson(JsonWriter& w, const char* key = "build");
+
+// ---- Contention accounting (util/profiled_mutex.h). ----
+
+// The aggregated lock stats as Prometheus label families, appended to the
+// /metrics exposition after the registry text:
+//   fast_lock_acquisitions_total{lock="plan_cache"} 1234
+//   fast_lock_contended_total{lock="plan_cache"} 56
+//   fast_lock_wait_seconds_total{lock="plan_cache"} 0.004
+//   fast_lock_hold_seconds_max{lock="plan_cache"} 0.0001
+std::string LocksToPrometheusText(const std::vector<util::LockStats>& locks);
+
+// The same rows as the standalone /locks JSON document.
+std::string LocksToJson(const std::vector<util::LockStats>& locks);
+
+// ---- Profiler exports (obs/profiler.h). ----
+
+// A profile snapshot (cumulative or a /profile?seconds=N window delta) as a
+// JSON document: sampler state, per-(kind, stage-path) buckets with wall
+// sample counts and thread-CPU nanoseconds, and the thread table.
+std::string ProfileToJson(const ProfileSnapshot& snap);
+
+// ---- Chrome trace-event timeline. ----
+
+// A device round on the timeline's synthetic "device" track (the executor
+// retains a bounded ring of these; see DeviceExecutor::recent_rounds).
+struct TimelineRound {
+  std::uint64_t round = 0;          // 1-based round sequence number
+  double start_seconds = 0.0;       // ProcessUptimeSeconds at round start
+  double duration_seconds = 0.0;    // host wall time executing the round
+  double pcie_sim_seconds = 0.0;    // simulated transfer time
+  double kernel_sim_seconds = 0.0;  // simulated kernel time, summed over items
+  std::uint64_t items = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+// Everything the timeline interleaves. All members are optional; an empty
+// input still produces a valid (metadata-only) document.
+struct ChromeTraceInputs {
+  ChromeTraceInputs() = default;
+
+  std::string process_name = "fast";
+  // Request traces: every non-simulated span becomes a complete ("X") event
+  // on the tid track that recorded it.
+  std::vector<std::shared_ptr<const CompletedTrace>> traces;
+  // Thread table for thread_name/thread_sort metadata (Snapshot().threads).
+  std::vector<ProfThreadInfo> threads;
+  // Sampled stage timeline; consecutive same-stage samples per thread merge
+  // into one X event on a parallel "<thread> stages" track.
+  std::vector<StageSample> stage_samples;
+  double sample_period_seconds = 0.0;  // closes each thread's final stage run
+  // Device rounds on the synthetic device track.
+  std::vector<TimelineRound> rounds;
+  // SLO breaches, pushbacks, slow-request flags as instant ("i") events.
+  std::vector<InstantEvent> instants;
+};
+static_assert(!std::is_aggregate_v<ChromeTraceInputs>,
+              "ChromeTraceInputs must not be positionally brace-initializable");
+
+// The trace-event JSON document ({"traceEvents": [...]}, ts/dur in
+// microseconds on the ProcessUptimeSeconds axis). Only "X", "i", and "M"
+// phase events are emitted, so ts/dur are non-negative and no B/E balancing
+// is required of consumers.
+std::string ChromeTraceJson(const ChromeTraceInputs& inputs);
 
 // Polls `sample` every `interval_seconds` on a background thread. Each
 // returned (name, value) pair is mirrored into `registry`'s gauge of that

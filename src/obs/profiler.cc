@@ -1,0 +1,379 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#if defined(__linux__) || defined(__FreeBSD__)
+#include <pthread.h>
+#include <time.h>
+#define FAST_PROF_HAS_THREAD_CPUCLOCK 1
+#else
+#define FAST_PROF_HAS_THREAD_CPUCLOCK 0
+#endif
+
+#include "util/timer.h"
+
+namespace fast::obs {
+
+double ProcessUptimeSeconds() {
+  // Leaked: threads may stamp times during static destruction.
+  static const Timer* epoch = new Timer();
+  return epoch->ElapsedSeconds();
+}
+
+const char* ThreadKindName(ThreadKind kind) {
+  switch (kind) {
+    case ThreadKind::kWorker:
+      return "worker";
+    case ThreadKind::kDevice:
+      return "device";
+    case ThreadKind::kNet:
+      return "net";
+    case ThreadKind::kAdmin:
+      return "admin";
+    case ThreadKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+// One thread's published state. The stage stack is written lock-free by the
+// owning thread and read by the sampler: entries are stored before the depth
+// that makes them visible (release), and the sampler reads the depth first
+// (acquire). A pop just lowers the depth — the stale entry above it is never
+// read. Everything else is written under the profiler mutex.
+struct Profiler::ThreadSlot {
+  std::atomic<const char*> stack[kMaxStageDepth] = {};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<bool> alive{false};
+
+  // Under Profiler::mu_.
+  std::uint32_t tid = 0;
+  std::string name;
+  ThreadKind kind = ThreadKind::kOther;
+#if FAST_PROF_HAS_THREAD_CPUCLOCK
+  pthread_t handle{};
+#endif
+  std::uint64_t last_cpu_ns = 0;  // sampler-private cumulative CPU
+};
+
+namespace {
+
+std::uint64_t SlotThreadCpuNanos(const Profiler::ThreadSlot& slot) {
+#if FAST_PROF_HAS_THREAD_CPUCLOCK
+  clockid_t clock_id;
+  if (pthread_getcpuclockid(slot.handle, &clock_id) != 0) return 0;
+  timespec ts;
+  if (clock_gettime(clock_id, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  (void)slot;
+  return 0;
+#endif
+}
+
+// "stage;substage" from the slot's lock-free stack; "(idle)" outside any
+// scope. The read is racy by design (a scope may push/pop mid-read); every
+// observable state is a valid path, just possibly one tick stale.
+std::string ReadStagePath(const Profiler::ThreadSlot& slot) {
+  std::uint32_t depth = slot.depth.load(std::memory_order_acquire);
+  if (depth > Profiler::kMaxStageDepth) {
+    depth = static_cast<std::uint32_t>(Profiler::kMaxStageDepth);
+  }
+  if (depth == 0) return "(idle)";
+  std::string path;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    const char* stage = slot.stack[i].load(std::memory_order_relaxed);
+    if (stage == nullptr) break;  // racing with a concurrent push
+    if (!path.empty()) path.push_back(';');
+    path.append(stage);
+  }
+  return path.empty() ? "(idle)" : path;
+}
+
+bool BucketKeyLess(const ProfileBucket& b, ThreadKind kind,
+                   const std::string& path) {
+  if (b.kind != kind) return b.kind < kind;
+  return b.path < path;
+}
+
+}  // namespace
+
+// Thread-local handle: releases the slot at thread exit so its tid can be
+// reused and the sampler stops touching a dying thread's CPU clock.
+struct Profiler::TlsSlot {
+  ThreadSlot* slot = nullptr;
+  bool exhausted = false;  // registry was full; stop retrying
+  ~TlsSlot() {
+    if (slot != nullptr) Profiler::Default()->ReleaseSlot(slot);
+  }
+};
+
+namespace {
+thread_local Profiler::TlsSlot tls_slot;
+}  // namespace
+
+Profiler* Profiler::Default() {
+  static Profiler* p = new Profiler();
+  return p;
+}
+
+Profiler::Profiler() = default;
+
+Profiler::~Profiler() { Stop(); }
+
+Profiler::ThreadSlot* Profiler::CurrentSlot() {
+  if (tls_slot.slot != nullptr || tls_slot.exhausted) return tls_slot.slot;
+  ThreadSlot* slot = Default()->AcquireSlot("", ThreadKind::kOther);
+  if (slot == nullptr) {
+    tls_slot.exhausted = true;
+    return nullptr;
+  }
+  tls_slot.slot = slot;
+  return slot;
+}
+
+Profiler::ThreadSlot* Profiler::AcquireSlot(std::string name, ThreadKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadSlot* slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slots_.size() >= kMaxThreads) return nullptr;
+    slots_.push_back(std::make_unique<ThreadSlot>());
+    slot = slots_.back().get();
+    slot->tid = static_cast<std::uint32_t>(slots_.size());  // 0 = unknown
+  }
+  slot->name = name.empty() ? "thread-" + std::to_string(slot->tid)
+                            : std::move(name);
+  slot->kind = kind;
+#if FAST_PROF_HAS_THREAD_CPUCLOCK
+  slot->handle = pthread_self();
+#endif
+  slot->last_cpu_ns = SlotThreadCpuNanos(*slot);
+  slot->depth.store(0, std::memory_order_relaxed);
+  slot->alive.store(true, std::memory_order_release);
+  return slot;
+}
+
+void Profiler::ReleaseSlot(ThreadSlot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->alive.store(false, std::memory_order_release);
+  slot->depth.store(0, std::memory_order_relaxed);
+  free_slots_.push_back(slot);
+}
+
+void Profiler::RegisterCurrentThread(std::string name, ThreadKind kind) {
+  Profiler* p = Default();
+  if (tls_slot.slot != nullptr) {
+    std::lock_guard<std::mutex> lock(p->mu_);
+    tls_slot.slot->name = std::move(name);
+    tls_slot.slot->kind = kind;
+    return;
+  }
+  if (tls_slot.exhausted) return;
+  ThreadSlot* slot = p->AcquireSlot(std::move(name), kind);
+  if (slot == nullptr) {
+    tls_slot.exhausted = true;
+    return;
+  }
+  tls_slot.slot = slot;
+}
+
+std::uint32_t Profiler::CurrentThreadId() {
+  ThreadSlot* slot = CurrentSlot();
+  return slot != nullptr ? slot->tid : 0;
+}
+
+void Profiler::BindMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    // Detach: the registry is going away before the profiler does.
+    samples_counter_ = nullptr;
+    threads_gauge_ = nullptr;
+    return;
+  }
+  samples_counter_ = metrics->GetCounter(
+      "fast_prof_samples_total", "Profiler thread-samples taken");
+  threads_gauge_ =
+      metrics->GetGauge("fast_prof_threads", "Registered profiler threads");
+}
+
+void Profiler::Start(double hz) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  hz_ = std::clamp(hz, 1.0, 1000.0);
+  running_ = true;
+  stopping_ = false;
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void Profiler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  stopping_ = false;
+  hz_ = 0.0;
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stopping_;
+}
+
+double Profiler::hz() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ ? hz_ : 0.0;
+}
+
+void Profiler::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto period = std::chrono::duration<double>(1.0 / hz_);
+  while (!stopping_) {
+    if (sampler_cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void Profiler::SampleOnce() {
+  const double now = ProcessUptimeSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t sampled = 0;
+  std::uint64_t alive = 0;
+  for (const auto& slot_ptr : slots_) {
+    ThreadSlot& slot = *slot_ptr;
+    if (!slot.alive.load(std::memory_order_acquire)) continue;
+    ++alive;
+    const std::string path = ReadStagePath(slot);
+    const std::uint64_t cpu = SlotThreadCpuNanos(slot);
+    const std::uint64_t cpu_delta =
+        cpu >= slot.last_cpu_ns ? cpu - slot.last_cpu_ns : 0;
+    slot.last_cpu_ns = cpu;
+
+    auto it = std::lower_bound(
+        buckets_.begin(), buckets_.end(), slot.kind,
+        [&](const ProfileBucket& b, ThreadKind kind) {
+          return BucketKeyLess(b, kind, path);
+        });
+    if (it == buckets_.end() || it->kind != slot.kind || it->path != path) {
+      ProfileBucket b;
+      b.path = path;
+      b.kind = slot.kind;
+      it = buckets_.insert(it, std::move(b));
+    }
+    it->samples += 1;
+    it->cpu_ns += cpu_delta;
+
+    StageSample sample;
+    sample.t_seconds = now;
+    sample.tid = slot.tid;
+    sample.kind = slot.kind;
+    sample.path = path;
+    timeline_.push_back(std::move(sample));
+    if (timeline_.size() > kTimelineCapacity) timeline_.pop_front();
+    ++sampled;
+  }
+  total_samples_ += sampled;
+  if (samples_counter_ != nullptr && sampled > 0) {
+    samples_counter_->Increment(sampled);
+  }
+  if (threads_gauge_ != nullptr) {
+    threads_gauge_->Set(static_cast<double>(alive));
+  }
+}
+
+ProfileSnapshot Profiler::Snapshot() const {
+  ProfileSnapshot snap;
+  snap.at_seconds = ProcessUptimeSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.hz = running_ && !stopping_ ? hz_ : 0.0;
+  snap.total_samples = total_samples_;
+  snap.buckets = buckets_;
+  snap.threads.reserve(slots_.size());
+  for (const auto& slot_ptr : slots_) {
+    const ThreadSlot& slot = *slot_ptr;
+    ProfThreadInfo info;
+    info.tid = slot.tid;
+    info.name = slot.name;
+    info.kind = slot.kind;
+    info.alive = slot.alive.load(std::memory_order_relaxed);
+    info.cpu_ns = slot.last_cpu_ns;
+    snap.threads.push_back(std::move(info));
+  }
+  return snap;
+}
+
+std::vector<StageSample> Profiler::TimelineSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {timeline_.begin(), timeline_.end()};
+}
+
+ProfileSnapshot DeltaProfile(const ProfileSnapshot& begin,
+                             const ProfileSnapshot& end) {
+  ProfileSnapshot delta;
+  delta.at_seconds = end.at_seconds;
+  delta.hz = end.hz;
+  delta.total_samples = end.total_samples - begin.total_samples;
+  delta.threads = end.threads;
+  for (const ProfileBucket& b : end.buckets) {
+    auto it = std::find_if(begin.buckets.begin(), begin.buckets.end(),
+                           [&](const ProfileBucket& x) {
+                             return x.kind == b.kind && x.path == b.path;
+                           });
+    ProfileBucket d = b;
+    if (it != begin.buckets.end()) {
+      d.samples -= std::min(it->samples, d.samples);
+      d.cpu_ns -= std::min(it->cpu_ns, d.cpu_ns);
+    }
+    if (d.samples > 0 || d.cpu_ns > 0) delta.buckets.push_back(std::move(d));
+  }
+  return delta;
+}
+
+std::string CollapsedStacks(const ProfileSnapshot& snap) {
+  std::string out;
+  for (const ProfileBucket& b : snap.buckets) {
+    if (b.samples == 0) continue;
+    out.append(ThreadKindName(b.kind));
+    out.push_back(';');
+    out.append(b.path);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(b.samples));
+    out.append(buf);
+  }
+  return out;
+}
+
+StageScope::StageScope(const char* stage) : slot_(Profiler::CurrentSlot()) {
+  if (slot_ == nullptr) return;
+  const std::uint32_t depth = slot_->depth.load(std::memory_order_relaxed);
+  if (depth < Profiler::kMaxStageDepth) {
+    slot_->stack[depth].store(stage, std::memory_order_relaxed);
+  }
+  // Published even past kMaxStageDepth so the destructor stays symmetric;
+  // the sampler clamps what it reads.
+  slot_->depth.store(depth + 1, std::memory_order_release);
+  pushed_ = true;
+}
+
+StageScope::~StageScope() {
+  if (!pushed_) return;
+  const std::uint32_t depth = slot_->depth.load(std::memory_order_relaxed);
+  if (depth > 0) slot_->depth.store(depth - 1, std::memory_order_release);
+}
+
+}  // namespace fast::obs

@@ -1,0 +1,211 @@
+#ifndef FAST_OBS_PROFILER_H_
+#define FAST_OBS_PROFILER_H_
+
+// Stage-annotated sampling profiler: where were the threads?
+//
+// Span traces (obs/trace.h) explain one request's latency; the profiler
+// explains the process. Every interesting thread registers itself with a
+// name and a kind (worker/device/net/admin), and the serving code brackets
+// its phases with RAII stage scopes:
+//
+//   FAST_PROF_STAGE("serve");
+//   ...
+//   { FAST_PROF_STAGE("cst_build"); BuildCst(...); }   // path "serve;cst_build"
+//
+// A scope publishes the stage name into the calling thread's slot — a
+// fixed-depth stack of string-literal pointers held in relaxed/release
+// atomics, so pushing and popping costs two atomic stores and never takes a
+// lock. A sampler thread wakes at a configurable Hz and snapshots every
+// live slot: the current stage path (joined "stage;substage"), plus the
+// thread's CPU-clock delta since the previous sample
+// (pthread_getcpuclockid — the cross-thread form of util/timer.h
+// ThreadCpuNanos). Samples aggregate into a per-(thread kind, stage path)
+// profile whose collapsed-stack text form ("worker;serve;cst_build 42")
+// feeds flamegraph.pl directly, and into a bounded timeline ring the
+// Chrome-trace exporter (obs/export.h) turns into per-thread stage tracks.
+//
+// Stage names MUST have static storage duration (string literals): the
+// sampler dereferences the published pointer at an arbitrary later time.
+//
+// Cost when the sampler is off: stage scopes still publish (two relaxed
+// atomic stores each), so profiles can be started mid-incident without a
+// restart. Threads that never register and never enter a stage scope cost
+// nothing and are invisible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fast::obs {
+
+// Monotonic seconds since the process first asked for the time. This is the
+// shared axis request traces, device rounds, profiler samples, and instant
+// events are all stamped on, so one Chrome-trace timeline can interleave
+// them.
+double ProcessUptimeSeconds();
+
+enum class ThreadKind : std::uint8_t {
+  kWorker = 0,  // service/router worker pool
+  kDevice,      // the simulated card's round loop
+  kNet,         // wire-protocol connection threads
+  kAdmin,       // admin HTTP connection threads
+  kOther,       // unregistered threads auto-named on first use
+};
+
+const char* ThreadKindName(ThreadKind kind);
+
+// A registered thread, as reported in profile snapshots.
+struct ProfThreadInfo {
+  std::uint32_t tid = 0;  // profiler-assigned, stable for the slot's lifetime
+  std::string name;
+  ThreadKind kind = ThreadKind::kOther;
+  bool alive = false;
+  std::uint64_t cpu_ns = 0;  // last sampled thread-CPU total
+};
+
+// One sampler observation of one thread.
+struct StageSample {
+  double t_seconds = 0.0;  // ProcessUptimeSeconds at the sample
+  std::uint32_t tid = 0;
+  ThreadKind kind = ThreadKind::kOther;
+  std::string path;  // "serve;cst_build", or "(idle)" outside any scope
+};
+
+// Aggregated samples for one (thread kind, stage path) pair.
+struct ProfileBucket {
+  std::string path;
+  ThreadKind kind = ThreadKind::kOther;
+  std::uint64_t samples = 0;  // wall: sampler observations in this stage
+  std::uint64_t cpu_ns = 0;   // thread-CPU attributed to this stage
+};
+
+struct ProfileSnapshot {
+  double at_seconds = 0.0;  // ProcessUptimeSeconds when taken
+  double hz = 0.0;          // sampler rate (0 = sampler not running)
+  std::uint64_t total_samples = 0;
+  std::vector<ProfileBucket> buckets;  // sorted by (kind, path)
+  std::vector<ProfThreadInfo> threads;
+};
+
+// end - begin, bucket by bucket: the profile of the window between two
+// snapshots (the /profile?seconds=N endpoint). Buckets that never grew are
+// dropped; threads are taken from `end`.
+ProfileSnapshot DeltaProfile(const ProfileSnapshot& begin,
+                             const ProfileSnapshot& end);
+
+// flamegraph.pl input: one "kind;stage;substage count" line per bucket with
+// a non-zero sample count, sorted.
+std::string CollapsedStacks(const ProfileSnapshot& snap);
+
+class Profiler {
+ public:
+  // The process-wide instance every stage scope and thread registration
+  // publishes into. Never destroyed.
+  static Profiler* Default();
+
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Names the calling thread and sets its kind. Idempotent: re-registering
+  // renames the existing slot. The slot is released at thread exit and its
+  // tid may then be reused by a later thread.
+  static void RegisterCurrentThread(std::string name, ThreadKind kind);
+
+  // The calling thread's profiler tid, auto-registering it as kOther
+  // ("thread-<tid>") on first use. Span records stamp this into traces so
+  // the timeline exporter can place spans on real thread tracks.
+  static std::uint32_t CurrentThreadId();
+
+  // Starts the sampler at `hz` (clamped to [1, 1000]). No-op if running.
+  void Start(double hz);
+  // Stops and joins the sampler; aggregated buckets are retained.
+  void Stop();
+  bool running() const;
+  double hz() const;
+
+  // One synchronous sample pass over every live thread slot (the sampler
+  // thread does exactly this once per tick). Exposed so tests and the
+  // sampler-off paths can drive deterministic samples.
+  void SampleOnce();
+
+  // Cumulative profile since process start (or construction).
+  ProfileSnapshot Snapshot() const;
+
+  // Newest-last ring of recent per-thread samples, for the timeline
+  // exporter. Bounded (kTimelineCapacity); old samples fall off.
+  std::vector<StageSample> TimelineSnapshot() const;
+
+  // Registry reporting: fast_prof_samples_total / fast_prof_threads.
+  // Optional; call before Start(). The registry must outlive the sampler —
+  // Stop() before tearing it down, or BindMetrics(nullptr) to detach.
+  void BindMetrics(MetricsRegistry* metrics);
+
+  static constexpr std::size_t kMaxStageDepth = 8;
+  static constexpr std::size_t kMaxThreads = 4096;
+  static constexpr std::size_t kTimelineCapacity = 16384;
+
+  // Implementation types, public only so the .cc's file-local helpers and
+  // the thread_local slot handle can name them.
+  struct ThreadSlot;
+  struct TlsSlot;
+
+ private:
+  friend class StageScope;
+
+  static ThreadSlot* CurrentSlot();  // null only past kMaxThreads
+  ThreadSlot* AcquireSlot(std::string name, ThreadKind kind);
+  void ReleaseSlot(ThreadSlot* slot);
+  void SamplerLoop();
+
+  mutable std::mutex mu_;  // slots, aggregation, timeline, sampler state
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
+  std::vector<ThreadSlot*> free_slots_;
+  std::vector<ProfileBucket> buckets_;  // sorted by (kind, path)
+  std::deque<StageSample> timeline_;
+  std::uint64_t total_samples_ = 0;
+  double hz_ = 0.0;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::condition_variable sampler_cv_;
+  std::thread sampler_;
+
+  Counter* samples_counter_ = nullptr;
+  Gauge* threads_gauge_ = nullptr;
+};
+
+// RAII stage annotation. `stage` must be a string literal (or otherwise
+// have static storage duration). Nesting builds "outer;inner" paths up to
+// Profiler::kMaxStageDepth; deeper scopes are counted into the deepest
+// visible stage.
+class StageScope {
+ public:
+  explicit StageScope(const char* stage);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  Profiler::ThreadSlot* slot_;
+  bool pushed_ = false;
+};
+
+#define FAST_PROF_STAGE_CONCAT2(a, b) a##b
+#define FAST_PROF_STAGE_CONCAT(a, b) FAST_PROF_STAGE_CONCAT2(a, b)
+#define FAST_PROF_STAGE(stage) \
+  ::fast::obs::StageScope FAST_PROF_STAGE_CONCAT(fast_prof_stage_, __COUNTER__)(stage)
+
+}  // namespace fast::obs
+
+#endif  // FAST_OBS_PROFILER_H_

@@ -1,8 +1,11 @@
 #include "obs/request_obs.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace fast::obs {
@@ -16,18 +19,22 @@ RequestObs::RequestObs(const Options& opts)
     slo_ = std::make_unique<SloEngine>(opts_.slo, opts_.metrics);
     if (!opts_.flight.dir.empty()) {
       flight_ = std::make_unique<FlightRecorder>(opts_.flight);
-      // The breach hook runs on the finishing worker thread, outside the
-      // engine lock; everything it snapshots takes its own (independent)
-      // locks.
-      slo_->set_on_breach(
-          [this](const std::string& tenant, const SloTenantState& state) {
+    }
+    // The breach hook runs on the finishing worker thread, outside the
+    // engine lock; everything it snapshots takes its own (independent)
+    // locks. Every breach lands on the timeline event ring; the flight
+    // recorder additionally dumps when configured.
+    slo_->set_on_breach(
+        [this](const std::string& tenant, const SloTenantState& state) {
+          events_.Record(ProcessUptimeSeconds(), "slo_breach", tenant);
+          if (flight_ != nullptr) {
             flight_->RecordBreach(
                 tenant, state, uptime_.ElapsedSeconds(),
                 opts_.metrics != nullptr ? opts_.metrics->Snapshot()
                                          : MetricsSnapshot{},
                 accounts_.Snapshot(), recent_traces(), slow_traces());
-          });
-    }
+          }
+        });
   }
   MetricsRegistry* m = opts_.metrics;
   if (m == nullptr) return;
@@ -47,6 +54,18 @@ RequestObs::RequestObs(const Options& opts)
                                     "Requests cancelled mid-run by deadline");
   slow_requests_ = m->GetCounter("fast_slow_requests_total",
                                  "Requests over the slow-query threshold");
+  queue_pushes_blocked_ = m->GetCounter(
+      "fast_queue_pushes_blocked_total",
+      "Blocking queue pushes that had to wait for space");
+  queue_pops_blocked_ = m->GetCounter(
+      "fast_queue_pops_blocked_total",
+      "Queue pops that had to wait for an item (workers idle)");
+  queue_push_block_ns_ =
+      m->GetCounter("fast_queue_push_block_ns_total",
+                    "Nanoseconds producers spent blocked on a full queue");
+  queue_pop_block_ns_ =
+      m->GetCounter("fast_queue_pop_block_ns_total",
+                    "Nanoseconds consumers spent blocked on an empty queue");
   queue_depth_ =
       m->GetGauge("fast_service_queue_depth", "Requests queued for a worker");
   latency_ = m->GetHistogram("fast_request_latency_seconds",
@@ -72,6 +91,17 @@ void RequestObs::OnSubmitted() {
 
 void RequestObs::OnRejectedQueueFull() {
   if (rejected_queue_full_ != nullptr) rejected_queue_full_->Increment();
+  events_.Record(ProcessUptimeSeconds(), "pushback", "");
+}
+
+void RequestObs::OnQueueBlocked(bool is_push, std::uint64_t ns) {
+  if (is_push) {
+    if (queue_pushes_blocked_ != nullptr) queue_pushes_blocked_->Increment();
+    if (queue_push_block_ns_ != nullptr) queue_push_block_ns_->Increment(ns);
+  } else {
+    if (queue_pops_blocked_ != nullptr) queue_pops_blocked_->Increment();
+    if (queue_pop_block_ns_ != nullptr) queue_pop_block_ns_->Increment(ns);
+  }
 }
 
 void RequestObs::OnRejectedQuota() {
@@ -121,7 +151,36 @@ std::shared_ptr<const CompletedTrace> RequestObs::OnFinished(
       done->total_seconds >= opts_.slow_request_seconds) {
     if (slow_requests_ != nullptr) slow_requests_->Increment();
     slow_.Push(done);
-    FAST_LOG(WARNING) << "slow request: " << done->Summary();
+    events_.Record(ProcessUptimeSeconds(), "slow_request", done->tenant_id);
+
+    // Top wall spans by duration: the one-line triage answer to "where did
+    // the time go" without pulling /traces/slow.
+    std::vector<const TraceSpan*> wall;
+    wall.reserve(done->spans.size());
+    for (const TraceSpan& s : done->spans) {
+      if (!s.simulated) wall.push_back(&s);
+    }
+    const std::size_t top = std::min<std::size_t>(3, wall.size());
+    std::partial_sort(wall.begin(), wall.begin() + top, wall.end(),
+                      [](const TraceSpan* a, const TraceSpan* b) {
+                        return a->duration_seconds > b->duration_seconds;
+                      });
+    std::string spans;
+    for (std::size_t i = 0; i < top; ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s%s=%.3fms", i == 0 ? "" : " ",
+                    SpanName(wall[i]->span),
+                    wall[i]->duration_seconds * 1e3);
+      spans += buf;
+    }
+    FAST_LOG(WARNING) << "slow request: id=" << done->request_id
+                      << " tenant=" << (done->tenant_id.empty()
+                                            ? "-"
+                                            : done->tenant_id.c_str())
+                      << " status=" << done->status << " total="
+                      << static_cast<long long>(done->total_seconds * 1e6)
+                      << "us coverage=" << done->Coverage()
+                      << " top_spans=[" << spans << "]";
   }
   return done;
 }
@@ -134,6 +193,10 @@ std::vector<std::shared_ptr<const CompletedTrace>> RequestObs::recent_traces()
 std::vector<std::shared_ptr<const CompletedTrace>> RequestObs::slow_traces()
     const {
   return slow_.Snapshot();
+}
+
+std::vector<InstantEvent> RequestObs::recent_events() const {
+  return events_.Snapshot();
 }
 
 }  // namespace fast::obs

@@ -77,6 +77,12 @@ class RequestObs {
   // Queue-depth gauge (sampled value, set by the owning service).
   void SetQueueDepth(std::size_t depth);
 
+  // BoundedQueue block observer hook: a producer (is_push) or consumer
+  // blocked for `ns` on the service queue. Mirrored into the
+  // fast_queue_pushes_blocked_total / fast_queue_pops_blocked_total /
+  // fast_queue_{push,pop}_block_ns_total counters.
+  void OnQueueBlocked(bool is_push, std::uint64_t ns);
+
   // Finish-side pipeline: bumps the outcome counter, records the latency
   // and per-span histograms, charges `cost` to the tenant's resource
   // account, feeds the SLO engine, and retains the trace in the recent ring
@@ -90,6 +96,11 @@ class RequestObs {
   // Newest-last snapshots of the retained traces.
   std::vector<std::shared_ptr<const CompletedTrace>> recent_traces() const;
   std::vector<std::shared_ptr<const CompletedTrace>> slow_traces() const;
+
+  // Newest-last ring of instant events (SLO breaches, queue-full pushbacks,
+  // slow-request flags) on the ProcessUptimeSeconds axis, for the timeline
+  // exporter.
+  std::vector<InstantEvent> recent_events() const;
 
   double slow_request_seconds() const { return opts_.slow_request_seconds; }
 
@@ -113,12 +124,17 @@ class RequestObs {
   Counter* rejected_deadline_ = nullptr;
   Counter* cancelled_midrun_ = nullptr;
   Counter* slow_requests_ = nullptr;
+  Counter* queue_pushes_blocked_ = nullptr;
+  Counter* queue_pops_blocked_ = nullptr;
+  Counter* queue_push_block_ns_ = nullptr;
+  Counter* queue_pop_block_ns_ = nullptr;
   Gauge* queue_depth_ = nullptr;
   Histogram* latency_ = nullptr;
   Histogram* span_hists_[kNumSpans] = {};
 
   TraceRing recent_;
   TraceRing slow_;
+  EventRing events_{256};
 
   Timer uptime_;
   ResourceAccounts accounts_;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/profiler.h"
+
 namespace fast::obs {
 
 const char* SpanName(Span s) {
@@ -84,6 +86,9 @@ std::string CompletedTrace::Summary() const {
   return out;
 }
 
+RequestTrace::RequestTrace()
+    : anchor_uptime_seconds_(ProcessUptimeSeconds()) {}
+
 void RequestTrace::Begin(Span s) {
   if (open_) End();
   open_ = true;
@@ -94,7 +99,8 @@ void RequestTrace::Begin(Span s) {
 void RequestTrace::End() {
   if (!open_) return;
   const double now = anchor_.ElapsedSeconds();
-  spans_.push_back({open_span_, open_start_, now - open_start_, false});
+  spans_.push_back({open_span_, open_start_, now - open_start_, false,
+                    Profiler::CurrentThreadId()});
   open_ = false;
 }
 
@@ -102,13 +108,15 @@ void RequestTrace::RecordWall(Span s, double seconds) {
   if (open_) End();
   const double now = anchor_.ElapsedSeconds();
   const double duration = std::min(std::max(seconds, 0.0), now);
-  spans_.push_back({s, now - duration, duration, false});
+  spans_.push_back(
+      {s, now - duration, duration, false, Profiler::CurrentThreadId()});
 }
 
 void RequestTrace::RecordSimulated(Span s, double seconds) {
   // Anchored where it was observed; duration is the device model's, not the
   // anchor clock's.
-  spans_.push_back({s, anchor_.ElapsedSeconds(), seconds, true});
+  spans_.push_back({s, anchor_.ElapsedSeconds(), seconds, true,
+                    Profiler::CurrentThreadId()});
 }
 
 CompletedTrace RequestTrace::Finish(std::uint64_t request_id, bool ok,
@@ -120,6 +128,7 @@ CompletedTrace RequestTrace::Finish(std::uint64_t request_id, bool ok,
   done.total_seconds = anchor_.ElapsedSeconds();
   done.ok = ok;
   done.status = std::move(status);
+  done.anchor_uptime_seconds = anchor_uptime_seconds_;
   done.spans = std::move(spans_);
   spans_.clear();
   return done;
@@ -127,12 +136,28 @@ CompletedTrace RequestTrace::Finish(std::uint64_t request_id, bool ok,
 
 void TraceRing::Push(std::shared_ptr<const CompletedTrace> trace) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   ring_.push_back(std::move(trace));
   while (ring_.size() > capacity_) ring_.pop_front();
 }
 
 std::vector<std::shared_ptr<const CompletedTrace>> TraceRing::Snapshot() const {
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void EventRing::Record(double t_seconds, std::string name, std::string detail) {
+  if (capacity_ == 0) return;
+  InstantEvent e;
+  e.t_seconds = t_seconds;
+  e.name = std::move(name);
+  e.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<InstantEvent> EventRing::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {ring_.begin(), ring_.end()};
 }

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "util/profiled_mutex.h"
 #include "util/timer.h"
 
 namespace fast::obs {
@@ -75,6 +76,11 @@ struct TraceSpan {
   double start_seconds = 0.0;     // offset from the trace anchor (Submit)
   double duration_seconds = 0.0;
   bool simulated = false;         // device-model seconds, not host wall time
+  // Profiler tid (obs/profiler.h) of the thread that recorded the span —
+  // the recorder migrates (client thread, then a worker), and the timeline
+  // exporter places each span on the thread that actually ran it. 0 when
+  // the thread registry overflowed.
+  std::uint32_t tid = 0;
 };
 
 // The immutable record of a finished request, shared between the
@@ -86,6 +92,10 @@ struct CompletedTrace {
   double total_seconds = 0.0;     // Submit -> completion
   bool ok = false;
   std::string status;             // status code name, e.g. "DEADLINE_EXCEEDED"
+  // Where this trace's anchor sits on the shared ProcessUptimeSeconds axis
+  // (obs/profiler.h): absolute time of span N = anchor + its start_seconds.
+  // The timeline exporter uses it to interleave many requests' spans.
+  double anchor_uptime_seconds = 0.0;
   std::vector<TraceSpan> spans;
 
   // Sum of non-simulated span durations: the portion of total_seconds the
@@ -103,7 +113,7 @@ struct CompletedTrace {
 // Finish() closes whatever was left open).
 class RequestTrace {
  public:
-  RequestTrace() = default;
+  RequestTrace();
   RequestTrace(const RequestTrace&) = delete;
   RequestTrace& operator=(const RequestTrace&) = delete;
 
@@ -127,6 +137,7 @@ class RequestTrace {
 
  private:
   Timer anchor_;  // starts at construction (Submit)
+  double anchor_uptime_seconds_ = 0.0;  // anchor on the process uptime axis
   std::vector<TraceSpan> spans_;
   bool open_ = false;
   Span open_span_ = Span::kAdmit;
@@ -162,8 +173,32 @@ class TraceRing {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable util::ProfiledMutex mu_{"trace_ring"};
   std::deque<std::shared_ptr<const CompletedTrace>> ring_;
+};
+
+// A timestamped point event on the shared process-uptime axis: SLO breach
+// transitions, queue-full pushbacks, slow-request flags. The timeline
+// exporter renders these as Chrome instant events.
+struct InstantEvent {
+  double t_seconds = 0.0;  // ProcessUptimeSeconds when it happened
+  std::string name;        // e.g. "slo_breach", "pushback"
+  std::string detail;      // e.g. the tenant id; may be empty
+};
+
+// Fixed-capacity ring of recent instant events (newest evicts oldest).
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity) : capacity_(capacity) {}
+
+  void Record(double t_seconds, std::string name, std::string detail);
+  // Newest-last snapshot.
+  std::vector<InstantEvent> Snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<InstantEvent> ring_;
 };
 
 }  // namespace fast::obs

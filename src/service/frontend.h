@@ -43,9 +43,11 @@
 #include <string>
 #include <type_traits>
 #include <unordered_map>
+#include <vector>
 
 #include "core/driver.h"
 #include "device/device_executor.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/request_obs.h"
 #include "obs/slo.h"
@@ -222,6 +224,10 @@ class Frontend {
   // Readiness for /healthz: accepting work (not shut down) and every
   // registered graph has published a snapshot (epoch > 0).
   virtual bool ready() const { return true; }
+
+  // Recent device rounds for the /timeline/chrome synthetic device track.
+  // Empty outside device mode (and for Frontend fakes).
+  virtual std::vector<obs::TimelineRound> device_rounds() const { return {}; }
 };
 
 }  // namespace fast::service

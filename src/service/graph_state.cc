@@ -1,10 +1,12 @@
 #include "service/graph_state.h"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "cst/cst_serialize.h"
 #include "device/device_executor.h"
+#include "obs/profiler.h"
 #include "query/matching_order.h"
 #include "util/timer.h"
 
@@ -159,8 +161,11 @@ void GraphState::Execute(const CanonicalQuery& canonical,
   bool ran_from_cache = false;
   if (options_.plan_cache_capacity > 0) {
     if (trace != nullptr) trace->Begin(obs::Span::kPlanLookup);
-    std::shared_ptr<const CachedPlan> plan =
-        cache_.Lookup(canonical.key, snap.epoch);
+    std::shared_ptr<const CachedPlan> plan;
+    {
+      FAST_PROF_STAGE("plan_lookup");
+      plan = cache_.Lookup(canonical.key, snap.epoch);
+    }
     if (trace != nullptr) trace->End();
     if (plan != nullptr) {
       if (plan->order_only()) {
@@ -173,8 +178,12 @@ void GraphState::Execute(const CanonicalQuery& canonical,
         } else {
           if (trace != nullptr) trace->Begin(obs::Span::kCstBuild);
           Timer build_timer;
-          StatusOr<Cst> cst = BuildCst(canonical.query, *snap.graph,
-                                       plan->order.root, run.cst_build);
+          StatusOr<Cst> cst = Status::Internal("unreachable");
+          {
+            FAST_PROF_STAGE("cst_build");
+            cst = BuildCst(canonical.query, *snap.graph, plan->order.root,
+                           run.cst_build);
+          }
           if (trace != nullptr) trace->End();
           if (cst.ok()) {
             ran_from_cache = true;
@@ -189,7 +198,11 @@ void GraphState::Execute(const CanonicalQuery& canonical,
         // Alg. 1 construction entirely. The image decode is this request's
         // whole "cst_build" phase.
         if (trace != nullptr) trace->Begin(obs::Span::kCstBuild);
-        StatusOr<Cst> cst = DeserializeCst(plan->layout, plan->cst_image);
+        StatusOr<Cst> cst = Status::Internal("unreachable");
+        {
+          FAST_PROF_STAGE("cst_build");
+          cst = DeserializeCst(plan->layout, plan->cst_image);
+        }
         if (trace != nullptr) trace->End();
         if (cst.ok()) {
           ran_from_cache = true;
@@ -213,6 +226,7 @@ void GraphState::Execute(const CanonicalQuery& canonical,
   result->run = std::move(*r);
   {
     obs::ScopedSpan remap_span(trace, obs::Span::kRemap);
+    FAST_PROF_STAGE("remap");
     if (!identity) {
       // Everything client-visible is reported in the submitted numbering: the
       // sample embeddings and the matching order (root + visit sequence).
@@ -246,6 +260,7 @@ StatusOr<FastRunResult> GraphState::Dispatch(const Cst& cst,
                                   options_.device_queue_key, snap.epoch,
                                   canonical.key, build_seconds);
   }
+  FAST_PROF_STAGE("match");
   return RunFastWithCst(cst, order, run, build_seconds);
 }
 
@@ -262,6 +277,10 @@ StatusOr<FastRunResult> GraphState::BuildAndRun(
   // the serialize+insert that publishes the plan; an early error return
   // leaves the span open and RequestTrace::Finish closes it.
   if (run.trace != nullptr) run.trace->Begin(obs::Span::kCstBuild);
+  // Optional so the stage closes before Dispatch (whose own stages must not
+  // nest under cst_build); early error returns destroy it too.
+  std::optional<obs::StageScope> build_stage;
+  build_stage.emplace("cst_build");
   FAST_ASSIGN_OR_RETURN(MatchingOrder order,
                         ComputeMatchingOrder(q, g, run.order_policy));
   if (run.cancel != nullptr && run.cancel->Cancelled()) {
@@ -280,6 +299,7 @@ StatusOr<FastRunResult> GraphState::BuildAndRun(
     cache_.Insert(canonical.key, snap.epoch, std::move(plan));
   }
   if (run.trace != nullptr) run.trace->End();
+  build_stage.reset();
   return Dispatch(cst, order, canonical, snap, run, device, build_seconds);
 }
 

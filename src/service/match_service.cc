@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "service/query_signature.h"
 
 namespace fast::service {
@@ -52,7 +54,9 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
                                     options_.slow_request_seconds,
                                     options_.trace_ring_capacity, options_.slo,
                                     options_.flight}),
-      queue_(options_.queue_capacity) {
+      queue_(options_.queue_capacity, "service_queue") {
+  queue_.set_block_observer(
+      [this](bool is_push, std::uint64_t ns) { obs_.OnQueueBlocked(is_push, ns); });
   if (options_.device_mode) {
     // The shared device simulates the same card and variant the per-worker
     // path would have.
@@ -66,7 +70,7 @@ MatchService::MatchService(Graph graph, ServiceOptions options)
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -153,8 +157,17 @@ void MatchService::Shutdown() {
   if (device_ != nullptr) device_->Shutdown();
 }
 
-void MatchService::WorkerLoop() {
-  while (auto item = queue_.Pop()) {
+void MatchService::WorkerLoop(std::size_t index) {
+  obs::Profiler::RegisterCurrentThread("worker-" + std::to_string(index),
+                                       obs::ThreadKind::kWorker);
+  while (true) {
+    std::optional<std::shared_ptr<Request>> item;
+    {
+      FAST_PROF_STAGE("queue_pop");
+      item = queue_.Pop();
+    }
+    if (!item.has_value()) return;
+    FAST_PROF_STAGE("serve");
     std::shared_ptr<Request> req = std::move(*item);
     if (req->trace != nullptr) req->trace->End();  // closes the queue span
     obs_.SetQueueDepth(queue_.size());

@@ -149,6 +149,10 @@ class MatchService : public Frontend {
     }
     return state_.epoch() > 0;
   }
+  std::vector<obs::TimelineRound> device_rounds() const override {
+    return device_ != nullptr ? device_->recent_rounds()
+                              : std::vector<obs::TimelineRound>{};
+  }
 
   // Newest-last rings of retained traces (empty when tracing is off).
   std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
@@ -161,7 +165,7 @@ class MatchService : public Frontend {
  private:
   struct Request;
 
-  void WorkerLoop();
+  void WorkerLoop(std::size_t index);
   void Finish(std::shared_ptr<Request> req, RequestResult result,
               std::uint64_t cpu_ns);
 

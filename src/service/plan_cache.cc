@@ -6,7 +6,7 @@ namespace fast::service {
 
 void PlanCache::BindMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   hits_counter_ = registry->GetCounter("fast_plan_cache_hits_total",
                                        "Plan cache hits (incl. order-only)");
   misses_counter_ = registry->GetCounter("fast_plan_cache_misses_total",
@@ -51,7 +51,7 @@ void PlanCache::EvictToFitLocked() {
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
                                                     std::uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -83,7 +83,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
 void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
                        std::shared_ptr<const CachedPlan> plan) {
   if (capacity_ == 0 || plan == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   // A plan from an already-invalidated epoch (a request draining on an old
   // snapshot) can never serve anyone — dropping it here keeps it from
   // entering at the MRU position and evicting a live current-epoch entry.
@@ -129,7 +129,7 @@ void PlanCache::Insert(const std::string& key, std::uint64_t epoch,
 }
 
 void PlanCache::InvalidateBefore(std::uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   if (epoch > min_epoch_) min_epoch_ = epoch;
   for (auto it = entries_.begin(); it != entries_.end();) {
     auto next = std::next(it);
@@ -140,7 +140,7 @@ void PlanCache::InvalidateBefore(std::uint64_t epoch) {
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::ProfiledMutex> lock(mu_);
   PlanCacheStats s = stats_;
   s.entries = entries_.size();
   s.byte_budget = byte_budget_;

@@ -29,6 +29,8 @@
 #include <list>
 #include <memory>
 #include <mutex>
+
+#include "util/profiled_mutex.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -141,7 +143,7 @@ class PlanCache {
   obs::Counter* invalidations_counter_ = nullptr;
   obs::Gauge* entries_gauge_ = nullptr;
   obs::Gauge* bytes_gauge_ = nullptr;
-  mutable std::mutex mu_;
+  mutable util::ProfiledMutex mu_{"plan_cache"};
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> entries_;
   std::uint64_t min_epoch_ = 0;  // floor set by InvalidateBefore

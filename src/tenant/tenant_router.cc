@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/wrr.h"
 
@@ -94,7 +96,7 @@ TenantRouter::TenantRouter(RouterOptions options)
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -105,7 +107,7 @@ Status TenantRouter::AddTenant(const std::string& id, Graph graph,
   if (opts.weight == 0) opts.weight = 1;
   // Build the tenant (including the graph move) outside the scheduler lock.
   auto t = std::make_shared<Tenant>(id, std::move(graph), opts, options_.metrics);
-  std::lock_guard<std::mutex> lock(sched_mu_);
+  std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
   if (stopping_) return Status::FailedPrecondition("router is shut down");
   if (!tenants_.emplace(id, std::move(t)).second) {
     return Status::InvalidArgument("tenant id already registered: " + id);
@@ -120,7 +122,7 @@ Status TenantRouter::AddTenant(const std::string& id, Graph graph,
 }
 
 Status TenantRouter::RemoveTenant(const std::string& id) {
-  std::unique_lock<std::mutex> lock(sched_mu_);
+  std::unique_lock<util::ProfiledMutex> lock(sched_mu_);
   auto it = tenants_.find(id);
   if (it == tenants_.end()) return Status::NotFound("unknown tenant: " + id);
   std::shared_ptr<Tenant> t = it->second;
@@ -139,7 +141,7 @@ Status TenantRouter::RemoveTenant(const std::string& id) {
 
 std::shared_ptr<TenantRouter::Tenant> TenantRouter::FindTenant(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lock(sched_mu_);
+  std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
   auto it = tenants_.find(id);
   return it == tenants_.end() ? nullptr : it->second;
 }
@@ -180,7 +182,7 @@ StatusOr<TenantRouter::RequestId> TenantRouter::Submit(
   Status admit = Status::OK();
   bool quota_reject = false;
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
     if (stopping_) {
       admit = Status::FailedPrecondition("router is shut down");
     } else if (t->removed) {
@@ -260,7 +262,7 @@ void TenantRouter::Shutdown() {
     shutdown_ = true;
   }
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
     stopping_ = true;
   }
   // Workers drain the queued backlog, then exit; the shared device shuts
@@ -273,7 +275,7 @@ void TenantRouter::Shutdown() {
 }
 
 std::shared_ptr<TenantRouter::Request> TenantRouter::PopNext() {
-  std::unique_lock<std::mutex> lock(sched_mu_);
+  std::unique_lock<util::ProfiledMutex> lock(sched_mu_);
   sched_cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
   if (total_queued_ == 0) return nullptr;  // stopping and drained
   // Deficit-style weighted round robin over the backlogged tenants — the
@@ -296,12 +298,21 @@ std::shared_ptr<TenantRouter::Request> TenantRouter::PopNext() {
 }
 
 std::size_t TenantRouter::queue_depth() const {
-  std::lock_guard<std::mutex> lock(sched_mu_);
+  std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
   return total_queued_;
 }
 
-void TenantRouter::WorkerLoop() {
-  while (std::shared_ptr<Request> req = PopNext()) {
+void TenantRouter::WorkerLoop(std::size_t index) {
+  obs::Profiler::RegisterCurrentThread("worker-" + std::to_string(index),
+                                       obs::ThreadKind::kWorker);
+  while (true) {
+    std::shared_ptr<Request> req;
+    {
+      FAST_PROF_STAGE("queue_pop");
+      req = PopNext();
+    }
+    if (req == nullptr) return;
+    FAST_PROF_STAGE("serve");
     if (req->trace != nullptr) req->trace->End();  // closes the queue span
     RequestResult result;
     // Dispatch captures THIS tenant's snapshot inside Serve; concurrent
@@ -360,7 +371,7 @@ void TenantRouter::Finish(std::shared_ptr<Request> req, RequestResult result,
                                  StatusCodeToString(result.status.code()), t.id,
                                  cost);
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
     --t.in_flight;
     if (t.removed && t.in_flight == 0 && t.queue.empty()) {
       drained_cv_.notify_all();
@@ -387,7 +398,7 @@ void TenantRouter::FillTenantStats(const Tenant& t, TenantStats* out) {
 RouterStats TenantRouter::stats() const {
   std::vector<std::shared_ptr<Tenant>> tenants;
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
     tenants.reserve(tenants_.size());
     for (const auto& [id, t] : tenants_) tenants.push_back(t);
   }
@@ -441,7 +452,7 @@ StatusOr<TenantStats> TenantRouter::tenant_stats(
 std::vector<std::string> TenantRouter::tenant_ids() const {
   std::vector<std::string> ids;
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    std::lock_guard<util::ProfiledMutex> lock(sched_mu_);
     ids.reserve(tenants_.size());
     for (const auto& [id, t] : tenants_) ids.push_back(id);
   }

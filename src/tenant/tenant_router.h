@@ -64,6 +64,7 @@
 #include "service/frontend.h"
 #include "service/graph_state.h"
 #include "util/latency_histogram.h"
+#include "util/profiled_mutex.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -209,6 +210,10 @@ class TenantRouter : public service::Frontend {
     std::lock_guard<std::mutex> lock(mu_);
     return !shutdown_;
   }
+  std::vector<obs::TimelineRound> device_rounds() const override {
+    return device_ != nullptr ? device_->recent_rounds()
+                              : std::vector<obs::TimelineRound>{};
+  }
 
   // Newest-last rings of retained traces (empty when tracing is off).
   std::vector<std::shared_ptr<const obs::CompletedTrace>> recent_traces() const {
@@ -222,7 +227,7 @@ class TenantRouter : public service::Frontend {
   struct Request;
   struct Tenant;
 
-  void WorkerLoop();
+  void WorkerLoop(std::size_t index);
   // Pops the next request under weighted round-robin; blocks until work is
   // available or shutdown has drained everything (then returns nullptr).
   std::shared_ptr<Request> PopNext();
@@ -243,9 +248,9 @@ class TenantRouter : public service::Frontend {
 
   // Scheduler state: registry, per-tenant queues, the WRR active list, and
   // the global queued count. Never held while executing a query.
-  mutable std::mutex sched_mu_;
-  std::condition_variable sched_cv_;    // workers: work available / stopping
-  std::condition_variable drained_cv_;  // RemoveTenant: tenant fully drained
+  mutable util::ProfiledMutex sched_mu_{"router_sched"};
+  std::condition_variable_any sched_cv_;    // workers: work available / stopping
+  std::condition_variable_any drained_cv_;  // RemoveTenant: tenant fully drained
   std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
   std::list<std::shared_ptr<Tenant>> active_;  // tenants with queued work
   std::size_t total_queued_ = 0;

@@ -7,28 +7,60 @@
 // of blocking the caller — the service turns that into RESOURCE_EXHAUSTED).
 // Consumers block in Pop until an item arrives or the queue is closed and
 // drained, which is the worker-shutdown signal.
+//
+// Contention accounting: the internal lock is a ProfiledMutex (named via the
+// constructor, aggregated into the fast_lock_* families), and every blocking
+// wait is counted — pushes_blocked / pops_blocked and the nanoseconds spent
+// blocked, snapshot via Stats(). Pop blocking is the workers-idle signal;
+// push blocking is genuine back-pressure. An optional block observer fires
+// after each blocking wait completes (outside the lock) so the owning
+// service can mirror the counters into its metrics registry.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "util/profiled_mutex.h"
+#include "util/timer.h"
+
 namespace fast {
+
+struct BoundedQueueStats {
+  std::uint64_t pushes_blocked = 0;   // Push calls that had to wait for space
+  std::uint64_t pops_blocked = 0;     // Pop calls that had to wait for items
+  std::uint64_t push_block_ns = 0;    // total ns Push callers spent blocked
+  std::uint64_t pop_block_ns = 0;     // total ns Pop callers spent blocked
+
+  std::uint64_t total_block_ns() const { return push_block_ns + pop_block_ns; }
+};
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  // `lock_name` (static storage duration) names the internal mutex in the
+  // process-wide lock-stats registry; nullptr keeps it anonymous.
+  explicit BoundedQueue(std::size_t capacity, const char* lock_name = nullptr)
+      : capacity_(capacity), mu_(lock_name) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  // Called after a blocking wait completes: (is_push, nanoseconds blocked).
+  // Set once, before producers/consumers start.
+  void set_block_observer(std::function<void(bool, std::uint64_t)> observer) {
+    block_observer_ = std::move(observer);
+  }
+
   // Non-blocking push; returns false if the queue is full or closed.
   bool TryPush(T value) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<util::ProfiledMutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -38,35 +70,56 @@ class BoundedQueue {
 
   // Blocking push; returns false only if the queue is (or becomes) closed.
   bool Push(T value) {
+    std::uint64_t blocked_ns = 0;
+    bool pushed = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-      if (closed_) return false;
-      items_.push_back(std::move(value));
+      std::unique_lock<util::ProfiledMutex> lock(mu_);
+      if (!closed_ && items_.size() >= capacity_) {
+        pushes_blocked_.fetch_add(1, std::memory_order_relaxed);
+        Timer wait;
+        not_full_.wait(lock,
+                       [&] { return closed_ || items_.size() < capacity_; });
+        blocked_ns = static_cast<std::uint64_t>(wait.ElapsedNanos());
+        push_block_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+      }
+      if (!closed_) {
+        items_.push_back(std::move(value));
+        pushed = true;
+      }
     }
-    not_empty_.notify_one();
-    return true;
+    if (pushed) not_empty_.notify_one();
+    if (blocked_ns > 0) NotifyBlocked(true, blocked_ns);
+    return pushed;
   }
 
   // Blocks until an item is available or the queue is closed and empty
   // (returns nullopt — the consumer should exit).
   std::optional<T> Pop() {
     std::optional<T> out;
+    std::uint64_t blocked_ns = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-      if (items_.empty()) return std::nullopt;  // closed and drained
-      out = std::move(items_.front());
-      items_.pop_front();
+      std::unique_lock<util::ProfiledMutex> lock(mu_);
+      if (!closed_ && items_.empty()) {
+        pops_blocked_.fetch_add(1, std::memory_order_relaxed);
+        Timer wait;
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        blocked_ns = static_cast<std::uint64_t>(wait.ElapsedNanos());
+        pop_block_ns_.fetch_add(blocked_ns, std::memory_order_relaxed);
+      }
+      if (!items_.empty()) {
+        out = std::move(items_.front());
+        items_.pop_front();
+      }
     }
-    not_full_.notify_one();
-    return out;
+    if (out.has_value()) not_full_.notify_one();
+    if (blocked_ns > 0) NotifyBlocked(false, blocked_ns);
+    return out;  // nullopt = closed and drained; the consumer should exit
   }
 
   // After Close: pushes fail, Pop drains the backlog then returns nullopt.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<util::ProfiledMutex> lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -74,18 +127,40 @@ class BoundedQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<util::ProfiledMutex> lock(mu_);
     return items_.size();
   }
   std::size_t capacity() const { return capacity_; }
 
+  BoundedQueueStats Stats() const {
+    BoundedQueueStats s;
+    s.pushes_blocked = pushes_blocked_.load(std::memory_order_relaxed);
+    s.pops_blocked = pops_blocked_.load(std::memory_order_relaxed);
+    s.push_block_ns = push_block_ns_.load(std::memory_order_relaxed);
+    s.pop_block_ns = pop_block_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // The internal lock's contention counters (also aggregated by name in the
+  // process-wide registry when the queue was named).
+  util::LockStats LockStats() const { return mu_.Stats(); }
+
  private:
+  void NotifyBlocked(bool is_push, std::uint64_t ns) {
+    if (block_observer_) block_observer_(is_push, ns);
+  }
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  mutable util::ProfiledMutex mu_;
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::function<void(bool, std::uint64_t)> block_observer_;
+  std::atomic<std::uint64_t> pushes_blocked_{0};
+  std::atomic<std::uint64_t> pops_blocked_{0};
+  std::atomic<std::uint64_t> push_block_ns_{0};
+  std::atomic<std::uint64_t> pop_block_ns_{0};
 };
 
 }  // namespace fast

@@ -1,0 +1,191 @@
+#ifndef FAST_UTIL_PROFILED_MUTEX_H_
+#define FAST_UTIL_PROFILED_MUTEX_H_
+
+// Drop-in mutex with contention accounting.
+//
+// ProfiledMutex wraps std::mutex and counts, per instance: acquisitions,
+// contended acquisitions (the fast-path try_lock missed and the caller had
+// to block), total/max wait nanoseconds spent blocked, and total/max hold
+// nanoseconds between lock and unlock. The hot path costs one extra
+// steady-clock read on acquire and one on release; every counter is a
+// relaxed atomic, so Stats() can be read concurrently with lock traffic.
+//
+// It satisfies Lockable (lock/try_lock/unlock), so std::lock_guard,
+// std::unique_lock, and std::scoped_lock work unchanged. Condition
+// variables need std::condition_variable_any — std::condition_variable is
+// hard-wired to std::mutex. The wait itself is not charged to the lock;
+// the re-acquisition after wake goes through lock() and is, which is
+// exactly the contention signal the profile wants.
+//
+// A mutex constructed with a name registers itself in a process-wide
+// registry; SnapshotLockStats() aggregates the live instances by name (the
+// N per-tenant plan caches roll up into one "plan_cache" row). The admin
+// plane exports these as the fast_lock_* metric families and serves them
+// raw on /locks. An unnamed ProfiledMutex still counts, it just is not
+// exported.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fast::util {
+
+// One lock's counters, aggregated by name across instances in
+// SnapshotLockStats(). All durations are nanoseconds.
+struct LockStats {
+  std::string name;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t total_wait_ns = 0;
+  std::uint64_t max_wait_ns = 0;
+  std::uint64_t total_hold_ns = 0;
+  std::uint64_t max_hold_ns = 0;
+};
+
+class ProfiledMutex {
+ public:
+  ProfiledMutex() { Register(); }
+  explicit ProfiledMutex(const char* name) : name_(name) { Register(); }
+  ~ProfiledMutex() { Unregister(); }
+
+  ProfiledMutex(const ProfiledMutex&) = delete;
+  ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+  void lock() {
+    if (mu_.try_lock()) {
+      OnAcquired();
+      return;
+    }
+    const std::uint64_t t0 = NowNs();
+    mu_.lock();
+    const std::uint64_t waited = NowNs() - t0;
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    total_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+    AtomicMax(max_wait_ns_, waited);
+    OnAcquired();
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    OnAcquired();
+    return true;
+  }
+
+  void unlock() {
+    const std::uint64_t held = NowNs() - hold_start_ns_;
+    total_hold_ns_.fetch_add(held, std::memory_order_relaxed);
+    AtomicMax(max_hold_ns_, held);
+    mu_.unlock();
+  }
+
+  const char* name() const { return name_; }
+
+  LockStats Stats() const {
+    LockStats s;
+    s.name = name_ != nullptr ? name_ : "";
+    s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+    s.contended = contended_.load(std::memory_order_relaxed);
+    s.total_wait_ns = total_wait_ns_.load(std::memory_order_relaxed);
+    s.max_wait_ns = max_wait_ns_.load(std::memory_order_relaxed);
+    s.total_hold_ns = total_hold_ns_.load(std::memory_order_relaxed);
+    s.max_hold_ns = max_hold_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  friend std::vector<LockStats> SnapshotLockStats();
+
+  // Live named instances, for the by-name aggregation. Leaked on purpose:
+  // a ProfiledMutex with static storage duration may unregister after a
+  // function-local static registry would have been destroyed.
+  struct Registry {
+    std::mutex mu;
+    std::vector<const ProfiledMutex*> locks;
+  };
+  static Registry& GlobalRegistry() {
+    static Registry* r = new Registry();
+    return *r;
+  }
+
+  void Register() {
+    if (name_ == nullptr) return;
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.locks.push_back(this);
+  }
+
+  void Unregister() {
+    if (name_ == nullptr) return;
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.locks.erase(std::remove(r.locks.begin(), r.locks.end(), this),
+                  r.locks.end());
+  }
+
+  static std::uint64_t NowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static void AtomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void OnAcquired() {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    hold_start_ns_ = NowNs();  // guarded by mu_: only the holder touches it
+  }
+
+  std::mutex mu_;
+  const char* name_ = nullptr;  // static storage duration required
+  std::uint64_t hold_start_ns_ = 0;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> total_wait_ns_{0};
+  std::atomic<std::uint64_t> max_wait_ns_{0};
+  std::atomic<std::uint64_t> total_hold_ns_{0};
+  std::atomic<std::uint64_t> max_hold_ns_{0};
+};
+
+// Counters of every live *named* ProfiledMutex, aggregated by name and
+// sorted by name (max_* take the max across instances). Safe to call
+// concurrently with lock traffic; each counter is read relaxed, so a row is
+// a statistical snapshot, not a linearizable one.
+inline std::vector<LockStats> SnapshotLockStats() {
+  ProfiledMutex::Registry& r = ProfiledMutex::GlobalRegistry();
+  std::vector<LockStats> out;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const ProfiledMutex* m : r.locks) {
+      LockStats s = m->Stats();
+      auto it = std::find_if(out.begin(), out.end(),
+                             [&](const LockStats& x) { return x.name == s.name; });
+      if (it == out.end()) {
+        out.push_back(std::move(s));
+        continue;
+      }
+      it->acquisitions += s.acquisitions;
+      it->contended += s.contended;
+      it->total_wait_ns += s.total_wait_ns;
+      it->max_wait_ns = std::max(it->max_wait_ns, s.max_wait_ns);
+      it->total_hold_ns += s.total_hold_ns;
+      it->max_hold_ns = std::max(it->max_hold_ns, s.max_hold_ns);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LockStats& a, const LockStats& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace fast::util
+
+#endif  // FAST_UTIL_PROFILED_MUTEX_H_

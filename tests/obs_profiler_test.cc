@@ -1,0 +1,260 @@
+// Tests for the stage-annotated sampling profiler (src/obs/profiler.h):
+// thread registration, stage-path publication, deterministic SampleOnce
+// attribution, window deltas, collapsed-stack output, the timeline ring,
+// metrics binding, and stage-scope churn racing the live sampler (the TSan
+// target for the lock-free slot stack).
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace fast {
+namespace {
+
+using obs::CollapsedStacks;
+using obs::DeltaProfile;
+using obs::Profiler;
+using obs::ProfileSnapshot;
+using obs::StageSample;
+using obs::ThreadKind;
+
+// Sample count of one (kind, path) bucket, 0 when absent.
+std::uint64_t Samples(const ProfileSnapshot& snap, ThreadKind kind,
+                      const std::string& path) {
+  for (const auto& b : snap.buckets) {
+    if (b.kind == kind && b.path == path) return b.samples;
+  }
+  return 0;
+}
+
+TEST(ProfilerTest, RegistersAndRenamesCurrentThread) {
+  Profiler::RegisterCurrentThread("main-test", ThreadKind::kWorker);
+  const std::uint32_t tid = Profiler::CurrentThreadId();
+  EXPECT_GT(tid, 0u);
+  // Re-registration renames the existing slot: same tid, new name.
+  Profiler::RegisterCurrentThread("main-renamed", ThreadKind::kNet);
+  EXPECT_EQ(Profiler::CurrentThreadId(), tid);
+  const ProfileSnapshot snap = Profiler::Default()->Snapshot();
+  bool found = false;
+  for (const auto& t : snap.threads) {
+    if (t.tid != tid) continue;
+    found = true;
+    EXPECT_EQ(t.name, "main-renamed");
+    EXPECT_EQ(t.kind, ThreadKind::kNet);
+    EXPECT_TRUE(t.alive);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfilerTest, SampleOnceAttributesExactlyOnePerTick) {
+  Profiler::RegisterCurrentThread("sampled", ThreadKind::kWorker);
+  Profiler* p = Profiler::Default();
+  const ProfileSnapshot before = p->Snapshot();
+  {
+    FAST_PROF_STAGE("outer");
+    {
+      FAST_PROF_STAGE("inner");
+      for (int i = 0; i < 5; ++i) p->SampleOnce();
+    }
+    p->SampleOnce();  // inner popped: attributed to "outer" alone
+  }
+  const ProfileSnapshot delta = DeltaProfile(before, p->Snapshot());
+  EXPECT_EQ(Samples(delta, ThreadKind::kWorker, "outer;inner"), 5u);
+  EXPECT_EQ(Samples(delta, ThreadKind::kWorker, "outer"), 1u);
+  EXPECT_EQ(delta.total_samples, 6u);
+}
+
+TEST(ProfilerTest, IdleThreadsSampleAsIdle) {
+  Profiler::RegisterCurrentThread("idle-thread", ThreadKind::kAdmin);
+  Profiler* p = Profiler::Default();
+  const ProfileSnapshot before = p->Snapshot();
+  p->SampleOnce();  // no stage scope open on this thread
+  const ProfileSnapshot delta = DeltaProfile(before, p->Snapshot());
+  EXPECT_EQ(Samples(delta, ThreadKind::kAdmin, "(idle)"), 1u);
+}
+
+TEST(ProfilerTest, DeltaProfileDropsUnchangedBuckets) {
+  Profiler::RegisterCurrentThread("delta", ThreadKind::kWorker);
+  Profiler* p = Profiler::Default();
+  {
+    FAST_PROF_STAGE("old_stage");
+    p->SampleOnce();
+  }
+  const ProfileSnapshot mid = p->Snapshot();
+  {
+    FAST_PROF_STAGE("new_stage");
+    p->SampleOnce();
+  }
+  const ProfileSnapshot delta = DeltaProfile(mid, p->Snapshot());
+  EXPECT_EQ(Samples(delta, ThreadKind::kWorker, "old_stage"), 0u);
+  EXPECT_EQ(Samples(delta, ThreadKind::kWorker, "new_stage"), 1u);
+  for (const auto& b : delta.buckets) {
+    EXPECT_NE(b.path, "old_stage") << "unchanged bucket must be dropped";
+  }
+}
+
+TEST(ProfilerTest, ScopesBeyondMaxDepthCountIntoDeepestVisible) {
+  Profiler::RegisterCurrentThread("deep", ThreadKind::kWorker);
+  Profiler* p = Profiler::Default();
+  const ProfileSnapshot before = p->Snapshot();
+  {
+    FAST_PROF_STAGE("d1");
+    FAST_PROF_STAGE("d2");
+    FAST_PROF_STAGE("d3");
+    FAST_PROF_STAGE("d4");
+    FAST_PROF_STAGE("d5");
+    FAST_PROF_STAGE("d6");
+    FAST_PROF_STAGE("d7");
+    FAST_PROF_STAGE("d8");
+    FAST_PROF_STAGE("d9");   // beyond kMaxStageDepth == 8: not published
+    FAST_PROF_STAGE("d10");  // must still unwind cleanly
+    p->SampleOnce();
+  }
+  const ProfileSnapshot delta = DeltaProfile(before, p->Snapshot());
+  EXPECT_EQ(Samples(delta, ThreadKind::kWorker, "d1;d2;d3;d4;d5;d6;d7;d8"), 1u);
+  // The thread unwound past the overflow without corrupting its slot.
+  {
+    FAST_PROF_STAGE("after_overflow");
+    const ProfileSnapshot b2 = p->Snapshot();
+    p->SampleOnce();
+    EXPECT_EQ(Samples(DeltaProfile(b2, p->Snapshot()), ThreadKind::kWorker,
+                      "after_overflow"),
+              1u);
+  }
+}
+
+TEST(ProfilerTest, CollapsedStacksEmitsKindPathCountLines) {
+  Profiler::RegisterCurrentThread("collapse", ThreadKind::kDevice);
+  Profiler* p = Profiler::Default();
+  {
+    FAST_PROF_STAGE("flame_outer");
+    FAST_PROF_STAGE("flame_inner");
+    p->SampleOnce();
+    p->SampleOnce();
+  }
+  const std::string stacks = CollapsedStacks(p->Snapshot());
+  // One "kind;path count" line per non-empty bucket, flamegraph.pl input.
+  EXPECT_NE(stacks.find("device;flame_outer;flame_inner 2"), std::string::npos)
+      << stacks;
+  EXPECT_EQ(stacks.back(), '\n');
+}
+
+TEST(ProfilerTest, TimelineRetainsSamplesNewestLast) {
+  Profiler::RegisterCurrentThread("timeline", ThreadKind::kWorker);
+  Profiler* p = Profiler::Default();
+  {
+    FAST_PROF_STAGE("tl_stage");
+    for (int i = 0; i < 3; ++i) p->SampleOnce();
+  }
+  const std::vector<StageSample> timeline = p->TimelineSnapshot();
+  ASSERT_GE(timeline.size(), 3u);
+  const std::uint32_t tid = Profiler::CurrentThreadId();
+  int ours = 0;
+  double last_t = 0.0;
+  for (const StageSample& s : timeline) {
+    EXPECT_GE(s.t_seconds, last_t) << "timeline must be time-ordered";
+    last_t = s.t_seconds;
+    if (s.tid == tid && s.path == "tl_stage") ++ours;
+  }
+  EXPECT_EQ(ours, 3);
+}
+
+TEST(ProfilerTest, ThreadExitReleasesSlot) {
+  std::uint32_t child_tid = 0;
+  std::thread t([&child_tid] {
+    Profiler::RegisterCurrentThread("ephemeral", ThreadKind::kNet);
+    child_tid = Profiler::CurrentThreadId();
+  });
+  t.join();
+  ASSERT_GT(child_tid, 0u);
+  const ProfileSnapshot snap = Profiler::Default()->Snapshot();
+  for (const auto& ti : snap.threads) {
+    if (ti.tid == child_tid && ti.name == "ephemeral") {
+      EXPECT_FALSE(ti.alive);
+    }
+  }
+  // Sampling after the exit must not touch the dead slot.
+  Profiler::Default()->SampleOnce();
+}
+
+TEST(ProfilerTest, BindMetricsReportsSamplesAndThreads) {
+  obs::MetricsRegistry registry;
+  Profiler* p = Profiler::Default();
+  p->BindMetrics(&registry);
+  Profiler::RegisterCurrentThread("metrics", ThreadKind::kWorker);
+  p->SampleOnce();
+  p->SampleOnce();
+  EXPECT_GE(registry.GetCounter("fast_prof_samples_total")->Value(), 2u);
+  EXPECT_GE(registry.GetGauge("fast_prof_threads")->Value(), 1.0);
+  p->BindMetrics(nullptr);  // registry is about to die; detach
+}
+
+TEST(ProfilerTest, StartStopLifecycle) {
+  // ctest runs each case in its own process: give the sampler a thread to
+  // observe or total_samples stays 0.
+  Profiler::RegisterCurrentThread("lifecycle", ThreadKind::kWorker);
+  Profiler* p = Profiler::Default();
+  EXPECT_FALSE(p->running());
+  p->Start(500.0);
+  EXPECT_TRUE(p->running());
+  EXPECT_DOUBLE_EQ(p->hz(), 500.0);
+  p->Start(250.0);  // no-op while running
+  EXPECT_DOUBLE_EQ(p->hz(), 500.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  p->Stop();
+  EXPECT_FALSE(p->running());
+  p->Stop();  // idempotent
+  EXPECT_GT(p->Snapshot().total_samples, 0u);
+}
+
+// The TSan target: many threads churning nested stage scopes as fast as they
+// can while the sampler thread and a synchronous sampler race them. The
+// slot stack is lock-free (relaxed stores + release depth); this is where a
+// missing fence or a dangling stage pointer would surface.
+TEST(ProfilerTest, ScopeChurnRacesSamplerCleanly) {
+  Profiler* p = Profiler::Default();
+  p->Start(997.0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int i = 0; i < 4; ++i) {
+    churners.emplace_back([&stop, i] {
+      Profiler::RegisterCurrentThread("churn-" + std::to_string(i),
+                                      ThreadKind::kWorker);
+      while (!stop.load(std::memory_order_relaxed)) {
+        FAST_PROF_STAGE("churn_a");
+        {
+          FAST_PROF_STAGE("churn_b");
+          { FAST_PROF_STAGE("churn_c"); }
+        }
+      }
+    });
+  }
+  // A second sampler racing the background one exercises SampleOnce's own
+  // locking too.
+  for (int i = 0; i < 200; ++i) p->SampleOnce();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& t : churners) t.join();
+  p->Stop();
+  const ProfileSnapshot snap = p->Snapshot();
+  EXPECT_GT(snap.total_samples, 0u);
+  // Every sampled path must be one of the stages the churners published (or
+  // idle / another test's stage) — never garbage from a torn read.
+  for (const auto& b : snap.buckets) {
+    for (char c : b.path) {
+      EXPECT_TRUE(c == ';' || c == '(' || c == ')' || c == '_' || c == '-' ||
+                  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+          << "suspicious sampled path: " << b.path;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,297 @@
+// Chrome trace-event exporter well-formedness (src/obs/export.h
+// ChromeTraceJson): only X/i/M phases, non-negative ts/dur (negative inputs
+// clamp), simulated spans excluded, stage-sample run merging, the synthetic
+// device/events tracks, and thread metadata naming. Also covers the /locks
+// export formats (LocksToPrometheusText / LocksToJson). Assertions scan the
+// JSON as text so they hold regardless of JsonWriter spacing.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "util/profiled_mutex.h"
+
+namespace fast {
+namespace {
+
+using obs::ChromeTraceInputs;
+using obs::ChromeTraceJson;
+using obs::CompletedTrace;
+using obs::InstantEvent;
+using obs::ProfThreadInfo;
+using obs::Span;
+using obs::SpanName;
+using obs::StageSample;
+using obs::ThreadKind;
+using obs::TimelineRound;
+using obs::TraceSpan;
+
+// Every value of `key` ("ph") in the document, one char per occurrence.
+std::vector<char> PhaseChars(const std::string& json) {
+  std::vector<char> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ph\"", pos)) != std::string::npos) {
+    std::size_t p = json.find(':', pos + 4);
+    if (p == std::string::npos) break;
+    p = json.find('"', p);
+    if (p == std::string::npos || p + 1 >= json.size()) break;
+    out.push_back(json[p + 1]);
+    pos = p + 2;
+  }
+  return out;
+}
+
+// True iff no occurrence of `"key": <number>` has a negative value.
+bool NumbersNonNegative(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    std::size_t p = json.find(':', pos + needle.size());
+    if (p == std::string::npos) return true;
+    ++p;
+    while (p < json.size() && json[p] == ' ') ++p;
+    if (p < json.size() && json[p] == '-') return false;
+    pos = p;
+  }
+  return true;
+}
+
+std::size_t CountOccurrences(const std::string& json, const std::string& sub) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find(sub, pos)) != std::string::npos) {
+    ++count;
+    pos += sub.size();
+  }
+  return count;
+}
+
+// The invariants every timeline document must satisfy: phases drawn only
+// from {X, i, M} and no negative timestamp or duration anywhere.
+void ExpectWellFormed(const std::string& json) {
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  const std::vector<char> phases = PhaseChars(json);
+  for (char ph : phases) {
+    EXPECT_TRUE(ph == 'X' || ph == 'i' || ph == 'M')
+        << "unexpected phase '" << ph << "'";
+  }
+  EXPECT_TRUE(NumbersNonNegative(json, "ts")) << "negative ts";
+  EXPECT_TRUE(NumbersNonNegative(json, "dur")) << "negative dur";
+}
+
+std::shared_ptr<const CompletedTrace> MakeTrace(
+    std::uint64_t request_id, double anchor, std::vector<TraceSpan> spans) {
+  CompletedTrace t;
+  t.request_id = request_id;
+  t.total_seconds = 0.01;
+  t.ok = true;
+  t.status = "OK";
+  t.anchor_uptime_seconds = anchor;
+  t.spans = std::move(spans);
+  return std::make_shared<const CompletedTrace>(std::move(t));
+}
+
+TraceSpan MakeSpan(Span s, double start, double dur, std::uint32_t tid,
+                   bool simulated = false) {
+  TraceSpan span;
+  span.span = s;
+  span.start_seconds = start;
+  span.duration_seconds = dur;
+  span.simulated = simulated;
+  span.tid = tid;
+  return span;
+}
+
+TEST(ChromeTraceTest, EmptyInputsProduceValidMetadataOnlyDocument) {
+  ChromeTraceInputs in;
+  in.process_name = "timeline-test";
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_NE(json.find("timeline-test"), std::string::npos);
+  // Metadata only: the process_name event, nothing else.
+  for (char ph : PhaseChars(json)) EXPECT_EQ(ph, 'M');
+}
+
+TEST(ChromeTraceTest, RequestSpansBecomeCompleteEventsOnRecordingThreads) {
+  ChromeTraceInputs in;
+  in.traces.push_back(MakeTrace(
+      42, /*anchor=*/1.0,
+      {MakeSpan(Span::kAdmit, 0.0, 0.001, /*tid=*/5),
+       MakeSpan(Span::kQueue, 0.001, 0.002, /*tid=*/6)}));
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_NE(json.find(SpanName(Span::kAdmit)), std::string::npos);
+  EXPECT_NE(json.find(SpanName(Span::kQueue)), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\""), std::string::npos);
+  // At least the two span events beyond the process metadata.
+  std::size_t x_events = 0;
+  for (char ph : PhaseChars(json)) x_events += ph == 'X';
+  EXPECT_EQ(x_events, 2u);
+}
+
+TEST(ChromeTraceTest, SimulatedSpansAreExcluded) {
+  ChromeTraceInputs in;
+  in.traces.push_back(MakeTrace(
+      1, /*anchor=*/1.0,
+      {MakeSpan(Span::kDeviceWait, 0.0, 0.002, 5),
+       MakeSpan(Span::kDma, 0.0, 0.001, 5, /*simulated=*/true),
+       MakeSpan(Span::kKernel, 0.0, 0.001, 5, /*simulated=*/true)}));
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_NE(json.find(SpanName(Span::kDeviceWait)), std::string::npos);
+  // Simulated device-model spans carry no wall time: they must not render.
+  EXPECT_EQ(json.find(SpanName(Span::kDma)), std::string::npos) << json;
+  EXPECT_EQ(json.find(SpanName(Span::kKernel)), std::string::npos) << json;
+}
+
+TEST(ChromeTraceTest, NegativeTimesClampToZero) {
+  ChromeTraceInputs in;
+  // An anchor before the uptime origin (or a clock glitch) must never emit a
+  // negative ts/dur — Perfetto rejects them.
+  in.traces.push_back(MakeTrace(
+      2, /*anchor=*/-5.0, {MakeSpan(Span::kAdmit, 0.0, -0.001, 5)}));
+  TimelineRound r;
+  r.round = 1;
+  r.start_seconds = -1.0;
+  r.duration_seconds = 0.001;
+  in.rounds.push_back(r);
+  InstantEvent e;
+  e.t_seconds = -0.5;
+  e.name = "pushback";
+  in.instants.push_back(e);
+  ExpectWellFormed(ChromeTraceJson(in));
+}
+
+TEST(ChromeTraceTest, ConsecutiveSameStageSamplesMergeIntoOneRun) {
+  ChromeTraceInputs in;
+  in.sample_period_seconds = 0.01;
+  for (int i = 0; i < 3; ++i) {
+    StageSample s;
+    s.t_seconds = 1.0 + 0.01 * i;
+    s.tid = 7;
+    s.kind = ThreadKind::kWorker;
+    s.path = "serve;cst_build";
+    in.stage_samples.push_back(s);
+  }
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  // Three consecutive same-path samples produce ONE merged X event (its name
+  // is the path), closed one sample period after the last observation.
+  EXPECT_EQ(CountOccurrences(json, "serve;cst_build"), 1u) << json;
+  // The stage run renders on a parallel "(stages)" track.
+  EXPECT_NE(json.find("(stages)"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, PathChangeAndIdleCloseRuns) {
+  ChromeTraceInputs in;
+  in.sample_period_seconds = 0.01;
+  const char* paths[] = {"stage_a", "stage_a", "stage_b", "(idle)"};
+  for (int i = 0; i < 4; ++i) {
+    StageSample s;
+    s.t_seconds = 1.0 + 0.01 * i;
+    s.tid = 7;
+    s.kind = ThreadKind::kWorker;
+    s.path = paths[i];
+    in.stage_samples.push_back(s);
+  }
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_EQ(CountOccurrences(json, "stage_a"), 1u);
+  EXPECT_EQ(CountOccurrences(json, "stage_b"), 1u);
+  // Idle samples only close runs; they never render as events.
+  EXPECT_EQ(json.find("(idle)"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, DeviceRoundsRenderOnSyntheticTrack) {
+  ChromeTraceInputs in;
+  TimelineRound r;
+  r.round = 7;
+  r.start_seconds = 2.0;
+  r.duration_seconds = 0.004;
+  r.pcie_sim_seconds = 0.001;
+  r.kernel_sim_seconds = 0.002;
+  r.items = 3;
+  r.queries = 2;
+  r.wire_bytes = 4096;
+  in.rounds.push_back(r);
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_NE(json.find("device (rounds)"), std::string::npos);
+  EXPECT_NE(json.find("round 7"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel_sim_ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, InstantEventsRenderOnEventsTrack) {
+  ChromeTraceInputs in;
+  InstantEvent e;
+  e.t_seconds = 3.0;
+  e.name = "slo_breach";
+  e.detail = "tenant-a";
+  in.instants.push_back(e);
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("slo_breach"), std::string::npos);
+  EXPECT_NE(json.find("tenant-a"), std::string::npos);
+  bool has_instant = false;
+  for (char ph : PhaseChars(json)) has_instant |= ph == 'i';
+  EXPECT_TRUE(has_instant);
+}
+
+TEST(ChromeTraceTest, ThreadMetadataNamesKind) {
+  ChromeTraceInputs in;
+  ProfThreadInfo worker;
+  worker.tid = 5;
+  worker.name = "svc-worker-0";
+  worker.kind = ThreadKind::kWorker;
+  ProfThreadInfo net;
+  net.tid = 9;
+  net.name = "wire-conn-3";
+  net.kind = ThreadKind::kNet;
+  in.threads = {worker, net};
+  // A stage sample on a known thread names its stage track after the thread.
+  StageSample s;
+  s.t_seconds = 1.0;
+  s.tid = 5;
+  s.kind = ThreadKind::kWorker;
+  s.path = "serve";
+  in.stage_samples.push_back(s);
+  const std::string json = ChromeTraceJson(in);
+  ExpectWellFormed(json);
+  EXPECT_NE(json.find("svc-worker-0 [worker]"), std::string::npos);
+  EXPECT_NE(json.find("wire-conn-3 [net]"), std::string::npos);
+  EXPECT_NE(json.find("svc-worker-0 (stages)"), std::string::npos);
+}
+
+TEST(LockExportTest, PrometheusAndJsonCarryEveryNamedLock) {
+  std::vector<util::LockStats> locks(2);
+  locks[0].name = "alpha_lock";
+  locks[0].acquisitions = 10;
+  locks[0].contended = 2;
+  locks[0].total_wait_ns = 1500;
+  locks[0].max_hold_ns = 700;
+  locks[1].name = "beta_lock";
+  locks[1].acquisitions = 3;
+
+  const std::string prom = obs::LocksToPrometheusText(locks);
+  EXPECT_NE(prom.find("fast_lock_acquisitions_total{lock=\"alpha_lock\"} 10"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("fast_lock_contended_total{lock=\"alpha_lock\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fast_lock_acquisitions_total{lock=\"beta_lock\"} 3"),
+            std::string::npos);
+
+  const std::string json = obs::LocksToJson(locks);
+  EXPECT_NE(json.find("alpha_lock"), std::string::npos);
+  EXPECT_NE(json.find("beta_lock"), std::string::npos);
+  EXPECT_NE(json.find("\"acquisitions\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fast

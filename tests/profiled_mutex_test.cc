@@ -1,0 +1,243 @@
+// Tests for lock/queue contention accounting: ProfiledMutex exactness under
+// a multi-thread hammer, guaranteed-contended acquisition, Lockable /
+// condition_variable_any interop, the by-name SnapshotLockStats aggregation
+// (src/util/profiled_mutex.h), and BoundedQueue block counters + observer
+// (src/util/bounded_queue.h).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bounded_queue.h"
+#include "util/profiled_mutex.h"
+#include "util/timer.h"
+
+namespace fast {
+namespace {
+
+using util::LockStats;
+using util::ProfiledMutex;
+using util::SnapshotLockStats;
+
+// Polls `pred` until true or ~2s; the deterministic way to know a peer
+// thread has entered its blocking wait (the counters bump BEFORE the wait).
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  Timer t;
+  while (!pred()) {
+    if (t.ElapsedSeconds() > 2.0) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ProfiledMutexTest, HammerCountsEveryAcquisitionExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  ProfiledMutex mu;
+  std::uint64_t guarded = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<ProfiledMutex> lock(mu);
+        ++guarded;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const LockStats s = mu.Stats();
+  // The counter value proves mutual exclusion; the acquisition count must be
+  // EXACT — every lock() is one acquisition, contended or not.
+  EXPECT_EQ(guarded, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.acquisitions, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_LE(s.contended, s.acquisitions);
+  EXPECT_LE(s.max_wait_ns, s.total_wait_ns + 1);  // max is one of the waits
+  EXPECT_LE(s.max_hold_ns, s.total_hold_ns);
+}
+
+TEST(ProfiledMutexTest, BlockedAcquisitionCountsAsContended) {
+  ProfiledMutex mu;
+  std::atomic<bool> holder_has_lock{false};
+  std::thread holder([&] {
+    std::lock_guard<ProfiledMutex> lock(mu);
+    holder_has_lock.store(true);
+    // Hold long enough that the waiter's lock() definitely misses its
+    // try_lock fast path and takes the timed blocking path.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  ASSERT_TRUE(WaitFor([&] { return holder_has_lock.load(); }));
+  {
+    std::lock_guard<ProfiledMutex> lock(mu);  // guaranteed to block
+  }
+  holder.join();
+  const LockStats s = mu.Stats();
+  EXPECT_EQ(s.acquisitions, 2u);
+  EXPECT_EQ(s.contended, 1u);
+  EXPECT_GT(s.total_wait_ns, 0u);
+  EXPECT_EQ(s.max_wait_ns, s.total_wait_ns);  // only one wait happened
+  EXPECT_GT(s.max_hold_ns, std::uint64_t{20} * 1000 * 1000);  // >= ~50ms hold
+}
+
+TEST(ProfiledMutexTest, TryLockFailsOnHeldAndCountsOnSuccess) {
+  ProfiledMutex mu;
+  mu.lock();
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+  const LockStats s = mu.Stats();
+  EXPECT_EQ(s.acquisitions, 2u);  // the failed try_lock is not an acquisition
+  EXPECT_EQ(s.contended, 0u);     // try_lock never blocks
+}
+
+TEST(ProfiledMutexTest, ConditionVariableAnyInterop) {
+  ProfiledMutex mu;
+  std::condition_variable_any cv;
+  std::atomic<bool> waiter_locked{false};
+  bool ready = false;
+  std::thread waiter([&] {
+    std::unique_lock<ProfiledMutex> lock(mu);
+    waiter_locked.store(true);
+    cv.wait(lock, [&] { return ready; });
+  });
+  // waiter_locked is set while the waiter holds mu, so once we both see it
+  // and acquire mu ourselves, the waiter must be parked inside cv.wait.
+  ASSERT_TRUE(WaitFor([&] { return waiter_locked.load(); }));
+  {
+    std::lock_guard<ProfiledMutex> lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  // Waiter's initial lock + our lock + the re-acquisition after the wake.
+  EXPECT_GE(mu.Stats().acquisitions, 3u);
+}
+
+TEST(ProfiledMutexTest, SnapshotAggregatesInstancesByName) {
+  // Two instances sharing one name roll up into one row (how the N
+  // per-tenant plan caches all report as "plan_cache").
+  ProfiledMutex a("dup_lock_name");
+  ProfiledMutex b("dup_lock_name");
+  ProfiledMutex other("other_lock_name");
+  for (int i = 0; i < 3; ++i) {
+    std::lock_guard<ProfiledMutex> lock(a);
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::lock_guard<ProfiledMutex> lock(b);
+  }
+  { std::lock_guard<ProfiledMutex> lock(other); }
+
+  const std::vector<LockStats> rows = SnapshotLockStats();
+  // Sorted by name.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].name, rows[i].name);
+  }
+  bool found_dup = false, found_other = false;
+  for (const LockStats& r : rows) {
+    if (r.name == "dup_lock_name") {
+      found_dup = true;
+      EXPECT_EQ(r.acquisitions, 5u);
+    }
+    if (r.name == "other_lock_name") {
+      found_other = true;
+      EXPECT_EQ(r.acquisitions, 1u);
+    }
+  }
+  EXPECT_TRUE(found_dup);
+  EXPECT_TRUE(found_other);
+}
+
+TEST(ProfiledMutexTest, DestroyedInstanceLeavesRegistry) {
+  {
+    ProfiledMutex temp("temp_lock_name");
+    std::lock_guard<ProfiledMutex> lock(temp);
+  }
+  for (const LockStats& r : SnapshotLockStats()) {
+    EXPECT_NE(r.name, "temp_lock_name");
+  }
+}
+
+TEST(BoundedQueueTest, PushBlockCountedAndObserved) {
+  BoundedQueue<int> q(/*capacity=*/1, "bq_push_test");
+  std::atomic<std::uint64_t> observed_push_ns{0};
+  std::atomic<int> observer_calls{0};
+  q.set_block_observer([&](bool is_push, std::uint64_t ns) {
+    EXPECT_TRUE(is_push);
+    observed_push_ns.fetch_add(ns);
+    observer_calls.fetch_add(1);
+  });
+  ASSERT_TRUE(q.TryPush(1));  // fills the queue; no block
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  // pushes_blocked bumps BEFORE the wait: once visible, the producer is
+  // committed to blocking and a Pop is what releases it.
+  ASSERT_TRUE(WaitFor([&] { return q.Stats().pushes_blocked == 1; }));
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  const BoundedQueueStats s = q.Stats();
+  EXPECT_EQ(s.pushes_blocked, 1u);
+  EXPECT_EQ(s.pops_blocked, 0u);
+  EXPECT_GT(s.push_block_ns, 0u);
+  EXPECT_EQ(s.total_block_ns(), s.push_block_ns);
+  EXPECT_EQ(observer_calls.load(), 1);
+  EXPECT_EQ(observed_push_ns.load(), s.push_block_ns);
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, PopBlockCountedAndObserved) {
+  BoundedQueue<int> q(/*capacity=*/4, "bq_pop_test");
+  std::atomic<int> observer_pops{0};
+  q.set_block_observer([&](bool is_push, std::uint64_t ns) {
+    EXPECT_FALSE(is_push);
+    EXPECT_GT(ns, 0u);
+    observer_pops.fetch_add(1);
+  });
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), 7); });
+  ASSERT_TRUE(WaitFor([&] { return q.Stats().pops_blocked == 1; }));
+  ASSERT_TRUE(q.TryPush(7));
+  consumer.join();
+  const BoundedQueueStats s = q.Stats();
+  EXPECT_EQ(s.pops_blocked, 1u);
+  EXPECT_EQ(s.pushes_blocked, 0u);
+  EXPECT_GT(s.pop_block_ns, 0u);
+  EXPECT_EQ(observer_pops.load(), 1);
+}
+
+TEST(BoundedQueueTest, TryPushAndCloseNeverBlockOrCount) {
+  BoundedQueue<int> q(/*capacity=*/1);
+  ASSERT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));  // full: rejected, not blocked
+  q.Close();
+  EXPECT_FALSE(q.TryPush(3));  // closed
+  EXPECT_EQ(q.Pop(), 1);       // drains the backlog
+  EXPECT_FALSE(q.Pop().has_value());  // closed + empty: no block
+  const BoundedQueueStats s = q.Stats();
+  EXPECT_EQ(s.pushes_blocked, 0u);
+  EXPECT_EQ(s.pops_blocked, 0u);
+  EXPECT_EQ(s.total_block_ns(), 0u);
+}
+
+TEST(BoundedQueueTest, NamedQueueLockAggregatesInRegistry) {
+  BoundedQueue<int> q(/*capacity=*/8, "bq_named_lock");
+  ASSERT_TRUE(q.TryPush(1));
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_GE(q.LockStats().acquisitions, 2u);
+  bool found = false;
+  for (const LockStats& r : SnapshotLockStats()) {
+    if (r.name == "bq_named_lock") {
+      found = true;
+      EXPECT_GE(r.acquisitions, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace fast

@@ -73,6 +73,17 @@
 //   --flight-dir DIR      on an SLO breach, write one rate-limited flight-
 //                         recorder JSON dump (metrics + traces + accounts)
 //                         into DIR
+//
+// Profiling plane (src/obs/profiler.h), available in every serving mode:
+//   --profile-hz HZ       start the stage-annotated sampling profiler at HZ
+//                         samples/sec (also scrape-able live via the admin
+//                         endpoints /profile, /profile/flame, /locks,
+//                         /timeline/chrome)
+//   --profile-out FILE    write the final collapsed-stack profile to FILE
+//                         (flamegraph.pl input)
+//   --chrome-trace FILE   write a Chrome trace-event timeline (request spans,
+//                         device rounds, sampled stages, instant events) to
+//                         FILE at exit; load in Perfetto or chrome://tracing
 
 #include <algorithm>
 #include <atomic>
@@ -93,6 +104,7 @@
 #include "net/wire_server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "service/match_service.h"
 #include "tenant/tenant_router.h"
 #include "tools/flag_parser.h"
@@ -115,6 +127,8 @@ struct ObsConfig {
   std::string metrics_json;
   std::string metrics_prom;
   std::string trace_log;
+  std::string profile_out;   // collapsed stacks at exit
+  std::string chrome_trace;  // trace-event timeline at exit
   double sample_ms = 100.0;  // periodic-sampler interval
 };
 
@@ -138,11 +152,13 @@ std::unique_ptr<obs::PeriodicSampler> StartGaugeSampler(
 }
 
 // Writes the requested export files at the end of a run. Returns nonzero when
-// a requested file could not be written.
+// a requested file could not be written. `frontend` feeds the Chrome-trace
+// timeline its device rounds and instant events; null degrades to spans only.
 int WriteObsOutputs(
     const ObsConfig& cfg, obs::MetricsRegistry& registry,
     const obs::PeriodicSampler* sampler,
-    const std::vector<std::shared_ptr<const obs::CompletedTrace>>& traces) {
+    const std::vector<std::shared_ptr<const obs::CompletedTrace>>& traces,
+    const service::Frontend* frontend) {
   if (!cfg.metrics_json.empty()) {
     JsonWriter w;
     obs::WriteSnapshotJson(w, registry.Snapshot(), "metrics");
@@ -184,6 +200,30 @@ int WriteObsOutputs(
     std::printf("traces:      wrote %zu trace%s to %s\n", traces.size(),
                 traces.size() == 1 ? "" : "s", cfg.trace_log.c_str());
   }
+  if (!cfg.profile_out.empty()) {
+    if (!WriteJsonFile(cfg.profile_out,
+                       obs::CollapsedStacks(obs::Profiler::Default()->Snapshot()))) {
+      return 1;
+    }
+    std::printf("profile:     wrote %s\n", cfg.profile_out.c_str());
+  }
+  if (!cfg.chrome_trace.empty()) {
+    obs::ChromeTraceInputs in;
+    in.process_name = "fast_serve";
+    in.traces = traces;
+    const obs::ProfileSnapshot snap = obs::Profiler::Default()->Snapshot();
+    in.threads = snap.threads;
+    in.stage_samples = obs::Profiler::Default()->TimelineSnapshot();
+    in.sample_period_seconds = snap.hz > 0.0 ? 1.0 / snap.hz : 0.0;
+    if (frontend != nullptr) {
+      in.rounds = frontend->device_rounds();
+      if (frontend->request_obs() != nullptr) {
+        in.instants = frontend->request_obs()->recent_events();
+      }
+    }
+    if (!WriteJsonFile(cfg.chrome_trace, obs::ChromeTraceJson(in))) return 1;
+    std::printf("timeline:    wrote %s\n", cfg.chrome_trace.c_str());
+  }
   return 0;
 }
 
@@ -209,11 +249,13 @@ StatusOr<std::unique_ptr<net::AdminHttpServer>> StartAdminServer(
   eopts.ready = [frontend] { return frontend->ready(); };
   eopts.queue_depth = [frontend] { return frontend->queue_depth(); };
   eopts.flags = flags_echo;
+  eopts.profiler = obs::Profiler::Default();
+  eopts.device_rounds = [frontend] { return frontend->device_rounds(); };
   net::RegisterAdminEndpoints(*server, std::move(eopts));
   FAST_RETURN_IF_ERROR(server->Start());
   // Scripts parse this line for the ephemeral port; flush past the buffer.
   std::printf("admin: http on 127.0.0.1:%u (/metrics /healthz /tenants /slo "
-              "/varz /traces)\n",
+              "/varz /traces /profile /locks /timeline/chrome)\n",
               server->port());
   std::fflush(stdout);
   return server;
@@ -308,7 +350,7 @@ int RunListen(
               static_cast<unsigned long long>(stats.pushback_conn),
               static_cast<unsigned long long>(stats.errors_sent),
               static_cast<unsigned long long>(stats.protocol_errors));
-  return WriteObsOutputs(obs_cfg, *registry, sampler.get(), traces());
+  return WriteObsOutputs(obs_cfg, *registry, sampler.get(), traces(), frontend);
 }
 
 // Multi-tenant replay: N generated graphs behind one TenantRouter, clients
@@ -478,7 +520,7 @@ int RunMultiTenant(const tools::FlagParser& flags, const ServiceOptions& options
     std::printf("device:      %s\n", stats.device.Summary().c_str());
   }
   if (int rc = WriteObsOutputs(obs_cfg, *registry, sampler.get(),
-                               router.recent_traces());
+                               router.recent_traces(), &router);
       rc != 0) {
     return rc;
   }
@@ -497,6 +539,7 @@ int Run(int argc, char** argv) {
        "store", "update", "reload", "swap-every-ms", "churn", "tenants",
        "zipf-s", "quota", "weights", "device", "batch-window-us", "max-batch",
        "metrics-json", "metrics-prom", "trace-log", "slow-ms", "sample-ms",
+       "profile-hz", "profile-out", "chrome-trace",
        "listen", "host", "port", "max-inflight",
        "admin-port", "slo-ms", "slo-target", "flight-dir",
        "no-trace", "no-cache", "once", "help"},
@@ -518,6 +561,8 @@ int Run(int argc, char** argv) {
         "                  [--listen] [--host H] [--port P] [--max-inflight N]\n"
         "                  [--metrics-json FILE] [--metrics-prom FILE]\n"
         "                  [--trace-log FILE] [--slow-ms MS] [--sample-ms MS]\n"
+        "                  [--profile-hz HZ] [--profile-out FILE]\n"
+        "                  [--chrome-trace FILE]\n"
         "                  [--admin-port P] [--slo-ms MS] [--slo-target F]\n"
         "                  [--flight-dir DIR]\n"
         "                  [--no-trace] [--no-cache] [--once]\n%s\n",
@@ -615,6 +660,21 @@ int Run(int argc, char** argv) {
   obs_cfg.trace_log = flags->GetString("trace-log", "");
   FAST_FLAG_ASSIGN_OR_USAGE(obs_cfg.sample_ms,
                             flags->GetDouble("sample-ms", 100.0));
+  obs_cfg.profile_out = flags->GetString("profile-out", "");
+  obs_cfg.chrome_trace = flags->GetString("chrome-trace", "");
+  double profile_hz;
+  FAST_FLAG_ASSIGN_OR_USAGE(profile_hz, flags->GetDouble("profile-hz", 0.0));
+  if (profile_hz > 0.0) {
+    obs::Profiler::Default()->BindMetrics(&registry);
+    obs::Profiler::Default()->Start(profile_hz);
+    std::printf("profile: sampling at %.0f Hz\n", obs::Profiler::Default()->hz());
+  }
+  // The profiler reports into `registry` and its sampler reads thread slots
+  // the service/router threads own: stop it before either is destroyed, on
+  // every return path below.
+  struct ProfilerStopper {
+    ~ProfilerStopper() { obs::Profiler::Default()->Stop(); }
+  } profiler_stopper;
   double slow_ms;
   FAST_FLAG_ASSIGN_OR_USAGE(slow_ms, flags->GetDouble("slow-ms", 0.0));
   options.metrics = &registry;
@@ -782,7 +842,7 @@ int Run(int argc, char** argv) {
       std::printf("device: %s\n", stats.device.Summary().c_str());
     }
     return WriteObsOutputs(obs_cfg, registry, /*sampler=*/nullptr,
-                           svc.recent_traces());
+                           svc.recent_traces(), &svc);
   }
 
   // --- Fixed-duration replay. ---
@@ -906,7 +966,7 @@ int Run(int argc, char** argv) {
     std::printf("device:      %s\n", stats.device.Summary().c_str());
   }
   if (int rc = WriteObsOutputs(obs_cfg, registry, sampler.get(),
-                               svc.recent_traces());
+                               svc.recent_traces(), &svc);
       rc != 0) {
     return rc;
   }
