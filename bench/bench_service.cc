@@ -21,7 +21,16 @@
 // plain cache-on phase is reported as profiler_overhead_pct (CI gates it
 // < 3%). --profile-out writes that phase's collapsed-stack profile and
 // --chrome-trace its trace-event timeline.
+//
+// Two further phases A/B the SIMD kernel layer (src/simd/) end to end:
+// cache off + cpu_share_delta=0.9, so every request rebuilds its CST and
+// routes ~90% of partition work through MatchCstOnCpu, first with the scalar
+// kernels forced and then with the best available level (or the one forced
+// via --simd=scalar|swar|avx2|neon). The ratio is reported as simd_speedup
+// (CI gates >= 1.0x), and per-query match counts are verified identical
+// across every available level before the phases run.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <string>
@@ -29,10 +38,14 @@
 #include <vector>
 
 #include "bench/bench_serve_common.h"
+#include "core/cpu_matcher.h"
+#include "cst/cst.h"
 #include "ldbc/ldbc.h"
 #include "obs/export.h"
 #include "obs/profiler.h"
+#include "query/matching_order.h"
 #include "service/match_service.h"
+#include "simd/intersect.h"
 #include "tools/flag_parser.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -61,13 +74,15 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
                      bool tracing,
                      std::vector<std::shared_ptr<const obs::CompletedTrace>>*
                          traces_out = nullptr,
-                     std::vector<obs::InstantEvent>* events_out = nullptr) {
+                     std::vector<obs::InstantEvent>* events_out = nullptr,
+                     double cpu_share_delta = 0.0) {
   ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = 512;
   options.plan_cache_capacity = cache_capacity;
   options.default_deadline_seconds = deadline_seconds;
   options.run.fpga = ServeBenchFpgaConfig();
+  options.run.cpu_share_delta = cpu_share_delta;
   options.metrics = metrics;
   options.tracing = tracing;
   MatchService svc(graph, options);
@@ -114,21 +129,47 @@ PhaseResult RunPhase(const Graph& graph, const std::vector<QueryGraph>& mix,
   return r;
 }
 
+// Single-threaded per-query match counts under the active kernel level (CPU
+// matcher all the way: this is the bit-identical-results check behind the
+// SIMD A/B phases).
+std::vector<std::uint64_t> CountMatches(const Graph& graph,
+                                        const std::vector<QueryGraph>& mix) {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(mix.size());
+  for (const QueryGraph& q : mix) {
+    const auto order = ComputeMatchingOrder(q, graph, OrderPolicy::kPathBased);
+    FAST_CHECK_OK(order.status());
+    const auto cst = BuildCst(q, graph, order->root);
+    FAST_CHECK_OK(cst.status());
+    const auto count = MatchCstOnCpu(*cst, *order, nullptr);
+    FAST_CHECK_OK(count.status());
+    counts.push_back(*count);
+  }
+  return counts;
+}
+
 int Run(int argc, char** argv) {
   auto flags = tools::FlagParser::Parse(
       argc, argv,
       {"sf", "duration", "clients", "workers", "queries", "deadline-ms",
-       "json", "profile-hz", "profile-out", "chrome-trace", "help"},
+       "json", "simd", "profile-hz", "profile-out", "chrome-trace", "help"},
       /*bool_flags=*/{"help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(stderr,
                  "usage: bench_service [--sf S] [--duration SEC] [--clients N]\n"
                  "                     [--workers N] [--queries I,J,...]\n"
                  "                     [--deadline-ms MS] [--json FILE]\n"
+                 "                     [--simd scalar|swar|avx2|neon|auto]\n"
                  "                     [--profile-hz HZ] [--profile-out FILE]\n"
                  "                     [--chrome-trace FILE]\n%s\n",
                  flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
+  }
+  const std::string simd_flag = flags->GetString("simd", "auto");
+  if (!simd::SetActiveByName(simd_flag)) {
+    std::fprintf(stderr, "--simd=%s: unknown or unavailable (have: %s)\n",
+                 simd_flag.c_str(), simd::AvailableLevelsString().c_str());
+    return 2;
   }
   double sf, duration, deadline_ms;
   std::size_t clients, workers;
@@ -185,6 +226,57 @@ int Run(int argc, char** argv) {
       RunPhase(*graph, mix, /*cache_capacity=*/64, workers, clients, duration,
                deadline_ms / 1e3, /*metrics=*/nullptr, /*tracing=*/false);
 
+  // SIMD A/B. Counts first: every available kernel level must produce the
+  // same per-query match counts before its throughput means anything.
+  const simd::Level simd_level = simd::ActiveLevel();
+  bool simd_counts_identical = true;
+  {
+    simd::SetActive(simd::Level::kScalar);
+    const std::vector<std::uint64_t> truth = CountMatches(*graph, mix);
+    for (int i = 0; i < simd::kNumLevels; ++i) {
+      const auto level = static_cast<simd::Level>(i);
+      if (level == simd::Level::kScalar || !simd::LevelAvailable(level)) continue;
+      simd::SetActive(level);
+      if (CountMatches(*graph, mix) != truth) {
+        simd_counts_identical = false;
+        std::fprintf(stderr, "SIMD CONSISTENCY FAILURE: --simd=%s match counts "
+                             "diverge from scalar\n",
+                     simd::LevelName(level));
+      }
+    }
+  }
+  // CPU-mode throughput: cache off (BuildCst per request) and 90% of
+  // partition work routed to MatchCstOnCpu. The two levels run interleaved
+  // (scalar, best, scalar, best) in half-duration rounds so slow drift on a
+  // shared box — CPU throttling, a noisy neighbor — hits both sides equally
+  // instead of biasing whichever phase ran second.
+  constexpr double kCpuShare = 0.9;
+  constexpr int kSimdRounds = 2;
+  PhaseResult simd_scalar, simd_best;
+  for (int round = 0; round < kSimdRounds; ++round) {
+    simd::SetActive(simd::Level::kScalar);
+    const PhaseResult rs =
+        RunPhase(*graph, mix, /*cache_capacity=*/0, workers, clients,
+                 duration / kSimdRounds, deadline_ms / 1e3, &registry,
+                 /*tracing=*/true, nullptr, nullptr, kCpuShare);
+    simd::SetActive(simd_level);
+    const PhaseResult rb =
+        RunPhase(*graph, mix, /*cache_capacity=*/0, workers, clients,
+                 duration / kSimdRounds, deadline_ms / 1e3, &registry,
+                 /*tracing=*/true, nullptr, nullptr, kCpuShare);
+    const auto add = [](PhaseResult* acc, const PhaseResult& r) {
+      acc->qps += r.qps / kSimdRounds;
+      acc->p50_ms = std::max(acc->p50_ms, r.p50_ms);
+      acc->p99_ms = std::max(acc->p99_ms, r.p99_ms);
+      acc->completed += r.completed;
+      acc->rejected += r.rejected;
+    };
+    add(&simd_scalar, rs);
+    add(&simd_best, rb);
+  }
+  const double simd_speedup =
+      simd_scalar.qps > 0 ? simd_best.qps / simd_scalar.qps : 0.0;
+
   // Profile phase: cache-on repeated with the stage sampler running. The
   // A/B against the plain cache-on phase is the profiler's qps overhead.
   PhaseResult prof;
@@ -213,9 +305,18 @@ int Run(int argc, char** argv) {
   row("cache-off", off);
   row("cache-on", on);
   row("obs-off", obs_off);
+  char simd_row[32];
+  std::snprintf(simd_row, sizeof(simd_row), "simd-%s",
+                simd::LevelName(simd_level));
+  row("simd-scalar", simd_scalar);
+  row(simd_row, simd_best);
   if (profile_hz > 0.0) row("profile-on", prof);
   std::printf("\ncache speedup: %.2fx queries/sec (%.1f -> %.1f)\n",
               off.qps > 0 ? on.qps / off.qps : 0.0, off.qps, on.qps);
+  std::printf("simd speedup (%s vs scalar, cpu-mode): %.2fx (%.1f -> %.1f), "
+              "counts %s\n",
+              simd::LevelName(simd_level), simd_speedup, simd_scalar.qps,
+              simd_best.qps, simd_counts_identical ? "identical" : "DIVERGED");
   const double obs_overhead_pct =
       obs_off.qps > 0 ? (obs_off.qps - on.qps) / obs_off.qps * 100.0 : 0.0;
   std::printf("obs overhead: %.2f%% qps (obs-on %.1f vs obs-off %.1f)\n",
@@ -267,8 +368,13 @@ int Run(int argc, char** argv) {
     phase("cache_off", off, /*with_hit_rate=*/false);
     phase("cache_on", on, /*with_hit_rate=*/true);
     phase("obs_off", obs_off, /*with_hit_rate=*/true);
+    phase("simd_scalar", simd_scalar, /*with_hit_rate=*/false);
+    phase("simd_best", simd_best, /*with_hit_rate=*/false);
     if (profile_hz > 0.0) phase("profile_on", prof, /*with_hit_rate=*/true);
     w.Field("cache_speedup", off.qps > 0 ? on.qps / off.qps : 0.0);
+    w.Field("simd_best_level", simd::LevelName(simd_level));
+    w.Field("simd_speedup", simd_speedup);
+    w.Field("simd_counts_identical", simd_counts_identical);
     w.Field("obs_overhead_pct", obs_overhead_pct);
     if (profile_hz > 0.0) {
       w.Field("profile_hz", profile_hz);
@@ -278,7 +384,7 @@ int Run(int argc, char** argv) {
     bench::EmbedMetrics(w, registry);
     if (!bench::WriteJsonFile(json, w.Finish())) return 1;
   }
-  return 0;
+  return simd_counts_identical ? 0 : 1;
 }
 
 }  // namespace

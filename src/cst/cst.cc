@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/profiler.h"
+#include "simd/bitset.h"
+#include "simd/intersect.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -159,14 +162,27 @@ StatusOr<Cst> BuildCst(const QueryGraph& q, const Graph& g, VertexId root,
       cs.lists[root].push_back(v);
     }
   }
+  const bool unlabelled = !g.has_edge_labels();
   for (VertexId u : tree.bfs_order()) {
     if (u == root) continue;
     const VertexId up = tree.parent(u);
     const Label want = q_edge_label[up * nq + u];
     auto& mask = cs.in_set[u];
     auto& list = cs.lists[u];
+    // Unlabelled graphs carry edge label 0 everywhere: a non-zero requirement
+    // can never match, and a zero requirement needs no per-neighbor check.
+    if (unlabelled && want != 0) continue;
     for (VertexId vp : cs.lists[up]) {
       const auto nbrs = g.neighbors(vp);
+      if (unlabelled) {
+        for (const VertexId w : nbrs) {
+          if (!mask[w] && PassesLdf(q, g, u, w)) {
+            mask[w] = 1;
+            list.push_back(w);
+          }
+        }
+        continue;
+      }
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const VertexId w = nbrs[i];
         if (!mask[w] && g.EdgeLabelAt(vp, i) == want && PassesLdf(q, g, u, w)) {
@@ -190,34 +206,34 @@ StatusOr<Cst> BuildCst(const QueryGraph& q, const Graph& g, VertexId root,
       std::size_t write = 0;
       for (VertexId v : list) {
         bool valid = true;
+        // Any-supporting-neighbor probe of v against C(other), with the
+        // edge-label branch hoisted for unlabelled graphs.
+        const auto supported = [&](VertexId other, Label want) {
+          const auto nbrs = g.neighbors(v);
+          if (unlabelled) {
+            if (want != 0) return false;
+            for (const VertexId w : nbrs) {
+              if (cs.in_set[other][w]) return true;
+            }
+            return false;
+          }
+          for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            if (cs.in_set[other][nbrs[i]] && g.EdgeLabelAt(v, i) == want) {
+              return true;
+            }
+          }
+          return false;
+        };
         if (bottom_up) {
           for (VertexId uc : tree.children(u)) {
-            const Label want = q_edge_label[u * nq + uc];
-            bool has_child = false;
-            const auto nbrs = g.neighbors(v);
-            for (std::size_t i = 0; i < nbrs.size(); ++i) {
-              if (cs.in_set[uc][nbrs[i]] && g.EdgeLabelAt(v, i) == want) {
-                has_child = true;
-                break;
-              }
-            }
-            if (!has_child) {
+            if (!supported(uc, q_edge_label[u * nq + uc])) {
               valid = false;
               break;
             }
           }
         } else if (u != root) {
           const VertexId up = tree.parent(u);
-          const Label want = q_edge_label[up * nq + u];
-          bool has_parent = false;
-          const auto nbrs = g.neighbors(v);
-          for (std::size_t i = 0; i < nbrs.size(); ++i) {
-            if (cs.in_set[up][nbrs[i]] && g.EdgeLabelAt(v, i) == want) {
-              has_parent = true;
-              break;
-            }
-          }
-          valid = has_parent;
+          valid = supported(up, q_edge_label[up * nq + u]);
         }
         if (valid) {
           list[write++] = v;
@@ -241,13 +257,19 @@ StatusOr<Cst> BuildCst(const QueryGraph& q, const Graph& g, VertexId root,
   }
 
   // --- Materialize adjacency for every directed slot (incl. non-tree edges,
-  // Alg. 1 lines 15-19). Candidates are sorted, so position lookup is a
-  // binary search and produced target lists come out sorted. ---
+  // Alg. 1 lines 15-19). Candidates are sorted, so for unlabelled slots each
+  // row is exactly intersect_pos(neighbors(v), C(to)) — positions into dst,
+  // already ascending — or, when v is a hub, a bitmap-filtered selection of
+  // dst at O(|C(to)|) independent of deg(v). Labelled slots keep the scalar
+  // mask + lower_bound path. ---
+  FAST_PROF_STAGE("filter");
   Cst cst;
   cst.layout_ = layout;
   cst.candidates_ = cs.lists;
   cst.non_tree_materialized_ = options.materialize_non_tree;
   cst.adj_.resize(layout->edges().size());
+  const simd::Kernels& kern = simd::Active();
+  std::vector<std::uint32_t> row;
 
   for (std::size_t s = 0; s < layout->edges().size(); ++s) {
     const auto [from, to, is_tree] = layout->edges()[s];
@@ -257,6 +279,27 @@ StatusOr<Cst> BuildCst(const QueryGraph& q, const Graph& g, VertexId root,
     el.offsets.assign(src.size() + 1, 0);
     if (!is_tree && !options.materialize_non_tree) continue;  // CPI mode
     const Label want = q_edge_label[from * nq + to];
+    if (unlabelled) {
+      if (want != 0) continue;  // no edge can carry a non-zero label
+      row.resize(dst.size());
+      el.targets.clear();
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        const VertexId v = src[i];
+        std::size_t cnt;
+        if (const auto bits = g.HubAdjacencyBitmap(v); !bits.empty()) {
+          cnt = kern.filter_by_bitmap(bits.data(), ng, dst.data(), dst.size(),
+                                      row.data());
+        } else {
+          const auto nbrs = g.neighbors(v);
+          cnt = kern.intersect_pos(nbrs.data(), nbrs.size(), dst.data(),
+                                   dst.size(), row.data());
+        }
+        el.offsets[i + 1] = el.offsets[i] + static_cast<std::uint32_t>(cnt);
+        el.targets.insert(el.targets.end(), row.begin(),
+                          row.begin() + static_cast<std::ptrdiff_t>(cnt));
+      }
+      continue;
+    }
     for (std::size_t i = 0; i < src.size(); ++i) {
       const VertexId v = src[i];
       std::uint32_t count = 0;
@@ -318,27 +361,20 @@ StatusOr<Cst> SubsetCst(const Cst& cst, const std::vector<std::vector<char>>& ke
     const auto& in = cst.adj_[s];
     auto& el = out.adj_[s];
     el.offsets.assign(out.candidates_[from].size() + 1, 0);
-    // First pass: counts.
+    el.targets.clear();
+    el.targets.reserve(in.targets.size());
+    // Kept rows appear in ascending src_remap order (the remap preserves
+    // order), so one pass filters + remaps and records offsets as it goes.
+    // Remapped targets stay ascending within a row for the same reason.
+    std::uint32_t row = 0;
     for (std::size_t i = 0; i < src_remap.size(); ++i) {
       if (src_remap[i] < 0) continue;
-      std::uint32_t count = 0;
-      for (std::uint32_t t : in.Neighbors(static_cast<std::uint32_t>(i))) {
-        if (dst_remap[t] >= 0) ++count;
-      }
-      el.offsets[src_remap[i] + 1] = count;
-    }
-    for (std::size_t i = 0; i + 1 < el.offsets.size(); ++i) {
-      el.offsets[i + 1] += el.offsets[i];
-    }
-    el.targets.resize(el.offsets.back());
-    for (std::size_t i = 0; i < src_remap.size(); ++i) {
-      if (src_remap[i] < 0) continue;
-      std::uint32_t cursor = el.offsets[src_remap[i]];
       for (std::uint32_t t : in.Neighbors(static_cast<std::uint32_t>(i))) {
         if (dst_remap[t] >= 0) {
-          el.targets[cursor++] = static_cast<std::uint32_t>(dst_remap[t]);
+          el.targets.push_back(static_cast<std::uint32_t>(dst_remap[t]));
         }
       }
+      el.offsets[++row] = static_cast<std::uint32_t>(el.targets.size());
     }
   }
   return out;

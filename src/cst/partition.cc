@@ -20,54 +20,84 @@ bool Fits(const Cst& cst, const PartitionConfig& config) {
 // for *every* query edge (w, w'), it still has a kept CST neighbor in C(w'):
 // tree edges carry reachability, and non-tree edges carry the edge-validation
 // constraint (a candidate with no kept non-tree neighbor can never pass
-// Alg. 7). Iterates to a fixpoint. The split vertex itself is never
-// modified; vertices preceding it in the order are pruned only when
-// `prune_preceding` is set (see PartitionConfig).
+// Alg. 7). The split vertex itself is never modified; vertices preceding it
+// in the order are pruned only when `prune_preceding` is set (see
+// PartitionConfig).
+//
+// Computed as counter-based arc consistency rather than a rescan-to-fixpoint:
+// each prunable candidate tracks, per support slot, how many kept neighbors
+// it still has; a counter hitting zero kills the candidate and the death
+// cascades through the reverse slot (targets of (w,i) toward wn are exactly
+// the positions of wn whose counters toward w count i — the directional-pair
+// symmetry that Cst::Validate() enforces). Same greatest fixpoint as the
+// rescan, but the work is proportional to the candidates actually removed,
+// not rounds x total adjacency — this runs once per part per split level, so
+// it dominates host partitioning time.
 void PruneMasks(const Cst& cst, const std::vector<VertexId>& order,
                 std::size_t index, bool prune_preceding,
                 std::vector<std::vector<char>>* keep) {
   const QueryGraph& q = cst.layout().query();
-  const BfsTree& tree = cst.layout().tree();
   const std::size_t n = order.size();
+  const VertexId u = order[index];
 
-  // Query neighbors each vertex must keep support toward.
-  std::vector<std::vector<VertexId>> support_targets(n);
-  for (VertexId w = 0; w < n; ++w) {
-    for (VertexId wn : q.neighbors(w)) {
-      const bool is_tree = tree.parent(w) == wn || tree.parent(wn) == w;
-      if (!is_tree && !cst.non_tree_materialized()) continue;
-      support_targets[w].push_back(wn);
+  std::vector<std::size_t> opos(n);
+  for (std::size_t oi = 0; oi < n; ++oi) opos[order[oi]] = oi;
+  const auto prunable = [&](VertexId w) {
+    return opos[w] != index && (prune_preceding || opos[w] > index);
+  };
+
+  const auto& edges = cst.layout().edges();
+  // cnt[s][i]: kept CST neighbors of candidate i of `from` toward `to`, for
+  // support slots whose source is prunable. Slots toward the split vertex
+  // count against its restricted mask; every other mask is still all-ones at
+  // this point, so the counter is just the CSR degree — overcounts from
+  // candidates removed later in this init loop are repaid when the worklist
+  // drains, since every removal decrements the counters of its neighbors.
+  std::vector<std::vector<std::uint32_t>> cnt(edges.size());
+  std::vector<std::pair<VertexId, std::uint32_t>> worklist;
+
+  for (std::size_t s = 0; s < edges.size(); ++s) {
+    const auto [from, to, is_tree] = edges[s];
+    if (!prunable(from)) continue;
+    if (!is_tree && !cst.non_tree_materialized()) continue;
+    const CstEdgeList& el = cst.EdgeList(static_cast<int>(s));
+    const std::size_t nc = cst.NumCandidates(from);
+    const std::vector<char>& keep_to = (*keep)[to];
+    std::vector<char>& keep_from = (*keep)[from];
+    auto& c = cnt[s];
+    c.resize(nc);
+    for (std::size_t i = 0; i < nc; ++i) {
+      std::uint32_t kept;
+      if (to == u) {
+        kept = 0;
+        for (std::uint32_t t : el.Neighbors(static_cast<std::uint32_t>(i))) {
+          kept += keep_to[t] != 0;
+        }
+      } else {
+        kept = el.Degree(static_cast<std::uint32_t>(i));
+      }
+      c[i] = kept;
+      if (kept == 0 && keep_from[i]) {
+        keep_from[i] = 0;
+        worklist.emplace_back(from, static_cast<std::uint32_t>(i));
+      }
     }
   }
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t oi = 0; oi < n; ++oi) {
-      if (oi == index) continue;                       // the split vertex is fixed
-      if (oi < index && !prune_preceding) continue;    // Alg. 2-literal mode
-      const VertexId w = order[oi];
-      auto& mask = (*keep)[w];
-      for (std::size_t i = 0; i < mask.size(); ++i) {
-        if (!mask[i]) continue;
-        bool valid = true;
-        for (VertexId wn : support_targets[w]) {
-          bool supported = false;
-          for (std::uint32_t t :
-               cst.Neighbors(w, wn, static_cast<std::uint32_t>(i))) {
-            if ((*keep)[wn][t]) {
-              supported = true;
-              break;
-            }
-          }
-          if (!supported) {
-            valid = false;
-            break;
-          }
-        }
-        if (!valid) {
-          mask[i] = 0;
-          changed = true;
+  while (!worklist.empty()) {
+    const auto [w, i] = worklist.back();
+    worklist.pop_back();
+    for (VertexId wn : q.neighbors(w)) {
+      if (!prunable(wn)) continue;
+      const int rev = cst.layout().SlotOf(wn, w);
+      auto& rc = cnt[rev];
+      if (rc.empty()) continue;  // non-materialized non-tree slot
+      const int fwd = cst.layout().SlotOf(w, wn);
+      std::vector<char>& keep_wn = (*keep)[wn];
+      for (std::uint32_t p : cst.EdgeList(fwd).Neighbors(i)) {
+        if (--rc[p] == 0 && keep_wn[p]) {
+          keep_wn[p] = 0;
+          worklist.emplace_back(wn, p);
         }
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "simd/bitset.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -24,6 +25,16 @@ Label Graph::EdgeLabelBetween(VertexId u, VertexId v) const {
   return edge_labels_[offsets_[u] + static_cast<std::size_t>(it - adj.begin())];
 }
 
+std::span<const std::uint64_t> Graph::HubAdjacencyBitmap(VertexId v) const {
+  if (hub_ids_.empty() || v >= NumVertices() || degree(v) <= hub_threshold_) {
+    return {};
+  }
+  const auto it = std::lower_bound(hub_ids_.begin(), hub_ids_.end(), v);
+  if (it == hub_ids_.end() || *it != v) return {};
+  const std::size_t row = static_cast<std::size_t>(it - hub_ids_.begin());
+  return {hub_bits_.data() + row * hub_row_words_, hub_row_words_};
+}
+
 std::span<const VertexId> Graph::VerticesWithLabel(Label label) const {
   if (label + 1 >= label_index_offsets_.size()) return {};
   return {label_index_.data() + label_index_offsets_[label],
@@ -34,7 +45,9 @@ std::size_t Graph::MemoryBytes() const {
   return labels_.size() * sizeof(Label) + offsets_.size() * sizeof(std::uint64_t) +
          adjacency_.size() * sizeof(VertexId) +
          label_index_offsets_.size() * sizeof(std::uint64_t) +
-         label_index_.size() * sizeof(VertexId);
+         label_index_.size() * sizeof(VertexId) +
+         hub_ids_.size() * sizeof(VertexId) +
+         hub_bits_.size() * sizeof(std::uint64_t);
 }
 
 std::string Graph::Summary() const {
@@ -151,6 +164,25 @@ StatusOr<Graph> GraphBuilder::Build() {
                                     g.label_index_offsets_.end());
   for (std::size_t v = 0; v < n; ++v) {
     g.label_index_[cursor[g.labels_[v]]++] = static_cast<VertexId>(v);
+  }
+
+  // Hub dual representation: bitmap adjacency rows for vertices whose degree
+  // exceeds max(64, |V|/32), so each row costs at most as much as the sorted
+  // list it shadows. ApplyDelta rebuilds flow through here, so the rows track
+  // the live snapshot automatically.
+  g.hub_threshold_ =
+      static_cast<std::uint32_t>(std::max<std::size_t>(64, n / 32));
+  g.hub_row_words_ = (n + 63) / 64;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (g.degree(static_cast<VertexId>(v)) > g.hub_threshold_) {
+      g.hub_ids_.push_back(static_cast<VertexId>(v));
+    }
+  }
+  g.hub_bits_.assign(g.hub_ids_.size() * g.hub_row_words_, 0);
+  for (std::size_t row = 0; row < g.hub_ids_.size(); ++row) {
+    const std::span<std::uint64_t> bits{
+        g.hub_bits_.data() + row * g.hub_row_words_, g.hub_row_words_};
+    for (VertexId w : g.neighbors(g.hub_ids_[row])) simd::SetBit(bits, w);
   }
   return g;
 }

@@ -49,6 +49,18 @@ class Graph {
   // O(log d) membership test on the sorted adjacency of u.
   bool HasEdge(VertexId u, VertexId v) const;
 
+  // Hub dual representation: vertices with degree > HubThreshold() also
+  // store their adjacency as a |V|-bit bitmap so intersections against hubs
+  // can take the word-parallel path (simd/intersect.h filter_by_bitmap). The
+  // threshold max(64, |V|/32) keeps every bitmap row (|V|/8 bytes) no larger
+  // than the sorted list it shadows (4·deg bytes).
+  std::uint32_t HubThreshold() const { return hub_threshold_; }
+  std::size_t NumHubs() const { return hub_ids_.size(); }
+
+  // Bitmap adjacency row of v, or an empty span when v is not a hub. The row
+  // spans bits [0, NumVertices()); probe with simd::TestBit.
+  std::span<const std::uint64_t> HubAdjacencyBitmap(VertexId v) const;
+
   // True when any edge carries a non-zero label.
   bool has_edge_labels() const { return !edge_labels_.empty(); }
 
@@ -100,6 +112,12 @@ class Graph {
   // Label -> sorted vertex list, in CSR form over label values.
   std::vector<std::uint64_t> label_index_offsets_;  // size (max_label+2)
   std::vector<VertexId> label_index_;               // size |V|
+
+  // Hub dual representation (see HubAdjacencyBitmap).
+  std::uint32_t hub_threshold_ = 0;
+  std::size_t hub_row_words_ = 0;          // (|V|+63)/64
+  std::vector<VertexId> hub_ids_;          // sorted ascending
+  std::vector<std::uint64_t> hub_bits_;    // NumHubs() rows of hub_row_words_
 };
 
 // Accumulates vertices and edges, then produces a canonical Graph:

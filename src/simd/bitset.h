@@ -1,0 +1,57 @@
+#ifndef FAST_SIMD_BITSET_H_
+#define FAST_SIMD_BITSET_H_
+
+// Word-aligned bitmap used by the SIMD kernel layer (src/simd/intersect.h):
+// the dense side of the dual set representation. A sorted uint32 list answers
+// ordered iteration and merges; a Bitset answers O(1) membership and
+// word-parallel range-AND/popcount. Graph hub vertices (graph/graph.h) store
+// their adjacency in both forms, picked at CSR build time.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fast::simd {
+
+// Membership probe on a raw bitmap word span (e.g. Graph::HubAdjacencyBitmap).
+// `i` must be inside the span's bit range.
+inline bool TestBit(std::span<const std::uint64_t> words, std::uint32_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+
+inline void SetBit(std::span<std::uint64_t> words, std::uint32_t i) {
+  words[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+// Fixed-width bitmap over [0, num_bits), backed by 64-bit words.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t num_bits) { Reset(num_bits); }
+
+  // Resizes to `num_bits` and clears every bit.
+  void Reset(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  void Set(std::uint32_t i) { SetBit(words_, i); }
+  void Clear(std::uint32_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  bool Test(std::uint32_t i) const { return TestBit(words_, i); }
+
+  std::size_t num_bits() const { return num_bits_; }
+  std::size_t num_words() const { return words_.size(); }
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> mutable_words() { return words_; }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fast::simd
+
+#endif  // FAST_SIMD_BITSET_H_

@@ -1,0 +1,121 @@
+#ifndef FAST_SIMD_INTERSECT_H_
+#define FAST_SIMD_INTERSECT_H_
+
+// Vectorized sorted-set kernels for the CPU matching hot path.
+//
+// Every CPU-side phase of the pipeline bottoms out in operations over sorted
+// uint32 arrays: candidate lists and CST adjacency are sorted (cst/cst.h),
+// graph adjacency is sorted CSR (graph/graph.h). This layer provides those
+// operations 4-8 lanes wide, behind one vtable selected at startup:
+//
+//   kScalar  portable reference (merge + galloping binary search)
+//   kSwar    64-bit "SIMD within a register": two lanes per word, any-zero
+//            halfword trick for membership tests; works everywhere
+//   kAvx2    8-lane blocked merge via runtime-dispatched AVX2 intrinsics
+//            (__attribute__((target))), selected by CPUID at startup
+//   kNeon    4-lane equivalent for aarch64
+//
+// Selection: Active() picks the best level the CPU supports, overridable by
+// the FAST_SIMD environment variable or the --simd=scalar|swar|avx2|neon
+// flag the serving tools and benches expose (SetActiveByName) for A/B runs
+// and CI equivalence gates. All levels are semantically identical; the
+// property tests (tests/simd_kernels_test.cc) force each implementation
+// against the scalar reference.
+//
+// Input contract: arrays are sorted ascending. Duplicates are tolerated
+// (candidate/adjacency producers emit strictly sorted sets, but the kernels
+// are defined for non-decreasing inputs): intersect/intersect_pos emit each
+// distinct common value once, batch_contains answers per key occurrence.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fast::simd {
+
+enum class Level : std::uint8_t { kScalar = 0, kSwar, kAvx2, kNeon };
+inline constexpr int kNumLevels = 4;
+
+const char* LevelName(Level level);
+
+// Parses "scalar" | "swar" | "avx2" | "neon" (case-sensitive).
+std::optional<Level> ParseLevelName(std::string_view name);
+
+// Whether this build + CPU can run `level`. kScalar/kSwar are always
+// available; kAvx2 needs an x86 CPU with AVX2; kNeon an aarch64 build.
+bool LevelAvailable(Level level);
+
+// Best available level for this CPU (kAvx2 > kNeon > kSwar).
+Level DetectBestLevel();
+
+// Comma-separated list of available level names, for usage/error messages.
+std::string AvailableLevelsString();
+
+// One implementation of the kernel set. All function pointers are non-null.
+struct Kernels {
+  Level level;
+  const char* name;
+
+  // Sorted set intersection: writes the distinct common values of a and b to
+  // `out` (ascending) and returns how many. `out` must hold min(na, nb)
+  // elements and may alias `a` (in-place refinement); it must not overlap b.
+  // Galloping is applied internally for heavily skewed size pairs.
+  std::size_t (*intersect)(const std::uint32_t* a, std::size_t na,
+                           const std::uint32_t* b, std::size_t nb,
+                           std::uint32_t* out);
+
+  // As intersect, but emits for each distinct common value its position (the
+  // first occurrence index) in `b` instead of the value. Output positions are
+  // strictly ascending — this is the vectorized position remap used by CST
+  // materialization (targets are positions into the neighbor candidate set).
+  // Unlike intersect, `out` must not overlap either input (the skewed-pair
+  // path iterates b while galloping in a, so writes can precede reads).
+  std::size_t (*intersect_pos)(const std::uint32_t* a, std::size_t na,
+                               const std::uint32_t* b, std::size_t nb,
+                               std::uint32_t* out);
+
+  // Batched sorted-list membership: mask[i] = 1 iff keys[i] appears in
+  // sorted[0..n). `keys` must be sorted ascending too (the candidate spans
+  // probed by the matcher are). Returns the number of hits.
+  std::size_t (*batch_contains)(const std::uint32_t* sorted, std::size_t n,
+                                const std::uint32_t* keys, std::size_t nk,
+                                std::uint8_t* mask);
+
+  // Word-parallel range AND + population count over two equally sized
+  // word-aligned bitmaps (simd/bitset.h).
+  std::uint64_t (*bitmap_and_popcount)(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t num_words);
+
+  // Bitmap-filtered selection: for each i with keys[i] < num_bits and bit
+  // keys[i] set, appends i to `out` (ascending). Returns the count. This is
+  // the hub-bitmap intersection path: keys is a sorted candidate list, the
+  // bitmap a hub vertex's adjacency, the emitted indices are candidate
+  // positions.
+  std::size_t (*filter_by_bitmap)(const std::uint64_t* bits,
+                                  std::size_t num_bits,
+                                  const std::uint32_t* keys, std::size_t nk,
+                                  std::uint32_t* out);
+};
+
+// The kernel table for `level`. Falls back to the scalar table when the
+// level is unavailable in this build/CPU.
+const Kernels& KernelsFor(Level level);
+
+// Process-wide active kernel table. First use resolves the FAST_SIMD
+// environment override, else DetectBestLevel(). Reads are wait-free.
+const Kernels& Active();
+Level ActiveLevel();
+
+// Overrides the active level. Returns false (and changes nothing) when the
+// level is unavailable. "auto" (SetActiveByName) re-resolves the default:
+// the FAST_SIMD environment override if set and available, else the best
+// available level.
+bool SetActive(Level level);
+bool SetActiveByName(std::string_view name);
+
+}  // namespace fast::simd
+
+#endif  // FAST_SIMD_INTERSECT_H_

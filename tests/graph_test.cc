@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "graph/graph_io.h"
+#include "simd/bitset.h"
 #include "util/rng.h"
 
 namespace fast {
@@ -216,6 +217,39 @@ TEST(GraphIoTest, RejectsBadEdgeEndpoint) {
 TEST(GraphIoTest, LoadMissingFileIsNotFound) {
   auto g = LoadGraphFile("/nonexistent/path/graph.txt");
   EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphHubTest, BitmapRowsMirrorSortedAdjacency) {
+  GraphBuilder b;
+  const std::size_t n = 300;
+  for (std::size_t i = 0; i < n; ++i) b.AddVertex(static_cast<Label>(i % 3));
+  for (VertexId v = 1; v <= 100; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  for (VertexId v = 101; v <= 170; ++v) ASSERT_TRUE(b.AddEdge(1, v).ok());
+  ASSERT_TRUE(b.AddEdge(200, 201).ok());
+  const Graph g = std::move(b).Build().value();
+
+  EXPECT_EQ(g.HubThreshold(), 64u);  // max(64, 300/32)
+  EXPECT_EQ(g.NumHubs(), 2u);        // deg(0)=100, deg(1)=71 (+ edge to 0)
+  EXPECT_TRUE(g.HubAdjacencyBitmap(200).empty());  // low degree
+  EXPECT_TRUE(g.HubAdjacencyBitmap(999).empty());  // out of range
+  for (VertexId hub : {VertexId{0}, VertexId{1}}) {
+    const auto bits = g.HubAdjacencyBitmap(hub);
+    ASSERT_FALSE(bits.empty());
+    std::size_t set_bits = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const bool in_bitmap = simd::TestBit(bits, v);
+      EXPECT_EQ(in_bitmap, g.HasEdge(hub, v)) << "hub " << hub << " v " << v;
+      set_bits += in_bitmap ? 1 : 0;
+    }
+    EXPECT_EQ(set_bits, g.degree(hub));
+  }
+}
+
+TEST(GraphHubTest, NoHubsBelowThreshold) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.NumHubs(), 0u);
+  EXPECT_TRUE(g.HubAdjacencyBitmap(0).empty());
+  EXPECT_GE(g.HubThreshold(), 64u);
 }
 
 TEST(GraphIoTest, SaveAndLoadFile) {

@@ -1,0 +1,260 @@
+#include "simd/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "simd/bitset.h"
+
+// Property tests for every kernel level against an independent scalar
+// reference: random sorted sets, adversarial sizes around lane boundaries,
+// duplicate runs crossing lane edges, skewed pairs that trip the galloping
+// path, and out-aliases-a calls. Unavailable levels (e.g. NEON on x86) are
+// covered through the KernelsFor scalar fallback and skipped here.
+
+namespace fast::simd {
+namespace {
+
+std::vector<std::uint32_t> RefIntersect(const std::vector<std::uint32_t>& a,
+                                        const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0 && a[i] == a[i - 1]) continue;
+    if (std::binary_search(b.begin(), b.end(), a[i])) out.push_back(a[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> RefIntersectPos(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0 && a[i] == a[i - 1]) continue;
+    const auto it = std::lower_bound(b.begin(), b.end(), a[i]);
+    if (it != b.end() && *it == a[i]) {
+      out.push_back(static_cast<std::uint32_t>(it - b.begin()));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> RefBatchContains(const std::vector<std::uint32_t>& sorted,
+                                           const std::vector<std::uint32_t>& keys) {
+  std::vector<std::uint8_t> mask(keys.size(), 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    mask[i] = std::binary_search(sorted.begin(), sorted.end(), keys[i]) ? 1 : 0;
+  }
+  return mask;
+}
+
+// Sorted vector of `n` values in [0, universe), with duplicates when
+// `dup_every` > 0 (every dup_every-th element repeats its predecessor, which
+// places runs at arbitrary lane offsets as n varies).
+std::vector<std::uint32_t> MakeSorted(std::mt19937& rng, std::size_t n,
+                                      std::uint32_t universe, int dup_every) {
+  std::vector<std::uint32_t> v(n);
+  std::uniform_int_distribution<std::uint32_t> dist(0, universe == 0 ? 0 : universe - 1);
+  for (auto& x : v) x = dist(rng);
+  std::sort(v.begin(), v.end());
+  if (dup_every > 0) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (static_cast<int>(i) % dup_every == 0) v[i] = v[i - 1];
+    }
+    std::sort(v.begin(), v.end());
+  }
+  return v;
+}
+
+class SimdKernelTest : public ::testing::TestWithParam<Level> {
+ protected:
+  void SetUp() override {
+    if (!LevelAvailable(GetParam())) {
+      GTEST_SKIP() << LevelName(GetParam()) << " not available on this CPU";
+    }
+  }
+  const Kernels& kernels() const { return KernelsFor(GetParam()); }
+};
+
+void CheckPair(const Kernels& k, const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+  const auto want = RefIntersect(a, b);
+  const auto want_pos = RefIntersectPos(a, b);
+
+  std::vector<std::uint32_t> out(std::min(a.size(), b.size()) + 1, 0xdeadbeef);
+  std::size_t got = k.intersect(a.data(), a.size(), b.data(), b.size(), out.data());
+  ASSERT_EQ(got, want.size()) << "na=" << a.size() << " nb=" << b.size();
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), out.begin()));
+
+  std::vector<std::uint32_t> out_pos(std::min(a.size(), b.size()) + 1, 0xdeadbeef);
+  got = k.intersect_pos(a.data(), a.size(), b.data(), b.size(), out_pos.data());
+  ASSERT_EQ(got, want_pos.size()) << "na=" << a.size() << " nb=" << b.size();
+  EXPECT_TRUE(std::equal(want_pos.begin(), want_pos.end(), out_pos.begin()));
+
+  // out may alias a (in-place refinement).
+  std::vector<std::uint32_t> aliased = a;
+  got = k.intersect(aliased.data(), a.size(), b.data(), b.size(), aliased.data());
+  ASSERT_EQ(got, want.size());
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), aliased.begin()));
+
+  const auto want_mask = RefBatchContains(b, a);
+  std::vector<std::uint8_t> mask(a.size() + 1, 0xcc);
+  got = k.batch_contains(b.data(), b.size(), a.data(), a.size(), mask.data());
+  EXPECT_EQ(got, static_cast<std::size_t>(
+                     std::count(want_mask.begin(), want_mask.end(), 1)));
+  EXPECT_TRUE(std::equal(want_mask.begin(), want_mask.end(), mask.begin()));
+}
+
+TEST_P(SimdKernelTest, AdversarialSizesAroundLaneBoundaries) {
+  std::mt19937 rng(20260808);
+  // 0, 1, and every lane width (2/4/8) boundary ±1, plus gallop triggers.
+  const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                               31, 32, 33, 63, 64, 65, 127, 128, 129, 257};
+  for (std::size_t na : sizes) {
+    for (std::size_t nb : sizes) {
+      // Dense universe for heavy overlap, including duplicate runs.
+      CheckPair(kernels(), MakeSorted(rng, na, 64, 3), MakeSorted(rng, nb, 64, 3));
+      // Sparse universe for rare hits.
+      CheckPair(kernels(), MakeSorted(rng, na, 1 << 20, 0),
+                MakeSorted(rng, nb, 1 << 20, 0));
+    }
+  }
+}
+
+TEST_P(SimdKernelTest, RandomSetsManyRounds) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> len(0, 600);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint32_t universe = round % 2 == 0 ? 512 : 100000;
+    CheckPair(kernels(), MakeSorted(rng, len(rng), universe, round % 5),
+              MakeSorted(rng, len(rng), universe, round % 7));
+  }
+}
+
+TEST_P(SimdKernelTest, SkewedPairsHitGallopingPath) {
+  std::mt19937 rng(99);
+  const std::pair<std::size_t, std::size_t> skews[] = {
+      {1, 8192}, {3, 5000}, {16, 4096}, {64, 70000}};
+  for (const auto& [small_n, big_n] : skews) {
+    CheckPair(kernels(), MakeSorted(rng, small_n, 100000, 0),
+              MakeSorted(rng, big_n, 100000, 2));
+    CheckPair(kernels(), MakeSorted(rng, big_n, 100000, 2),
+              MakeSorted(rng, small_n, 100000, 0));
+  }
+}
+
+TEST_P(SimdKernelTest, DuplicateRunsAtLaneEdges) {
+  // b holds runs of width 3 straddling every 8-lane block edge; a probes the
+  // run values and their neighbors.
+  std::vector<std::uint32_t> b;
+  for (std::uint32_t v = 0; v < 40; ++v) {
+    for (int r = 0; r < 3; ++r) b.push_back(v * 2);
+  }
+  std::vector<std::uint32_t> a;
+  for (std::uint32_t v = 0; v < 85; ++v) a.push_back(v);
+  CheckPair(kernels(), a, b);
+  CheckPair(kernels(), b, a);
+  CheckPair(kernels(), b, b);
+}
+
+TEST_P(SimdKernelTest, BitmapAndPopcount) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<std::uint64_t> word;
+  for (std::size_t nw : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 33u, 128u}) {
+    std::vector<std::uint64_t> a(nw), b(nw);
+    for (auto& w : a) w = word(rng);
+    for (auto& w : b) w = word(rng);
+    std::uint64_t want = 0;
+    for (std::size_t i = 0; i < nw; ++i) {
+      want += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+    }
+    EXPECT_EQ(kernels().bitmap_and_popcount(a.data(), b.data(), nw), want);
+  }
+}
+
+TEST_P(SimdKernelTest, FilterByBitmap) {
+  std::mt19937 rng(5);
+  const std::size_t num_bits = 1000;
+  Bitset bits(num_bits);
+  std::uniform_int_distribution<std::uint32_t> bit(0, num_bits - 1);
+  for (int i = 0; i < 300; ++i) bits.Set(bit(rng));
+  // Keys deliberately include values beyond num_bits (must be dropped).
+  const auto keys = MakeSorted(rng, 500, num_bits + 200, 4);
+  std::vector<std::uint32_t> out(keys.size(), 0xdeadbeef);
+  const std::size_t got =
+      kernels().filter_by_bitmap(bits.words().data(), num_bits, keys.data(),
+                                 keys.size(), out.data());
+  std::vector<std::uint32_t> want;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] < num_bits && bits.Test(keys[i])) {
+      want.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  ASSERT_EQ(got, want.size());
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), out.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, SimdKernelTest,
+                         ::testing::Values(Level::kScalar, Level::kSwar,
+                                           Level::kAvx2, Level::kNeon),
+                         [](const auto& info) { return LevelName(info.param); });
+
+// ---- Dispatch override plumbing. ----
+
+TEST(SimdDispatchTest, ParseAndNames) {
+  EXPECT_EQ(ParseLevelName("scalar"), Level::kScalar);
+  EXPECT_EQ(ParseLevelName("swar"), Level::kSwar);
+  EXPECT_EQ(ParseLevelName("avx2"), Level::kAvx2);
+  EXPECT_EQ(ParseLevelName("neon"), Level::kNeon);
+  EXPECT_FALSE(ParseLevelName("avx512").has_value());
+  EXPECT_FALSE(ParseLevelName("").has_value());
+}
+
+TEST(SimdDispatchTest, ScalarAndSwarAlwaysAvailable) {
+  EXPECT_TRUE(LevelAvailable(Level::kScalar));
+  EXPECT_TRUE(LevelAvailable(Level::kSwar));
+  const Level best = DetectBestLevel();
+  EXPECT_TRUE(LevelAvailable(best));
+  EXPECT_NE(best, Level::kScalar);  // SWAR at minimum beats scalar dispatch
+}
+
+TEST(SimdDispatchTest, KernelsForFallsBackToScalarWhenUnavailable) {
+  for (int i = 0; i < kNumLevels; ++i) {
+    const auto level = static_cast<Level>(i);
+    const Kernels& k = KernelsFor(level);
+    if (LevelAvailable(level)) {
+      EXPECT_EQ(k.level, level);
+      EXPECT_STREQ(k.name, LevelName(level));
+    } else {
+      EXPECT_EQ(k.level, Level::kScalar);
+    }
+  }
+}
+
+TEST(SimdDispatchTest, SetActiveByNameOverridesAndRejects) {
+  EXPECT_TRUE(SetActiveByName("swar"));
+  EXPECT_EQ(ActiveLevel(), Level::kSwar);
+  EXPECT_TRUE(SetActiveByName("scalar"));
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  EXPECT_FALSE(SetActiveByName("bogus"));
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);  // unchanged on rejection
+  EXPECT_TRUE(SetActiveByName("auto"));
+  // "auto" defers to a FAST_SIMD override before falling back to the best
+  // available level (the TSan CI job runs this suite with FAST_SIMD=swar).
+  Level expected = DetectBestLevel();
+  if (const char* env = std::getenv("FAST_SIMD");
+      env != nullptr && env[0] != '\0' && std::string_view(env) != "auto") {
+    if (const auto level = ParseLevelName(env);
+        level.has_value() && LevelAvailable(*level)) {
+      expected = *level;
+    }
+  }
+  EXPECT_EQ(ActiveLevel(), expected);
+}
+
+}  // namespace
+}  // namespace fast::simd

@@ -16,6 +16,7 @@
 #include "graph/graph_io.h"
 #include "ldbc/ldbc.h"
 #include "query/pattern.h"
+#include "simd/intersect.h"
 #include "tools/flag_parser.h"
 
 namespace {
@@ -51,7 +52,7 @@ int Run(int argc, char** argv) {
   auto flags = tools::FlagParser::Parse(
       argc, argv,
       {"data", "query", "pattern", "algo", "variant", "delta", "threads", "order",
-       "store", "time-limit", "help"},
+       "store", "time-limit", "simd", "help"},
       /*bool_flags=*/{"help"});
   if (!flags.ok() || flags->Has("help")) {
     std::fprintf(
@@ -62,9 +63,16 @@ int Run(int argc, char** argv) {
         "[--threads N]\n"
         "                  [--order path|cfl|daf|ceci|random] [--store N] "
         "[--time-limit S]\n"
+        "                  [--simd scalar|swar|avx2|neon|auto]\n"
         "pattern example: \"(a:Person)-(b:Person)-(c:Person); (a)-(c)\"\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
+  }
+  const std::string simd_flag = flags->GetString("simd", "auto");
+  if (!simd::SetActiveByName(simd_flag)) {
+    std::fprintf(stderr, "--simd=%s: unknown or unavailable (have: %s)\n",
+                 simd_flag.c_str(), simd::AvailableLevelsString().c_str());
+    return 2;
   }
 
   auto data = LoadGraphFile(flags->GetString("data", ""));

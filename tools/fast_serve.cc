@@ -106,6 +106,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "service/match_service.h"
+#include "simd/intersect.h"
 #include "tenant/tenant_router.h"
 #include "tools/flag_parser.h"
 #include "util/build_info.h"
@@ -542,7 +543,7 @@ int Run(int argc, char** argv) {
        "profile-hz", "profile-out", "chrome-trace",
        "listen", "host", "port", "max-inflight",
        "admin-port", "slo-ms", "slo-target", "flight-dir",
-       "no-trace", "no-cache", "once", "help"},
+       "simd", "no-trace", "no-cache", "once", "help"},
       /*bool_flags=*/{"device", "listen", "no-trace", "no-cache", "once",
                       "help"});
   if (!flags.ok() || flags->Has("help")) {
@@ -565,11 +566,21 @@ int Run(int argc, char** argv) {
         "                  [--chrome-trace FILE]\n"
         "                  [--admin-port P] [--slo-ms MS] [--slo-target F]\n"
         "                  [--flight-dir DIR]\n"
+        "                  [--simd scalar|swar|avx2|neon|auto]\n"
         "                  [--no-trace] [--no-cache] [--once]\n%s\n",
         flags.ok() ? "" : flags.status().ToString().c_str());
     return flags.ok() ? 0 : 2;
   }
+  const std::string simd_flag = flags->GetString("simd", "auto");
+  if (!simd::SetActiveByName(simd_flag)) {
+    std::fprintf(stderr, "--simd=%s: unknown or unavailable (have: %s)\n",
+                 simd_flag.c_str(), simd::AvailableLevelsString().c_str());
+    return 2;
+  }
   std::printf("build: %s\n", BuildInfoSummary().c_str());
+  std::printf("simd: %s kernels (available: %s)\n",
+              simd::LevelName(simd::ActiveLevel()),
+              simd::AvailableLevelsString().c_str());
   // Echo of how this process was launched, served verbatim by /varz.
   std::string flags_echo;
   for (int i = 0; i < argc; ++i) {
